@@ -1,0 +1,23 @@
+//! Criterion version of the Fig. 3 per-sweep comparison at a fixed
+//! 8-rank grid: PLANC vs DT vs MSDT per-sweep time, and the PP kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_bench::{measure_per_sweep, Fig3Method};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let grid = [2usize, 2, 2];
+    let (s_local, rank) = (24, 32);
+
+    let mut g = c.benchmark_group("fig3_grid2x2x2");
+    g.sample_size(10);
+    for m in Fig3Method::all() {
+        g.bench_function(m.label(), |b| {
+            b.iter(|| black_box(measure_per_sweep(m, &grid, s_local, rank, 1).secs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

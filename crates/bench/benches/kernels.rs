@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the contraction primitives: TTM (compute bound),
+//! batched TTV (bandwidth bound), Khatri-Rao, and N-d transpose. Their
+//! relative throughputs are what drive the paper's Fig. 3 breakdowns and
+//! the "mTTV is vertical-communication bound" observation (§IV); the
+//! measured flop rates also calibrate γ and ν of the cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_tensor::kernels::krp::khatri_rao;
+use pp_tensor::kernels::mttv::mttv;
+use pp_tensor::kernels::ttm::{ttm, ttm_last};
+use pp_tensor::rng::{seeded, uniform_matrix, uniform_tensor};
+use pp_tensor::transpose::move_mode_last;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = seeded(1);
+    let s = 96;
+    let r = 48;
+    let t = uniform_tensor(&[s, s, s], &mut rng);
+    let a = uniform_matrix(s, r, &mut rng);
+
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+
+    g.bench_function("ttm_last_mode", |b| {
+        b.iter(|| black_box(ttm_last(&t, &a)))
+    });
+    g.bench_function("ttm_middle_mode_with_transpose", |b| {
+        b.iter(|| black_box(ttm(&t, 1, &a).tensor))
+    });
+
+    let inter = ttm_last(&t, &a); // (s, s, R)
+    g.bench_function("mttv_level2", |b| {
+        b.iter(|| black_box(mttv(&inter, 1, &a).tensor))
+    });
+
+    g.bench_function("transpose_mode1_last", |b| {
+        b.iter(|| black_box(move_mode_last(&t, 1)))
+    });
+
+    let b1 = uniform_matrix(s, r, &mut rng);
+    let b2 = uniform_matrix(s, r, &mut rng);
+    g.bench_function("khatri_rao_2", |b| {
+        b.iter(|| black_box(khatri_rao(&[&b1, &b2])))
+    });
+
+    g.bench_function("gram", |b| b.iter(|| black_box(b1.gram())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Sequential per-sweep MTTKRP cost: naive (no amortization) vs the
+//! standard dimension tree vs MSDT, plus the cache-disabled ablation.
+//! Expected ordering per sweep: naive ≥ no-cache > DT > MSDT, with
+//! MSDT/DT ≈ N/(2(N−1)) in flops (paper §III).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_dtree::{DimTreeEngine, FactorState, InputTensor, TreePolicy};
+use pp_tensor::kernels::naive::mttkrp as naive_mttkrp;
+use pp_tensor::rng::{seeded, uniform_matrix, uniform_tensor};
+use std::hint::black_box;
+
+fn sweep(engine: &mut DimTreeEngine, input: &mut InputTensor, fs: &mut FactorState, dims: &[usize], r: usize, rng: &mut impl rand::Rng) {
+    for n in 0..dims.len() {
+        let m = engine.mttkrp(input, fs, n);
+        black_box(&m);
+        fs.update(n, uniform_matrix(dims[n], r, rng));
+    }
+}
+
+fn bench_trees(c: &mut Criterion) {
+    let dims = [56usize, 56, 56];
+    let r = 32;
+    let mut rng = seeded(3);
+    let t = uniform_tensor(&dims, &mut rng);
+    let factors: Vec<_> = dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+
+    let mut g = c.benchmark_group("seq_trees_per_sweep");
+    g.sample_size(10);
+
+    g.bench_function("naive_unamortized", |b| {
+        let fs = FactorState::new(factors.clone());
+        b.iter(|| {
+            for n in 0..3 {
+                black_box(naive_mttkrp(&t, fs.factors(), n));
+            }
+        })
+    });
+
+    g.bench_function("dt_standard", |b| {
+        let mut fs = FactorState::new(factors.clone());
+        let mut input = InputTensor::new(t.clone());
+        let mut engine = DimTreeEngine::new(TreePolicy::Standard, 3);
+        let mut rng = seeded(7);
+        b.iter(|| sweep(&mut engine, &mut input, &mut fs, &dims, r, &mut rng))
+    });
+
+    g.bench_function("msdt", |b| {
+        let mut fs = FactorState::new(factors.clone());
+        let mut input = InputTensor::with_msdt_copies(t.clone());
+        let mut engine = DimTreeEngine::new(TreePolicy::MultiSweep, 3);
+        let mut rng = seeded(7);
+        b.iter(|| sweep(&mut engine, &mut input, &mut fs, &dims, r, &mut rng))
+    });
+
+    g.bench_function("msdt_no_transposed_copies_ablation", |b| {
+        // MSDT forced to transpose middle-mode first-level contractions
+        // instead of using pre-permuted copies (paper §IV ablation).
+        let mut fs = FactorState::new(factors.clone());
+        let mut input = InputTensor::new(t.clone());
+        let mut engine = DimTreeEngine::new(TreePolicy::MultiSweep, 3);
+        let mut rng = seeded(7);
+        b.iter(|| sweep(&mut engine, &mut input, &mut fs, &dims, r, &mut rng))
+    });
+
+    g.bench_function("dt_cache_disabled_ablation", |b| {
+        let mut fs = FactorState::new(factors.clone());
+        let mut input = InputTensor::new(t.clone());
+        let mut engine = DimTreeEngine::new(TreePolicy::Standard, 3).with_caching_disabled();
+        let mut rng = seeded(7);
+        b.iter(|| sweep(&mut engine, &mut input, &mut fs, &dims, r, &mut rng))
+    });
+
+    g.finish();
+}
+
+/// PP tree memory-policy ablation (paper §IV): full caching vs combined
+/// inner levels — flops vs auxiliary-memory trade-off.
+fn bench_pp_tree_memory(c: &mut Criterion) {
+    use pp_dtree::pp_tree::{build_pp_operators_with, PpTreeMemory};
+    let dims = [40usize, 40, 40, 8];
+    let r = 16;
+    let mut rng = seeded(5);
+    let t = uniform_tensor(&dims, &mut rng);
+    let factors: Vec<_> = dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+
+    let mut g = c.benchmark_group("pp_tree_build");
+    g.sample_size(10);
+    for (name, mem) in [
+        ("full_levels", PpTreeMemory::Full),
+        ("combined_inner_levels", PpTreeMemory::CombineInner),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                // Fresh engine each iteration so nothing is reused.
+                let fs = FactorState::new(factors.clone());
+                let mut input = InputTensor::new(t.clone());
+                let mut engine = DimTreeEngine::new(TreePolicy::Standard, 4);
+                black_box(build_pp_operators_with(&mut input, &fs, &mut engine, mem))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trees, bench_pp_tree_memory);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Normal-equation solve benchmarks: Cholesky vs the Jacobi
+//! pseudo-inverse fallback, across the ranks used in the evaluation.
+//! (The solve bar of Fig. 3c–f; also the distributed-vs-replicated
+//! strategy ablation of §II-E.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_tensor::rng::{seeded, uniform_matrix};
+use pp_tensor::solve::{cholesky, pinv_sym, solve_gram};
+use std::hint::black_box;
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solve");
+    g.sample_size(10);
+    for &r in &[32usize, 64, 128] {
+        let mut rng = seeded(r as u64);
+        let a = uniform_matrix(r + 4, r, &mut rng);
+        let mut gamma = a.gram();
+        for i in 0..r {
+            let v = gamma.get(i, i) + 0.1;
+            gamma.set(i, i, v);
+        }
+        let rhs = uniform_matrix(256, r, &mut rng);
+
+        g.bench_with_input(BenchmarkId::new("cholesky_factor", r), &r, |b, _| {
+            b.iter(|| black_box(cholesky(&gamma)))
+        });
+        g.bench_with_input(BenchmarkId::new("solve_gram_256rows", r), &r, |b, _| {
+            b.iter(|| black_box(solve_gram(&gamma, &rhs)))
+        });
+        g.bench_with_input(BenchmarkId::new("jacobi_pinv", r), &r, |b, _| {
+            b.iter(|| black_box(pinv_sym(&gamma)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

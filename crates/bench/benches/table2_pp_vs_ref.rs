@@ -1,0 +1,37 @@
+//! Criterion version of Table II: our PP kernels vs the Cyclops-style
+//! reference on an 8-rank grid. The ratio (ref slower) is the paper's
+//! headline communication-efficiency result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_bench::weak_scaling_tensor;
+use pp_comm::Runtime;
+use pp_core::ref_pp::{time_pp_kernels, PpVariant};
+use pp_core::AlsConfig;
+use pp_dtree::TreePolicy;
+use pp_grid::{DistTensor, ProcGrid};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn run_variant(variant: PpVariant) -> (f64, f64) {
+    let grid = ProcGrid::new(vec![2, 2, 2]);
+    let t = Arc::new(weak_scaling_tensor(20, &grid, 3));
+    let cfg = AlsConfig::new(32).with_policy(TreePolicy::MultiSweep);
+    let out = Runtime::new(8).run(move |ctx| {
+        let local = DistTensor::from_global(&t, &ProcGrid::new(vec![2, 2, 2]), ctx.rank());
+        time_pp_kernels(ctx, &ProcGrid::new(vec![2, 2, 2]), &local, &cfg, 2, variant)
+    });
+    (out.results[0].init_secs, out.results[0].approx_secs)
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_pp_vs_ref");
+    g.sample_size(10);
+    g.bench_function("pp_ours", |b| b.iter(|| black_box(run_variant(PpVariant::Ours))));
+    g.bench_function("pp_reference", |b| {
+        b.iter(|| black_box(run_variant(PpVariant::Reference)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

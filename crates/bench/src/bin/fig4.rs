@@ -1,0 +1,84 @@
+//! Fig. 4 + Table III reproduction: PP speed-up over DT as a function of
+//! the input tensor's factor collinearity, with per-bucket sweep counts.
+//!
+//! For each collinearity bucket ([0,0.2), ..., [0.8,1.0)) several seeds are
+//! run to the Δ = 1e-5 stopping tolerance with (a) DT CP-ALS, (b) MSDT
+//! CP-ALS and (c) PP-CP-ALS; speed-up is total-time-to-stop relative to
+//! DT. Expected shape (paper Fig. 4): PP's speed-up peaks for mid/high
+//! collinearity where ALS needs many sweeps; Table III's sweep counts
+//! explain why (many PP-approx sweeps get activated there).
+//!
+//! Run: `cargo run --release -p pp-bench --bin fig4 [-- --full]`
+
+use pp_core::{cp_als, pp_cp_als, AlsConfig, SweepKind};
+use pp_datagen::collinearity::{collinearity_tensor, CollinearityConfig};
+use pp_dtree::TreePolicy;
+
+struct BucketResult {
+    speedups_pp: Vec<f64>,
+    speedups_msdt: Vec<f64>,
+    n_als: Vec<usize>,
+    n_init: Vec<usize>,
+    n_approx: Vec<usize>,
+}
+
+fn quartiles(v: &mut [f64]) -> (f64, f64, f64) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |f: f64| v[((v.len() - 1) as f64 * f).round() as usize];
+    (q(0.25), q(0.5), q(0.75))
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (s, r, seeds, max_sweeps) = if full { (160, 32, 5, 300) } else { (100, 20, 3, 200) };
+    let pp_tol = 0.2; // paper's setting for this experiment
+    let buckets = [(0.0, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (0.8, 1.0)];
+
+    println!("Fig. 4 — PP/MSDT speed-up vs collinearity (s={s}, R={r}, tol=1e-5, {seeds} seeds)");
+    println!(
+        "{:12} {:>8} {:>8} {:>8} {:>10} | {:>8} {:>9} {:>10}",
+        "bucket", "PP q25", "PP med", "PP q75", "MSDT med", "N-ALS", "N-PPinit", "N-PPapprox"
+    );
+
+    for (lo, hi) in buckets {
+        let mut res = BucketResult {
+            speedups_pp: vec![],
+            speedups_msdt: vec![],
+            n_als: vec![],
+            n_init: vec![],
+            n_approx: vec![],
+        };
+        for seed in 0..seeds {
+            let ccfg = CollinearityConfig { s, r, order: 3, lo, hi };
+            let (t, _, _) = collinearity_tensor(&ccfg, 1000 + seed);
+            let base = AlsConfig::new(r)
+                .with_tol(1e-5)
+                .with_max_sweeps(max_sweeps)
+                .with_seed(seed)
+                .with_pp_tol(pp_tol);
+
+            let dt = cp_als(&t, &base.clone().with_policy(TreePolicy::Standard));
+            let msdt = cp_als(&t, &base.clone().with_policy(TreePolicy::MultiSweep));
+            let pp = pp_cp_als(&t, &base.clone().with_policy(TreePolicy::MultiSweep));
+
+            res.speedups_pp.push(dt.report.total_secs() / pp.report.total_secs());
+            res.speedups_msdt
+                .push(dt.report.total_secs() / msdt.report.total_secs());
+            res.n_als.push(pp.report.count(SweepKind::Exact));
+            res.n_init.push(pp.report.count(SweepKind::PpInit));
+            res.n_approx.push(pp.report.count(SweepKind::PpApprox));
+        }
+        let (q25, med, q75) = quartiles(&mut res.speedups_pp);
+        let (_, msdt_med, _) = quartiles(&mut res.speedups_msdt);
+        let avg = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+        println!(
+            "[{lo:.1},{hi:.1})   {q25:>8.2} {med:>8.2} {q75:>8.2} {msdt_med:>10.2} | {:>8.1} {:>9.1} {:>10.1}",
+            avg(&res.n_als),
+            avg(&res.n_init),
+            avg(&res.n_approx),
+        );
+    }
+    println!("\n(Table III analogue: the three rightmost columns are mean sweep counts\n\
+              of the PP runs per bucket — PP-approx sweeps concentrate in the\n\
+              mid/high-collinearity buckets, as in the paper.)");
+}

@@ -1,0 +1,77 @@
+//! Table I reproduction: leading-order cost comparison of DT, MSDT,
+//! PP-init(-ref) and PP-approx(-ref) — sequential flops, local flops,
+//! auxiliary memory, horizontal and vertical communication — evaluated
+//! at the parameter points of the paper's Fig. 3 benchmarks.
+//!
+//! Run: `cargo run --release -p pp-bench --bin table1`
+
+use pp_comm::{sweep_cost, CostModel, Method};
+
+fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "        /".into()
+    } else if x >= 1e9 {
+        format!("{:8.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:8.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:8.2}K", x / 1e3)
+    } else {
+        format!("{x:9.1}")
+    }
+}
+
+fn print_point(n: usize, s: f64, r: f64, p: f64, model: &CostModel) {
+    println!(
+        "\n== N={n}, s={s:.0}, R={r}, P={p} (weak-scaling point of Fig. 3{}) ==",
+        if n == 3 { "a" } else { "b" }
+    );
+    println!(
+        "{:14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "method", "seq flop", "loc flop", "aux mem", "h msgs", "h words", "v words", "modeled t"
+    );
+    for m in Method::all() {
+        let c = sweep_cost(m, n, s, r, p);
+        println!(
+            "{:14} {} {} {} {} {} {} {:>11.4}s",
+            m.label(),
+            fmt(c.seq_flops),
+            fmt(c.local_flops),
+            fmt(c.aux_memory),
+            fmt(c.h_messages),
+            fmt(c.h_words),
+            fmt(c.v_words),
+            c.modeled_time(model),
+        );
+    }
+}
+
+fn main() {
+    let model = CostModel::stampede2_like();
+    println!("Table I — leading-order per-sweep MTTKRP costs (α–β–γ–ν model)");
+    println!(
+        "model: alpha={:.1e}s beta={:.2e}s/word gamma={:.2e}s/flop nu={:.2e}s/word",
+        model.alpha, model.beta, model.gamma, model.nu
+    );
+
+    // Paper's order-3 largest config: s_local=400 on 8x8x16 → s=400·1024^(1/3).
+    let p3 = 1024.0f64;
+    let s3 = 400.0 * p3.powf(1.0 / 3.0);
+    print_point(3, s3, 400.0, p3, &model);
+
+    // Paper's order-4 largest config: s_local=75 on 4x4x8x8.
+    let p4 = 1024.0f64;
+    let s4 = 75.0 * p4.powf(1.0 / 4.0);
+    print_point(4, s4, 200.0, p4, &model);
+
+    println!("\nLeading-flop ratios (paper §III / Table I):");
+    for n in [3usize, 4, 5] {
+        let dt = sweep_cost(Method::Dt, n, 1000.0, 100.0, 64.0).seq_flops;
+        let ms = sweep_cost(Method::Msdt, n, 1000.0, 100.0, 64.0).seq_flops;
+        println!(
+            "  N={n}: MSDT/DT = {:.4} (theory N/(2(N-1)) = {:.4})",
+            ms / dt,
+            n as f64 / (2.0 * (n as f64 - 1.0))
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Table II reproduction: per-sweep MTTKRP time of our PP initialization
+//! and approximated kernels vs the Cyclops-style reference implementation
+//! (PP-init-ref / PP-approx-ref), across 3-D and 4-D processor grids.
+//!
+//! Run: `cargo run --release -p pp-bench --bin table2`
+
+use pp_bench::{fmt_secs, weak_scaling_tensor};
+use pp_comm::Runtime;
+use pp_core::ref_pp::{time_pp_kernels, PpVariant};
+use pp_core::AlsConfig;
+use pp_dtree::TreePolicy;
+use pp_grid::{DistTensor, ProcGrid};
+use std::sync::Arc;
+
+fn grid_name(g: &[usize]) -> String {
+    format!(
+        "{}({}D)",
+        g.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+        g.len()
+    )
+}
+
+fn measure(grid_dims: &[usize], s_local: usize, rank: usize, variant: PpVariant) -> (f64, f64) {
+    let grid = ProcGrid::new(grid_dims.to_vec());
+    let t = Arc::new(weak_scaling_tensor(s_local, &grid, 11));
+    let cfg = AlsConfig::new(rank).with_policy(TreePolicy::MultiSweep);
+    let p = grid.size();
+    // Best of three runs: a single PP initialization is one-shot and the
+    // simulated ranks share this machine's cores, so take the minimum to
+    // suppress scheduler noise.
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
+        let out = Runtime::new(p).run(move |ctx| {
+            let local = DistTensor::from_global(&t2, &g2, ctx.rank());
+            time_pp_kernels(ctx, &g2, &local, &c2, 3, variant)
+        });
+        let times = out.results[0];
+        best.0 = best.0.min(times.init_secs);
+        best.1 = best.1.min(times.approx_secs);
+    }
+    best
+}
+
+fn main() {
+    // Grid ladder restricted to the machine's parallelism; same shape as
+    // the paper's Table II (four 3-D + four 4-D configurations).
+    let grids3: Vec<Vec<usize>> = vec![
+        vec![1, 2, 2],
+        vec![2, 2, 2],
+        vec![2, 2, 4],
+        vec![2, 4, 2],
+    ];
+    let grids4: Vec<Vec<usize>> = vec![
+        vec![1, 1, 2, 2],
+        vec![1, 2, 2, 2],
+        vec![2, 2, 2, 2],
+        vec![2, 2, 2, 4],
+    ];
+    let (s3, r3) = (36, 64);
+    let (s4, r4) = (12, 48);
+
+    println!("Table II — PP kernels: ours vs Cyclops-style reference");
+    println!(
+        "{:16} {:>12} {:>12} {:>8} | {:>12} {:>12} {:>8}",
+        "grid", "init", "init-ref", "ratio", "approx", "approx-ref", "ratio"
+    );
+    for g in grids3.iter().chain(grids4.iter()) {
+        let (s_local, rank) = if g.len() == 3 { (s3, r3) } else { (s4, r4) };
+        let (init_ours, approx_ours) = measure(g, s_local, rank, PpVariant::Ours);
+        let (init_ref, approx_ref) = measure(g, s_local, rank, PpVariant::Reference);
+        println!(
+            "{:16} {:>12} {:>12} {:>7.2}x | {:>12} {:>12} {:>7.2}x",
+            grid_name(g),
+            fmt_secs(init_ours),
+            fmt_secs(init_ref),
+            init_ref / init_ours,
+            fmt_secs(approx_ours),
+            fmt_secs(approx_ref),
+            approx_ref / approx_ours,
+        );
+    }
+    println!(
+        "\n(The paper reports 7-25x init and 5-15x approx gaps at 32-256 KNL\n\
+         processes. At reproduction scale — simulated ranks sharing one\n\
+         machine — the redistribution penalty is bandwidth-local rather than\n\
+         network-bound, so the gap is smaller, but the reference variant\n\
+         pays extra on every configuration.)"
+    );
+}

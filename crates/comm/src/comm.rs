@@ -1,0 +1,612 @@
+//! MPI-style communicators over shared-memory rendezvous.
+//!
+//! Each logical rank runs on its own OS thread with private data; ranks
+//! interact *only* through the collective operations here, so algorithms
+//! written against [`Communicator`] have the same structure as their MPI
+//! counterparts. Every collective charges the rank's [`CostLedger`]
+//! following the collective costs of the paper's §II-E:
+//!
+//! * All-Gather:      `log P · α + n·δ(P) · β`
+//! * Reduce-Scatter:  `log P · α + n·δ(P) · β` (plus `n` flops for the sum)
+//! * All-Reduce:      `2 log P · α + 2n·δ(P) · β`
+//! * Broadcast:       `log P · α + n·δ(P) · β`
+//! * All-to-All:      `log P · α + n·δ(P) · β`
+//! * Barrier:         `log P · α`
+
+use crate::cost::CostLedger;
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type AnyBox = Box<dyn Any + Send + Sync>;
+
+/// Phase of the rendezvous slot: ranks deposit, then all take the combined
+/// result, then the slot resets.
+enum Phase {
+    Collecting,
+    Distributing,
+}
+
+struct Slot {
+    phase: Phase,
+    arrived: usize,
+    taken: usize,
+    deposits: Vec<Option<AnyBox>>,
+    all: Option<Arc<Vec<AnyBox>>>,
+}
+
+/// Shared state of one communicator (one per process group).
+struct GroupState {
+    size: usize,
+    slot: Mutex<Slot>,
+    cv: Condvar,
+    /// Registry for `split`: maps (split sequence number, color) to the
+    /// freshly created child group, so all members agree on one state.
+    splits: Mutex<HashMap<(u64, i64), Arc<GroupState>>>,
+    split_seq: Mutex<u64>,
+}
+
+impl GroupState {
+    fn new(size: usize) -> Arc<Self> {
+        Arc::new(GroupState {
+            size,
+            slot: Mutex::new(Slot {
+                phase: Phase::Collecting,
+                arrived: 0,
+                taken: 0,
+                deposits: (0..size).map(|_| None).collect(),
+                all: None,
+            }),
+            cv: Condvar::new(),
+            splits: Mutex::new(HashMap::new()),
+            split_seq: Mutex::new(0),
+        })
+    }
+
+    /// The core primitive: every member deposits a value and receives a
+    /// shared view of all deposits, indexed by group rank.
+    fn exchange(&self, rank: usize, value: AnyBox) -> Arc<Vec<AnyBox>> {
+        let mut g = self.slot.lock();
+        // Wait out the draining phase of the previous round.
+        while !matches!(g.phase, Phase::Collecting) {
+            self.cv.wait(&mut g);
+        }
+        debug_assert!(g.deposits[rank].is_none(), "rank {rank} double deposit");
+        g.deposits[rank] = Some(value);
+        g.arrived += 1;
+        if g.arrived == self.size {
+            let all: Vec<AnyBox> = g.deposits.iter_mut().map(|d| d.take().unwrap()).collect();
+            g.all = Some(Arc::new(all));
+            g.phase = Phase::Distributing;
+            g.taken = 0;
+            self.cv.notify_all();
+        } else {
+            while matches!(g.phase, Phase::Collecting) {
+                self.cv.wait(&mut g);
+            }
+        }
+        let res = g.all.clone().expect("distribution phase must hold result");
+        g.taken += 1;
+        if g.taken == self.size {
+            g.all = None;
+            g.arrived = 0;
+            g.phase = Phase::Collecting;
+            self.cv.notify_all();
+        }
+        res
+    }
+}
+
+/// A process group: `rank` of `size` peers that can run collectives.
+///
+/// Clones and sub-communicators created by [`Communicator::split`] share the
+/// rank's cost ledger.
+#[derive(Clone)]
+pub struct Communicator {
+    state: Arc<GroupState>,
+    rank: usize,
+    size: usize,
+    ledger: CostLedger,
+}
+
+impl Communicator {
+    /// Create the world communicators for `size` ranks. Returned in rank
+    /// order; each must be moved to its own thread.
+    pub fn world(size: usize) -> Vec<Communicator> {
+        assert!(size > 0);
+        let state = GroupState::new(size);
+        (0..size)
+            .map(|rank| Communicator {
+                state: state.clone(),
+                rank,
+                size,
+                ledger: CostLedger::new(),
+            })
+            .collect()
+    }
+
+    /// This rank's index within the group.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The cost ledger charged by this communicator's collectives.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    #[inline]
+    fn log_p(&self) -> u64 {
+        (self.size.max(2) as f64).log2().ceil() as u64
+    }
+
+    #[inline]
+    fn delta(&self) -> u64 {
+        u64::from(self.size > 1)
+    }
+
+    /// Synchronize all ranks in the group.
+    pub fn barrier(&self) {
+        self.ledger.charge_messages(self.log_p());
+        let _ = self.state.exchange(self.rank, Box::new(()));
+    }
+
+    /// Gather equal-length contributions from every rank; the result is the
+    /// concatenation in rank order, stored on every rank.
+    pub fn all_gather(&self, v: &[f64]) -> Vec<f64> {
+        let res = self.gather_internal(v);
+        let total: usize = res.iter().map(|r| slice_of(r).len()).sum();
+        self.ledger.charge_messages(self.log_p());
+        self.ledger.charge_comm_words(self.delta() * total as u64);
+        let mut out = Vec::with_capacity(total);
+        for r in res.iter() {
+            out.extend_from_slice(slice_of(r));
+        }
+        out
+    }
+
+    /// Variable-length all-gather; returns per-rank vectors.
+    pub fn all_gather_v(&self, v: &[f64]) -> Vec<Vec<f64>> {
+        let res = self.gather_internal(v);
+        let total: usize = res.iter().map(|r| slice_of(r).len()).sum();
+        self.ledger.charge_messages(self.log_p());
+        self.ledger.charge_comm_words(self.delta() * total as u64);
+        res.iter().map(|r| slice_of(r).to_vec()).collect()
+    }
+
+    /// Element-wise sum of equal-length vectors, replicated on all ranks.
+    pub fn all_reduce_sum(&self, v: &[f64]) -> Vec<f64> {
+        let res = self.gather_internal(v);
+        self.ledger.charge_messages(2 * self.log_p());
+        self.ledger
+            .charge_comm_words(2 * self.delta() * v.len() as u64);
+        self.ledger.charge_flops(self.delta() * v.len() as u64);
+        let mut out = vec![0.0f64; v.len()];
+        for r in res.iter() {
+            let s = slice_of(r);
+            assert_eq!(s.len(), out.len(), "all_reduce length mismatch");
+            for (o, x) in out.iter_mut().zip(s.iter()) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Sum equal-length vectors and scatter the result: rank `i` receives
+    /// the segment `[offsets[i], offsets[i] + counts[i])` of the sum.
+    /// `counts` must sum to the vector length.
+    pub fn reduce_scatter_sum(&self, v: &[f64], counts: &[usize]) -> Vec<f64> {
+        assert_eq!(counts.len(), self.size, "one count per rank required");
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, v.len(), "counts must cover the whole vector");
+        let res = self.gather_internal(v);
+        self.ledger.charge_messages(self.log_p());
+        self.ledger.charge_comm_words(self.delta() * v.len() as u64);
+        self.ledger.charge_flops(self.delta() * v.len() as u64);
+        let offset: usize = counts[..self.rank].iter().sum();
+        let mine = counts[self.rank];
+        let mut out = vec![0.0f64; mine];
+        for r in res.iter() {
+            let s = slice_of(r);
+            for (o, x) in out.iter_mut().zip(s[offset..offset + mine].iter()) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Broadcast `v` from `root` to every rank.
+    pub fn broadcast(&self, root: usize, v: &[f64]) -> Vec<f64> {
+        let payload: Vec<f64> = if self.rank == root { v.to_vec() } else { Vec::new() };
+        let res = self.state.exchange(self.rank, Box::new(payload));
+        let data = slice_of(&res[root]).to_vec();
+        self.ledger.charge_messages(self.log_p());
+        self.ledger
+            .charge_comm_words(self.delta() * data.len() as u64);
+        data
+    }
+
+    /// Gather variable-length contributions onto `root` only (others get
+    /// an empty vec). Cost charged: `log P · α + n·δ(P) · β`.
+    pub fn gather(&self, root: usize, v: &[f64]) -> Vec<Vec<f64>> {
+        let res = self.gather_internal(v);
+        let total: usize = res.iter().map(|r| slice_of(r).len()).sum();
+        self.ledger.charge_messages(self.log_p());
+        self.ledger.charge_comm_words(self.delta() * total as u64);
+        if self.rank == root {
+            res.iter().map(|r| slice_of(r).to_vec()).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Scatter: `root` provides one chunk per rank; every rank receives its
+    /// chunk. Non-root ranks pass anything (ignored).
+    pub fn scatter(&self, root: usize, chunks: Vec<Vec<f64>>) -> Vec<f64> {
+        if self.rank == root {
+            assert_eq!(chunks.len(), self.size, "one chunk per rank required");
+        }
+        let payload: Vec<Vec<f64>> = if self.rank == root { chunks } else { Vec::new() };
+        let res = self.state.exchange(self.rank, Box::new(payload));
+        let all: &Vec<Vec<f64>> = res[root]
+            .downcast_ref()
+            .expect("scatter deposit type mismatch");
+        let mine = all[self.rank].clone();
+        self.ledger.charge_messages(self.log_p());
+        self.ledger
+            .charge_comm_words(self.delta() * mine.len() as u64);
+        mine
+    }
+
+    /// Point-to-point exchange round: every rank offers at most one message
+    /// `(dest, payload)`; returns the message addressed to this rank, if
+    /// any. (A BSP-superstep formulation of send/recv: all ranks of the
+    /// group must call this together.)
+    pub fn sendrecv_round(&self, msg: Option<(usize, Vec<f64>)>) -> Option<Vec<f64>> {
+        if let Some((dest, _)) = &msg {
+            assert!(*dest < self.size, "destination out of range");
+        }
+        let sent_words = msg.as_ref().map_or(0, |(_, p)| p.len());
+        let res = self.state.exchange(self.rank, Box::new(msg));
+        let mut incoming: Option<Vec<f64>> = None;
+        for r in res.iter() {
+            let m: &Option<(usize, Vec<f64>)> =
+                r.downcast_ref().expect("sendrecv deposit type mismatch");
+            if let Some((dest, payload)) = m {
+                if *dest == self.rank {
+                    assert!(
+                        incoming.is_none(),
+                        "multiple messages addressed to rank {} in one round",
+                        self.rank
+                    );
+                    incoming = Some(payload.clone());
+                }
+            }
+        }
+        let recv_words = incoming.as_ref().map_or(0, |p| p.len());
+        self.ledger
+            .charge_messages(u64::from(sent_words + recv_words > 0));
+        self.ledger
+            .charge_comm_words(self.delta() * (sent_words + recv_words) as u64);
+        incoming
+    }
+
+    /// Personalized all-to-all: `chunks[j]` is sent to rank `j`; the result
+    /// concatenates the chunks every rank addressed to us, in rank order.
+    pub fn all_to_all(&self, chunks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        assert_eq!(chunks.len(), self.size, "one chunk per destination rank");
+        let sent: usize = chunks.iter().map(|c| c.len()).sum();
+        let res = self.state.exchange(self.rank, Box::new(chunks));
+        let mut out = Vec::with_capacity(self.size);
+        let mut received = 0usize;
+        for r in res.iter() {
+            let all: &Vec<Vec<f64>> = r
+                .downcast_ref()
+                .expect("all_to_all deposit type mismatch");
+            received += all[self.rank].len();
+            out.push(all[self.rank].clone());
+        }
+        self.ledger.charge_messages(self.log_p());
+        self.ledger
+            .charge_comm_words(self.delta() * (sent.max(received)) as u64);
+        out
+    }
+
+    /// Split into sub-communicators by `color`; ranks sharing a color form a
+    /// group ordered by `(key, parent rank)`.
+    pub fn split(&self, color: i64, key: i64) -> Communicator {
+        // Round 1: agree on a split sequence number and learn all colors.
+        let res = self
+            .state
+            .exchange(self.rank, Box::new((color, key, self.rank)));
+        let mut triples: Vec<(i64, i64, usize)> = res
+            .iter()
+            .map(|r| *r.downcast_ref::<(i64, i64, usize)>().unwrap())
+            .collect();
+        triples.sort_by_key(|&(c, k, r)| (c, k, r));
+        let members: Vec<usize> = triples
+            .iter()
+            .filter(|&&(c, _, _)| c == color)
+            .map(|&(_, _, r)| r)
+            .collect();
+        let my_new_rank = members.iter().position(|&r| r == self.rank).unwrap();
+        let group_size = members.len();
+
+        // Round 2: the lowest-ranked member of each color creates the child
+        // state; everyone retrieves it from the parent's registry keyed by a
+        // sequence number all ranks advance together.
+        let seq = {
+            let s = self.state.split_seq.lock();
+            // All ranks read the same value; only advance after the barrier
+            // below, so do it on first access per round via arrived trick:
+            // simplest correct scheme: advance in lockstep after use.
+            *s
+        };
+        if members[0] == self.rank {
+            let child = GroupState::new(group_size);
+            self.state.splits.lock().insert((seq, color), child);
+        }
+        // Make the creation visible to all members before lookup.
+        let _ = self.state.exchange(self.rank, Box::new(()));
+        let child = self
+            .state
+            .splits
+            .lock()
+            .get(&(seq, color))
+            .cloned()
+            .expect("split registry entry must exist");
+        // Advance the sequence number exactly once (rank 0 of the parent),
+        // then synchronize so no rank starts the next split early.
+        if self.rank == 0 {
+            *self.state.split_seq.lock() += 1;
+        }
+        let _ = self.state.exchange(self.rank, Box::new(()));
+        // Garbage-collect registry entries from this round.
+        if members[0] == self.rank {
+            self.state.splits.lock().remove(&(seq, color));
+        }
+
+        self.ledger.charge_messages(self.log_p());
+        Communicator {
+            state: child,
+            rank: my_new_rank,
+            size: group_size,
+            ledger: self.ledger.clone(),
+        }
+    }
+
+    fn gather_internal(&self, v: &[f64]) -> Arc<Vec<AnyBox>> {
+        self.state.exchange(self.rank, Box::new(v.to_vec()))
+    }
+}
+
+fn slice_of(b: &AnyBox) -> &[f64] {
+    b.downcast_ref::<Vec<f64>>()
+        .expect("collective deposit type mismatch")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_ranks<R: Send + 'static>(
+        size: usize,
+        f: impl Fn(Communicator) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let comms = Communicator::world(size);
+        let f = Arc::new(f);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = f.clone();
+                thread::spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let out = run_ranks(4, |c| {
+            let v = vec![c.rank() as f64; 2];
+            c.all_gather(&v)
+        });
+        for o in out {
+            assert_eq!(o, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums() {
+        let out = run_ranks(3, |c| c.all_reduce_sum(&[1.0, c.rank() as f64]));
+        for o in out {
+            assert_eq!(o, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_segments() {
+        let out = run_ranks(2, |c| {
+            let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+            let seg = c.reduce_scatter_sum(&v, &[2, 3]);
+            (c.rank(), seg)
+        });
+        for (rank, seg) in out {
+            if rank == 0 {
+                assert_eq!(seg, vec![2.0, 4.0]);
+            } else {
+                assert_eq!(seg, vec![6.0, 8.0, 10.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let out = run_ranks(4, |c| {
+            let v = if c.rank() == 2 { vec![7.0, 8.0] } else { vec![] };
+            c.broadcast(2, &v)
+        });
+        for o in out {
+            assert_eq!(o, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_on_root_only() {
+        let out = run_ranks(3, |c| {
+            let mine = vec![c.rank() as f64; c.rank() + 1];
+            (c.rank(), c.gather(1, &mine))
+        });
+        for (rank, got) in out {
+            if rank == 1 {
+                assert_eq!(got.len(), 3);
+                assert_eq!(got[0], vec![0.0]);
+                assert_eq!(got[2], vec![2.0, 2.0, 2.0]);
+            } else {
+                assert!(got.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        let out = run_ranks(3, |c| {
+            let chunks = if c.rank() == 0 {
+                vec![vec![10.0], vec![20.0, 21.0], vec![30.0]]
+            } else {
+                Vec::new()
+            };
+            (c.rank(), c.scatter(0, chunks))
+        });
+        for (rank, got) in out {
+            match rank {
+                0 => assert_eq!(got, vec![10.0]),
+                1 => assert_eq!(got, vec![20.0, 21.0]),
+                _ => assert_eq!(got, vec![30.0]),
+            }
+        }
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        // Every rank sends to its right neighbour; everyone receives from
+        // the left.
+        let out = run_ranks(4, |c| {
+            let dest = (c.rank() + 1) % 4;
+            let got = c.sendrecv_round(Some((dest, vec![c.rank() as f64])));
+            (c.rank(), got)
+        });
+        for (rank, got) in out {
+            let expect = ((rank + 3) % 4) as f64;
+            assert_eq!(got, Some(vec![expect]));
+        }
+    }
+
+    #[test]
+    fn sendrecv_with_silent_ranks() {
+        let out = run_ranks(3, |c| {
+            let msg = if c.rank() == 0 { Some((2, vec![5.0])) } else { None };
+            (c.rank(), c.sendrecv_round(msg))
+        });
+        for (rank, got) in out {
+            if rank == 2 {
+                assert_eq!(got, Some(vec![5.0]));
+            } else {
+                assert_eq!(got, None);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_routes_chunks() {
+        let out = run_ranks(3, |c| {
+            let me = c.rank() as f64;
+            // Send [me, dest] to each destination.
+            let chunks: Vec<Vec<f64>> = (0..3).map(|d| vec![me, d as f64]).collect();
+            (c.rank(), c.all_to_all(chunks))
+        });
+        for (rank, got) in out {
+            for (src, chunk) in got.iter().enumerate() {
+                assert_eq!(chunk, &vec![src as f64, rank as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_deadlock() {
+        let out = run_ranks(4, |c| {
+            let mut acc = 0.0;
+            for i in 0..50 {
+                let s = c.all_reduce_sum(&[i as f64]);
+                acc += s[0];
+            }
+            acc
+        });
+        let expect: f64 = (0..50).map(|i| (i * 4) as f64).sum();
+        for o in out {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn split_forms_correct_groups() {
+        let out = run_ranks(6, |c| {
+            // Two colors: even/odd world ranks.
+            let color = (c.rank() % 2) as i64;
+            let sub = c.split(color, c.rank() as i64);
+            let got = sub.all_gather(&[c.rank() as f64]);
+            (c.rank(), sub.rank(), sub.size(), got)
+        });
+        for (wrank, srank, ssize, got) in out {
+            assert_eq!(ssize, 3);
+            assert_eq!(srank, wrank / 2);
+            let expect: Vec<f64> = (0..3).map(|i| (2 * i + wrank % 2) as f64).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn nested_split_and_mixed_collectives() {
+        let out = run_ranks(8, |c| {
+            let sub = c.split((c.rank() / 4) as i64, 0);
+            let subsub = sub.split((sub.rank() % 2) as i64, 0);
+            let x = subsub.all_reduce_sum(&[1.0]);
+            c.barrier();
+            x[0]
+        });
+        for o in out {
+            assert_eq!(o, 2.0);
+        }
+    }
+
+    #[test]
+    fn collectives_charge_ledger() {
+        let out = run_ranks(4, |c| {
+            let _ = c.all_gather(&[1.0, 2.0]);
+            c.ledger().snapshot()
+        });
+        for s in out {
+            assert_eq!(s.messages, 2); // log2(4)
+            assert_eq!(s.comm_words, 8); // total gathered words
+        }
+    }
+
+    #[test]
+    fn single_rank_charges_no_bandwidth() {
+        let out = run_ranks(1, |c| {
+            let g = c.all_gather(&[5.0]);
+            assert_eq!(g, vec![5.0]);
+            c.ledger().snapshot()
+        });
+        assert_eq!(out[0].comm_words, 0);
+    }
+}

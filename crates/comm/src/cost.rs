@@ -1,0 +1,215 @@
+//! The BSP α–β–γ–ν cost model of the paper (§II-E) and per-rank ledgers.
+//!
+//! * `α` — cost of sending/receiving one message (latency),
+//! * `β` — cost of moving one word between processors (horizontal bandwidth),
+//! * `γ` — cost of one arithmetic operation,
+//! * `ν` — cost of moving one word between main memory and cache
+//!   (vertical bandwidth).
+//!
+//! Every collective and every kernel invocation charges a [`CostLedger`];
+//! the harness converts ledgers into modeled times with a [`CostModel`],
+//! which is how we report paper-scale (P = 1024) numbers that cannot be
+//! executed directly on this machine.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Machine parameters for the α–β–γ–ν model, in seconds per unit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Seconds per message (latency).
+    pub alpha: f64,
+    /// Seconds per word moved between processors.
+    pub beta: f64,
+    /// Seconds per flop.
+    pub gamma: f64,
+    /// Seconds per word moved between memory and cache.
+    pub nu: f64,
+}
+
+impl CostModel {
+    /// Parameters representative of a fat-tree interconnect with ~100 Gb/s
+    /// links and a KNL-class node, satisfying the paper's assumptions
+    /// `α ≫ β ≫ γ` and `ν ≤ γ·√H`.
+    pub fn stampede2_like() -> Self {
+        CostModel {
+            alpha: 2.0e-6,       // ~2 µs per message
+            beta: 8.0 / 12.5e9,  // 8-byte word over ~100 Gb/s
+            gamma: 1.0 / 40.0e9, // ~40 Gflop/s per process (double precision)
+            nu: 8.0 / 80.0e9,    // ~80 GB/s per-process memory bandwidth
+        }
+    }
+
+    /// Modeled execution time for a set of counters.
+    pub fn time(&self, c: &CostCounters) -> f64 {
+        self.alpha * c.messages as f64
+            + self.beta * c.comm_words as f64
+            + self.gamma * c.flops as f64
+            + self.nu * c.mem_words as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::stampede2_like()
+    }
+}
+
+/// Raw counters accumulated by one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostCounters {
+    /// Number of point-to-point messages implied by the collectives
+    /// (log₂ P per collective stage, per the paper's collective costs).
+    pub messages: u64,
+    /// Words sent/received across the network.
+    pub comm_words: u64,
+    /// Arithmetic operations.
+    pub flops: u64,
+    /// Words moved between main memory and cache (vertical traffic).
+    pub mem_words: u64,
+}
+
+impl CostCounters {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &CostCounters) {
+        self.messages += other.messages;
+        self.comm_words += other.comm_words;
+        self.flops += other.flops;
+        self.mem_words += other.mem_words;
+    }
+
+    /// Component-wise max (critical-path combination across ranks).
+    pub fn max(&self, other: &CostCounters) -> CostCounters {
+        CostCounters {
+            messages: self.messages.max(other.messages),
+            comm_words: self.comm_words.max(other.comm_words),
+            flops: self.flops.max(other.flops),
+            mem_words: self.mem_words.max(other.mem_words),
+        }
+    }
+}
+
+/// A shared, thread-safe ledger of model costs for one rank.
+///
+/// Cloning shares the underlying counters (sub-communicators charge the
+/// same rank ledger as the world communicator).
+#[derive(Clone, Default)]
+pub struct CostLedger {
+    inner: Arc<Mutex<CostCounters>>,
+}
+
+impl CostLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `count` messages.
+    pub fn charge_messages(&self, count: u64) {
+        self.inner.lock().messages += count;
+    }
+
+    /// Charge words of horizontal (network) traffic.
+    pub fn charge_comm_words(&self, words: u64) {
+        self.inner.lock().comm_words += words;
+    }
+
+    /// Charge arithmetic operations.
+    pub fn charge_flops(&self, flops: u64) {
+        self.inner.lock().flops += flops;
+    }
+
+    /// Charge words of vertical (memory) traffic.
+    pub fn charge_mem_words(&self, words: u64) {
+        self.inner.lock().mem_words += words;
+    }
+
+    /// Snapshot of the current counters.
+    pub fn snapshot(&self) -> CostCounters {
+        *self.inner.lock()
+    }
+
+    /// Reset all counters to zero, returning the previous values.
+    pub fn reset(&self) -> CostCounters {
+        std::mem::take(&mut *self.inner.lock())
+    }
+}
+
+/// Critical-path counters across all ranks (max per component) plus totals.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostReport {
+    /// Per-component maximum over ranks — the BSP critical path.
+    pub critical: CostCounters,
+    /// Per-component sum over ranks.
+    pub total: CostCounters,
+}
+
+impl CostReport {
+    /// Combine per-rank snapshots.
+    pub fn from_ranks(ranks: &[CostCounters]) -> Self {
+        let mut report = CostReport::default();
+        for c in ranks {
+            report.critical = report.critical.max(c);
+            report.total.add(c);
+        }
+        report
+    }
+
+    /// Modeled wall-clock time under `model` (critical path).
+    pub fn modeled_time(&self, model: &CostModel) -> f64 {
+        model.time(&self.critical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let l = CostLedger::new();
+        l.charge_flops(100);
+        l.charge_flops(50);
+        l.charge_messages(3);
+        l.charge_comm_words(7);
+        l.charge_mem_words(11);
+        let s = l.snapshot();
+        assert_eq!(s.flops, 150);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.comm_words, 7);
+        assert_eq!(s.mem_words, 11);
+    }
+
+    #[test]
+    fn ledger_clone_shares_counters() {
+        let l = CostLedger::new();
+        let l2 = l.clone();
+        l2.charge_flops(42);
+        assert_eq!(l.snapshot().flops, 42);
+    }
+
+    #[test]
+    fn report_combines_max_and_sum() {
+        let a = CostCounters { messages: 1, comm_words: 10, flops: 100, mem_words: 5 };
+        let b = CostCounters { messages: 4, comm_words: 2, flops: 50, mem_words: 9 };
+        let r = CostReport::from_ranks(&[a, b]);
+        assert_eq!(r.critical.messages, 4);
+        assert_eq!(r.critical.comm_words, 10);
+        assert_eq!(r.total.flops, 150);
+    }
+
+    #[test]
+    fn model_time_is_linear() {
+        let m = CostModel { alpha: 1.0, beta: 0.1, gamma: 0.01, nu: 0.001 };
+        let c = CostCounters { messages: 2, comm_words: 10, flops: 100, mem_words: 1000 };
+        assert!((m.time(&c) - (2.0 + 1.0 + 1.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_returns_and_clears() {
+        let l = CostLedger::new();
+        l.charge_flops(5);
+        let old = l.reset();
+        assert_eq!(old.flops, 5);
+        assert_eq!(l.snapshot().flops, 0);
+    }
+}

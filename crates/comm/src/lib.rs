@@ -1,0 +1,33 @@
+//! # pp-comm — simulated distributed-memory BSP runtime
+//!
+//! Substitute for MPI on the Stampede2 supercomputer: logical ranks run as
+//! OS threads with private data and communicate only through MPI-style
+//! collectives ([`comm::Communicator`]). Every collective and kernel charges
+//! an α–β–γ–ν cost ledger ([`cost`]), and closed-form Table I cost
+//! formulas ([`model`]) extrapolate measured runs to paper scale
+//! (P = 1024). See DESIGN.md §1 for why this substitution preserves the
+//! paper's observable behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_comm::Runtime;
+//!
+//! // Four logical ranks sum their rank numbers with an All-Reduce.
+//! let out = Runtime::new(4).run(|ctx| {
+//!     ctx.comm.all_reduce_sum(&[ctx.rank() as f64])[0]
+//! });
+//! assert_eq!(out.results, vec![6.0; 4]);
+//! // Every collective charged the α–β cost ledger.
+//! assert!(out.report.critical.messages > 0);
+//! ```
+
+pub mod comm;
+pub mod cost;
+pub mod model;
+pub mod runtime;
+
+pub use comm::Communicator;
+pub use cost::{CostCounters, CostLedger, CostModel, CostReport};
+pub use model::{sweep_cost, Method, SweepCost};
+pub use runtime::{RankCtx, RunOutput, Runtime};

@@ -1,0 +1,76 @@
+//! PLANC-style baseline (Eswar et al., the state-of-the-art parallel
+//! dimension-tree CP-ALS the paper benchmarks against in Fig. 3).
+//!
+//! PLANC uses the same local-dimension-tree parallelization as
+//! Algorithm 3 but (a) always the standard per-sweep dimension tree and
+//! (b) a sequential (replicated) normal-equation solve on each rank. Here
+//! that is expressed as a configuration of [`crate::par_als::par_cp_als`].
+
+use crate::config::{AlsConfig, SolveStrategy};
+use crate::par_als::{par_cp_als, ParAlsOutput};
+use pp_comm::RankCtx;
+use pp_dtree::TreePolicy;
+use pp_grid::{DistTensor, ProcGrid};
+
+/// Force the PLANC configuration onto `cfg` (standard DT + replicated
+/// solve), preserving rank, tolerances, and seed.
+pub fn planc_config(cfg: &AlsConfig) -> AlsConfig {
+    cfg.clone()
+        .with_policy(TreePolicy::Standard)
+        .with_solve(SolveStrategy::Replicated)
+}
+
+/// Run the PLANC-style baseline.
+pub fn planc_cp_als(
+    ctx: &mut RankCtx,
+    grid: &ProcGrid,
+    local: &DistTensor,
+    cfg: &AlsConfig,
+) -> ParAlsOutput {
+    par_cp_als(ctx, grid, local, &planc_config(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_comm::Runtime;
+    use pp_datagen::lowrank::noisy_rank;
+    use std::sync::Arc;
+
+    #[test]
+    fn planc_matches_our_dt_results() {
+        // Same math, different solve/communication strategy: fitness
+        // trajectories must agree.
+        let t = Arc::new(noisy_rank(&[6, 5, 6], 2, 0.1, 3));
+        let grid = ProcGrid::new(vec![2, 1, 2]);
+        let cfg = AlsConfig::new(2).with_max_sweeps(6).with_tol(0.0);
+
+        let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
+        let ours = Runtime::new(4).run(move |ctx| {
+            let local = DistTensor::from_global(&t2, &g2, ctx.rank());
+            par_cp_als(ctx, &g2, &local, &c2)
+        });
+        let (t3, g3, c3) = (t.clone(), grid.clone(), cfg.clone());
+        let planc = Runtime::new(4).run(move |ctx| {
+            let local = DistTensor::from_global(&t3, &g3, ctx.rank());
+            planc_cp_als(ctx, &g3, &local, &c3)
+        });
+        let a = &ours.results[0].report;
+        let b = &planc.results[0].report;
+        assert_eq!(a.sweeps.len(), b.sweeps.len());
+        for (x, y) in a.sweeps.iter().zip(b.sweeps.iter()) {
+            assert!((x.fitness - y.fitness).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn planc_config_forces_dt_and_replicated() {
+        let cfg = AlsConfig::new(4)
+            .with_policy(TreePolicy::MultiSweep)
+            .with_solve(SolveStrategy::Distributed);
+        let p = planc_config(&cfg);
+        assert_eq!(p.policy, TreePolicy::Standard);
+        assert_eq!(p.solve, SolveStrategy::Replicated);
+        assert_eq!(p.rank, 4);
+    }
+}

@@ -1,0 +1,307 @@
+//! Sequential PP-CP-ALS (Algorithm 2 of the paper).
+//!
+//! The driver alternates between regimes:
+//!
+//! * **exact sweeps** through a dimension tree (MSDT by default, matching
+//!   the paper's implementation), tracking `dA^(i)` = the change of each
+//!   factor over one sweep;
+//! * when every mode satisfies `‖dA^(i)‖F < ε‖A^(i)‖F`, the factors are
+//!   frozen as reference `A_p`, the **PP initialization** builds the pair
+//!   operators `𝓜p^(i,j)` (Fig. 1b), and **PP approximated sweeps** run —
+//!   each using Eq. (5)'s first- plus second-order corrections instead of
+//!   tensor contractions — until some `dA` drifts past the tolerance, at
+//!   which point control returns to exact sweeps.
+
+use crate::config::AlsConfig;
+use crate::fitness::{fitness_from_residual, relative_residual};
+use crate::result::{AlsOutput, AlsReport, SweepKind, SweepRecord};
+use pp_dtree::correct::{approx_mttkrp, d_gram};
+use pp_dtree::pp_tree::build_pp_operators;
+use pp_dtree::{DimTreeEngine, FactorState, InputTensor, Kernel, TreePolicy};
+use pp_tensor::matrix::hadamard_chain_skip;
+use pp_tensor::solve::solve_gram;
+use pp_tensor::{DenseTensor, Matrix};
+use std::time::Instant;
+
+/// Run PP-CP-ALS on a dense tensor.
+pub fn pp_cp_als(t: &DenseTensor, cfg: &AlsConfig) -> AlsOutput {
+    let dims: Vec<usize> = t.shape().dims().to_vec();
+    let init = crate::als::init_factors(&dims, cfg.rank, cfg.seed);
+    pp_cp_als_with_init(t, cfg, init)
+}
+
+/// PP-CP-ALS from caller-provided initial factors.
+pub fn pp_cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) -> AlsOutput {
+    let n_modes = t.order();
+    assert!(n_modes >= 3, "pairwise perturbation needs order ≥ 3");
+
+    let mut input = match cfg.policy {
+        TreePolicy::Standard => InputTensor::new(t.clone()),
+        TreePolicy::MultiSweep => InputTensor::with_msdt_copies(t.clone()),
+    };
+    let mut engine = DimTreeEngine::new(cfg.policy, n_modes);
+    let mut fs = FactorState::new(init);
+    let mut grams: Vec<Matrix> = fs.factors().iter().map(|a| a.gram()).collect();
+    let t_norm_sq = t.norm_sq();
+
+    // dA over the most recent sweep (exact or approximated).
+    let mut d_factors: Vec<Matrix> = fs
+        .factors()
+        .iter()
+        .map(|a| {
+            // Alg. 2 line 2 initializes dA ← A, so PP never triggers before
+            // the first exact sweep.
+            a.clone()
+        })
+        .collect();
+
+    let mut report = AlsReport::default();
+    let mut fitness_old = f64::NEG_INFINITY;
+    let mut cumulative = 0.0f64;
+    let mut converged = false;
+    let mut sweeps_done = 0usize;
+
+    'outer: while sweeps_done < cfg.max_sweeps {
+        let pp_ready = (0..n_modes)
+            .all(|i| d_factors[i].norm() < cfg.pp_tol * fs.factor(i).norm());
+
+        if pp_ready {
+            // ---- PP initialization (Alg. 2 lines 6-9) ----
+            let t0 = Instant::now();
+            let factors_p: Vec<Matrix> = fs.factors().to_vec();
+            for d in d_factors.iter_mut() {
+                d.fill_zero();
+            }
+            let ops = build_pp_operators(&mut input, &fs, &mut engine);
+            let secs = t0.elapsed().as_secs_f64();
+            cumulative += secs;
+            report.sweeps.push(SweepRecord {
+                kind: SweepKind::PpInit,
+                secs,
+                fitness: report.sweeps.last().map_or(f64::NAN, |s| s.fitness),
+                cumulative_secs: cumulative,
+            });
+            sweeps_done += 1;
+
+            // ---- PP approximated sweeps (lines 10-17) ----
+            loop {
+                if sweeps_done >= cfg.max_sweeps {
+                    break 'outer;
+                }
+                let sweep_t0 = Instant::now();
+                let mut last_gamma: Option<Matrix> = None;
+                let mut last_m: Option<Matrix> = None;
+                for n in 0..n_modes {
+                    let h0 = Instant::now();
+                    let gamma = hadamard_chain_skip(&grams, n);
+                    let d_grams: Vec<Matrix> = fs
+                        .factors()
+                        .iter()
+                        .zip(d_factors.iter())
+                        .map(|(a, d)| d_gram(a, d))
+                        .collect();
+                    engine.stats.record(Kernel::Hadamard, h0.elapsed(), 0);
+
+                    let c0 = Instant::now();
+                    let m = approx_mttkrp(
+                        &ops,
+                        &d_factors,
+                        fs.factors(),
+                        &grams,
+                        &d_grams,
+                        n,
+                    );
+                    engine.stats.record(Kernel::Mttv, c0.elapsed(), 0);
+
+                    let s0 = Instant::now();
+                    let (a_new, _) = solve_gram(&gamma, &m);
+                    engine.stats.record(Kernel::Solve, s0.elapsed(), 0);
+
+                    d_factors[n] = a_new.sub(&factors_p[n]);
+                    grams[n] = a_new.gram();
+                    fs.update(n, a_new);
+                    if n == n_modes - 1 {
+                        last_gamma = Some(gamma);
+                        last_m = Some(m);
+                    }
+                }
+                let secs = sweep_t0.elapsed().as_secs_f64();
+                cumulative += secs;
+                let fitness = if cfg.track_fitness {
+                    let r = relative_residual(
+                        t_norm_sq,
+                        last_gamma.as_ref().unwrap(),
+                        &grams[n_modes - 1],
+                        last_m.as_ref().unwrap(),
+                        fs.factor(n_modes - 1),
+                    );
+                    fitness_from_residual(r)
+                } else {
+                    f64::NAN
+                };
+                report.sweeps.push(SweepRecord {
+                    kind: SweepKind::PpApprox,
+                    secs,
+                    fitness,
+                    cumulative_secs: cumulative,
+                });
+                sweeps_done += 1;
+
+                if cfg.track_fitness && (fitness - fitness_old).abs() < cfg.tol {
+                    converged = true;
+                    break 'outer;
+                }
+                fitness_old = fitness;
+
+                let still_ok = (0..n_modes)
+                    .all(|i| d_factors[i].norm() < cfg.pp_tol * fs.factor(i).norm());
+                if !still_ok {
+                    break;
+                }
+            }
+            // Fall through to a regular sweep (Alg. 2 line 19).
+        }
+
+        if sweeps_done >= cfg.max_sweeps {
+            break;
+        }
+
+        // ---- Regular exact sweep (Alg. 2 line 19 / Alg. 1 lines 5-10) ----
+        let sweep_t0 = Instant::now();
+        let before: Vec<Matrix> = fs.factors().to_vec();
+        let mut last_gamma: Option<Matrix> = None;
+        let mut last_m: Option<Matrix> = None;
+        for n in 0..n_modes {
+            let h0 = Instant::now();
+            let gamma = hadamard_chain_skip(&grams, n);
+            engine.stats.record(Kernel::Hadamard, h0.elapsed(), 0);
+
+            let m = engine.mttkrp(&mut input, &fs, n);
+
+            let s0 = Instant::now();
+            let (a_new, _) = solve_gram(&gamma, &m);
+            engine.stats.record(Kernel::Solve, s0.elapsed(), 0);
+
+            grams[n] = a_new.gram();
+            fs.update(n, a_new);
+            if n == n_modes - 1 {
+                last_gamma = Some(gamma);
+                last_m = Some(m);
+            }
+        }
+        for n in 0..n_modes {
+            d_factors[n] = fs.factor(n).sub(&before[n]);
+        }
+        let secs = sweep_t0.elapsed().as_secs_f64();
+        cumulative += secs;
+        let fitness = if cfg.track_fitness {
+            let r = relative_residual(
+                t_norm_sq,
+                last_gamma.as_ref().unwrap(),
+                &grams[n_modes - 1],
+                last_m.as_ref().unwrap(),
+                fs.factor(n_modes - 1),
+            );
+            fitness_from_residual(r)
+        } else {
+            f64::NAN
+        };
+        report.sweeps.push(SweepRecord {
+            kind: SweepKind::Exact,
+            secs,
+            fitness,
+            cumulative_secs: cumulative,
+        });
+        sweeps_done += 1;
+
+        if cfg.track_fitness && (fitness - fitness_old).abs() < cfg.tol {
+            converged = true;
+            break;
+        }
+        fitness_old = fitness;
+    }
+
+    report.stats = engine.take_stats();
+    report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
+    report.converged = converged;
+    AlsOutput { factors: fs.factors().to_vec(), report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::als::cp_als;
+    use crate::result::SweepKind;
+    use pp_datagen::collinearity::{collinearity_tensor, CollinearityConfig};
+    use pp_datagen::lowrank::noisy_rank;
+
+    fn pp_cfg(rank: usize) -> AlsConfig {
+        AlsConfig::new(rank)
+            .with_policy(TreePolicy::MultiSweep)
+            .with_pp_tol(0.3)
+            .with_max_sweeps(80)
+            .with_tol(1e-9)
+    }
+
+    #[test]
+    fn pp_activates_and_converges() {
+        let cfg = CollinearityConfig { s: 14, r: 4, order: 3, lo: 0.5, hi: 0.7 };
+        let (t, _, _) = collinearity_tensor(&cfg, 3);
+        let out = pp_cp_als(&t, &pp_cfg(4));
+        assert!(out.report.count(SweepKind::PpInit) >= 1, "PP must activate");
+        assert!(out.report.count(SweepKind::PpApprox) >= 1);
+        assert!(out.report.final_fitness > 0.8, "fitness {}", out.report.final_fitness);
+    }
+
+    #[test]
+    fn pp_fitness_stays_close_to_exact_als() {
+        let t = noisy_rank(&[10, 9, 11], 3, 0.05, 7);
+        let exact = cp_als(&t, &AlsConfig::new(3).with_max_sweeps(60).with_tol(1e-9));
+        let pp = pp_cp_als(&t, &pp_cfg(3));
+        assert!(
+            (pp.report.final_fitness - exact.report.final_fitness).abs() < 0.02,
+            "PP {} vs exact {}",
+            pp.report.final_fitness,
+            exact.report.final_fitness
+        );
+    }
+
+    #[test]
+    fn pp_fitness_never_collapses() {
+        // The paper highlights that fitness increases monotonically under
+        // PP on well-conditioned problems (Fig. 5a); allow tiny dips from
+        // the approximation but no collapse.
+        let cfg = CollinearityConfig { s: 12, r: 3, order: 3, lo: 0.4, hi: 0.6 };
+        let (t, _, _) = collinearity_tensor(&cfg, 5);
+        let out = pp_cp_als(&t, &pp_cfg(3));
+        let fits: Vec<f64> = out.report.sweeps.iter().map(|s| s.fitness).collect();
+        let max_so_far = fits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let last = *fits.last().unwrap();
+        assert!(last > max_so_far - 0.05, "fitness collapsed: {last} vs {max_so_far}");
+    }
+
+    #[test]
+    fn order4_pp_works() {
+        let t = noisy_rank(&[6, 5, 6, 5], 2, 0.05, 9);
+        let out = pp_cp_als(&t, &pp_cfg(2));
+        assert!(out.report.final_fitness > 0.9);
+        assert!(out.report.count(SweepKind::PpApprox) >= 1);
+    }
+
+    #[test]
+    fn approx_sweeps_are_cheaper_than_exact() {
+        // PP's selling point: the approximated step costs O(N²(s²R+R²))
+        // instead of O(s^N R).
+        let cfg = CollinearityConfig { s: 24, r: 6, order: 3, lo: 0.6, hi: 0.8 };
+        let (t, _, _) = collinearity_tensor(&cfg, 11);
+        let out = pp_cp_als(&t, &pp_cfg(6).with_max_sweeps(60));
+        let exact_mean = out.report.mean_secs(SweepKind::Exact);
+        let approx_mean = out.report.mean_secs(SweepKind::PpApprox);
+        if out.report.count(SweepKind::PpApprox) >= 3 {
+            assert!(
+                approx_mean < exact_mean,
+                "approx {approx_mean} vs exact {exact_mean}"
+            );
+        }
+    }
+}

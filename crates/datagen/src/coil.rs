@@ -1,0 +1,154 @@
+//! COIL-like image-recognition tensor (§V-A, Tensor 3).
+//!
+//! COIL-100 photographs 100 objects on a turntable: 72 poses × 100 objects
+//! of 128×128 RGB images, giving a 128 × 128 × 3 × 7200 tensor. The dataset
+//! is not downloadable here, so we render a synthetic stand-in with the
+//! same statistical structure: several procedurally generated "objects"
+//! (compositions of soft-edged shapes with object-specific colors) rotated
+//! through evenly spaced poses. Adjacent frames of the same object are
+//! highly correlated while different objects are nearly independent — the
+//! property that gives the real COIL tensor its moderate CP compressibility
+//! (paper Fig. 5e converges to fitness ≈ 0.69 at R = 20).
+
+use pp_tensor::{DenseTensor, Shape};
+
+/// Configuration for the COIL surrogate.
+#[derive(Clone, Copy, Debug)]
+pub struct CoilConfig {
+    /// Image height/width in pixels (paper: 128).
+    pub size: usize,
+    /// Number of distinct objects (paper: 100).
+    pub objects: usize,
+    /// Poses per object (paper: 72).
+    pub poses: usize,
+}
+
+impl Default for CoilConfig {
+    fn default() -> Self {
+        CoilConfig { size: 64, objects: 10, poses: 36 }
+    }
+}
+
+/// Soft indicator: 1 inside, 0 outside, smooth across ~`edge` units.
+fn soft(d: f64, edge: f64) -> f64 {
+    1.0 / (1.0 + (d / edge).exp())
+}
+
+/// Render the tensor `size × size × 3 × (objects·poses)`, frames ordered
+/// object-major (all poses of object 0, then object 1, ...).
+pub fn coil_tensor(cfg: &CoilConfig) -> DenseTensor {
+    let s = cfg.size;
+    let frames = cfg.objects * cfg.poses;
+    let shape = Shape::new(vec![s, s, 3, frames]);
+    let mut data = vec![0.0f64; shape.len()];
+    let stride_c = frames;
+    let stride_y = 3 * frames;
+    let stride_x = s * 3 * frames;
+
+    for obj in 0..cfg.objects {
+        // Object-specific deterministic geometry and palette.
+        let h = (obj as u64).wrapping_mul(0x9e3779b97f4a7c15);
+        let rad = 0.18 + 0.12 * ((h >> 8) % 97) as f64 / 97.0;
+        let arm = 0.25 + 0.15 * ((h >> 16) % 89) as f64 / 89.0;
+        let ecc = 0.4 + 0.5 * ((h >> 24) % 83) as f64 / 83.0;
+        let base_rgb = [
+            0.3 + 0.7 * ((h >> 32) % 79) as f64 / 79.0,
+            0.3 + 0.7 * ((h >> 40) % 73) as f64 / 73.0,
+            0.3 + 0.7 * ((h >> 48) % 71) as f64 / 71.0,
+        ];
+        for pose in 0..cfg.poses {
+            let f = obj * cfg.poses + pose;
+            let theta = 2.0 * std::f64::consts::PI * pose as f64 / cfg.poses as f64;
+            let (st, ct) = theta.sin_cos();
+            for xi in 0..s {
+                for yi in 0..s {
+                    // Centered, normalized coordinates, rotated by -theta.
+                    let x = (xi as f64 + 0.5) / s as f64 - 0.5;
+                    let y = (yi as f64 + 0.5) / s as f64 - 0.5;
+                    let u = ct * x + st * y;
+                    let v = -st * x + ct * y;
+                    // Body: ellipse; feature: offset lobe that breaks the
+                    // rotational symmetry (so pose actually matters).
+                    let body = soft(((u / ecc) * (u / ecc) + v * v).sqrt() - rad, 0.02);
+                    let du = u - arm;
+                    let lobe = soft((du * du + v * v).sqrt() - rad * 0.45, 0.015);
+                    let lum = (body + 0.8 * lobe).min(1.2);
+                    if lum > 1e-4 {
+                        let off = xi * stride_x + yi * stride_y;
+                        for (c, &w) in base_rgb.iter().enumerate() {
+                            // Channel-dependent shading varies with pose.
+                            let shade = 1.0 + 0.15 * (theta + c as f64).cos();
+                            data[off + c * stride_c + f] = lum * w * shade;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    DenseTensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CoilConfig {
+        CoilConfig { size: 16, objects: 3, poses: 8 }
+    }
+
+    #[test]
+    fn shape_is_coil_like() {
+        let t = coil_tensor(&tiny());
+        assert_eq!(t.shape().dims(), &[16, 16, 3, 24]);
+        assert!(t.norm() > 0.0);
+    }
+
+    fn frame_vec(t: &DenseTensor, f: usize) -> Vec<f64> {
+        let dims = t.shape().dims().to_vec();
+        let mut v = Vec::new();
+        for x in 0..dims[0] {
+            for y in 0..dims[1] {
+                for c in 0..3 {
+                    v.push(t.get(&[x, y, c, f]));
+                }
+            }
+        }
+        v
+    }
+
+    fn cosine(a: &[f64], b: &[f64]) -> f64 {
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        dot / (na * nb).max(1e-300)
+    }
+
+    #[test]
+    fn adjacent_poses_correlate_more_than_distant() {
+        let t = coil_tensor(&tiny());
+        // Object 0: frames 0..8. A 45° step must correlate better than a
+        // 90° step (the ellipse body is 180°-symmetric, so compare within
+        // the first quarter turn).
+        let f0 = frame_vec(&t, 0);
+        let f1 = frame_vec(&t, 1);
+        let f2 = frame_vec(&t, 2);
+        assert!(cosine(&f0, &f1) > cosine(&f0, &f2));
+    }
+
+    #[test]
+    fn different_objects_differ() {
+        let t = coil_tensor(&tiny());
+        let a = frame_vec(&t, 0); // object 0
+        let b = frame_vec(&t, 8); // object 1
+        assert!(cosine(&a, &b) < 0.999);
+    }
+
+    #[test]
+    fn pose_rotation_moves_mass() {
+        let t = coil_tensor(&tiny());
+        let f0 = frame_vec(&t, 0);
+        let f2 = frame_vec(&t, 2);
+        let diff: f64 = f0.iter().zip(&f2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 0.0, "rotation must change the image");
+    }
+}

@@ -1,0 +1,28 @@
+//! # pp-datagen — workload generators
+//!
+//! The four tensor families of the paper's evaluation (§V-A), re-created
+//! synthetically where the original data is unavailable (see DESIGN.md §1
+//! for the substitution arguments):
+//!
+//! 1. [`collinearity`] — random tensors with prescribed factor-column
+//!    collinearity (convergence-speed dial for Fig. 4 / Table III);
+//! 2. [`chemistry`] — a density-fitting Cholesky-factor surrogate standing
+//!    in for the PySCF 40-water-chain tensor (Fig. 5b–d);
+//! 3. [`coil`] — rendered rotating-object frames standing in for COIL-100
+//!    (Fig. 5e);
+//! 4. [`timelapse`] — a synthetic hyperspectral time-lapse standing in for
+//!    the "Souto wood pile" scene (Fig. 5f);
+//!
+//! plus [`lowrank`] exact/noisy low-rank tensors for tests and examples.
+
+pub mod chemistry;
+pub mod coil;
+pub mod collinearity;
+pub mod lowrank;
+pub mod timelapse;
+
+pub use chemistry::{density_fitting_tensor, ChemistryConfig};
+pub use coil::{coil_tensor, CoilConfig};
+pub use collinearity::{collinearity_tensor, CollinearityConfig};
+pub use lowrank::{exact_rank, noisy_rank};
+pub use timelapse::{timelapse_tensor, TimelapseConfig};

@@ -1,0 +1,464 @@
+//! The dimension-tree MTTKRP engine: standard DT and multi-sweep DT.
+//!
+//! Both policies drive the same machinery — a version-checked intermediate
+//! cache plus single-mode contraction steps (first level: TTM against the
+//! input tensor; lower levels: batched TTV). They differ only in *which*
+//! chain of intermediates they walk:
+//!
+//! * [`TreePolicy::Standard`] follows the canonical binary dimension tree
+//!   of Fig. 1a: within each sweep two first-level TTMs are performed
+//!   (contracting the last and the first mode), and lower intermediates are
+//!   shared between neighbouring output modes. Leading cost `4 s^N R` per
+//!   sweep.
+//! * [`TreePolicy::MultiSweep`] (MSDT, Fig. 2) contracts first the mode
+//!   whose factor was updated most recently, so the first-level
+//!   intermediate survives the next `N−1` MTTKRPs — across sweep
+//!   boundaries. `N` first-level TTMs serve `N−1` sweeps, for a leading
+//!   cost of `2N/(N−1) s^N R` per sweep.
+//!
+//! Because every contraction step reads the factor at its *current*
+//! version and cache validity is checked against version vectors, both
+//! policies compute exactly the same `M^(n)` values (up to floating-point
+//! associativity) — MSDT is lossless, as the paper states.
+
+use crate::cache::{InterCache, Intermediate};
+use crate::factor::FactorState;
+use crate::input::InputTensor;
+use crate::modeset::ModeSet;
+use crate::stats::{Kernel, KernelStats};
+use pp_tensor::kernels::mttv::mttv;
+use pp_tensor::Matrix;
+use std::time::Instant;
+
+/// Which dimension-tree schedule to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreePolicy {
+    /// Canonical per-sweep binary dimension tree (the DT baseline).
+    Standard,
+    /// Multi-sweep dimension tree (the paper's MSDT).
+    MultiSweep,
+}
+
+/// MTTKRP engine with a persistent intermediate cache.
+pub struct DimTreeEngine {
+    policy: TreePolicy,
+    n_modes: usize,
+    cache: InterCache,
+    /// Per-kernel timing/flop ledger (drained by the driver).
+    pub stats: KernelStats,
+    /// Ablation switch: with the cache disabled every MTTKRP recontracts
+    /// from the input tensor (the naive `O(N s^N R)`-per-sweep schedule).
+    caching: bool,
+}
+
+impl DimTreeEngine {
+    /// New engine for an order-`n_modes` tensor.
+    pub fn new(policy: TreePolicy, n_modes: usize) -> Self {
+        assert!(n_modes >= 2);
+        DimTreeEngine {
+            policy,
+            n_modes,
+            cache: InterCache::new(),
+            stats: KernelStats::default(),
+            caching: true,
+        }
+    }
+
+    /// Disable intermediate caching (ablation baseline).
+    pub fn with_caching_disabled(mut self) -> Self {
+        self.caching = false;
+        self
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> TreePolicy {
+        self.policy
+    }
+
+    /// Cached auxiliary memory in f64 elements (Table I column 3).
+    pub fn cache_memory_elems(&self) -> usize {
+        self.cache.memory_elems()
+    }
+
+    /// Access the shared intermediate cache (the PP tree reuses it).
+    pub fn cache_mut(&mut self) -> &mut InterCache {
+        &mut self.cache
+    }
+
+    /// Drop all cached intermediates.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Take and reset the kernel statistics.
+    pub fn take_stats(&mut self) -> KernelStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Compute `M^(n) = T_(n) · ⨀_{j≠n} A^(j)` for mode `n` using the
+    /// configured tree policy. Factors are read at their current versions,
+    /// so calling this in sweep order reproduces exact ALS.
+    pub fn mttkrp(&mut self, input: &mut InputTensor, fs: &FactorState, n: usize) -> Matrix {
+        assert_eq!(fs.order(), self.n_modes);
+        assert!(n < self.n_modes);
+        let inter = self.obtain(input, fs, n);
+        debug_assert_eq!(inter.mode_order, vec![n]);
+        let rows = inter.tensor.dim(0);
+        let r = inter.tensor.dim(1);
+        Matrix::from_vec(rows, r, inter.tensor.data().to_vec())
+    }
+
+    /// Walk the contraction chain down to `{n}`.
+    fn obtain(&mut self, input: &mut InputTensor, fs: &FactorState, n: usize) -> Intermediate {
+        match self.policy {
+            TreePolicy::Standard => self.obtain_standard(input, fs, n),
+            TreePolicy::MultiSweep => self.obtain_msdt(input, fs, n),
+        }
+    }
+
+    /// First-level TTM contracting mode `k`, cached.
+    fn first_level(&mut self, input: &mut InputTensor, fs: &FactorState, k: usize) -> Intermediate {
+        let fl = input.contract_mode(k, fs.factor(k));
+        if fl.transpose_words > 0 {
+            self.stats.record(Kernel::Transpose, fl.transpose_time, 0);
+        }
+        self.stats.record(Kernel::Ttm, fl.ttm_time, fl.flops);
+        let inter = Intermediate {
+            tensor: std::sync::Arc::new(fl.tensor),
+            mode_order: fl.mode_order,
+            versions: fs.versions().to_vec(),
+        };
+        if self.caching {
+            self.cache.insert(inter.clone());
+        }
+        inter
+    }
+
+    /// One batched-TTV step: contract mode `j` out of `current`.
+    fn step(&mut self, current: Intermediate, fs: &FactorState, j: usize, cache_it: bool) -> Intermediate {
+        let pos = current.position_of(j);
+        let t0 = Instant::now();
+        let out = mttv(&current.tensor, pos, fs.factor(j));
+        self.stats.record(Kernel::Mttv, t0.elapsed(), out.flops);
+        let mut mode_order = current.mode_order.clone();
+        mode_order.remove(pos);
+        let mut versions = current.versions;
+        versions[j] = fs.version(j);
+        let next = Intermediate { tensor: std::sync::Arc::new(out.tensor), mode_order, versions };
+        if self.caching && cache_it {
+            self.cache.insert(next.clone());
+        }
+        next
+    }
+
+    /// Canonical binary-tree walk (Fig. 1a).
+    fn obtain_standard(&mut self, input: &mut InputTensor, fs: &FactorState, n: usize) -> Intermediate {
+        let target = ModeSet::single(n);
+        let chain = standard_chain(self.n_modes, n);
+        debug_assert_eq!(*chain.last().unwrap(), target);
+
+        // Deepest chain node with a valid cached intermediate.
+        let mut start_idx = None;
+        if self.caching {
+            for (i, &set) in chain.iter().enumerate().rev() {
+                if self.cache.get_valid(set, fs.versions()).is_some() {
+                    start_idx = Some(i);
+                    break;
+                }
+            }
+        }
+        let mut current: Intermediate = match start_idx {
+            Some(i) => {
+                let cached = self.cache.get_valid(chain[i], fs.versions()).unwrap().clone();
+                if chain[i] == target {
+                    return cached;
+                }
+                cached
+            }
+            None => {
+                // The first chain node is one TTM below the full set.
+                let k = ModeSet::full(self.n_modes).minus(chain[0]).min().unwrap();
+                self.first_level(input, fs, k)
+            }
+        };
+        let start_pos = chain.iter().position(|&s| s == current.set()).unwrap();
+        for &next in &chain[start_pos + 1..] {
+            let j = current.set().minus(next).min().expect("one mode per step");
+            current = self.step(current, fs, j, next != target);
+        }
+        current
+    }
+
+    /// MSDT greedy walk (Fig. 2): start from the smallest valid cached
+    /// superset of `{n}` (whatever subtree produced it), else from a fresh
+    /// first-level TTM contracting mode `n−1 (mod N)`; then repeatedly
+    /// contract the member whose update lies farthest in the future.
+    fn obtain_msdt(&mut self, input: &mut InputTensor, fs: &FactorState, n: usize) -> Intermediate {
+        let target = ModeSet::single(n);
+        let cached: Option<Intermediate> = if self.caching {
+            self.cache.best_superset(target, fs.versions()).cloned()
+        } else {
+            None
+        };
+        let mut current = match cached {
+            Some(c) => {
+                if c.set() == target {
+                    return c;
+                }
+                c
+            }
+            None => {
+                let k = (n + self.n_modes - 1) % self.n_modes;
+                self.first_level(input, fs, k)
+            }
+        };
+        while current.set().len() > 1 {
+            let j = current
+                .set()
+                .iter()
+                .filter(|&j| j != n)
+                .max_by_key(|&j| (j + self.n_modes - n) % self.n_modes)
+                .expect("non-target mode must exist");
+            let will_be_leaf = current.set().len() == 2;
+            current = self.step(current, fs, j, !will_be_leaf);
+        }
+        current
+    }
+}
+
+/// Canonical binary dimension-tree chain (Fig. 1a): the sequence of mode
+/// sets from the first level down to `{n}`, each step removing one mode.
+pub fn standard_chain(n_modes: usize, n: usize) -> Vec<ModeSet> {
+    let mut chain = Vec::new();
+    let mut lo = 0usize;
+    let mut hi = n_modes;
+    let mut set = ModeSet::full(n_modes);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if n < mid {
+            // Contract away modes hi-1 down to mid.
+            for m in (mid..hi).rev() {
+                set = set.without(m);
+                chain.push(set);
+            }
+            hi = mid;
+        } else {
+            // Contract away modes lo up to mid-1.
+            for m in lo..mid {
+                set = set.without(m);
+                chain.push(set);
+            }
+            lo = mid;
+        }
+    }
+    debug_assert_eq!(*chain.last().unwrap(), ModeSet::single(n));
+    chain
+}
+
+/// MSDT greedy chain: repeatedly remove the mode whose factor will be
+/// updated *farthest in the future* (max cyclic distance ahead of `n`), so
+/// every prefix of the chain stays valid as long as possible. From the full
+/// set this removes mode `n−1 (mod N)` first — the subtree roots of Fig. 2.
+pub fn greedy_chain(n_modes: usize, n: usize) -> Vec<ModeSet> {
+    let mut chain = Vec::new();
+    let mut set = ModeSet::full(n_modes);
+    while set.len() > 1 {
+        let j = set
+            .iter()
+            .filter(|&j| j != n)
+            .max_by_key(|&j| (j + n_modes - n) % n_modes)
+            .unwrap();
+        set = set.without(j);
+        chain.push(set);
+    }
+    debug_assert_eq!(*chain.last().unwrap(), ModeSet::single(n));
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_tensor::kernels::naive::mttkrp as naive_mttkrp;
+    use pp_tensor::rng::{seeded, uniform_matrix, uniform_tensor};
+    use pp_tensor::DenseTensor;
+
+    fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, FactorState) {
+        let mut rng = seeded(seed);
+        let t = uniform_tensor(dims, &mut rng);
+        let factors: Vec<Matrix> = dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+        (t, FactorState::new(factors))
+    }
+
+    #[test]
+    fn standard_chain_matches_fig1a() {
+        // N=4, 0-based. M^(0): {0,1,2} → {0,1} → {0}.
+        let sets: Vec<Vec<usize>> = standard_chain(4, 0)
+            .iter()
+            .map(|s| s.iter().collect())
+            .collect();
+        assert_eq!(sets, vec![vec![0, 1, 2], vec![0, 1], vec![0]]);
+        // M^(2): {1,2,3} → {2,3} → {2}.
+        let sets: Vec<Vec<usize>> = standard_chain(4, 2)
+            .iter()
+            .map(|s| s.iter().collect())
+            .collect();
+        assert_eq!(sets, vec![vec![1, 2, 3], vec![2, 3], vec![2]]);
+    }
+
+    #[test]
+    fn greedy_chain_contracts_previous_mode_first() {
+        // For n, the first removal is n-1 (mod N).
+        for n_modes in [3usize, 4, 5] {
+            for n in 0..n_modes {
+                let chain = greedy_chain(n_modes, n);
+                let first = chain[0];
+                let removed = ModeSet::full(n_modes).minus(first).min().unwrap();
+                assert_eq!(removed, (n + n_modes - 1) % n_modes, "N={n_modes}, n={n}");
+            }
+        }
+    }
+
+    /// Run one full ALS-style sweep of MTTKRPs (updating factors as we go)
+    /// and compare every M^(n) against the naive oracle.
+    fn sweep_matches_oracle(policy: TreePolicy, dims: &[usize], r: usize) {
+        let (t, mut fs) = setup(dims, r, 42);
+        let mut input = match policy {
+            TreePolicy::Standard => InputTensor::new(t.clone()),
+            TreePolicy::MultiSweep => InputTensor::with_msdt_copies(t.clone()),
+        };
+        let mut engine = DimTreeEngine::new(policy, dims.len());
+        let mut rng = seeded(7);
+        for _sweep in 0..3 {
+            for n in 0..dims.len() {
+                let got = engine.mttkrp(&mut input, &fs, n);
+                let want = naive_mttkrp(&t, fs.factors(), n);
+                assert!(
+                    got.max_abs_diff(&want) < 1e-9,
+                    "{policy:?} mode {n} mismatch"
+                );
+                // Update the factor like ALS would (here: random update).
+                fs.update(n, uniform_matrix(dims[n], r, &mut rng));
+            }
+        }
+    }
+
+    #[test]
+    fn standard_sweeps_match_oracle_order3() {
+        sweep_matches_oracle(TreePolicy::Standard, &[5, 6, 4], 3);
+    }
+
+    #[test]
+    fn standard_sweeps_match_oracle_order4() {
+        sweep_matches_oracle(TreePolicy::Standard, &[4, 3, 5, 3], 2);
+    }
+
+    #[test]
+    fn msdt_sweeps_match_oracle_order3() {
+        sweep_matches_oracle(TreePolicy::MultiSweep, &[5, 6, 4], 3);
+    }
+
+    #[test]
+    fn msdt_sweeps_match_oracle_order4() {
+        sweep_matches_oracle(TreePolicy::MultiSweep, &[4, 3, 5, 3], 2);
+    }
+
+    #[test]
+    fn msdt_sweeps_match_oracle_order5() {
+        sweep_matches_oracle(TreePolicy::MultiSweep, &[3, 3, 3, 3, 3], 2);
+    }
+
+    /// Count first-level TTMs per sweep in steady state: DT does 2, MSDT
+    /// does N/(N-1) on average.
+    fn ttm_counts(policy: TreePolicy, n_modes: usize, sweeps: usize) -> u64 {
+        let dims = vec![6; n_modes];
+        let (t, mut fs) = setup(&dims, 2, 3);
+        let mut input = match policy {
+            TreePolicy::Standard => InputTensor::new(t),
+            TreePolicy::MultiSweep => InputTensor::with_msdt_copies(t),
+        };
+        let mut engine = DimTreeEngine::new(policy, n_modes);
+        let mut rng = seeded(11);
+        // Warm up one sweep, then count.
+        for n in 0..n_modes {
+            let m = engine.mttkrp(&mut input, &fs, n);
+            let _ = m;
+            fs.update(n, uniform_matrix(dims[n], 2, &mut rng));
+        }
+        engine.take_stats();
+        for _ in 0..sweeps {
+            for n in 0..n_modes {
+                let _ = engine.mttkrp(&mut input, &fs, n);
+                fs.update(n, uniform_matrix(dims[n], 2, &mut rng));
+            }
+        }
+        engine.take_stats().ttm_count
+    }
+
+    #[test]
+    fn dt_does_two_ttms_per_sweep() {
+        assert_eq!(ttm_counts(TreePolicy::Standard, 3, 4), 8);
+        assert_eq!(ttm_counts(TreePolicy::Standard, 4, 3), 6);
+    }
+
+    #[test]
+    fn msdt_does_n_ttms_per_n_minus_1_sweeps() {
+        // N=3: 3 TTMs per 2 sweeps → 6 in 4 sweeps.
+        assert_eq!(ttm_counts(TreePolicy::MultiSweep, 3, 4), 6);
+        // N=4: 4 TTMs per 3 sweeps → 4 in 3 sweeps.
+        assert_eq!(ttm_counts(TreePolicy::MultiSweep, 4, 3), 4);
+    }
+
+    #[test]
+    fn msdt_avoids_transposes_with_copies() {
+        let dims = vec![5, 5, 5, 5];
+        let (t, mut fs) = setup(&dims, 2, 9);
+        let mut input = InputTensor::with_msdt_copies(t);
+        let mut engine = DimTreeEngine::new(TreePolicy::MultiSweep, 4);
+        let mut rng = seeded(13);
+        for _ in 0..4 {
+            for n in 0..4 {
+                let _ = engine.mttkrp(&mut input, &fs, n);
+                fs.update(n, uniform_matrix(dims[n], 2, &mut rng));
+            }
+        }
+        assert_eq!(engine.take_stats().transpose_count, 0);
+    }
+
+    #[test]
+    fn caching_disabled_still_correct() {
+        let dims = [4, 5, 3];
+        let (t, fs) = setup(&dims, 2, 21);
+        let mut input = InputTensor::new(t.clone());
+        let mut engine = DimTreeEngine::new(TreePolicy::Standard, 3).with_caching_disabled();
+        for n in 0..3 {
+            let got = engine.mttkrp(&mut input, &fs, n);
+            let want = naive_mttkrp(&t, fs.factors(), n);
+            assert!(got.max_abs_diff(&want) < 1e-10);
+        }
+        assert_eq!(engine.cache_memory_elems(), 0);
+    }
+
+    #[test]
+    fn dt_and_msdt_agree_exactly() {
+        // The headline MSDT claim: identical results to DT.
+        let dims = [5, 4, 6];
+        let (t, fs0) = setup(&dims, 3, 33);
+        let mut fs1 = fs0.clone();
+        let mut fs2 = fs0.clone();
+        let mut in1 = InputTensor::new(t.clone());
+        let mut in2 = InputTensor::with_msdt_copies(t);
+        let mut e1 = DimTreeEngine::new(TreePolicy::Standard, 3);
+        let mut e2 = DimTreeEngine::new(TreePolicy::MultiSweep, 3);
+        let mut rng = seeded(5);
+        for _ in 0..3 {
+            for n in 0..3 {
+                let m1 = e1.mttkrp(&mut in1, &fs1, n);
+                let m2 = e2.mttkrp(&mut in2, &fs2, n);
+                assert!(m1.max_abs_diff(&m2) < 1e-9, "mode {n}");
+                let upd = uniform_matrix(dims[n], 3, &mut rng);
+                fs1.update(n, upd.clone());
+                fs2.update(n, upd);
+            }
+        }
+    }
+}

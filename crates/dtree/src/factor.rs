@@ -1,0 +1,97 @@
+//! Versioned factor-matrix state.
+//!
+//! Dimension-tree correctness hinges on knowing *which* version of each
+//! factor matrix an intermediate was contracted with. `FactorState` pairs
+//! every factor with a monotonically increasing version number bumped on
+//! update; the intermediate cache compares versions to decide reuse. This
+//! makes the standard dimension tree and MSDT produce *bitwise-identical
+//! ALS semantics by construction* (the paper's claim that MSDT has "no
+//! accuracy loss").
+
+use pp_tensor::Matrix;
+
+/// The current factor matrices `A^(0..N)` with per-mode version counters.
+#[derive(Clone)]
+pub struct FactorState {
+    factors: Vec<Matrix>,
+    versions: Vec<u64>,
+}
+
+impl FactorState {
+    /// Wrap initial factors (all versions start at 0).
+    pub fn new(factors: Vec<Matrix>) -> Self {
+        assert!(!factors.is_empty());
+        let versions = vec![0; factors.len()];
+        FactorState { factors, versions }
+    }
+
+    /// Tensor order `N`.
+    pub fn order(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// CP rank (columns of the factors).
+    pub fn rank(&self) -> usize {
+        self.factors[0].cols()
+    }
+
+    /// Factor matrix of mode `n`.
+    pub fn factor(&self, n: usize) -> &Matrix {
+        &self.factors[n]
+    }
+
+    /// All factors, mode order.
+    pub fn factors(&self) -> &[Matrix] {
+        &self.factors
+    }
+
+    /// Version of mode `n`'s factor.
+    pub fn version(&self, n: usize) -> u64 {
+        self.versions[n]
+    }
+
+    /// All versions, mode order.
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+
+    /// Replace mode `n`'s factor, bumping its version.
+    pub fn update(&mut self, n: usize, m: Matrix) {
+        assert_eq!(m.rows(), self.factors[n].rows(), "row count change on update");
+        assert_eq!(m.cols(), self.factors[n].cols(), "rank change on update");
+        self.factors[n] = m;
+        self.versions[n] += 1;
+    }
+
+    /// Replace a factor *without* bumping the version (used when loading
+    /// externally synchronized state, e.g. refreshed P-layout blocks that
+    /// represent the same logical version).
+    pub fn overwrite_same_version(&mut self, n: usize, m: Matrix) {
+        assert_eq!(m.rows(), self.factors[n].rows());
+        assert_eq!(m.cols(), self.factors[n].cols());
+        self.factors[n] = m;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_bump_on_update() {
+        let mut fs = FactorState::new(vec![Matrix::zeros(3, 2), Matrix::zeros(4, 2)]);
+        assert_eq!(fs.versions(), &[0, 0]);
+        fs.update(1, Matrix::from_fn(4, 2, |_, _| 1.0));
+        assert_eq!(fs.versions(), &[0, 1]);
+        assert_eq!(fs.factor(1).get(0, 0), 1.0);
+        fs.overwrite_same_version(1, Matrix::zeros(4, 2));
+        assert_eq!(fs.versions(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn update_shape_mismatch_panics() {
+        let mut fs = FactorState::new(vec![Matrix::zeros(3, 2)]);
+        fs.update(0, Matrix::zeros(5, 2));
+    }
+}

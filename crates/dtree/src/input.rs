@@ -1,0 +1,298 @@
+//! The input tensor with optional pre-permuted copies.
+//!
+//! First-level dimension-tree contractions (TTMs) are free of data movement
+//! only when the contracted mode is the first or last mode of some stored
+//! layout. The standard dimension tree only ever contracts extreme modes,
+//! so it needs no copies; MSDT cycles through *every* mode as the
+//! first-level contraction, so the paper's implementation stores permuted
+//! copies of the input tensor to avoid per-sweep transposes (§IV). One copy
+//! suffices for orders 3 and 4 (each copy exposes two more modes: one
+//! first, one last).
+
+use pp_tensor::kernels::ttm::{ttm_first, ttm_last};
+use pp_tensor::transpose::permute;
+use pp_tensor::{DenseTensor, Matrix};
+use std::time::{Duration, Instant};
+
+/// One stored layout: a permutation of the base tensor's modes.
+struct Layout {
+    /// `mode_order[k]` = which original tensor mode sits at position `k`.
+    mode_order: Vec<usize>,
+    tensor: DenseTensor,
+}
+
+/// The CP input tensor plus any pre-permuted copies, with a uniform
+/// "contract one mode" entry point that picks the cheapest path.
+pub struct InputTensor {
+    layouts: Vec<Layout>,
+    order: usize,
+    /// Whether to create (and keep) a permuted copy when a contraction
+    /// would otherwise need an explicit transpose.
+    cache_transposes: bool,
+}
+
+/// Outcome of a first-level contraction.
+pub struct FirstLevel {
+    /// The intermediate `𝓜^(rest)`, rank mode trailing.
+    pub tensor: DenseTensor,
+    /// Original tensor modes of the result, in the result's layout order.
+    pub mode_order: Vec<usize>,
+    /// Flops spent.
+    pub flops: u64,
+    /// Time spent in an explicit transpose, if one was needed.
+    pub transpose_time: Duration,
+    /// Main-memory words moved by that transpose.
+    pub transpose_words: u64,
+    /// GEMM time (excluding the transpose).
+    pub ttm_time: Duration,
+}
+
+impl InputTensor {
+    /// Wrap a tensor with no extra copies (standard dimension tree).
+    pub fn new(t: DenseTensor) -> Self {
+        let order = t.order();
+        InputTensor {
+            layouts: vec![Layout { mode_order: (0..order).collect(), tensor: t }],
+            order,
+            cache_transposes: false,
+        }
+    }
+
+    /// Wrap a tensor and pre-create the permuted copies MSDT needs so every
+    /// mode is the first or last mode of some stored layout.
+    pub fn with_msdt_copies(t: DenseTensor) -> Self {
+        let order = t.order();
+        let mut input = InputTensor::new(t);
+        input.cache_transposes = true;
+        // Base layout covers modes 0 and order-1. Cover the rest pairwise:
+        // a copy laid out [a, ..., b] exposes a (first) and b (last).
+        let mut uncovered: Vec<usize> = (1..order.saturating_sub(1)).collect();
+        while !uncovered.is_empty() {
+            let a = uncovered.remove(0);
+            let b = if uncovered.is_empty() { None } else { Some(uncovered.pop().unwrap()) };
+            let mut perm = vec![a];
+            perm.extend((0..order).filter(|&m| m != a && Some(m) != b));
+            if let Some(b) = b {
+                perm.push(b);
+            }
+            let permuted = permute(&input.layouts[0].tensor, &perm);
+            input.layouts.push(Layout { mode_order: perm, tensor: permuted });
+        }
+        input
+    }
+
+    /// Tensor order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Extent of original mode `m`.
+    pub fn dim(&self, m: usize) -> usize {
+        let pos = self.layouts[0].mode_order.iter().position(|&x| x == m).unwrap();
+        self.layouts[0].tensor.dim(pos)
+    }
+
+    /// The base tensor (original layout).
+    pub fn base(&self) -> &DenseTensor {
+        &self.layouts[0].tensor
+    }
+
+    /// Number of stored layouts (1 = no copies).
+    pub fn layout_count(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Total elements (of one copy).
+    pub fn len(&self) -> usize {
+        self.layouts[0].tensor.len()
+    }
+
+    /// True if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.layouts[0].tensor.is_empty()
+    }
+
+    /// Contract original mode `mode` with `factor` (first-level TTM),
+    /// choosing a stored layout where `mode` is extremal if possible and
+    /// transposing (with cost accounted) otherwise.
+    pub fn contract_mode(&mut self, mode: usize, factor: &Matrix) -> FirstLevel {
+        assert!(mode < self.order);
+        let r = factor.cols();
+        let total = self.len();
+        let flops = 2 * total as u64 * r as u64;
+
+        // 1. A layout with `mode` last?
+        if let Some(l) = self
+            .layouts
+            .iter()
+            .find(|l| *l.mode_order.last().unwrap() == mode)
+        {
+            let t0 = Instant::now();
+            let out = ttm_last(&l.tensor, factor);
+            let ttm_time = t0.elapsed();
+            let mode_order = l.mode_order[..self.order - 1].to_vec();
+            return FirstLevel {
+                tensor: out,
+                mode_order,
+                flops,
+                transpose_time: Duration::ZERO,
+                transpose_words: 0,
+                ttm_time,
+            };
+        }
+        // 2. A layout with `mode` first?
+        if let Some(l) = self.layouts.iter().find(|l| l.mode_order[0] == mode) {
+            let t0 = Instant::now();
+            let out = ttm_first(&l.tensor, factor);
+            let ttm_time = t0.elapsed();
+            let mode_order = l.mode_order[1..].to_vec();
+            return FirstLevel {
+                tensor: out,
+                mode_order,
+                flops,
+                transpose_time: Duration::ZERO,
+                transpose_words: 0,
+                ttm_time,
+            };
+        }
+        // 3. Transpose: move `mode` last in a fresh copy.
+        let t0 = Instant::now();
+        let mut perm: Vec<usize> = Vec::with_capacity(self.order);
+        let base = &self.layouts[0];
+        // Positions in the base layout.
+        let pos_of = |m: usize| base.mode_order.iter().position(|&x| x == m).unwrap();
+        for &m in base.mode_order.iter().filter(|&&m| m != mode) {
+            perm.push(pos_of(m));
+        }
+        perm.push(pos_of(mode));
+        let mode_order_new: Vec<usize> = perm.iter().map(|&p| base.mode_order[p]).collect();
+        let moved = permute(&base.tensor, &perm);
+        let transpose_time = t0.elapsed();
+        let transpose_words = 2 * total as u64;
+
+        let t1 = Instant::now();
+        let out = ttm_last(&moved, factor);
+        let ttm_time = t1.elapsed();
+        let result_modes = mode_order_new[..self.order - 1].to_vec();
+        if self.cache_transposes {
+            self.layouts.push(Layout { mode_order: mode_order_new, tensor: moved });
+        }
+        FirstLevel {
+            tensor: out,
+            mode_order: result_modes,
+            flops,
+            transpose_time,
+            transpose_words,
+            ttm_time,
+        }
+    }
+
+    /// Which original modes are contractible without a transpose.
+    pub fn free_modes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .layouts
+            .iter()
+            .flat_map(|l| [l.mode_order[0], *l.mode_order.last().unwrap()])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_tensor::kernels::ttm::ttm;
+    use pp_tensor::Shape;
+
+    fn seq_tensor(dims: Vec<usize>) -> DenseTensor {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        DenseTensor::from_vec(
+            shape,
+            (0..len).map(|x| ((x * 37) % 19) as f64 / 7.0 - 1.0).collect(),
+        )
+    }
+
+    fn factor(rows: usize, r: usize) -> Matrix {
+        Matrix::from_fn(rows, r, |i, j| ((i * 5 + j * 3) % 13) as f64 / 6.0 - 1.0)
+    }
+
+    /// Map a FirstLevel result (arbitrary mode order) back to the canonical
+    /// ascending-mode layout for comparison.
+    fn canonicalize(fl: &FirstLevel) -> DenseTensor {
+        // Result tensor dims: [modes in fl.mode_order..., R].
+        let m = fl.mode_order.len();
+        let mut sorted: Vec<usize> = fl.mode_order.clone();
+        sorted.sort_unstable();
+        // perm[k] = position in fl's layout of the k-th canonical mode.
+        let mut perm: Vec<usize> = sorted
+            .iter()
+            .map(|m0| fl.mode_order.iter().position(|x| x == m0).unwrap())
+            .collect();
+        perm.push(m); // rank mode stays last
+        permute(&fl.tensor, &perm)
+    }
+
+    #[test]
+    fn msdt_copy_count_matches_paper() {
+        // One copy for order 3 and order 4 (paper §IV).
+        let t3 = InputTensor::with_msdt_copies(seq_tensor(vec![3, 4, 5]));
+        assert_eq!(t3.layout_count(), 2);
+        assert_eq!(t3.free_modes(), vec![0, 1, 2]);
+        let t4 = InputTensor::with_msdt_copies(seq_tensor(vec![2, 3, 4, 3]));
+        assert_eq!(t4.layout_count(), 2);
+        assert_eq!(t4.free_modes(), vec![0, 1, 2, 3]);
+        // Order 5 needs two copies (modes 1, 2, 3 to cover).
+        let t5 = InputTensor::with_msdt_copies(seq_tensor(vec![2, 2, 2, 2, 2]));
+        assert_eq!(t5.layout_count(), 3);
+        assert_eq!(t5.free_modes(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn contract_all_modes_matches_ttm_oracle() {
+        let dims = vec![3, 4, 5, 2];
+        for msdt in [false, true] {
+            let base = seq_tensor(dims.clone());
+            let mut input = if msdt {
+                InputTensor::with_msdt_copies(base.clone())
+            } else {
+                InputTensor::new(base.clone())
+            };
+            for mode in 0..4 {
+                let a = factor(dims[mode], 3);
+                let fl = input.contract_mode(mode, &a);
+                let got = canonicalize(&fl);
+                let want = ttm(&base, mode, &a).tensor;
+                assert!(
+                    got.max_abs_diff(&want) < 1e-10,
+                    "mode {mode}, msdt={msdt}"
+                );
+                if msdt {
+                    assert_eq!(fl.transpose_words, 0, "MSDT copies must avoid transposes");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_input_transposes_middle_modes() {
+        let dims = vec![3, 4, 5];
+        let mut input = InputTensor::new(seq_tensor(dims));
+        let a = factor(4, 2);
+        let fl = input.contract_mode(1, &a);
+        assert!(fl.transpose_words > 0);
+    }
+
+    #[test]
+    fn transpose_caching_learns_layouts() {
+        let dims = vec![3, 4, 5, 2, 2];
+        let mut input = InputTensor::with_msdt_copies(seq_tensor(dims.clone()));
+        // Order 5 with copies: all modes free already.
+        assert_eq!(input.free_modes().len(), 5);
+        let a = factor(dims[2], 2);
+        let fl = input.contract_mode(2, &a);
+        assert_eq!(fl.transpose_words, 0);
+    }
+}

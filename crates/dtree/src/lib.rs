@@ -1,0 +1,33 @@
+//! # pp-dtree — dimension-tree engines
+//!
+//! The MTTKRP amortization machinery at the heart of the paper:
+//!
+//! * [`engine::DimTreeEngine`] — the standard binary dimension tree
+//!   ([`engine::TreePolicy::Standard`], Fig. 1a) and the multi-sweep
+//!   dimension tree ([`engine::TreePolicy::MultiSweep`], Fig. 2, §III),
+//!   unified over a version-checked intermediate cache ([`cache`]) that
+//!   makes both produce exact ALS semantics by construction;
+//! * [`pp_tree`] — construction of the pairwise-perturbation operators
+//!   `𝓜p^(i,j)` through the PP dimension tree (Fig. 1b, §II-D);
+//! * [`correct`] — the PP approximated step: first-order corrections
+//!   `U^(n,i)` (Eq. 6), second-order corrections `V^(n)` (Eq. 7), and the
+//!   assembly of `˜M^(n)` (Eq. 5);
+//! * [`input::InputTensor`] — the input tensor with the pre-permuted
+//!   copies MSDT uses to avoid first-level transposes (§IV);
+//! * [`stats`] — the per-kernel time breakdown of Fig. 3c–f.
+
+pub mod cache;
+pub mod correct;
+pub mod engine;
+pub mod factor;
+pub mod input;
+pub mod modeset;
+pub mod pp_tree;
+pub mod stats;
+
+pub use cache::{InterCache, Intermediate};
+pub use engine::{DimTreeEngine, TreePolicy};
+pub use factor::FactorState;
+pub use input::InputTensor;
+pub use modeset::ModeSet;
+pub use stats::{Kernel, KernelStats};

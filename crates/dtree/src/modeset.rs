@@ -1,0 +1,179 @@
+//! Compact sets of tensor modes (bitmask over mode indices 0..N).
+
+use std::fmt;
+
+/// A set of tensor modes, stored as a bitmask. Supports tensors up to
+/// order 32 — far beyond anything CP-ALS handles in practice.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModeSet(u32);
+
+impl ModeSet {
+    /// The empty set.
+    pub const EMPTY: ModeSet = ModeSet(0);
+
+    /// Set containing modes `0..n`.
+    pub fn full(n: usize) -> Self {
+        assert!(n <= 32);
+        if n == 32 {
+            ModeSet(u32::MAX)
+        } else {
+            ModeSet((1u32 << n) - 1)
+        }
+    }
+
+    /// Singleton set `{mode}`.
+    pub fn single(mode: usize) -> Self {
+        assert!(mode < 32);
+        ModeSet(1 << mode)
+    }
+
+    /// Build from an iterator of modes.
+    pub fn from_modes(modes: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = ModeSet::EMPTY;
+        for m in modes {
+            s = s.with(m);
+        }
+        s
+    }
+
+    /// This set plus `mode`.
+    #[must_use]
+    pub fn with(self, mode: usize) -> Self {
+        assert!(mode < 32);
+        ModeSet(self.0 | (1 << mode))
+    }
+
+    /// This set minus `mode`.
+    #[must_use]
+    pub fn without(self, mode: usize) -> Self {
+        ModeSet(self.0 & !(1 << mode))
+    }
+
+    /// Membership test.
+    pub fn contains(self, mode: usize) -> bool {
+        mode < 32 && (self.0 >> mode) & 1 == 1
+    }
+
+    /// Number of modes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no modes are present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when `other` contains every mode of `self`.
+    pub fn is_subset_of(self, other: ModeSet) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// Ascending iterator over member modes.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..32).filter(move |&m| self.contains(m))
+    }
+
+    /// Smallest member, if any.
+    pub fn min(self) -> Option<usize> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Largest member, if any.
+    pub fn max(self) -> Option<usize> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(31 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn minus(self, other: ModeSet) -> Self {
+        ModeSet(self.0 & !other.0)
+    }
+
+    /// True when the members form a contiguous range `[min..=max]`.
+    pub fn is_contiguous(self) -> bool {
+        match (self.min(), self.max()) {
+            (Some(lo), Some(hi)) => self.len() == hi - lo + 1,
+            _ => true,
+        }
+    }
+
+    /// True when the set has the "PP tree" form: either contiguous, or one
+    /// isolated mode plus a contiguous block (`{i} ∪ [a..b]` with `i < a-1`).
+    pub fn is_pp_form(self) -> bool {
+        if self.len() <= 1 || self.is_contiguous() {
+            return true;
+        }
+        let lo = self.min().unwrap();
+        self.without(lo).is_contiguous()
+    }
+}
+
+impl fmt::Debug for ModeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for m in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let s = ModeSet::from_modes([0, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(2));
+        assert!(!s.contains(1));
+        assert_eq!(s.with(1), ModeSet::full(4));
+        assert_eq!(s.without(0).iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn full_and_single() {
+        assert_eq!(ModeSet::full(4).len(), 4);
+        assert_eq!(ModeSet::single(3).iter().collect::<Vec<_>>(), vec![3]);
+        assert!(ModeSet::single(3).is_subset_of(ModeSet::full(4)));
+    }
+
+    #[test]
+    fn min_max() {
+        let s = ModeSet::from_modes([1, 4]);
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(4));
+        assert_eq!(ModeSet::EMPTY.min(), None);
+    }
+
+    #[test]
+    fn contiguity() {
+        assert!(ModeSet::from_modes([2, 3, 4]).is_contiguous());
+        assert!(!ModeSet::from_modes([1, 3]).is_contiguous());
+        assert!(ModeSet::from_modes([0, 2, 3]).is_pp_form());
+        assert!(!ModeSet::from_modes([0, 2, 4]).is_pp_form());
+        assert!(ModeSet::single(5).is_pp_form());
+        assert!(ModeSet::EMPTY.is_contiguous());
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = ModeSet::from_modes([1, 3]);
+        assert_eq!(format!("{s:?}"), "{1,3}");
+    }
+}

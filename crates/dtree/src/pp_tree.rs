@@ -1,0 +1,451 @@
+//! Pairwise-perturbation operator construction (the PP dimension tree,
+//! Fig. 1b of the paper).
+//!
+//! The PP initialization step materializes, for every mode pair `i < j`,
+//! the operator `𝓜p^(i,j) ∈ R^{s_i × s_j × R}` (Eq. 4 with two free
+//! modes), plus the anchors `Mp^(n)`. All operators descend from
+//! first-level TTM intermediates through batched TTVs; the intermediates
+//! have the "PP form" `{i} ∪ [a..b]` (one isolated mode plus a contiguous
+//! block), and at level `l` of the tree exactly `(l+1 choose 2)` of them
+//! exist — the structure of Fig. 1b.
+//!
+//! The construction shares the engine's version-checked cache, so a
+//! first-level intermediate left over from the preceding exact ALS sweep is
+//! reused when its factor versions still match (the paper's footnote 1:
+//! only 2 of the 3 first-level contractions are recomputed for N = 4).
+
+use crate::cache::Intermediate;
+use crate::engine::DimTreeEngine;
+use crate::factor::FactorState;
+use crate::input::InputTensor;
+use crate::modeset::ModeSet;
+use crate::stats::Kernel;
+use pp_tensor::kernels::mttv::mttv;
+use pp_tensor::Matrix;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The PP operators produced by the initialization step.
+pub struct PpOperators {
+    /// `𝓜p^(i,j)` for `i < j`, keyed by `(i, j)`. Each intermediate's
+    /// `mode_order` records the layout of its two leading dims.
+    pub pairs: HashMap<(usize, usize), Intermediate>,
+    /// `Mp^(n)` for every mode `n`.
+    pub firsts: Vec<Matrix>,
+    /// Number of first-level TTMs actually recomputed (diagnostics; the
+    /// rest were reused from the shared cache).
+    pub fresh_ttms: usize,
+}
+
+impl PpOperators {
+    /// The pair operator for `(i, j)` in either order.
+    pub fn pair(&self, a: usize, b: usize) -> &Intermediate {
+        let key = (a.min(b), a.max(b));
+        self.pairs.get(&key).expect("pair operator must exist")
+    }
+
+    /// Auxiliary memory held by the operators, in f64 elements.
+    pub fn memory_elems(&self) -> usize {
+        self.pairs.values().map(|p| p.tensor.len()).sum::<usize>()
+            + self.firsts.iter().map(|m| m.data().len()).sum::<usize>()
+    }
+}
+
+/// How aggressively the PP tree caches its intermediate levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PpTreeMemory {
+    /// Cache every tree level — the flop-optimal schedule of Fig. 1b
+    /// (auxiliary memory `O((s^N/P)^{(N-1)/N} R)`, Table I).
+    Full,
+    /// "Combine" the inner levels (paper §IV): keep only first-level
+    /// intermediates and the pair operators, recontracting the path from
+    /// the first level for every pair. Saves the inner-level memory at the
+    /// cost of `O((l+2)(l+1)/4)` extra lower-level flops.
+    CombineInner,
+}
+
+/// Build all PP operators for the current factors (which become the
+/// reference factors `A^(n)_p` of the approximated step).
+pub fn build_pp_operators(
+    input: &mut InputTensor,
+    fs: &FactorState,
+    engine: &mut DimTreeEngine,
+) -> PpOperators {
+    build_pp_operators_with(input, fs, engine, PpTreeMemory::Full)
+}
+
+/// [`build_pp_operators`] with an explicit memory policy.
+pub fn build_pp_operators_with(
+    input: &mut InputTensor,
+    fs: &FactorState,
+    engine: &mut DimTreeEngine,
+    memory: PpTreeMemory,
+) -> PpOperators {
+    let n_modes = fs.order();
+    assert!(n_modes >= 3, "pairwise perturbation needs order ≥ 3");
+    let mut fresh_ttms = 0usize;
+
+    let mut pairs: HashMap<(usize, usize), Intermediate> = HashMap::new();
+    for i in 0..n_modes {
+        for j in i + 1..n_modes {
+            let set = ModeSet::from_modes([i, j]);
+            let inter = match memory {
+                PpTreeMemory::Full => obtain_pp(input, fs, engine, set, &mut fresh_ttms),
+                PpTreeMemory::CombineInner => {
+                    obtain_pp_combined(input, fs, engine, set, &mut fresh_ttms)
+                }
+            };
+            pairs.insert((i, j), inter);
+        }
+    }
+
+    // Anchors Mp^(n): contract the partner mode out of a pair operator.
+    let mut firsts = Vec::with_capacity(n_modes);
+    for n in 0..n_modes {
+        let partner = if n == 0 { 1 } else { 0 };
+        let key = (n.min(partner), n.max(partner));
+        let pair = &pairs[&key];
+        let pos = pair.position_of(partner);
+        let t0 = Instant::now();
+        let out = mttv(&pair.tensor, pos, fs.factor(partner));
+        engine.stats.record(Kernel::Mttv, t0.elapsed(), out.flops);
+        debug_assert_eq!(out.tensor.order(), 2);
+        let rows = out.tensor.dim(0);
+        let r = out.tensor.dim(1);
+        firsts.push(Matrix::from_vec(rows, r, out.tensor.into_vec()));
+    }
+
+    PpOperators { pairs, firsts, fresh_ttms }
+}
+
+/// Memoized construction of a PP-form intermediate, sharing the engine
+/// cache (and therefore reusing exact-sweep leftovers when valid).
+fn obtain_pp(
+    input: &mut InputTensor,
+    fs: &FactorState,
+    engine: &mut DimTreeEngine,
+    set: ModeSet,
+    fresh_ttms: &mut usize,
+) -> Intermediate {
+    debug_assert!(set.is_pp_form(), "PP tree only builds PP-form sets");
+    let n_modes = fs.order();
+
+    if let Some(c) = engine.cache_mut().get_valid(set, fs.versions()) {
+        return c.clone();
+    }
+
+    // Choose the mode `c` to re-add so the parent S ∪ {c} is PP-form,
+    // preferring (a) an already-cached parent, (b) the full set (TTM), then
+    // (c) extending the block upward, (d) downward.
+    let candidates: Vec<usize> = (0..n_modes)
+        .filter(|&c| !set.contains(c) && set.with(c).is_pp_form())
+        .collect();
+    debug_assert!(!candidates.is_empty(), "PP-form sets always extend");
+
+    let cached_choice = candidates
+        .iter()
+        .copied()
+        .find(|&c| {
+            engine
+                .cache_mut()
+                .get_valid(set.with(c), fs.versions())
+                .is_some()
+        });
+    let choice = cached_choice.unwrap_or_else(|| {
+        if set.len() == n_modes - 1 {
+            // Parent is the input tensor.
+            ModeSet::full(n_modes).minus(set).min().unwrap()
+        } else {
+            let above = candidates.iter().copied().find(|&c| c > set.max().unwrap());
+            above.unwrap_or_else(|| *candidates.last().unwrap())
+        }
+    });
+
+    let parent_set = set.with(choice);
+    if parent_set == ModeSet::full(n_modes) {
+        // The parent is the input tensor itself: a single first-level TTM
+        // contracting `choice` produces exactly `set`.
+        *fresh_ttms += 1;
+        let fl = input.contract_mode(choice, fs.factor(choice));
+        if fl.transpose_words > 0 {
+            engine.stats.record(Kernel::Transpose, fl.transpose_time, 0);
+        }
+        engine.stats.record(Kernel::Ttm, fl.ttm_time, fl.flops);
+        let inter = Intermediate {
+            tensor: std::sync::Arc::new(fl.tensor),
+            mode_order: fl.mode_order,
+            versions: fs.versions().to_vec(),
+        };
+        debug_assert_eq!(inter.set(), set);
+        engine.cache_mut().insert(inter.clone());
+        return inter;
+    }
+
+    let parent = obtain_pp(input, fs, engine, parent_set, fresh_ttms);
+    contract_step(fs, engine, parent, choice, set)
+}
+
+/// Level-combined construction (paper §IV): each pair descends from a
+/// first-level intermediate by contracting all other modes in one pass,
+/// without caching the inner levels. First-level intermediates are still
+/// cached (and reused across pairs and from the preceding exact sweep).
+fn obtain_pp_combined(
+    input: &mut InputTensor,
+    fs: &FactorState,
+    engine: &mut DimTreeEngine,
+    set: ModeSet,
+    fresh_ttms: &mut usize,
+) -> Intermediate {
+    let n_modes = fs.order();
+    debug_assert_eq!(set.len(), 2);
+    let full = ModeSet::full(n_modes);
+
+    // Pick the first-level parent: a cached valid (N−1)-set containing the
+    // pair if one exists, else contract a mode outside the pair (preferring
+    // one whose resulting set is PP-form so the cached entry stays useful).
+    let parent_sets: Vec<ModeSet> = (0..n_modes)
+        .filter(|&c| !set.contains(c))
+        .map(|c| full.without(c))
+        .collect();
+    let cached = parent_sets
+        .iter()
+        .copied()
+        .find(|&s| engine.cache_mut().get_valid(s, fs.versions()).is_some());
+    let first = match cached {
+        Some(s) => engine.cache_mut().get_valid(s, fs.versions()).unwrap().clone(),
+        None => {
+            let target = parent_sets
+                .iter()
+                .copied()
+                .find(|s| s.is_pp_form())
+                .unwrap_or(parent_sets[0]);
+            let k = full.minus(target).min().unwrap();
+            *fresh_ttms += 1;
+            let fl = input.contract_mode(k, fs.factor(k));
+            if fl.transpose_words > 0 {
+                engine.stats.record(Kernel::Transpose, fl.transpose_time, 0);
+            }
+            engine.stats.record(Kernel::Ttm, fl.ttm_time, fl.flops);
+            let inter = Intermediate {
+                tensor: std::sync::Arc::new(fl.tensor),
+                mode_order: fl.mode_order,
+                versions: fs.versions().to_vec(),
+            };
+            engine.cache_mut().insert(inter.clone());
+            inter
+        }
+    };
+
+    // Contract everything outside the pair, without caching inner levels.
+    let mut current = first;
+    while current.set().len() > 2 {
+        let gone = current.set().minus(set).min().unwrap();
+        let pos = current.position_of(gone);
+        let t0 = Instant::now();
+        let out = mttv(&current.tensor, pos, fs.factor(gone));
+        engine.stats.record(Kernel::Mttv, t0.elapsed(), out.flops);
+        let mut mode_order = current.mode_order.clone();
+        mode_order.remove(pos);
+        let mut versions = current.versions;
+        versions[gone] = fs.version(gone);
+        current = Intermediate {
+            tensor: std::sync::Arc::new(out.tensor),
+            mode_order,
+            versions,
+        };
+    }
+    debug_assert_eq!(current.set(), set);
+    current
+}
+
+/// Contract `gone` out of `parent` with a batched TTV, cache, and return.
+fn contract_step(
+    fs: &FactorState,
+    engine: &mut DimTreeEngine,
+    parent: Intermediate,
+    gone: usize,
+    expect: ModeSet,
+) -> Intermediate {
+    let pos = parent.position_of(gone);
+    let t0 = Instant::now();
+    let out = mttv(&parent.tensor, pos, fs.factor(gone));
+    engine.stats.record(Kernel::Mttv, t0.elapsed(), out.flops);
+    let mut mode_order = parent.mode_order.clone();
+    mode_order.remove(pos);
+    let mut versions = parent.versions;
+    versions[gone] = fs.version(gone);
+    let inter = Intermediate { tensor: std::sync::Arc::new(out.tensor), mode_order, versions };
+    debug_assert_eq!(inter.set(), expect);
+    engine.cache_mut().insert(inter.clone());
+    inter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TreePolicy;
+    use pp_tensor::kernels::naive::mttkrp as naive_mttkrp;
+    use pp_tensor::kernels::ttm::ttm;
+    use pp_tensor::rng::{seeded, uniform_matrix, uniform_tensor};
+    use pp_tensor::DenseTensor;
+
+    fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, FactorState) {
+        let mut rng = seeded(seed);
+        let t = uniform_tensor(dims, &mut rng);
+        let factors: Vec<Matrix> =
+            dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+        (t, FactorState::new(factors))
+    }
+
+    /// Oracle for 𝓜^(i,j): contract every mode except i, j via repeated TTM
+    /// and permute so the layout is (i, j, R).
+    fn oracle_pair(t: &DenseTensor, fs: &FactorState, i: usize, j: usize) -> DenseTensor {
+        // Contract modes one at a time, tracking the surviving mode list.
+        let mut cur = t.clone();
+        let mut modes: Vec<usize> = (0..t.order()).collect();
+        // First contraction: TTM produces trailing rank mode.
+        let first_gone = (0..t.order()).find(|&m| m != i && m != j).unwrap();
+        let pos = modes.iter().position(|&m| m == first_gone).unwrap();
+        cur = ttm(&cur, pos, fs.factor(first_gone)).tensor;
+        modes.remove(pos);
+        // Remaining contractions are batched TTVs.
+        while modes.len() > 2 {
+            let gone = *modes.iter().find(|&&m| m != i && m != j).unwrap();
+            let pos = modes.iter().position(|&m| m == gone).unwrap();
+            cur = mttv(&cur, pos, fs.factor(gone)).tensor;
+            modes.remove(pos);
+        }
+        // Layout (modes[0], modes[1], R) — ensure (i, j).
+        if modes == vec![i, j] {
+            cur
+        } else {
+            pp_tensor::transpose::swap_first_two(&cur)
+        }
+    }
+
+    fn check_all_pairs(dims: &[usize], r: usize) {
+        let (t, fs) = setup(dims, r, 99);
+        let mut input = InputTensor::new(t.clone());
+        let mut engine = DimTreeEngine::new(TreePolicy::Standard, dims.len());
+        let ops = build_pp_operators(&mut input, &fs, &mut engine);
+        let n_modes = dims.len();
+        assert_eq!(ops.pairs.len(), n_modes * (n_modes - 1) / 2);
+        for i in 0..n_modes {
+            for j in i + 1..n_modes {
+                let got = &ops.pairs[&(i, j)];
+                let want = oracle_pair(&t, &fs, i, j);
+                // Canonicalize got's layout to (i, j, R).
+                let got_t = if got.mode_order == vec![i, j] {
+                    (*got.tensor).clone()
+                } else {
+                    pp_tensor::transpose::swap_first_two(&got.tensor)
+                };
+                assert!(
+                    got_t.max_abs_diff(&want) < 1e-9,
+                    "pair ({i},{j}) mismatch"
+                );
+            }
+        }
+        // Anchors must equal the exact MTTKRP at the reference point.
+        for n in 0..n_modes {
+            let want = naive_mttkrp(&t, fs.factors(), n);
+            assert!(ops.firsts[n].max_abs_diff(&want) < 1e-9, "anchor {n}");
+        }
+    }
+
+    #[test]
+    fn pp_operators_order3() {
+        check_all_pairs(&[5, 4, 6], 3);
+    }
+
+    #[test]
+    fn pp_operators_order4() {
+        check_all_pairs(&[4, 3, 5, 3], 2);
+    }
+
+    #[test]
+    fn pp_operators_order5() {
+        check_all_pairs(&[3, 3, 2, 3, 3], 2);
+    }
+
+    #[test]
+    fn first_level_count_matches_paper() {
+        // The PP tree has (3 choose 2) = 3 level-2 tensors at any order
+        // (Fig. 1b shows 𝓜^(1,2,3), 𝓜^(1,3,4), 𝓜^(2,3,4) for N = 4), so a
+        // fresh build performs exactly 3 first-level TTMs.
+        for n_modes in [3usize, 4, 5] {
+            let dims = vec![4; n_modes];
+            let (t, fs) = setup(&dims, 2, 5);
+            let mut input = InputTensor::new(t);
+            let mut engine = DimTreeEngine::new(TreePolicy::Standard, n_modes);
+            let ops = build_pp_operators(&mut input, &fs, &mut engine);
+            assert_eq!(ops.fresh_ttms, 3, "order {n_modes}");
+        }
+    }
+
+    #[test]
+    fn reuses_first_level_from_exact_sweep() {
+        // After a DT sweep, exactly one first-level intermediate is still
+        // valid and must be reused (paper footnote 1): fresh TTMs = N−2.
+        let dims = vec![4, 4, 4, 4];
+        let (t, mut fs) = setup(&dims, 2, 7);
+        let mut input = InputTensor::new(t);
+        let mut engine = DimTreeEngine::new(TreePolicy::Standard, 4);
+        let mut rng = seeded(31);
+        // One DT sweep with factor updates.
+        for n in 0..4 {
+            let _ = engine.mttkrp(&mut input, &fs, n);
+            fs.update(n, uniform_matrix(dims[n], 2, &mut rng));
+        }
+        let ops = build_pp_operators(&mut input, &fs, &mut engine);
+        assert_eq!(ops.fresh_ttms, 4 - 2);
+    }
+
+    #[test]
+    fn combined_levels_matches_full_tree() {
+        // §IV memory knob: the level-combined build must produce identical
+        // operators while caching fewer intermediates.
+        let dims = [4, 5, 3, 4];
+        let (t, fs) = setup(&dims, 2, 13);
+
+        let mut in1 = InputTensor::new(t.clone());
+        let mut e1 = DimTreeEngine::new(TreePolicy::Standard, 4);
+        let full = build_pp_operators_with(&mut in1, &fs, &mut e1, PpTreeMemory::Full);
+
+        let mut in2 = InputTensor::new(t);
+        let mut e2 = DimTreeEngine::new(TreePolicy::Standard, 4);
+        let combined =
+            build_pp_operators_with(&mut in2, &fs, &mut e2, PpTreeMemory::CombineInner);
+
+        for (key, a) in &full.pairs {
+            let b = &combined.pairs[key];
+            let at = if a.mode_order == b.mode_order {
+                (*a.tensor).clone()
+            } else {
+                pp_tensor::transpose::swap_first_two(&a.tensor)
+            };
+            assert!(at.max_abs_diff(&b.tensor) < 1e-10, "pair {key:?}");
+        }
+        for (a, b) in full.firsts.iter().zip(combined.firsts.iter()) {
+            assert!(a.max_abs_diff(b) < 1e-10);
+        }
+        // The combined build must hold strictly less cached state.
+        assert!(
+            e2.cache_memory_elems() < e1.cache_memory_elems(),
+            "combined {} vs full {}",
+            e2.cache_memory_elems(),
+            e1.cache_memory_elems()
+        );
+    }
+
+    #[test]
+    fn operator_memory_accounting() {
+        let dims = [4, 5, 6];
+        let (t, fs) = setup(&dims, 2, 11);
+        let mut input = InputTensor::new(t);
+        let mut engine = DimTreeEngine::new(TreePolicy::Standard, 3);
+        let ops = build_pp_operators(&mut input, &fs, &mut engine);
+        // Pairs: (4·5 + 4·6 + 5·6)·2 = 148; firsts: (4+5+6)·2 = 30.
+        assert_eq!(ops.memory_elems(), 148 + 30);
+    }
+}

@@ -1,0 +1,113 @@
+//! Padded block distributions (the `⌈s_i / I_i⌉` blocks of §II-A).
+
+/// A 1-d block distribution of `global` elements over `parts` owners with
+/// uniform padded blocks of `⌈global/parts⌉` elements; the tail block is
+/// zero-padded, exactly as the paper pads local tensors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockDist {
+    global: usize,
+    parts: usize,
+    block: usize,
+}
+
+impl BlockDist {
+    pub fn new(global: usize, parts: usize) -> Self {
+        assert!(parts >= 1);
+        assert!(global >= 1);
+        BlockDist { global, parts, block: global.div_ceil(parts) }
+    }
+
+    /// Number of real (unpadded) elements.
+    pub fn global(&self) -> usize {
+        self.global
+    }
+
+    /// Number of owners.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Padded block size `⌈global/parts⌉` — every owner stores this many.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Owner of global element `g`.
+    pub fn owner(&self, g: usize) -> usize {
+        debug_assert!(g < self.global);
+        g / self.block
+    }
+
+    /// Local offset of global element `g` within its owner's block.
+    pub fn local_of(&self, g: usize) -> usize {
+        debug_assert!(g < self.global);
+        g % self.block
+    }
+
+    /// Global index of owner `o`'s local element `l`, or `None` if it is
+    /// padding.
+    pub fn global_of(&self, o: usize, l: usize) -> Option<usize> {
+        debug_assert!(o < self.parts && l < self.block);
+        let g = o * self.block + l;
+        (g < self.global).then_some(g)
+    }
+
+    /// Number of real elements owner `o` stores (block minus padding).
+    pub fn real_len(&self, o: usize) -> usize {
+        let start = o * self.block;
+        self.global.saturating_sub(start).min(self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let d = BlockDist::new(12, 4);
+        assert_eq!(d.block(), 3);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(11), 3);
+        assert_eq!(d.local_of(7), 1);
+        assert_eq!(d.real_len(3), 3);
+    }
+
+    #[test]
+    fn padded_split() {
+        let d = BlockDist::new(10, 4);
+        assert_eq!(d.block(), 3);
+        assert_eq!(d.real_len(0), 3);
+        assert_eq!(d.real_len(3), 1);
+        assert_eq!(d.global_of(3, 0), Some(9));
+        assert_eq!(d.global_of(3, 1), None);
+        assert_eq!(d.global_of(3, 2), None);
+    }
+
+    #[test]
+    fn roundtrip_owner_local() {
+        let d = BlockDist::new(17, 5);
+        for g in 0..17 {
+            let o = d.owner(g);
+            let l = d.local_of(g);
+            assert_eq!(d.global_of(o, l), Some(g));
+        }
+    }
+
+    #[test]
+    fn single_part() {
+        let d = BlockDist::new(9, 1);
+        assert_eq!(d.block(), 9);
+        assert_eq!(d.owner(8), 0);
+        assert_eq!(d.real_len(0), 9);
+    }
+
+    #[test]
+    fn more_parts_than_elements() {
+        let d = BlockDist::new(3, 5);
+        assert_eq!(d.block(), 1);
+        assert_eq!(d.real_len(2), 1);
+        assert_eq!(d.real_len(3), 0);
+        assert_eq!(d.global_of(4, 0), None);
+    }
+}

@@ -1,0 +1,355 @@
+//! Distributed factor matrices with the two layouts of Algorithm 3.
+//!
+//! For mode `i` on a grid with extent `I_i` and slice size `P/I_i`:
+//!
+//! * **Q layout** — `A^(i)` is partitioned by rows over *all* `P` ranks, in
+//!   a nested fashion: the `⌈s_i/I_i⌉` rows belonging to slice `x_i` are
+//!   themselves partitioned among the `P/I_i` ranks of that slice. Linear
+//!   solves and Gram updates run on Q blocks.
+//! * **P layout** — all ranks sharing grid coordinate `x_i` redundantly own
+//!   the same `⌈s_i/I_i⌉` rows; local MTTKRPs read P blocks.
+//!
+//! `refresh_p` (lines 8/18 of Alg. 3) is an All-Gather within the slice;
+//! `reduce_scatter_rows` (line 14) sums local MTTKRP contributions over the
+//! slice and scatters Q rows. All padding rows are zero, so they are inert
+//! in every contraction, Gram matrix, and solve.
+
+use crate::dist::BlockDist;
+use crate::grid::ProcGrid;
+use pp_comm::Communicator;
+use pp_tensor::Matrix;
+
+/// Row-layout parameters for one mode's factor matrix on a given grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FactorLayout {
+    /// Global number of rows `s_i`.
+    pub global_rows: usize,
+    /// Grid extent `I_i` for this mode.
+    pub grid_extent: usize,
+    /// Ranks per slice, `P / I_i`.
+    pub slice_size: usize,
+    /// P-layout rows per rank: `⌈s_i / I_i⌉`.
+    pub block: usize,
+    /// Q-layout rows per rank: `⌈block / slice_size⌉`.
+    pub sub: usize,
+    /// Number of columns (the CP rank `R`).
+    pub rank_cols: usize,
+}
+
+impl FactorLayout {
+    /// Layout for mode `mode` of a tensor with extent `s` on `grid`.
+    pub fn new(s: usize, grid: &ProcGrid, mode: usize, r: usize) -> Self {
+        let grid_extent = grid.dim(mode);
+        let slice_size = grid.slice_size(mode);
+        let block = BlockDist::new(s, grid_extent).block();
+        let sub = block.div_ceil(slice_size);
+        FactorLayout {
+            global_rows: s,
+            grid_extent,
+            slice_size,
+            block,
+            sub,
+            rank_cols: r,
+        }
+    }
+
+    /// Global row index of Q-row `l` on (grid coordinate `coord`, slice
+    /// position `pos`), or `None` if it is padding.
+    pub fn global_row(&self, coord: usize, pos: usize, l: usize) -> Option<usize> {
+        debug_assert!(coord < self.grid_extent && pos < self.slice_size && l < self.sub);
+        let within_block = pos * self.sub + l;
+        if within_block >= self.block {
+            return None;
+        }
+        let g = coord * self.block + within_block;
+        (g < self.global_rows).then_some(g)
+    }
+
+    /// Global row index of P-row `l` on grid coordinate `coord`, or `None`
+    /// if padding.
+    pub fn global_p_row(&self, coord: usize, l: usize) -> Option<usize> {
+        debug_assert!(coord < self.grid_extent && l < self.block);
+        let g = coord * self.block + l;
+        (g < self.global_rows).then_some(g)
+    }
+}
+
+/// One rank's view of a distributed factor matrix: its Q block and its
+/// slice-replicated P block.
+#[derive(Clone)]
+pub struct DistFactor {
+    layout: FactorLayout,
+    /// This rank's grid coordinate for the factor's mode (`x_i`).
+    coord: usize,
+    /// This rank's position within its mode slice (0-based, by world rank).
+    slice_pos: usize,
+    /// Q block: `sub × R`, zero-padded.
+    q: Matrix,
+    /// P block: `block × R`, zero-padded; refreshed by [`DistFactor::refresh_p`].
+    p: Matrix,
+}
+
+impl DistFactor {
+    /// Build from a replicated global factor matrix (used at initialization:
+    /// every rank generates the same seeded random matrix and takes its
+    /// rows, which matches Alg. 3 without a scatter).
+    pub fn from_global(global: &Matrix, layout: FactorLayout, coord: usize, slice_pos: usize) -> Self {
+        assert_eq!(global.rows(), layout.global_rows);
+        assert_eq!(global.cols(), layout.rank_cols);
+        let r = layout.rank_cols;
+        let mut q = Matrix::zeros(layout.sub, r);
+        for l in 0..layout.sub {
+            if let Some(g) = layout.global_row(coord, slice_pos, l) {
+                q.row_mut(l).copy_from_slice(global.row(g));
+            }
+        }
+        let mut p = Matrix::zeros(layout.block, r);
+        for l in 0..layout.block {
+            if let Some(g) = layout.global_p_row(coord, l) {
+                p.row_mut(l).copy_from_slice(global.row(g));
+            }
+        }
+        DistFactor { layout, coord, slice_pos, q, p }
+    }
+
+    /// Layout parameters.
+    pub fn layout(&self) -> &FactorLayout {
+        &self.layout
+    }
+
+    /// Grid coordinate of this rank for the factor's mode.
+    pub fn coord(&self) -> usize {
+        self.coord
+    }
+
+    /// Slice position of this rank.
+    pub fn slice_pos(&self) -> usize {
+        self.slice_pos
+    }
+
+    /// The Q block (`sub × R`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The P block (`block × R`), valid after the last `refresh_p`.
+    pub fn p(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// Replace the Q block (after a solve). Padding rows of the new block
+    /// must be zero; enforced here by re-zeroing rows beyond the range.
+    pub fn set_q(&mut self, mut q: Matrix) {
+        assert_eq!(q.rows(), self.layout.sub);
+        assert_eq!(q.cols(), self.layout.rank_cols);
+        for l in 0..self.layout.sub {
+            if self.layout.global_row(self.coord, self.slice_pos, l).is_none() {
+                q.row_mut(l).fill(0.0);
+            }
+        }
+        self.q = q;
+    }
+
+    /// All-Gather the Q blocks within the mode slice to refresh the
+    /// replicated P block (Alg. 3 lines 8 and 18).
+    pub fn refresh_p(&mut self, slice: &Communicator) {
+        assert_eq!(slice.size(), self.layout.slice_size);
+        let gathered = slice.all_gather(self.q.data());
+        let r = self.layout.rank_cols;
+        debug_assert_eq!(gathered.len(), self.layout.sub * self.layout.slice_size * r);
+        // The concatenation covers ≥ block rows; keep the first `block`.
+        let mut p = Matrix::zeros(self.layout.block, r);
+        p.data_mut()
+            .copy_from_slice(&gathered[..self.layout.block * r]);
+        self.p = p;
+    }
+
+    /// Reduce-Scatter local MTTKRP contributions (`block × R`, this rank's
+    /// partial sums) over the mode slice; returns this rank's `sub × R`
+    /// segment of the fully summed `M^(i)` (Alg. 3 line 14).
+    pub fn reduce_scatter_rows(&self, m_local: &Matrix, slice: &Communicator) -> Matrix {
+        assert_eq!(slice.size(), self.layout.slice_size);
+        assert_eq!(m_local.rows(), self.layout.block);
+        assert_eq!(m_local.cols(), self.layout.rank_cols);
+        let r = self.layout.rank_cols;
+        let padded_rows = self.layout.sub * self.layout.slice_size;
+        let mut buf = vec![0.0f64; padded_rows * r];
+        buf[..self.layout.block * r].copy_from_slice(m_local.data());
+        let counts = vec![self.layout.sub * r; self.layout.slice_size];
+        let mine = slice.reduce_scatter_sum(&buf, &counts);
+        Matrix::from_vec(self.layout.sub, r, mine)
+    }
+
+    /// Gram matrix `S^(i) = A^(i)ᵀ A^(i)` from Q blocks: local Gram plus an
+    /// All-Reduce over the world communicator (Alg. 3 lines 7/17). Padding
+    /// rows are zero and contribute nothing.
+    pub fn gram_allreduce(&self, world: &Communicator) -> Matrix {
+        let local = self.q.gram();
+        let summed = world.all_reduce_sum(local.data());
+        Matrix::from_vec(local.rows(), local.cols(), summed)
+    }
+
+    /// Reassemble the global factor matrix from Q blocks (diagnostic /
+    /// test utility; gathers over the world communicator).
+    pub fn gather_global(&self, world: &Communicator, grid: &ProcGrid, mode: usize) -> Matrix {
+        let r = self.layout.rank_cols;
+        let blocks = world.all_gather_v(self.q.data());
+        let mut out = Matrix::zeros(self.layout.global_rows, r);
+        for (rank, block) in blocks.iter().enumerate() {
+            let coords = grid.coords_of(rank);
+            let members = grid.slice_members(mode, rank);
+            let pos = members.iter().position(|&m| m == rank).unwrap();
+            for l in 0..self.layout.sub {
+                if let Some(g) = self.layout.global_row(coords[mode], pos, l) {
+                    out.row_mut(g).copy_from_slice(&block[l * r..(l + 1) * r]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_comm::Runtime;
+    use std::sync::Arc;
+
+    fn global_factor(rows: usize, r: usize) -> Matrix {
+        Matrix::from_fn(rows, r, |i, j| (i * r + j) as f64 + 1.0)
+    }
+
+    #[test]
+    fn layout_row_maps_cover_all_rows() {
+        let grid = ProcGrid::new(vec![2, 3]);
+        let layout = FactorLayout::new(7, &grid, 0, 2);
+        assert_eq!(layout.block, 4); // ceil(7/2)
+        assert_eq!(layout.sub, 2); // ceil(4/3)
+        let mut seen = vec![false; 7];
+        for coord in 0..2 {
+            for pos in 0..3 {
+                for l in 0..2 {
+                    if let Some(g) = layout.global_row(coord, pos, l) {
+                        assert!(!seen[g]);
+                        seen[g] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn from_global_q_and_p_agree_with_global() {
+        let grid = ProcGrid::new(vec![2, 2]);
+        let layout = FactorLayout::new(5, &grid, 0, 3);
+        let g = global_factor(5, 3);
+        let f = DistFactor::from_global(&g, layout, 1, 1);
+        for l in 0..layout.sub {
+            match layout.global_row(1, 1, l) {
+                Some(gr) => assert_eq!(f.q().row(l), g.row(gr)),
+                None => assert!(f.q().row(l).iter().all(|&x| x == 0.0)),
+            }
+        }
+        for l in 0..layout.block {
+            match layout.global_p_row(1, l) {
+                Some(gr) => assert_eq!(f.p().row(l), g.row(gr)),
+                None => assert!(f.p().row(l).iter().all(|&x| x == 0.0)),
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_p_reconstructs_slice_block() {
+        // Grid 2x2, factor on mode 0 with 5 rows: slices {0,1} and {2,3}.
+        let grid = Arc::new(ProcGrid::new(vec![2, 2]));
+        let g = Arc::new(global_factor(5, 2));
+        let grid2 = grid.clone();
+        let g2 = g.clone();
+        let out = Runtime::new(4).run(move |ctx| {
+            let layout = FactorLayout::new(5, &grid2, 0, 2);
+            let coords = grid2.coords_of(ctx.rank());
+            let slice = grid2.slice_comm(&ctx.comm, 0);
+            let mut f = DistFactor::from_global(&g2, layout, coords[0], slice.rank());
+            // Wipe P, then rebuild it from Q blocks.
+            let zero = Matrix::zeros(layout.block, 2);
+            f.p = zero;
+            f.refresh_p(&slice);
+            f
+        });
+        for (rank, f) in out.results.iter().enumerate() {
+            let coords = grid.coords_of(rank);
+            for l in 0..f.layout().block {
+                match f.layout().global_p_row(coords[0], l) {
+                    Some(gr) => assert_eq!(f.p().row(l), g.row(gr), "rank {rank} row {l}"),
+                    None => assert!(f.p().row(l).iter().all(|&x| x == 0.0)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_sums_slice_contributions() {
+        let grid = Arc::new(ProcGrid::new(vec![2, 2]));
+        let out = Runtime::new(4).run({
+            let grid = grid.clone();
+            move |ctx| {
+                let layout = FactorLayout::new(4, &grid, 0, 2);
+                let coords = grid.coords_of(ctx.rank());
+                let slice = grid.slice_comm(&ctx.comm, 0);
+                let g = global_factor(4, 2);
+                let f = DistFactor::from_global(&g, layout, coords[0], slice.rank());
+                // Every rank contributes an all-ones block; sum = slice size.
+                let ones = Matrix::from_fn(layout.block, 2, |_, _| 1.0);
+                let q = f.reduce_scatter_rows(&ones, &slice);
+                (ctx.rank(), q)
+            }
+        });
+        for (_, q) in out.results {
+            // slice_size = 2, sub = 1 → every entry is 2.0.
+            assert_eq!(q.rows(), 1);
+            assert!(q.data().iter().all(|&x| x == 2.0));
+        }
+    }
+
+    #[test]
+    fn gram_allreduce_matches_global_gram() {
+        let grid = Arc::new(ProcGrid::new(vec![2, 2]));
+        let g = Arc::new(global_factor(5, 3));
+        let out = Runtime::new(4).run({
+            let grid = grid.clone();
+            let g = g.clone();
+            move |ctx| {
+                let layout = FactorLayout::new(5, &grid, 1, 3);
+                let coords = grid.coords_of(ctx.rank());
+                let slice = grid.slice_comm(&ctx.comm, 1);
+                let f = DistFactor::from_global(&g, layout, coords[1], slice.rank());
+                f.gram_allreduce(&ctx.comm)
+            }
+        });
+        let want = g.gram();
+        for got in out.results {
+            assert!(got.max_abs_diff(&want) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gather_global_roundtrip() {
+        let grid = Arc::new(ProcGrid::new(vec![2, 3]));
+        let g = Arc::new(global_factor(7, 2));
+        let out = Runtime::new(6).run({
+            let grid = grid.clone();
+            let g = g.clone();
+            move |ctx| {
+                let layout = FactorLayout::new(7, &grid, 0, 2);
+                let coords = grid.coords_of(ctx.rank());
+                let slice = grid.slice_comm(&ctx.comm, 0);
+                let f = DistFactor::from_global(&g, layout, coords[0], slice.rank());
+                f.gather_global(&ctx.comm, &grid, 0)
+            }
+        });
+        for got in out.results {
+            assert!(got.max_abs_diff(&g) < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Distributed dense tensors: each rank owns one padded block of the global
+//! tensor, indexed by its grid coordinates (`𝓣_𝒫(x)` of §II-A).
+
+use crate::dist::BlockDist;
+use crate::grid::ProcGrid;
+use pp_comm::Communicator;
+use pp_tensor::{DenseTensor, Shape};
+
+/// The block of a global tensor owned by one rank.
+///
+/// The local tensor always has the padded shape `⌈s_1/I_1⌉ × ... ×
+/// ⌈s_N/I_N⌉`; padding entries are zero and therefore contribute nothing to
+/// contractions.
+#[derive(Clone)]
+pub struct DistTensor {
+    global_shape: Shape,
+    grid: ProcGrid,
+    coords: Vec<usize>,
+    dists: Vec<BlockDist>,
+    local: DenseTensor,
+}
+
+impl DistTensor {
+    /// Extract rank `rank`'s local block from a replicated global tensor.
+    pub fn from_global(t: &DenseTensor, grid: &ProcGrid, rank: usize) -> Self {
+        assert_eq!(t.order(), grid.order(), "tensor/grid order mismatch");
+        let coords = grid.coords_of(rank);
+        let dists: Vec<BlockDist> = (0..t.order())
+            .map(|k| BlockDist::new(t.dim(k), grid.dim(k)))
+            .collect();
+        let local_dims: Vec<usize> = dists.iter().map(|d| d.block()).collect();
+        let local_shape = Shape::new(local_dims);
+        let mut local = DenseTensor::zeros(local_shape.clone());
+        // Walk local (padded) indices; copy real entries.
+        {
+            let data = local.data_mut();
+            for (lin, lidx) in local_shape.indices().enumerate() {
+                let mut gidx = Vec::with_capacity(lidx.len());
+                let mut in_range = true;
+                for (k, &l) in lidx.iter().enumerate() {
+                    match dists[k].global_of(coords[k], l) {
+                        Some(g) => gidx.push(g),
+                        None => {
+                            in_range = false;
+                            break;
+                        }
+                    }
+                }
+                if in_range {
+                    data[lin] = t.get(&gidx);
+                }
+            }
+        }
+        DistTensor {
+            global_shape: t.shape().clone(),
+            grid: grid.clone(),
+            coords,
+            dists,
+            local,
+        }
+    }
+
+    /// The global tensor shape.
+    pub fn global_shape(&self) -> &Shape {
+        &self.global_shape
+    }
+
+    /// The processor grid.
+    pub fn grid(&self) -> &ProcGrid {
+        &self.grid
+    }
+
+    /// This rank's grid coordinates.
+    pub fn coords(&self) -> &[usize] {
+        &self.coords
+    }
+
+    /// Per-mode block distributions.
+    pub fn dist(&self, k: usize) -> &BlockDist {
+        &self.dists[k]
+    }
+
+    /// The local padded block.
+    pub fn local(&self) -> &DenseTensor {
+        &self.local
+    }
+
+    /// Reassemble the global tensor on every rank (all-gather of blocks).
+    /// Test/diagnostic utility — not used by the scalable algorithms.
+    pub fn gather_global(&self, world: &Communicator) -> DenseTensor {
+        assert_eq!(world.size(), self.grid.size());
+        let blocks = world.all_gather_v(self.local.data());
+        let mut out = DenseTensor::zeros(self.global_shape.clone());
+        let local_shape = self.local.shape().clone();
+        for (rank, block) in blocks.iter().enumerate() {
+            let coords = self.grid.coords_of(rank);
+            for (lin, lidx) in local_shape.indices().enumerate() {
+                let mut gidx = Vec::with_capacity(lidx.len());
+                let mut in_range = true;
+                for (k, &l) in lidx.iter().enumerate() {
+                    match self.dists[k].global_of(coords[k], l) {
+                        Some(g) => gidx.push(g),
+                        None => {
+                            in_range = false;
+                            break;
+                        }
+                    }
+                }
+                if in_range {
+                    out.set(&gidx, block[lin]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_comm::Runtime;
+    use std::sync::Arc;
+
+    fn seq_tensor(dims: Vec<usize>) -> DenseTensor {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        DenseTensor::from_vec(shape, (0..len).map(|x| x as f64 + 1.0).collect())
+    }
+
+    #[test]
+    fn local_blocks_partition_global() {
+        let t = seq_tensor(vec![4, 6]);
+        let grid = ProcGrid::new(vec![2, 2]);
+        // Collect all real entries across ranks; they must cover the tensor.
+        let mut seen = vec![false; t.len()];
+        for rank in 0..4 {
+            let dt = DistTensor::from_global(&t, &grid, rank);
+            let coords = grid.coords_of(rank);
+            for lidx in dt.local().shape().indices() {
+                let g0 = dt.dist(0).global_of(coords[0], lidx[0]);
+                let g1 = dt.dist(1).global_of(coords[1], lidx[1]);
+                if let (Some(g0), Some(g1)) = (g0, g1) {
+                    assert_eq!(dt.local().get(&lidx), t.get(&[g0, g1]));
+                    let lin = g0 * 6 + g1;
+                    assert!(!seen[lin], "duplicate coverage");
+                    seen[lin] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let t = seq_tensor(vec![5, 3]);
+        let grid = ProcGrid::new(vec![2, 2]);
+        let dt = DistTensor::from_global(&t, &grid, 3); // coords (1,1)
+        // Mode 0 block = 3 → rank row block [3,6) has one padded row (5).
+        // Mode 1 block = 2 → col block [2,4) has one padded col (3).
+        assert_eq!(dt.local().shape().dims(), &[3, 2]);
+        assert_eq!(dt.local().get(&[2, 0]), 0.0); // padded row
+        assert_eq!(dt.local().get(&[0, 1]), 0.0); // padded col
+        assert_eq!(dt.local().get(&[0, 0]), t.get(&[3, 2]));
+    }
+
+    #[test]
+    fn gather_roundtrip() {
+        let t = Arc::new(seq_tensor(vec![5, 4, 3]));
+        let _grid = ProcGrid::new(vec![2, 1, 2]);
+        let t2 = t.clone();
+        let out = Runtime::new(4).run(move |ctx| {
+            let dt = DistTensor::from_global(&t2, &ProcGrid::new(vec![2, 1, 2]), ctx.rank());
+            dt.gather_global(&ctx.comm)
+        });
+        for g in out.results {
+            assert_eq!(g.data(), t.data());
+        }
+    }
+}

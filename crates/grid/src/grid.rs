@@ -1,0 +1,147 @@
+//! N-dimensional logical processor grids (the `𝒫` of the paper's §II-A).
+
+use pp_comm::Communicator;
+
+/// An order-`N` processor grid with extents `I_1 × ... × I_N`.
+///
+/// Ranks map to grid coordinates row-major (coordinate 0 slowest), matching
+/// the tensor layout so that rank order walks the grid the same way flat
+/// offsets walk a tensor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcGrid {
+    dims: Vec<usize>,
+}
+
+impl ProcGrid {
+    /// Create a grid; every extent must be ≥ 1.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        let dims = dims.into();
+        assert!(!dims.is_empty(), "grid must have at least one mode");
+        assert!(dims.iter().all(|&d| d >= 1), "grid extents must be ≥ 1");
+        ProcGrid { dims }
+    }
+
+    /// Grid order (must equal the tensor order it distributes).
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of grid mode `k` (`I_k`).
+    pub fn dim(&self, k: usize) -> usize {
+        self.dims[k]
+    }
+
+    /// All extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of processors `P`.
+    pub fn size(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Coordinates of `rank` (row-major).
+    pub fn coords_of(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.size(), "rank {rank} out of range");
+        let n = self.order();
+        let mut c = vec![0usize; n];
+        let mut rem = rank;
+        for k in (0..n).rev() {
+            c[k] = rem % self.dims[k];
+            rem /= self.dims[k];
+        }
+        c
+    }
+
+    /// Rank of the processor at `coords`.
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.order());
+        let mut r = 0usize;
+        for (k, &c) in coords.iter().enumerate() {
+            debug_assert!(c < self.dims[k]);
+            r = r * self.dims[k] + c;
+        }
+        r
+    }
+
+    /// Number of processors in a mode-`k` slice (`P / I_k`): the group that
+    /// shares a fixed coordinate `x_k` and therefore redundantly owns the
+    /// same rows of `A^(k)`.
+    pub fn slice_size(&self, k: usize) -> usize {
+        self.size() / self.dims[k]
+    }
+
+    /// World ranks of the mode-`k` slice containing `rank`, ascending.
+    pub fn slice_members(&self, k: usize, rank: usize) -> Vec<usize> {
+        let my = self.coords_of(rank);
+        (0..self.size())
+            .filter(|&r| self.coords_of(r)[k] == my[k])
+            .collect()
+    }
+
+    /// Split `world` into mode-`k` slice communicators: ranks sharing grid
+    /// coordinate `x_k` end up in the same sub-communicator, ordered by
+    /// world rank (Alg. 3's `PROC-SLICE(P^(k)(x_k, :))`).
+    pub fn slice_comm(&self, world: &Communicator, k: usize) -> Communicator {
+        assert_eq!(world.size(), self.size(), "communicator/grid size mismatch");
+        let coord = self.coords_of(world.rank())[k];
+        world.split(coord as i64, world.rank() as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = ProcGrid::new(vec![2, 3, 4]);
+        assert_eq!(g.size(), 24);
+        for r in 0..24 {
+            assert_eq!(g.rank_of(&g.coords_of(r)), r);
+        }
+        assert_eq!(g.coords_of(0), vec![0, 0, 0]);
+        assert_eq!(g.coords_of(23), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_membership() {
+        let g = ProcGrid::new(vec![2, 2]);
+        // Mode 0 slices: ranks sharing coords[0].
+        assert_eq!(g.slice_members(0, 0), vec![0, 1]);
+        assert_eq!(g.slice_members(0, 3), vec![2, 3]);
+        // Mode 1 slices: ranks sharing coords[1].
+        assert_eq!(g.slice_members(1, 0), vec![0, 2]);
+        assert_eq!(g.slice_members(1, 3), vec![1, 3]);
+        assert_eq!(g.slice_size(0), 2);
+    }
+
+    #[test]
+    fn degenerate_grid() {
+        let g = ProcGrid::new(vec![1, 1, 1]);
+        assert_eq!(g.size(), 1);
+        assert_eq!(g.slice_members(1, 0), vec![0]);
+    }
+
+    #[test]
+    fn slice_comm_groups_by_coordinate() {
+        use pp_comm::Runtime;
+        let g = ProcGrid::new(vec![2, 3]);
+        let g2 = g.clone();
+        let out = Runtime::new(6).run(move |ctx| {
+            let sub = g2.slice_comm(&ctx.comm, 0);
+            let gathered = sub.all_gather(&[ctx.rank() as f64]);
+            (ctx.rank(), sub.size(), gathered)
+        });
+        for (rank, size, gathered) in out.results {
+            assert_eq!(size, 3);
+            let expect: Vec<f64> = g
+                .slice_members(0, rank)
+                .iter()
+                .map(|&r| r as f64)
+                .collect();
+            assert_eq!(gathered, expect);
+        }
+    }
+}

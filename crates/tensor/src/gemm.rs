@@ -1,0 +1,298 @@
+//! Blocked, rayon-parallel GEMM.
+//!
+//! This kernel stands in for the MKL BLAS the paper uses on each processor.
+//! It is a cache-blocked `C ← α·op(A)·op(B) + β·C` with the *k–j* inner loop
+//! ordering so the innermost loop runs unit-stride over both `B` and `C`
+//! rows and auto-vectorizes. Row blocks of `C` are distributed over rayon
+//! worker threads (the intra-rank analogue of the paper's OpenMP threads).
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Transpose flag for a GEMM operand.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the operand's transpose.
+    Yes,
+}
+
+/// Tile extents chosen so an (MC × KC) panel of A and a (KC × NC) panel of B
+/// fit comfortably in L2 for f64.
+const MC: usize = 64;
+const KC: usize = 256;
+
+/// Minimum number of multiply-adds before it is worth fanning out to the
+/// rayon pool; below this the dispatch overhead exceeds the work.
+const PAR_WORK_THRESHOLD: usize = 1 << 18;
+
+/// General matrix multiply over `Matrix` values: `C ← α·op(A)·op(B) + β·C`.
+///
+/// Shapes (after applying the transpose flags) must satisfy
+/// `op(A): m×k`, `op(B): k×n`, `C: m×n`; panics otherwise.
+pub fn gemm(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    let (ar, ac) = (a.rows(), a.cols());
+    let (br, bc) = (b.rows(), b.cols());
+    let (cr, cc) = (c.rows(), c.cols());
+    gemm_slice(
+        ta,
+        tb,
+        alpha,
+        a.data(),
+        ar,
+        ac,
+        b.data(),
+        br,
+        bc,
+        beta,
+        c.data_mut(),
+        cr,
+        cc,
+    );
+}
+
+/// Slice-based GEMM core: operands are row-major buffers with explicit
+/// dimensions, letting tensor kernels multiply matricized views without
+/// copying into `Matrix` values.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slice(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: &[f64],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[f64],
+    b_rows: usize,
+    b_cols: usize,
+    beta: f64,
+    c: &mut [f64],
+    c_rows: usize,
+    c_cols: usize,
+) {
+    assert_eq!(a.len(), a_rows * a_cols, "A buffer length mismatch");
+    assert_eq!(b.len(), b_rows * b_cols, "B buffer length mismatch");
+    assert_eq!(c.len(), c_rows * c_cols, "C buffer length mismatch");
+    let (m, ka) = match ta {
+        Trans::No => (a_rows, a_cols),
+        Trans::Yes => (a_cols, a_rows),
+    };
+    let (kb, n) = match tb {
+        Trans::No => (b_rows, b_cols),
+        Trans::Yes => (b_cols, b_rows),
+    };
+    assert_eq!(ka, kb, "gemm inner dimension mismatch: {ka} vs {kb}");
+    assert_eq!(c_rows, m, "gemm output row mismatch");
+    assert_eq!(c_cols, n, "gemm output col mismatch");
+    let k = ka;
+
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if beta == 0.0 {
+            c.fill(0.0);
+        } else if beta != 1.0 {
+            for x in c.iter_mut() {
+                *x *= beta;
+            }
+        }
+        return;
+    }
+
+    // Pack `op(B)` once if it is transposed, so the microkernel always
+    // streams unit-stride rows of B. For `op(A)` transposed we pack A panels
+    // on the fly (cheap relative to the k·n work per panel).
+    let b_packed: Option<Vec<f64>> = match tb {
+        Trans::No => None,
+        Trans::Yes => {
+            // b is n×k stored row-major; we need k×n.
+            let mut packed = vec![0.0; k * n];
+            for j in 0..n {
+                for l in 0..k {
+                    packed[l * n + j] = b[j * b_cols + l];
+                }
+            }
+            Some(packed)
+        }
+    };
+    let b_slice: &[f64] = match &b_packed {
+        Some(p) => p,
+        None => b,
+    };
+
+    let a_data = a;
+    let cdata = c;
+
+    let body = |row_start: usize, c_chunk: &mut [f64]| {
+        let rows_here = c_chunk.len() / c_cols;
+        // β-scale this block of C once.
+        if beta == 0.0 {
+            c_chunk.fill(0.0);
+        } else if beta != 1.0 {
+            for x in c_chunk.iter_mut() {
+                *x *= beta;
+            }
+        }
+        // Loop over K panels, then rows, with the j-loop innermost.
+        let mut kp = 0;
+        while kp < k {
+            let kend = (kp + KC).min(k);
+            let mut ip = 0;
+            while ip < rows_here {
+                let iend = (ip + MC).min(rows_here);
+                for i in ip..iend {
+                    let gi = row_start + i;
+                    let crow = &mut c_chunk[i * c_cols..(i + 1) * c_cols];
+                    for l in kp..kend {
+                        let aval = match ta {
+                            Trans::No => a_data[gi * a_cols + l],
+                            Trans::Yes => a_data[l * a_cols + gi],
+                        };
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let scaled = alpha * aval;
+                        let brow = &b_slice[l * n..(l + 1) * n];
+                        for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                            *cv += scaled * bv;
+                        }
+                    }
+                }
+                ip = iend;
+            }
+            kp = kend;
+        }
+    };
+
+    if m * n * k >= PAR_WORK_THRESHOLD && m > 1 {
+        // Split C into contiguous row chunks, one rayon task each.
+        let nthreads = rayon::current_num_threads().max(1);
+        let rows_per_chunk = m.div_ceil(nthreads).max(1);
+        cdata
+            .par_chunks_mut(rows_per_chunk * c_cols)
+            .enumerate()
+            .for_each(|(ci, chunk)| body(ci * rows_per_chunk, chunk));
+    } else {
+        body(0, cdata);
+    }
+}
+
+/// Flop count of a GEMM with the given logical dimensions (`2·m·n·k`).
+#[inline]
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * (m as u64) * (n as u64) * (k as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(ta: Trans, tb: Trans, a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k) = match ta {
+            Trans::No => (a.rows(), a.cols()),
+            Trans::Yes => (a.cols(), a.rows()),
+        };
+        let n = match tb {
+            Trans::No => b.cols(),
+            Trans::Yes => b.rows(),
+        };
+        let mut c = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    let av = match ta {
+                        Trans::No => a.get(i, l),
+                        Trans::Yes => a.get(l, i),
+                    };
+                    let bv = match tb {
+                        Trans::No => b.get(l, j),
+                        Trans::Yes => b.get(j, l),
+                    };
+                    acc += av * bv;
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    fn test_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let x = (i as u64)
+                .wrapping_mul(2654435761)
+                .wrapping_add((j as u64).wrapping_mul(40503))
+                .wrapping_add(seed);
+            ((x % 1000) as f64 - 500.0) / 250.0
+        })
+    }
+
+    #[test]
+    fn matches_naive_all_transposes() {
+        for &(ta, tb) in &[
+            (Trans::No, Trans::No),
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let (m, n, k) = (17, 13, 29);
+            let a = match ta {
+                Trans::No => test_mat(m, k, 1),
+                Trans::Yes => test_mat(k, m, 1),
+            };
+            let b = match tb {
+                Trans::No => test_mat(k, n, 2),
+                Trans::Yes => test_mat(n, k, 2),
+            };
+            let mut c = Matrix::zeros(m, n);
+            gemm(ta, tb, 1.0, &a, &b, 0.0, &mut c);
+            let want = naive(ta, tb, &a, &b);
+            assert!(
+                c.max_abs_diff(&want) < 1e-10,
+                "mismatch for {ta:?},{tb:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = test_mat(5, 7, 3);
+        let b = test_mat(7, 4, 4);
+        let mut c = test_mat(5, 4, 5);
+        let c0 = c.clone();
+        gemm(Trans::No, Trans::No, 2.0, &a, &b, 0.5, &mut c);
+        let mut want = naive(Trans::No, Trans::No, &a, &b);
+        want.scale(2.0);
+        let mut expected = c0.clone();
+        expected.scale(0.5);
+        expected.axpy(1.0, &want);
+        assert!(c.max_abs_diff(&expected) < 1e-10);
+    }
+
+    #[test]
+    fn large_parallel_path() {
+        let (m, n, k) = (150, 130, 40);
+        let a = test_mat(m, k, 7);
+        let b = test_mat(k, n, 8);
+        let mut c = Matrix::zeros(m, n);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        let want = naive(Trans::No, Trans::No, &a, &b);
+        assert!(c.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut c = Matrix::zeros(0, 2);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let mut c = Matrix::from_fn(2, 3, |_, _| 1.0);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c.data(), &[0.0; 6]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Khatri-Rao products and the Γ Hadamard chains of CP-ALS.
+
+use crate::matrix::Matrix;
+
+/// Column-wise Khatri-Rao product of a list of matrices sharing a column
+/// count `R`. Row ordering: `mats[0]`'s row index varies *slowest* — matching
+/// the row-major unfolding used by [`crate::kernels::naive::unfold`], so that
+/// `M^(n) = unfold_n(T) · khatri_rao(other factors in mode order)`.
+pub fn khatri_rao(mats: &[&Matrix]) -> Matrix {
+    assert!(!mats.is_empty(), "khatri_rao of empty list");
+    let r = mats[0].cols();
+    for m in mats {
+        assert_eq!(m.cols(), r, "khatri_rao column count mismatch");
+    }
+    let total_rows: usize = mats.iter().map(|m| m.rows()).product();
+    let mut out = Matrix::from_fn(total_rows, r, |_, _| 1.0);
+
+    // Build iteratively: out starts as all-ones 1×R (conceptually), and each
+    // matrix expands the row space. We materialize directly with an odometer.
+    let mut idx = vec![0usize; mats.len()];
+    for row in 0..total_rows {
+        let orow = out.row_mut(row);
+        for (m, &i) in mats.iter().zip(idx.iter()) {
+            let mrow = m.row(i);
+            for (o, v) in orow.iter_mut().zip(mrow.iter()) {
+                *o *= v;
+            }
+        }
+        // Odometer increment, last matrix fastest.
+        for k in (0..mats.len()).rev() {
+            idx[k] += 1;
+            if idx[k] < mats[k].rows() {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+    out
+}
+
+/// The Γ^(skip) matrix of Eq. (1): Hadamard product of all Gram matrices
+/// except `skip`. Equivalent to
+/// [`crate::matrix::hadamard_chain_skip`], re-exported here so callers find
+/// it next to the Khatri-Rao product it pairs with.
+pub fn gamma(grams: &[Matrix], skip: usize) -> Matrix {
+    crate::matrix::hadamard_chain_skip(grams, skip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn krp_two_matrices() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i * 2 + j + 1) as f64); // [[1,2],[3,4]]
+        let b = Matrix::from_fn(3, 2, |i, j| (i * 2 + j + 10) as f64);
+        let k = khatri_rao(&[&a, &b]);
+        assert_eq!(k.rows(), 6);
+        // Row (i_a=1, i_b=2): a.row(1) * b.row(2) elementwise.
+        assert_eq!(k.get(1 * 3 + 2, 0), 3.0 * 14.0);
+        assert_eq!(k.get(1 * 3 + 2, 1), 4.0 * 15.0);
+        // a's index is slowest: rows 0..3 share a.row(0).
+        assert_eq!(k.get(0, 0), 1.0 * 10.0);
+        assert_eq!(k.get(2, 0), 1.0 * 14.0);
+    }
+
+    #[test]
+    fn krp_single_matrix_is_identity_op() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let k = khatri_rao(&[&a]);
+        assert_eq!(k.data(), a.data());
+    }
+
+    #[test]
+    fn krp_three_matrices_rank1_check() {
+        // With R=1 the KRP is the Kronecker product of the single columns.
+        let a = Matrix::from_vec(2, 1, vec![2.0, 3.0]);
+        let b = Matrix::from_vec(2, 1, vec![5.0, 7.0]);
+        let c = Matrix::from_vec(2, 1, vec![11.0, 13.0]);
+        let k = khatri_rao(&[&a, &b, &c]);
+        assert_eq!(k.rows(), 8);
+        // idx (1,0,1): 3 * 5 * 13
+        assert_eq!(k.get(1 * 4 + 0 * 2 + 1, 0), 3.0 * 5.0 * 13.0);
+    }
+
+    #[test]
+    fn gamma_skips_correctly() {
+        let s1 = Matrix::from_fn(2, 2, |_, _| 2.0);
+        let s2 = Matrix::from_fn(2, 2, |_, _| 3.0);
+        let s3 = Matrix::from_fn(2, 2, |_, _| 5.0);
+        let g = gamma(&[s1, s2, s3], 2);
+        assert_eq!(g.get(1, 1), 6.0);
+    }
+}

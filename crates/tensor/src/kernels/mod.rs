@@ -1,0 +1,7 @@
+//! Contraction kernels: TTM (first-level), batched TTV (lower levels),
+//! Khatri-Rao products, and un-amortized reference MTTKRPs.
+
+pub mod krp;
+pub mod mttv;
+pub mod naive;
+pub mod ttm;

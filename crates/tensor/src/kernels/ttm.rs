@@ -1,0 +1,231 @@
+//! First-level dimension-tree contraction: tensor-times-matrix (TTM).
+//!
+//! `ttm(T, n, A)` contracts mode `n` of an order-`N` tensor with a factor
+//! matrix `A ∈ R^{s_n × R}`, producing the intermediate
+//! `𝓜^({0..N-1}\{n}) ∈ R^{s_rest × R}` of Eq. (4) with the CP rank as a
+//! trailing mode. This is the `O(s^N R)` kernel that dominates CP-ALS
+//! (Fig. 3c–f of the paper: the "TTM" bar).
+//!
+//! Layout note: contracting the *last* mode needs no data movement — the
+//! row-major tensor is already the `K × s_n` matricization. Contracting any
+//! other mode requires a transpose (vertical-communication overhead), which
+//! is what the multi-sweep dimension tree avoids by keeping permuted copies
+//! of the input tensor (paper §IV).
+
+use crate::dense::DenseTensor;
+use crate::gemm::{gemm_slice, Trans};
+use crate::matrix::Matrix;
+use crate::shape::Shape;
+use crate::transpose::move_mode_last;
+
+/// Result of a TTM together with the bookkeeping the cost ledgers need.
+pub struct TtmOutput {
+    /// `𝓜^(rest)`: shape `[s_rest..., R]`, rest modes in original order.
+    pub tensor: DenseTensor,
+    /// Flops performed (`2 · K · s_n · R`).
+    pub flops: u64,
+    /// Main-memory words moved by an explicit transpose (0 if none needed).
+    pub transpose_words: u64,
+}
+
+/// Contract mode `mode` of `t` with `factor` (`s_mode × R`).
+///
+/// Returns the intermediate with the remaining modes in their original
+/// order followed by the rank mode.
+pub fn ttm(t: &DenseTensor, mode: usize, factor: &Matrix) -> TtmOutput {
+    let n = t.order();
+    assert!(mode < n, "mode {mode} out of range for order {n}");
+    assert_eq!(
+        factor.rows(),
+        t.dim(mode),
+        "factor rows must match extent of contracted mode"
+    );
+
+    if mode == n - 1 {
+        // Zero-copy path: T is already the (K × s_mode) matricization.
+        let out = ttm_last(t, factor);
+        let k = t.len() / t.dim(mode).max(1);
+        TtmOutput {
+            tensor: out,
+            flops: 2 * (k as u64) * (t.dim(mode) as u64) * (factor.cols() as u64),
+            transpose_words: 0,
+        }
+    } else {
+        let moved = move_mode_last(t, mode);
+        let out = ttm_last(&moved, factor);
+        let k = t.len() / t.dim(mode).max(1);
+        TtmOutput {
+            tensor: out,
+            flops: 2 * (k as u64) * (t.dim(mode) as u64) * (factor.cols() as u64),
+            transpose_words: 2 * t.len() as u64,
+        }
+    }
+}
+
+/// TTM specialization for a tensor whose *last* mode is the contracted one
+/// (e.g. a pre-permuted copy kept by MSDT). No transpose is performed.
+pub fn ttm_last(t: &DenseTensor, factor: &Matrix) -> DenseTensor {
+    let n = t.order();
+    assert!(n >= 1);
+    let s_last = t.dim(n - 1);
+    assert_eq!(factor.rows(), s_last);
+    let r = factor.cols();
+    let k = t.len() / s_last.max(1);
+
+    // View t as a (K × s_last) matrix (zero-copy) and multiply by factor.
+    let mut out = vec![0.0f64; k * r];
+    gemm_slice(
+        Trans::No,
+        Trans::No,
+        1.0,
+        t.data(),
+        k,
+        s_last,
+        factor.data(),
+        s_last,
+        r,
+        0.0,
+        &mut out,
+        k,
+        r,
+    );
+
+    let mut dims: Vec<usize> = t.shape().dims()[..n - 1].to_vec();
+    dims.push(r);
+    DenseTensor::from_vec(Shape::new(dims), out)
+}
+
+/// TTM specialization for a tensor whose *first* mode is the contracted one.
+/// Uses a transposed GEMM, so — like [`ttm_last`] — it moves no data. MSDT
+/// exploits this: together with pre-permuted copies of the input, every
+/// first-level contraction hits either the first or the last mode of some
+/// stored layout (paper §IV).
+pub fn ttm_first(t: &DenseTensor, factor: &Matrix) -> DenseTensor {
+    let n = t.order();
+    assert!(n >= 1);
+    let s_first = t.dim(0);
+    assert_eq!(factor.rows(), s_first);
+    let r = factor.cols();
+    let k = t.len() / s_first.max(1);
+
+    // View t as an (s_first × K) matrix; out = tᵀ · factor.
+    let mut out = vec![0.0f64; k * r];
+    gemm_slice(
+        Trans::Yes,
+        Trans::No,
+        1.0,
+        t.data(),
+        s_first,
+        k,
+        factor.data(),
+        s_first,
+        r,
+        0.0,
+        &mut out,
+        k,
+        r,
+    );
+
+    let mut dims: Vec<usize> = t.shape().dims()[1..].to_vec();
+    dims.push(r);
+    DenseTensor::from_vec(Shape::new(dims), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(dims: Vec<usize>) -> DenseTensor {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        DenseTensor::from_vec(shape, (0..len).map(|x| (x % 17) as f64 - 8.0).collect())
+    }
+
+    fn naive_ttm(t: &DenseTensor, mode: usize, a: &Matrix) -> DenseTensor {
+        let mut dims: Vec<usize> = t
+            .shape()
+            .dims()
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != mode)
+            .map(|(_, &d)| d)
+            .collect();
+        dims.push(a.cols());
+        let out_shape = Shape::new(dims);
+        let mut out = DenseTensor::zeros(out_shape);
+        for idx in t.shape().indices() {
+            let v = t.get(&idx);
+            let y = idx[mode];
+            let mut oidx: Vec<usize> = idx
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != mode)
+                .map(|(_, &i)| i)
+                .collect();
+            oidx.push(0);
+            for r in 0..a.cols() {
+                *oidx.last_mut().unwrap() = r;
+                let cur = out.get(&oidx);
+                out.set(&oidx, cur + v * a.get(y, r));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ttm_matches_naive_each_mode() {
+        let t = seq_tensor(vec![3, 4, 5]);
+        for mode in 0..3 {
+            let a = Matrix::from_fn(t.dim(mode), 2, |i, j| (i + 2 * j) as f64 * 0.25 - 1.0);
+            let got = ttm(&t, mode, &a);
+            let want = naive_ttm(&t, mode, &a);
+            assert!(
+                got.tensor.max_abs_diff(&want) < 1e-10,
+                "ttm mismatch on mode {mode}"
+            );
+            // K · s_mode = total elements, so flops = 2 · |T| · R = 2·60·2.
+            assert_eq!(got.flops, 240);
+        }
+    }
+
+    #[test]
+    fn ttm_order4() {
+        let t = seq_tensor(vec![2, 3, 2, 4]);
+        for mode in 0..4 {
+            let a = Matrix::from_fn(t.dim(mode), 3, |i, j| ((i * 3 + j) % 5) as f64 - 2.0);
+            let got = ttm(&t, mode, &a);
+            let want = naive_ttm(&t, mode, &a);
+            assert!(got.tensor.max_abs_diff(&want) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn last_mode_needs_no_transpose() {
+        let t = seq_tensor(vec![3, 4]);
+        let a = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let got = ttm(&t, 1, &a);
+        assert_eq!(got.transpose_words, 0);
+        let got0 = ttm(&t, 0, &a.transpose().transpose().row_block(0, 3));
+        assert!(got0.transpose_words > 0);
+    }
+
+    #[test]
+    fn ttm_first_matches_general() {
+        let t = seq_tensor(vec![3, 4, 5]);
+        let a = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64 * 0.5 - 1.0);
+        let general = ttm(&t, 0, &a);
+        let fast = ttm_first(&t, &a);
+        assert!(general.tensor.max_abs_diff(&fast) < 1e-12);
+        assert_eq!(fast.shape().dims(), &[4, 5, 2]);
+    }
+
+    #[test]
+    fn ttm_last_on_prepermuted_matches_general() {
+        let t = seq_tensor(vec![3, 4, 5]);
+        let a = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64 * 0.5);
+        let general = ttm(&t, 1, &a);
+        let moved = crate::transpose::move_mode_last(&t, 1);
+        let fast = ttm_last(&moved, &a);
+        assert!(general.tensor.max_abs_diff(&fast) < 1e-12);
+    }
+}

@@ -1,0 +1,369 @@
+//! Row-major dense matrices and the small-matrix operations CP-ALS needs:
+//! Gram matrices, Hadamard products, Frobenius norms, column manipulation.
+
+use crate::gemm::{gemm, Trans};
+
+/// A dense row-major `f64` matrix.
+///
+/// Factor matrices `A^(n) ∈ R^{s_n × R}`, MTTKRP results `M^(n)`, Gram
+/// matrices `S^(n) = A^(n)ᵀ A^(n)` and Hadamard chains `Γ^(n)` are all
+/// `Matrix` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer. Panics on length mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(rows * cols, data.len(), "matrix buffer length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Overwrite column `j`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.rows);
+        for i in 0..self.rows {
+            self.set(i, j, v[i]);
+        }
+    }
+
+    /// Explicit transpose (allocates).
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(self.rows, other.cols);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            self,
+            other,
+            0.0,
+            &mut c,
+        );
+        c
+    }
+
+    /// Gram matrix `selfᵀ * self` (the `S^(n)` of the paper).
+    pub fn gram(&self) -> Matrix {
+        let mut c = Matrix::zeros(self.cols, self.cols);
+        gemm(Trans::Yes, Trans::No, 1.0, self, self, 0.0, &mut c);
+        c
+    }
+
+    /// `selfᵀ * other`.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul inner dimension mismatch");
+        let mut c = Matrix::zeros(self.cols, other.cols);
+        gemm(Trans::Yes, Trans::No, 1.0, self, other, 0.0, &mut c);
+        c
+    }
+
+    /// Element-wise (Hadamard) product, the `∗` of the paper.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place Hadamard product: `self ∗= other`.
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= b;
+        }
+    }
+
+    /// `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self -= other`, returning the difference as a new matrix is avoided:
+    /// use [`Matrix::sub`] for that.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        self.axpy(-1.0, other);
+    }
+
+    /// `self - other` as a new matrix.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.sub_assign(other);
+        out
+    }
+
+    /// Scale all entries.
+    pub fn scale(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Frobenius inner product `<self, other>`.
+    pub fn inner(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Maximum absolute entry difference.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Set everything to zero keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Vertical stack of row blocks (all must share `cols`).
+    pub fn vstack(blocks: &[&Matrix]) -> Matrix {
+        assert!(!blocks.is_empty());
+        let cols = blocks[0].cols;
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for b in blocks {
+            assert_eq!(b.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&b.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Extract the row block `[start, start+len)` as a new matrix.
+    pub fn row_block(&self, start: usize, len: usize) -> Matrix {
+        assert!(start + len <= self.rows);
+        let data = self.data[start * self.cols..(start + len) * self.cols].to_vec();
+        Matrix { rows: len, cols: self.cols, data }
+    }
+
+    /// Copy `block` into rows `[start, start+block.rows)`.
+    pub fn set_row_block(&mut self, start: usize, block: &Matrix) {
+        assert_eq!(block.cols, self.cols);
+        assert!(start + block.rows <= self.rows);
+        let dst = &mut self.data[start * self.cols..(start + block.rows) * self.cols];
+        dst.copy_from_slice(&block.data);
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_show = 6;
+        for i in 0..self.rows.min(max_show) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(max_show) {
+                write!(f, "{:10.4} ", self.get(i, j))?;
+            }
+            if self.cols > max_show {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Hadamard product of a chain of matrices, skipping index `skip`
+/// (computes `Γ^(skip)` of Eq. (1) when given all Gram matrices).
+pub fn hadamard_chain_skip(mats: &[Matrix], skip: usize) -> Matrix {
+    assert!(!mats.is_empty());
+    let (r0, c0) = (mats[0].rows(), mats[0].cols());
+    let mut out = Matrix::from_fn(r0, c0, |_, _| 1.0);
+    for (k, m) in mats.iter().enumerate() {
+        if k == skip {
+            continue;
+        }
+        out.hadamard_assign(m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let i3 = Matrix::identity(3);
+        assert_eq!(a.matmul(&i3).data(), a.data());
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let a = Matrix::from_fn(4, 3, |i, j| ((i + 1) * (j + 2)) as f64 / 7.0);
+        let g = a.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-12);
+            }
+        }
+        // g[0][0] = sum_i a[i][0]^2
+        let expect: f64 = (0..4).map(|i| a.get(i, 0) * a.get(i, 0)).sum();
+        assert!((g.get(0, 0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_fn(2, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(a.transpose().transpose().data(), a.data());
+        assert_eq!(a.transpose().get(3, 1), a.get(1, 3));
+    }
+
+    #[test]
+    fn hadamard_chain() {
+        let a = Matrix::from_fn(2, 2, |_, _| 2.0);
+        let b = Matrix::from_fn(2, 2, |_, _| 3.0);
+        let c = Matrix::from_fn(2, 2, |_, _| 5.0);
+        let g = hadamard_chain_skip(&[a, b, c], 1);
+        assert_eq!(g.get(0, 0), 10.0);
+    }
+
+    #[test]
+    fn row_blocks() {
+        let a = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64);
+        let b = a.row_block(1, 2);
+        assert_eq!(b.data(), &[2.0, 3.0, 4.0, 5.0]);
+        let mut c = Matrix::zeros(4, 2);
+        c.set_row_block(2, &b);
+        assert_eq!(c.get(2, 0), 2.0);
+        assert_eq!(c.get(3, 1), 5.0);
+    }
+
+    #[test]
+    fn vstack() {
+        let a = Matrix::from_fn(1, 2, |_, j| j as f64);
+        let b = Matrix::from_fn(2, 2, |i, j| 10.0 + (i * 2 + j) as f64);
+        let s = Matrix::vstack(&[&a, &b]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.get(1, 0), 10.0);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit() {
+        let a = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(4, 3, |i, j| (i * j) as f64 + 1.0);
+        let c1 = a.t_matmul(&b);
+        let c2 = a.transpose().matmul(&b);
+        assert!(c1.max_abs_diff(&c2) < 1e-12);
+    }
+}

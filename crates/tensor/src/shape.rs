@@ -1,0 +1,238 @@
+//! Tensor shapes, row-major strides, and multi-index arithmetic.
+//!
+//! Everything in this crate is stored row-major: for a shape
+//! `[s0, s1, ..., s(N-1)]` the last index varies fastest, and the stride of
+//! mode `k` is `s(k+1) * ... * s(N-1)`.
+
+use std::fmt;
+
+/// The shape of a dense tensor: one extent per mode.
+///
+/// A `Shape` is a thin, cheaply-clonable wrapper around a `Vec<usize>` that
+/// centralizes stride and index arithmetic so the contraction kernels cannot
+/// disagree about layout conventions.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Create a shape from per-mode extents. Extents of zero are allowed
+    /// (the tensor is then empty) but an order-0 shape denotes a scalar.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Number of modes (the tensor order `N`).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of mode `k`.
+    #[inline]
+    pub fn dim(&self, k: usize) -> usize {
+        self.0[k]
+    }
+
+    /// All extents as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar shape).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides: `stride[k] = prod(dims[k+1..])`.
+    pub fn strides(&self) -> Vec<usize> {
+        let n = self.order();
+        let mut s = vec![1usize; n];
+        for k in (0..n.saturating_sub(1)).rev() {
+            s[k] = s[k + 1] * self.0[k + 1];
+        }
+        s
+    }
+
+    /// Linearize a multi-index (row-major). Debug-asserts bounds.
+    #[inline]
+    pub fn linearize(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.order());
+        let mut lin = 0usize;
+        for (k, &i) in idx.iter().enumerate() {
+            debug_assert!(i < self.0[k], "index {i} out of bounds for mode {k}");
+            lin = lin * self.0[k] + i;
+        }
+        lin
+    }
+
+    /// Invert [`Shape::linearize`]: recover the multi-index of a flat offset.
+    pub fn delinearize(&self, mut lin: usize) -> Vec<usize> {
+        let n = self.order();
+        let mut idx = vec![0usize; n];
+        for k in (0..n).rev() {
+            let d = self.0[k];
+            idx[k] = lin % d;
+            lin /= d;
+        }
+        idx
+    }
+
+    /// Shape with mode `k` removed.
+    pub fn without_mode(&self, k: usize) -> Shape {
+        let mut d = self.0.clone();
+        d.remove(k);
+        Shape(d)
+    }
+
+    /// Shape with the given permutation applied: `out[k] = dims[perm[k]]`.
+    pub fn permuted(&self, perm: &[usize]) -> Shape {
+        debug_assert_eq!(perm.len(), self.order());
+        Shape(perm.iter().map(|&p| self.0[p]).collect())
+    }
+
+    /// Product of extents of all modes except `k`.
+    pub fn co_dim(&self, k: usize) -> usize {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != k)
+            .map(|(_, &d)| d)
+            .product()
+    }
+
+    /// Iterate all multi-indices in row-major order.
+    pub fn indices(&self) -> IndexIter {
+        IndexIter {
+            shape: self.clone(),
+            next: if self.is_empty() { None } else { Some(vec![0; self.order()]) },
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", parts.join("x"))
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+/// Row-major iterator over all multi-indices of a shape.
+pub struct IndexIter {
+    shape: Shape,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let cur = self.next.take()?;
+        // Compute the successor of `cur` in row-major order.
+        let mut succ = cur.clone();
+        let n = self.shape.order();
+        if n == 0 {
+            self.next = None;
+            return Some(cur);
+        }
+        let mut k = n;
+        loop {
+            if k == 0 {
+                self.next = None;
+                break;
+            }
+            k -= 1;
+            succ[k] += 1;
+            if succ[k] < self.shape.dim(k) {
+                self.next = Some(succ);
+                break;
+            }
+            succ[k] = 0;
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.order(), 3);
+    }
+
+    #[test]
+    fn linearize_roundtrip() {
+        let s = Shape::new(vec![3, 4, 5]);
+        for lin in 0..s.len() {
+            let idx = s.delinearize(lin);
+            assert_eq!(s.linearize(&idx), lin);
+        }
+    }
+
+    #[test]
+    fn without_mode() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.without_mode(1).dims(), &[2, 4]);
+        assert_eq!(s.co_dim(1), 8);
+    }
+
+    #[test]
+    fn permuted() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.permuted(&[2, 0, 1]).dims(), &[4, 2, 3]);
+    }
+
+    #[test]
+    fn index_iter_covers_all() {
+        let s = Shape::new(vec![2, 3]);
+        let all: Vec<Vec<usize>> = s.indices().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[5], vec![1, 2]);
+    }
+
+    #[test]
+    fn index_iter_scalar() {
+        let s = Shape::new(Vec::<usize>::new());
+        let all: Vec<Vec<usize>> = s.indices().collect();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_empty());
+    }
+
+    #[test]
+    fn empty_shape() {
+        let s = Shape::new(vec![2, 0, 3]);
+        assert!(s.is_empty());
+        assert_eq!(s.indices().count(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Blocked N-dimensional permutations (the role HPTT plays in the paper).
+//!
+//! Tensor transposes matter for two algorithms here: the PP initialization
+//! step needs them for orders ≥ 4, and MSDT needs them to contract the input
+//! tensor with a *middle*-mode factor matrix — unless a permuted copy of the
+//! input is kept, which is exactly what the paper's implementation does
+//! (§IV) and what [`crate::kernels::ttm`] supports via pre-permuted inputs.
+
+use crate::dense::DenseTensor;
+
+
+/// Permute the modes of a tensor: `out[i_{perm[0]}, ..., i_{perm[N-1]}] = t[i_0, ..., i_{N-1}]`
+/// — i.e. mode `k` of the output is mode `perm[k]` of the input.
+pub fn permute(t: &DenseTensor, perm: &[usize]) -> DenseTensor {
+    let n = t.order();
+    assert_eq!(perm.len(), n, "permutation length must equal tensor order");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n && !seen[p], "invalid permutation {perm:?}");
+        seen[p] = true;
+    }
+
+    let out_shape = t.shape().permuted(perm);
+    if n <= 1 || is_identity(perm) {
+        return DenseTensor::from_vec(out_shape, t.data().to_vec());
+    }
+
+    let in_strides = t.shape().strides();
+    // Stride in the *input* for each output mode.
+    let strides_for_out: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+    let out_dims: Vec<usize> = out_shape.dims().to_vec();
+
+    let mut out = vec![0.0f64; t.len()];
+    let src = t.data();
+
+    // Walk the output row-major; the innermost output mode reads the input
+    // with stride `strides_for_out[n-1]`. We implement an iterative odometer
+    // over the outer n-1 modes and a tight inner loop.
+    let inner_len = out_dims[n - 1];
+    let inner_stride = strides_for_out[n - 1];
+    let outer_count: usize = out_dims[..n - 1].iter().product();
+
+    let mut idx = vec![0usize; n - 1];
+    let mut src_base = 0usize;
+    let mut dst = 0usize;
+    for _ in 0..outer_count {
+        if inner_stride == 1 {
+            out[dst..dst + inner_len]
+                .copy_from_slice(&src[src_base..src_base + inner_len]);
+        } else {
+            let mut s = src_base;
+            for o in out[dst..dst + inner_len].iter_mut() {
+                *o = src[s];
+                s += inner_stride;
+            }
+        }
+        dst += inner_len;
+        // Odometer increment over the outer output modes.
+        for k in (0..n - 1).rev() {
+            idx[k] += 1;
+            src_base += strides_for_out[k];
+            if idx[k] < out_dims[k] {
+                break;
+            }
+            src_base -= strides_for_out[k] * out_dims[k];
+            idx[k] = 0;
+        }
+    }
+
+    DenseTensor::from_vec(out_shape, out)
+}
+
+/// Permutation that moves `mode` to the end, keeping the others in order.
+/// E.g. for order 4 and mode 1: `[0, 2, 3, 1]`.
+pub fn perm_mode_last(order: usize, mode: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..order).filter(|&k| k != mode).collect();
+    p.push(mode);
+    p
+}
+
+/// Permutation that moves `mode` to the front, keeping the others in order.
+pub fn perm_mode_first(order: usize, mode: usize) -> Vec<usize> {
+    let mut p = vec![mode];
+    p.extend((0..order).filter(|&k| k != mode));
+    p
+}
+
+/// Copy of the tensor with `mode` moved to the last position
+/// (the matricization layout used by the first-level TTM).
+pub fn move_mode_last(t: &DenseTensor, mode: usize) -> DenseTensor {
+    permute(t, &perm_mode_last(t.order(), mode))
+}
+
+/// Copy of the tensor with `mode` moved to the first position.
+pub fn move_mode_first(t: &DenseTensor, mode: usize) -> DenseTensor {
+    permute(t, &perm_mode_first(t.order(), mode))
+}
+
+/// Swap the first two modes of a tensor (used to obtain `𝓜p^(i,n)` from
+/// `𝓜p^(n,i)` in the PP approximated step).
+pub fn swap_first_two(t: &DenseTensor) -> DenseTensor {
+    let n = t.order();
+    assert!(n >= 2);
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.swap(0, 1);
+    permute(t, &perm)
+}
+
+fn is_identity(perm: &[usize]) -> bool {
+    perm.iter().enumerate().all(|(k, &p)| k == p)
+}
+
+/// Number of main-memory words moved by a permutation of `len` elements
+/// (read + write), for the vertical-communication ledger.
+#[inline]
+pub fn permute_mem_words(len: usize) -> u64 {
+    2 * len as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    fn seq_tensor(dims: Vec<usize>) -> DenseTensor {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        DenseTensor::from_vec(shape, (0..len).map(|x| x as f64).collect())
+    }
+
+    #[test]
+    fn permute_matches_pointwise() {
+        let t = seq_tensor(vec![2, 3, 4]);
+        let p = permute(&t, &[2, 0, 1]);
+        assert_eq!(p.shape().dims(), &[4, 2, 3]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(p.get(&[k, i, j]), t.get(&[i, j, k]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_permutation() {
+        let t = seq_tensor(vec![3, 5]);
+        let p = permute(&t, &[0, 1]);
+        assert_eq!(p.data(), t.data());
+    }
+
+    #[test]
+    fn move_mode_last_front() {
+        let t = seq_tensor(vec![2, 3, 4]);
+        let l = move_mode_last(&t, 0);
+        assert_eq!(l.shape().dims(), &[3, 4, 2]);
+        assert_eq!(l.get(&[2, 3, 1]), t.get(&[1, 2, 3]));
+        let f = move_mode_first(&t, 2);
+        assert_eq!(f.shape().dims(), &[4, 2, 3]);
+        assert_eq!(f.get(&[3, 1, 2]), t.get(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn double_permute_roundtrip() {
+        let t = seq_tensor(vec![2, 3, 4, 2]);
+        let perm = [3, 1, 0, 2];
+        let p = permute(&t, &perm);
+        // inverse permutation
+        let mut inv = vec![0usize; 4];
+        for (k, &pk) in perm.iter().enumerate() {
+            inv[pk] = k;
+        }
+        let back = permute(&p, &inv);
+        assert_eq!(back.data(), t.data());
+        assert_eq!(back.shape().dims(), t.shape().dims());
+    }
+
+    #[test]
+    fn swap_first_two_matches() {
+        let t = seq_tensor(vec![3, 4, 2]);
+        let s = swap_first_two(&t);
+        assert_eq!(s.shape().dims(), &[4, 3, 2]);
+        assert_eq!(s.get(&[1, 2, 0]), t.get(&[2, 1, 0]));
+    }
+
+    #[test]
+    fn perm_helpers() {
+        assert_eq!(perm_mode_last(4, 1), vec![0, 2, 3, 1]);
+        assert_eq!(perm_mode_first(4, 2), vec![2, 0, 1, 3]);
+    }
+}

@@ -1,0 +1,232 @@
+//! `ppcp` — command-line CP decomposition driver.
+//!
+//! ```text
+//! ppcp --dataset <lowrank|collinearity|chemistry|coil|timelapse>
+//!      --method  <dt|msdt|pp|nncp>          (default msdt)
+//!      --rank    <R>                        (default 16)
+//!      --sweeps  <max>                      (default 100)
+//!      --tol     <Δ>                        (default 1e-5)
+//!      --pp-tol  <ε>                        (default 0.1)
+//!      --ranks   <P>                        (default 1; >1 runs the
+//!                                            simulated distributed runtime)
+//!      --seed    <u64>                      (default 42)
+//!      --trace                              (print the fitness trace)
+//! ```
+//!
+//! Examples:
+//! ```text
+//! cargo run --release --bin ppcp -- --dataset chemistry --method pp --rank 24
+//! cargo run --release --bin ppcp -- --dataset collinearity --method msdt --ranks 8
+//! ```
+
+use parallel_pp::comm::Runtime;
+use parallel_pp::core::par_als::par_cp_als;
+use parallel_pp::core::par_pp::par_pp_cp_als;
+use parallel_pp::core::{cp_als, nn_cp_als, pp_cp_als, AlsConfig, SweepKind};
+use parallel_pp::datagen::chemistry::{density_fitting_tensor, ChemistryConfig};
+use parallel_pp::datagen::coil::{coil_tensor, CoilConfig};
+use parallel_pp::datagen::collinearity::{collinearity_tensor, CollinearityConfig};
+use parallel_pp::datagen::lowrank::noisy_rank;
+use parallel_pp::datagen::timelapse::{timelapse_tensor, TimelapseConfig};
+use parallel_pp::dtree::TreePolicy;
+use parallel_pp::grid::{DistTensor, ProcGrid};
+use parallel_pp::tensor::DenseTensor;
+use std::sync::Arc;
+
+struct Args {
+    dataset: String,
+    method: String,
+    rank: usize,
+    sweeps: usize,
+    tol: f64,
+    pp_tol: f64,
+    ranks: usize,
+    seed: u64,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dataset: "lowrank".into(),
+        method: "msdt".into(),
+        rank: 16,
+        sweeps: 100,
+        tol: 1e-5,
+        pp_tol: 0.1,
+        ranks: 1,
+        seed: 42,
+        trace: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        match key {
+            "--dataset" => args.dataset = take(&mut i)?,
+            "--method" => args.method = take(&mut i)?,
+            "--rank" => args.rank = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--sweeps" => args.sweeps = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--tol" => args.tol = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--pp-tol" => args.pp_tol = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--ranks" => args.ranks = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--trace" => args.trace = true,
+            "--help" | "-h" => {
+                println!("see module docs: ppcp --dataset <name> --method <dt|msdt|pp|nncp> ...");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn make_tensor(args: &Args) -> DenseTensor {
+    match args.dataset.as_str() {
+        "lowrank" => noisy_rank(&[60, 60, 60], args.rank.max(4), 0.05, args.seed),
+        "collinearity" => {
+            let cfg = CollinearityConfig {
+                s: 80,
+                r: args.rank.max(4),
+                order: 3,
+                lo: 0.6,
+                hi: 0.8,
+            };
+            collinearity_tensor(&cfg, args.seed).0
+        }
+        "chemistry" => density_fitting_tensor(
+            &ChemistryConfig { n_orb: 40, n_aux: 640, ..ChemistryConfig::default() },
+            args.seed,
+        ),
+        "coil" => coil_tensor(&CoilConfig { size: 32, objects: 6, poses: 24 }),
+        "timelapse" => timelapse_tensor(
+            &TimelapseConfig {
+                height: 48,
+                width: 64,
+                bands: 33,
+                times: 9,
+                materials: 12,
+                noise: 5e-3,
+            },
+            args.seed,
+        ),
+        other => {
+            eprintln!("unknown dataset '{other}' (lowrank|collinearity|chemistry|coil|timelapse)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn grid_for(t: &DenseTensor, p: usize) -> ProcGrid {
+    // Greedy near-balanced factorization of P over the tensor modes,
+    // preferring to split the largest remaining mode extents.
+    let n = t.order();
+    let mut dims = vec![1usize; n];
+    let mut rem = p;
+    let mut f = 2;
+    let mut factors = Vec::new();
+    while rem > 1 {
+        while rem % f == 0 {
+            factors.push(f);
+            rem /= f;
+        }
+        f += 1;
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        // Assign to the mode with the largest extent-per-current-split.
+        let k = (0..n)
+            .max_by(|&a, &b| {
+                let ra = t.dim(a) / dims[a];
+                let rb = t.dim(b) / dims[b];
+                ra.cmp(&rb)
+            })
+            .unwrap();
+        dims[k] *= f;
+    }
+    ProcGrid::new(dims)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let t = make_tensor(&args);
+    println!(
+        "dataset {} → tensor {} ({} elements), method {}, R={}, P={}",
+        args.dataset,
+        t.shape(),
+        t.len(),
+        args.method,
+        args.rank,
+        args.ranks
+    );
+
+    let cfg = AlsConfig::new(args.rank)
+        .with_max_sweeps(args.sweeps)
+        .with_tol(args.tol)
+        .with_pp_tol(args.pp_tol)
+        .with_seed(args.seed)
+        .with_policy(match args.method.as_str() {
+            "dt" => TreePolicy::Standard,
+            _ => TreePolicy::MultiSweep,
+        });
+
+    let report = if args.ranks > 1 {
+        let grid = grid_for(&t, args.ranks);
+        println!("processor grid: {:?}", grid.dims());
+        let t = Arc::new(t);
+        let method = args.method.clone();
+        let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
+        let out = Runtime::new(args.ranks).run(move |ctx| {
+            let local = DistTensor::from_global(&t2, &g2, ctx.rank());
+            match method.as_str() {
+                "pp" => par_pp_cp_als(ctx, &g2, &local, &c2).report,
+                "nncp" => {
+                    eprintln!("nncp is sequential-only; running dt instead");
+                    par_cp_als(ctx, &g2, &local, &c2).report
+                }
+                _ => par_cp_als(ctx, &g2, &local, &c2).report,
+            }
+        });
+        out.results.into_iter().next().unwrap()
+    } else {
+        match args.method.as_str() {
+            "pp" => pp_cp_als(&t, &cfg).report,
+            "nncp" => nn_cp_als(&t, &cfg).report,
+            _ => cp_als(&t, &cfg).report,
+        }
+    };
+
+    println!(
+        "finished: {} sweeps ({} exact, {} PP-init, {} PP-approx), fitness {:.5}, {:.2}s total{}",
+        report.sweeps.len(),
+        report.count(SweepKind::Exact),
+        report.count(SweepKind::PpInit),
+        report.count(SweepKind::PpApprox),
+        report.final_fitness,
+        report.total_secs(),
+        if report.converged { " (converged)" } else { " (sweep limit)" },
+    );
+    if args.trace {
+        for s in &report.sweeps {
+            println!(
+                "  {:9} t={:8.3}s fitness={:.6}",
+                s.kind.label(),
+                s.cumulative_secs,
+                s.fitness
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Cross-crate integration tests: sequential vs parallel equivalence,
+//! PP accuracy on realistic workloads, and planted-factor recovery.
+
+use parallel_pp::comm::Runtime;
+use parallel_pp::core::par_als::par_cp_als;
+use parallel_pp::core::par_pp::par_pp_cp_als;
+use parallel_pp::core::planc::planc_cp_als;
+use parallel_pp::core::{cp_als, pp_cp_als, AlsConfig, SweepKind};
+use parallel_pp::datagen::chemistry::{density_fitting_tensor, ChemistryConfig};
+use parallel_pp::datagen::coil::{coil_tensor, CoilConfig};
+use parallel_pp::datagen::collinearity::{collinearity_tensor, CollinearityConfig};
+use parallel_pp::datagen::lowrank::noisy_rank;
+use parallel_pp::datagen::timelapse::{timelapse_tensor, TimelapseConfig};
+use parallel_pp::dtree::TreePolicy;
+use parallel_pp::grid::{DistTensor, ProcGrid};
+use std::sync::Arc;
+
+#[test]
+fn all_four_parallel_drivers_agree_on_one_workload() {
+    // One tensor, four drivers (DT, MSDT, PLANC, PP) on a 2x2x1 grid: the
+    // exact drivers must agree with each other sweep-by-sweep; PP must end
+    // within approximation distance.
+    let (t, _, _) = collinearity_tensor(
+        &CollinearityConfig { s: 12, r: 3, order: 3, lo: 0.4, hi: 0.6 },
+        21,
+    );
+    let t = Arc::new(t);
+    let grid = ProcGrid::new(vec![2, 2, 1]);
+    let cfg = AlsConfig::new(3).with_max_sweeps(12).with_tol(0.0).with_pp_tol(0.3);
+
+    let run = |which: usize| {
+        let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
+        let out = Runtime::new(4).run(move |ctx| {
+            let local = DistTensor::from_global(&t2, &g2, ctx.rank());
+            match which {
+                0 => par_cp_als(ctx, &g2, &local, &c2).report,
+                1 => {
+                    let c = c2.clone().with_policy(TreePolicy::MultiSweep);
+                    par_cp_als(ctx, &g2, &local, &c).report
+                }
+                2 => planc_cp_als(ctx, &g2, &local, &c2).report,
+                _ => {
+                    let c = c2.clone().with_policy(TreePolicy::MultiSweep);
+                    par_pp_cp_als(ctx, &g2, &local, &c).report
+                }
+            }
+        });
+        out.results.into_iter().next().unwrap()
+    };
+
+    let dt = run(0);
+    let msdt = run(1);
+    let planc = run(2);
+    let pp = run(3);
+
+    for ((a, b), c) in dt.sweeps.iter().zip(msdt.sweeps.iter()).zip(planc.sweeps.iter()) {
+        assert!((a.fitness - b.fitness).abs() < 1e-8, "DT vs MSDT");
+        assert!((a.fitness - c.fitness).abs() < 1e-8, "DT vs PLANC");
+    }
+    assert!(
+        (pp.final_fitness - dt.final_fitness).abs() < 0.05,
+        "PP {} vs DT {}",
+        pp.final_fitness,
+        dt.final_fitness
+    );
+}
+
+#[test]
+fn parallel_pp_chemistry_matches_sequential() {
+    let t = Arc::new(density_fitting_tensor(
+        &ChemistryConfig { n_orb: 10, n_aux: 40, ..ChemistryConfig::default() },
+        5,
+    ));
+    let cfg = AlsConfig::new(4)
+        .with_policy(TreePolicy::MultiSweep)
+        .with_max_sweeps(25)
+        .with_tol(1e-9)
+        .with_pp_tol(0.15);
+
+    let seq = pp_cp_als(&t, &cfg);
+    let grid = ProcGrid::new(vec![2, 2, 1]);
+    let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
+    let out = Runtime::new(4).run(move |ctx| {
+        let local = DistTensor::from_global(&t2, &g2, ctx.rank());
+        par_pp_cp_als(ctx, &g2, &local, &c2).report
+    });
+    let par = &out.results[0];
+    assert!(
+        (seq.report.final_fitness - par.final_fitness).abs() < 1e-4,
+        "seq {} vs par {}",
+        seq.report.final_fitness,
+        par.final_fitness
+    );
+}
+
+#[test]
+fn coil_and_timelapse_decompose_sanely() {
+    let coil = coil_tensor(&CoilConfig { size: 12, objects: 3, poses: 8 });
+    let cfg = AlsConfig::new(6).with_max_sweeps(30).with_tol(1e-6);
+    let out = cp_als(&coil, &cfg);
+    assert!(out.report.final_fitness > 0.5, "COIL fitness {}", out.report.final_fitness);
+
+    let tl = timelapse_tensor(
+        &TimelapseConfig { height: 10, width: 12, bands: 8, times: 5, materials: 4, noise: 1e-3 },
+        3,
+    );
+    let out = cp_als(&tl, &AlsConfig::new(5).with_max_sweeps(40).with_tol(1e-7));
+    assert!(out.report.final_fitness > 0.95, "timelapse fitness {}", out.report.final_fitness);
+}
+
+#[test]
+fn pp_speedup_appears_on_slow_converging_tensor() {
+    // High collinearity → many sweeps → most of them PP-approx.
+    let (t, _, _) = collinearity_tensor(
+        &CollinearityConfig { s: 30, r: 6, order: 3, lo: 0.6, hi: 0.8 },
+        9,
+    );
+    let cfg = AlsConfig::new(6)
+        .with_policy(TreePolicy::MultiSweep)
+        .with_max_sweeps(100)
+        .with_tol(1e-7)
+        .with_pp_tol(0.2);
+    let out = pp_cp_als(&t, &cfg);
+    let approx = out.report.count(SweepKind::PpApprox);
+    let exact = out.report.count(SweepKind::Exact);
+    assert!(
+        approx >= exact,
+        "expected PP sweeps to dominate: {approx} approx vs {exact} exact"
+    );
+}
+
+#[test]
+fn grid_larger_than_mode_extent() {
+    // Mode 0 has extent 3 on a grid extent of 4: one slice owns no real
+    // rows at all — everything must still match the sequential run.
+    let t = Arc::new(noisy_rank(&[3, 8, 8], 2, 0.1, 41));
+    let cfg = AlsConfig::new(2).with_max_sweeps(5).with_tol(0.0);
+    let seq = cp_als(&t, &cfg);
+    let grid = ProcGrid::new(vec![4, 1, 2]);
+    let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
+    let out = Runtime::new(8).run(move |ctx| {
+        let local = DistTensor::from_global(&t2, &g2, ctx.rank());
+        par_cp_als(ctx, &g2, &local, &c2).report
+    });
+    for (a, b) in seq.report.sweeps.iter().zip(out.results[0].sweeps.iter()) {
+        assert!(
+            (a.fitness - b.fitness).abs() < 1e-8,
+            "seq {} vs par {}",
+            a.fitness,
+            b.fitness
+        );
+    }
+}
+
+#[test]
+fn rank_one_decomposition_works() {
+    // Degenerate CP rank R = 1 end to end.
+    let (t, _) = parallel_pp::datagen::lowrank::exact_rank(&[6, 5, 7], 1, 13);
+    let out = cp_als(&t, &AlsConfig::new(1).with_max_sweeps(60).with_tol(1e-10));
+    assert!(out.report.final_fitness > 0.999, "fitness {}", out.report.final_fitness);
+}
+
+#[test]
+fn order4_parallel_grid_with_padding() {
+    // Odd sizes on an uneven grid exercise every padding path at order 4.
+    let t = Arc::new(noisy_rank(&[5, 7, 6, 5], 3, 0.1, 31));
+    let cfg = AlsConfig::new(3).with_max_sweeps(6).with_tol(0.0);
+    let seq = cp_als(&t, &cfg);
+    let grid = ProcGrid::new(vec![2, 2, 2, 1]);
+    let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
+    let out = Runtime::new(8).run(move |ctx| {
+        let local = DistTensor::from_global(&t2, &g2, ctx.rank());
+        par_cp_als(ctx, &g2, &local, &c2).report
+    });
+    for (a, b) in seq.report.sweeps.iter().zip(out.results[0].sweeps.iter()) {
+        assert!((a.fitness - b.fitness).abs() < 1e-8);
+    }
+}
