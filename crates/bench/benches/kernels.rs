@@ -22,9 +22,7 @@ fn bench_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels");
     g.sample_size(10);
 
-    g.bench_function("ttm_last_mode", |b| {
-        b.iter(|| black_box(ttm_last(&t, &a)))
-    });
+    g.bench_function("ttm_last_mode", |b| b.iter(|| black_box(ttm_last(&t, &a))));
     g.bench_function("ttm_middle_mode_with_transpose", |b| {
         b.iter(|| black_box(ttm(&t, 1, &a).tensor))
     });

@@ -9,7 +9,14 @@ use pp_tensor::kernels::naive::mttkrp as naive_mttkrp;
 use pp_tensor::rng::{seeded, uniform_matrix, uniform_tensor};
 use std::hint::black_box;
 
-fn sweep(engine: &mut DimTreeEngine, input: &mut InputTensor, fs: &mut FactorState, dims: &[usize], r: usize, rng: &mut impl rand::Rng) {
+fn sweep(
+    engine: &mut DimTreeEngine,
+    input: &mut InputTensor,
+    fs: &mut FactorState,
+    dims: &[usize],
+    r: usize,
+    rng: &mut impl rand::Rng,
+) {
     for n in 0..dims.len() {
         let m = engine.mttkrp(input, fs, n);
         black_box(&m);
@@ -22,7 +29,10 @@ fn bench_trees(c: &mut Criterion) {
     let r = 32;
     let mut rng = seeded(3);
     let t = uniform_tensor(&dims, &mut rng);
-    let factors: Vec<_> = dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+    let factors: Vec<_> = dims
+        .iter()
+        .map(|&d| uniform_matrix(d, r, &mut rng))
+        .collect();
 
     let mut g = c.benchmark_group("seq_trees_per_sweep");
     g.sample_size(10);
@@ -81,7 +91,10 @@ fn bench_pp_tree_memory(c: &mut Criterion) {
     let r = 16;
     let mut rng = seeded(5);
     let t = uniform_tensor(&dims, &mut rng);
-    let factors: Vec<_> = dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+    let factors: Vec<_> = dims
+        .iter()
+        .map(|&d| uniform_matrix(d, r, &mut rng))
+        .collect();
 
     let mut g = c.benchmark_group("pp_tree_build");
     g.sample_size(10);

@@ -26,7 +26,9 @@ fn run_variant(variant: PpVariant) -> (f64, f64) {
 fn bench_table2(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_pp_vs_ref");
     g.sample_size(10);
-    g.bench_function("pp_ours", |b| b.iter(|| black_box(run_variant(PpVariant::Ours))));
+    g.bench_function("pp_ours", |b| {
+        b.iter(|| black_box(run_variant(PpVariant::Ours)))
+    });
     g.bench_function("pp_reference", |b| {
         b.iter(|| black_box(run_variant(PpVariant::Reference)))
     });

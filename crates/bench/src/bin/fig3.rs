@@ -15,7 +15,10 @@ use pp_bench::{
 use pp_comm::CostModel;
 
 fn grid_name(g: &[usize]) -> String {
-    g.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+    g.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
 }
 
 fn weak_scaling(
@@ -66,7 +69,10 @@ fn weak_scaling(
 }
 
 fn breakdown(title: &str, grid: &[usize], s_local: usize, rank: usize, sweeps: usize) {
-    println!("\n== {title}: per-sweep kernel breakdown (grid {}) ==", grid_name(grid));
+    println!(
+        "\n== {title}: per-sweep kernel breakdown (grid {}) ==",
+        grid_name(grid)
+    );
     println!(
         "{:12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "method", "TTM", "mTTV", "hadamard", "solve", "others", "total"

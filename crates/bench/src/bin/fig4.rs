@@ -30,7 +30,11 @@ fn quartiles(v: &mut [f64]) -> (f64, f64, f64) {
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let (s, r, seeds, max_sweeps) = if full { (160, 32, 5, 300) } else { (100, 20, 3, 200) };
+    let (s, r, seeds, max_sweeps) = if full {
+        (160, 32, 5, 300)
+    } else {
+        (100, 20, 3, 200)
+    };
     let pp_tol = 0.2; // paper's setting for this experiment
     let buckets = [(0.0, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (0.8, 1.0)];
 
@@ -49,7 +53,13 @@ fn main() {
             n_approx: vec![],
         };
         for seed in 0..seeds {
-            let ccfg = CollinearityConfig { s, r, order: 3, lo, hi };
+            let ccfg = CollinearityConfig {
+                s,
+                r,
+                order: 3,
+                lo,
+                hi,
+            };
             let (t, _, _) = collinearity_tensor(&ccfg, 1000 + seed);
             let base = AlsConfig::new(r)
                 .with_tol(1e-5)
@@ -61,7 +71,8 @@ fn main() {
             let msdt = cp_als(&t, &base.clone().with_policy(TreePolicy::MultiSweep));
             let pp = pp_cp_als(&t, &base.clone().with_policy(TreePolicy::MultiSweep));
 
-            res.speedups_pp.push(dt.report.total_secs() / pp.report.total_secs());
+            res.speedups_pp
+                .push(dt.report.total_secs() / pp.report.total_secs());
             res.speedups_msdt
                 .push(dt.report.total_secs() / msdt.report.total_secs());
             res.n_als.push(pp.report.count(SweepKind::Exact));
@@ -78,7 +89,9 @@ fn main() {
             avg(&res.n_approx),
         );
     }
-    println!("\n(Table III analogue: the three rightmost columns are mean sweep counts\n\
+    println!(
+        "\n(Table III analogue: the three rightmost columns are mean sweep counts\n\
               of the PP runs per bucket — PP-approx sweeps concentrate in the\n\
-              mid/high-collinearity buckets, as in the paper.)");
+              mid/high-collinearity buckets, as in the paper.)"
+    );
 }

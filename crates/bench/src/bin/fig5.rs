@@ -15,10 +15,7 @@ use pp_dtree::TreePolicy;
 use pp_tensor::DenseTensor;
 
 fn run_all(name: &str, t: &DenseTensor, rank: usize, max_sweeps: usize, pp_tol: f64) {
-    println!(
-        "\n== {name}: shape {}, R={rank} ==",
-        t.shape()
-    );
+    println!("\n== {name}: shape {}, R={rank} ==", t.shape());
     let base = AlsConfig::new(rank)
         .with_tol(1e-5)
         .with_max_sweeps(max_sweeps)
@@ -117,7 +114,11 @@ fn main() {
     }
 
     if which == "coil" || which == "all" {
-        let cc = CoilConfig { size: 32 * scale, objects: 5 * scale, poses: 24 };
+        let cc = CoilConfig {
+            size: 32 * scale,
+            objects: 5 * scale,
+            poses: 24,
+        };
         let t = coil_tensor(&cc);
         run_all("Fig. 5e COIL-like", &t, 20, 80, 0.1);
     }

@@ -15,7 +15,10 @@ use std::sync::Arc;
 fn grid_name(g: &[usize]) -> String {
     format!(
         "{}({}D)",
-        g.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+        g.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x"),
         g.len()
     )
 }
@@ -45,12 +48,7 @@ fn measure(grid_dims: &[usize], s_local: usize, rank: usize, variant: PpVariant)
 fn main() {
     // Grid ladder restricted to the machine's parallelism; same shape as
     // the paper's Table II (four 3-D + four 4-D configurations).
-    let grids3: Vec<Vec<usize>> = vec![
-        vec![1, 2, 2],
-        vec![2, 2, 2],
-        vec![2, 2, 4],
-        vec![2, 4, 2],
-    ];
+    let grids3: Vec<Vec<usize>> = vec![vec![1, 2, 2], vec![2, 2, 2], vec![2, 2, 4], vec![2, 4, 2]];
     let grids4: Vec<Vec<usize>> = vec![
         vec![1, 1, 2, 2],
         vec![1, 2, 2, 2],

@@ -114,10 +114,18 @@ pub fn measure_per_sweep(
                 }
                 ctx.comm.barrier();
                 let secs = t0.elapsed().as_secs_f64() / c2.max_sweeps as f64;
-                (secs, st.engine.take_stats().scaled(1.0 / c2.max_sweeps as f64))
+                (
+                    secs,
+                    st.engine.take_stats().scaled(1.0 / c2.max_sweeps as f64),
+                )
             });
             let (secs, stats) = out.results.into_iter().next().unwrap();
-            SweepMeasurement { method, grid: grid_dims.to_vec(), secs, stats }
+            SweepMeasurement {
+                method,
+                grid: grid_dims.to_vec(),
+                secs,
+                stats,
+            }
         }
         Fig3Method::PpInit | Fig3Method::PpApprox => {
             let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());

@@ -225,7 +225,11 @@ impl Communicator {
 
     /// Broadcast `v` from `root` to every rank.
     pub fn broadcast(&self, root: usize, v: &[f64]) -> Vec<f64> {
-        let payload: Vec<f64> = if self.rank == root { v.to_vec() } else { Vec::new() };
+        let payload: Vec<f64> = if self.rank == root {
+            v.to_vec()
+        } else {
+            Vec::new()
+        };
         let res = self.state.exchange(self.rank, Box::new(payload));
         let data = slice_of(&res[root]).to_vec();
         self.ledger.charge_messages(self.log_p());
@@ -254,7 +258,11 @@ impl Communicator {
         if self.rank == root {
             assert_eq!(chunks.len(), self.size, "one chunk per rank required");
         }
-        let payload: Vec<Vec<f64>> = if self.rank == root { chunks } else { Vec::new() };
+        let payload: Vec<Vec<f64>> = if self.rank == root {
+            chunks
+        } else {
+            Vec::new()
+        };
         let res = self.state.exchange(self.rank, Box::new(payload));
         let all: &Vec<Vec<f64>> = res[root]
             .downcast_ref()
@@ -308,9 +316,7 @@ impl Communicator {
         let mut out = Vec::with_capacity(self.size);
         let mut received = 0usize;
         for r in res.iter() {
-            let all: &Vec<Vec<f64>> = r
-                .downcast_ref()
-                .expect("all_to_all deposit type mismatch");
+            let all: &Vec<Vec<f64>> = r.downcast_ref().expect("all_to_all deposit type mismatch");
             received += all[self.rank].len();
             out.push(all[self.rank].clone());
         }
@@ -452,7 +458,11 @@ mod tests {
     #[test]
     fn broadcast_from_root() {
         let out = run_ranks(4, |c| {
-            let v = if c.rank() == 2 { vec![7.0, 8.0] } else { vec![] };
+            let v = if c.rank() == 2 {
+                vec![7.0, 8.0]
+            } else {
+                vec![]
+            };
             c.broadcast(2, &v)
         });
         for o in out {
@@ -514,7 +524,11 @@ mod tests {
     #[test]
     fn sendrecv_with_silent_ranks() {
         let out = run_ranks(3, |c| {
-            let msg = if c.rank() == 0 { Some((2, vec![5.0])) } else { None };
+            let msg = if c.rank() == 0 {
+                Some((2, vec![5.0]))
+            } else {
+                None
+            };
             (c.rank(), c.sendrecv_round(msg))
         });
         for (rank, got) in out {

@@ -189,8 +189,18 @@ mod tests {
 
     #[test]
     fn report_combines_max_and_sum() {
-        let a = CostCounters { messages: 1, comm_words: 10, flops: 100, mem_words: 5 };
-        let b = CostCounters { messages: 4, comm_words: 2, flops: 50, mem_words: 9 };
+        let a = CostCounters {
+            messages: 1,
+            comm_words: 10,
+            flops: 100,
+            mem_words: 5,
+        };
+        let b = CostCounters {
+            messages: 4,
+            comm_words: 2,
+            flops: 50,
+            mem_words: 9,
+        };
         let r = CostReport::from_ranks(&[a, b]);
         assert_eq!(r.critical.messages, 4);
         assert_eq!(r.critical.comm_words, 10);
@@ -199,8 +209,18 @@ mod tests {
 
     #[test]
     fn model_time_is_linear() {
-        let m = CostModel { alpha: 1.0, beta: 0.1, gamma: 0.01, nu: 0.001 };
-        let c = CostCounters { messages: 2, comm_words: 10, flops: 100, mem_words: 1000 };
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 0.1,
+            gamma: 0.01,
+            nu: 0.001,
+        };
+        let c = CostCounters {
+            messages: 2,
+            comm_words: 10,
+            flops: 100,
+            mem_words: 1000,
+        };
         assert!((m.time(&c) - (2.0 + 1.0 + 1.0 + 1.0)).abs() < 1e-12);
     }
 

@@ -92,7 +92,11 @@ impl Runtime {
             costs.push(c);
         }
         let report = CostReport::from_ranks(&costs);
-        RunOutput { results, costs, report }
+        RunOutput {
+            results,
+            costs,
+            report,
+        }
     }
 }
 

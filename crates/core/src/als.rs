@@ -15,7 +15,9 @@ use std::time::Instant;
 /// Initialize factor matrices as uniform `[0,1)` random (Alg. 1 line 2).
 pub fn init_factors(dims: &[usize], rank: usize, seed: u64) -> Vec<Matrix> {
     let mut rng = seeded(seed);
-    dims.iter().map(|&d| uniform_matrix(d, rank, &mut rng)).collect()
+    dims.iter()
+        .map(|&d| uniform_matrix(d, rank, &mut rng))
+        .collect()
 }
 
 /// Run CP-ALS on a dense tensor. Returns the factors and the trace.
@@ -101,7 +103,10 @@ pub fn cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) -> 
     report.stats = engine.take_stats();
     report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
     report.converged = converged;
-    AlsOutput { factors: fs.factors().to_vec(), report }
+    AlsOutput {
+        factors: fs.factors().to_vec(),
+        report,
+    }
 }
 
 #[cfg(test)]

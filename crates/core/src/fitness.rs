@@ -50,8 +50,10 @@ mod tests {
         let dims = [5, 4, 6];
         let mut rng = seeded(3);
         let t = uniform_tensor(&dims, &mut rng);
-        let factors: Vec<Matrix> =
-            dims.iter().map(|&d| uniform_matrix(d, 3, &mut rng)).collect();
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| uniform_matrix(d, 3, &mut rng))
+            .collect();
         let grams: Vec<Matrix> = factors.iter().map(|f| f.gram()).collect();
         let last = dims.len() - 1;
         let g = gamma(&grams, last);
@@ -65,8 +67,10 @@ mod tests {
     fn zero_residual_for_exact_model() {
         let dims = [4, 3, 5];
         let mut rng = seeded(9);
-        let factors: Vec<Matrix> =
-            dims.iter().map(|&d| uniform_matrix(d, 2, &mut rng)).collect();
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| uniform_matrix(d, 2, &mut rng))
+            .collect();
         let t = reconstruct(&factors);
         let grams: Vec<Matrix> = factors.iter().map(|f| f.gram()).collect();
         let last = 2;

@@ -84,7 +84,10 @@ fn orthonormalize_or_pad(
                 }
             }
         }
-        let mut norm: f64 = (0..rows).map(|i| q.get(i, j) * q.get(i, j)).sum::<f64>().sqrt();
+        let mut norm: f64 = (0..rows)
+            .map(|i| q.get(i, j) * q.get(i, j))
+            .sum::<f64>()
+            .sqrt();
         if norm < 1e-10 {
             // Degenerate column: re-draw random and re-orthogonalize once.
             let fresh = orthonormal_cols(rows, 1, rng);
@@ -98,7 +101,10 @@ fn orthonormalize_or_pad(
                     q.set(i, j, v);
                 }
             }
-            norm = (0..rows).map(|i| q.get(i, j) * q.get(i, j)).sum::<f64>().sqrt();
+            norm = (0..rows)
+                .map(|i| q.get(i, j) * q.get(i, j))
+                .sum::<f64>()
+                .sqrt();
             replaced += 1;
         }
         for i in 0..rows {
@@ -120,7 +126,11 @@ mod tests {
     #[test]
     fn all_strategies_produce_right_shapes() {
         let t = noisy_rank(&[8, 7, 9], 3, 0.1, 3);
-        for s in [InitStrategy::Uniform, InitStrategy::Gaussian, InitStrategy::SketchedRange] {
+        for s in [
+            InitStrategy::Uniform,
+            InitStrategy::Gaussian,
+            InitStrategy::SketchedRange,
+        ] {
             let f = init_factors_with(&t, 3, 1, s);
             assert_eq!(f.len(), 3);
             assert_eq!(f[0].rows(), 8);

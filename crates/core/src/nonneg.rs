@@ -130,7 +130,10 @@ pub fn nn_cp_als(t: &DenseTensor, cfg: &AlsConfig) -> AlsOutput {
     report.stats = engine.take_stats();
     report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
     report.converged = converged;
-    AlsOutput { factors: fs.factors().to_vec(), report }
+    AlsOutput {
+        factors: fs.factors().to_vec(),
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -141,8 +144,10 @@ mod tests {
     fn nonneg_tensor(dims: &[usize], r: usize, seed: u64) -> DenseTensor {
         // Product of nonnegative factors is nonnegative.
         let mut rng = seeded(seed);
-        let factors: Vec<Matrix> =
-            dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| uniform_matrix(d, r, &mut rng))
+            .collect();
         reconstruct(&factors)
     }
 
@@ -159,7 +164,11 @@ mod tests {
     fn hals_fits_nonnegative_low_rank_tensor() {
         let t = nonneg_tensor(&[10, 9, 8], 3, 7);
         let out = nn_cp_als(&t, &AlsConfig::new(3).with_max_sweeps(120).with_tol(1e-10));
-        assert!(out.report.final_fitness > 0.98, "fitness {}", out.report.final_fitness);
+        assert!(
+            out.report.final_fitness > 0.98,
+            "fitness {}",
+            out.report.final_fitness
+        );
     }
 
     #[test]

@@ -47,7 +47,9 @@ impl ParState {
         assert_eq!(local.global_shape().order(), n_modes);
         let coords = grid.coords_of(ctx.rank());
 
-        let slices: Vec<_> = (0..n_modes).map(|i| grid.slice_comm(&ctx.comm, i)).collect();
+        let slices: Vec<_> = (0..n_modes)
+            .map(|i| grid.slice_comm(&ctx.comm, i))
+            .collect();
         let layouts: Vec<FactorLayout> = (0..n_modes)
             .map(|i| FactorLayout::new(local.global_shape().dim(i), grid, i, cfg.rank))
             .collect();
@@ -64,8 +66,7 @@ impl ParState {
             ));
         }
 
-        let fs_local =
-            FactorState::new(dist_factors.iter().map(|f| f.p().clone()).collect());
+        let fs_local = FactorState::new(dist_factors.iter().map(|f| f.p().clone()).collect());
         let grams: Vec<Matrix> = dist_factors
             .iter()
             .map(|f| f.gram_allreduce(&ctx.comm))

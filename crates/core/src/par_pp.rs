@@ -49,10 +49,9 @@ fn drift(ctx: &mut RankCtx, st: &ParState, q_p: &[Matrix]) -> Vec<f64> {
     (0..st.n_modes())
         .map(|i| {
             let dq = st.dist_factors[i].q().sub(&q_p[i]);
-            let num_den = ctx.comm.all_reduce_sum(&[
-                dq.norm_sq(),
-                st.dist_factors[i].q().norm_sq(),
-            ]);
+            let num_den = ctx
+                .comm
+                .all_reduce_sum(&[dq.norm_sq(), st.dist_factors[i].q().norm_sq()]);
             (num_den[0].sqrt()) / num_den[1].sqrt().max(1e-300)
         })
         .collect()
@@ -108,8 +107,7 @@ pub fn par_pp_cp_als(
                 let mut last: Option<(Matrix, Matrix)> = None;
                 for n in 0..n_modes {
                     let h0 = Instant::now();
-                    let gamma =
-                        pp_tensor::matrix::hadamard_chain_skip(&st.grams, n);
+                    let gamma = pp_tensor::matrix::hadamard_chain_skip(&st.grams, n);
                     st.engine.stats.record(Kernel::Hadamard, h0.elapsed(), 0);
 
                     // Local first-order corrections (line 6) + anchor.
@@ -127,8 +125,7 @@ pub fn par_pp_cp_als(
 
                     // Reduce-Scatter the corrected MTTKRP (line 9).
                     let r0 = Instant::now();
-                    let mut m_q =
-                        st.dist_factors[n].reduce_scatter_rows(&m_local, &st.slices[n]);
+                    let mut m_q = st.dist_factors[n].reduce_scatter_rows(&m_local, &st.slices[n]);
                     st.engine.stats.record(Kernel::Other, r0.elapsed(), 0);
 
                     // Second-order correction (lines 10-11) on Q rows.
@@ -183,8 +180,7 @@ pub fn par_pp_cp_als(
         }
 
         // ---- Regular exact sweep (Alg. 2 line 19) ----
-        let q_before: Vec<Matrix> =
-            st.dist_factors.iter().map(|f| f.q().clone()).collect();
+        let q_before: Vec<Matrix> = st.dist_factors.iter().map(|f| f.q().clone()).collect();
         let sweep_t0 = Instant::now();
         let mut last: Option<(Matrix, Matrix)> = None;
         for n in 0..n_modes {
@@ -244,7 +240,13 @@ mod tests {
 
     #[test]
     fn parallel_pp_matches_sequential_pp() {
-        let ccfg = CollinearityConfig { s: 12, r: 3, order: 3, lo: 0.5, hi: 0.7 };
+        let ccfg = CollinearityConfig {
+            s: 12,
+            r: 3,
+            order: 3,
+            lo: 0.5,
+            hi: 0.7,
+        };
         let (t, _, _) = collinearity_tensor(&ccfg, 3);
         let t = Arc::new(t);
         let acfg = cfg(3);

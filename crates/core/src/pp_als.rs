@@ -62,8 +62,7 @@ pub fn pp_cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) 
     let mut sweeps_done = 0usize;
 
     'outer: while sweeps_done < cfg.max_sweeps {
-        let pp_ready = (0..n_modes)
-            .all(|i| d_factors[i].norm() < cfg.pp_tol * fs.factor(i).norm());
+        let pp_ready = (0..n_modes).all(|i| d_factors[i].norm() < cfg.pp_tol * fs.factor(i).norm());
 
         if pp_ready {
             // ---- PP initialization (Alg. 2 lines 6-9) ----
@@ -103,14 +102,7 @@ pub fn pp_cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) 
                     engine.stats.record(Kernel::Hadamard, h0.elapsed(), 0);
 
                     let c0 = Instant::now();
-                    let m = approx_mttkrp(
-                        &ops,
-                        &d_factors,
-                        fs.factors(),
-                        &grams,
-                        &d_grams,
-                        n,
-                    );
+                    let m = approx_mttkrp(&ops, &d_factors, fs.factors(), &grams, &d_grams, n);
                     engine.stats.record(Kernel::Mttv, c0.elapsed(), 0);
 
                     let s0 = Instant::now();
@@ -153,8 +145,8 @@ pub fn pp_cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) 
                 }
                 fitness_old = fitness;
 
-                let still_ok = (0..n_modes)
-                    .all(|i| d_factors[i].norm() < cfg.pp_tol * fs.factor(i).norm());
+                let still_ok =
+                    (0..n_modes).all(|i| d_factors[i].norm() < cfg.pp_tol * fs.factor(i).norm());
                 if !still_ok {
                     break;
                 }
@@ -224,7 +216,10 @@ pub fn pp_cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) 
     report.stats = engine.take_stats();
     report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
     report.converged = converged;
-    AlsOutput { factors: fs.factors().to_vec(), report }
+    AlsOutput {
+        factors: fs.factors().to_vec(),
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -245,12 +240,22 @@ mod tests {
 
     #[test]
     fn pp_activates_and_converges() {
-        let cfg = CollinearityConfig { s: 14, r: 4, order: 3, lo: 0.5, hi: 0.7 };
+        let cfg = CollinearityConfig {
+            s: 14,
+            r: 4,
+            order: 3,
+            lo: 0.5,
+            hi: 0.7,
+        };
         let (t, _, _) = collinearity_tensor(&cfg, 3);
         let out = pp_cp_als(&t, &pp_cfg(4));
         assert!(out.report.count(SweepKind::PpInit) >= 1, "PP must activate");
         assert!(out.report.count(SweepKind::PpApprox) >= 1);
-        assert!(out.report.final_fitness > 0.8, "fitness {}", out.report.final_fitness);
+        assert!(
+            out.report.final_fitness > 0.8,
+            "fitness {}",
+            out.report.final_fitness
+        );
     }
 
     #[test]
@@ -271,13 +276,22 @@ mod tests {
         // The paper highlights that fitness increases monotonically under
         // PP on well-conditioned problems (Fig. 5a); allow tiny dips from
         // the approximation but no collapse.
-        let cfg = CollinearityConfig { s: 12, r: 3, order: 3, lo: 0.4, hi: 0.6 };
+        let cfg = CollinearityConfig {
+            s: 12,
+            r: 3,
+            order: 3,
+            lo: 0.4,
+            hi: 0.6,
+        };
         let (t, _, _) = collinearity_tensor(&cfg, 5);
         let out = pp_cp_als(&t, &pp_cfg(3));
         let fits: Vec<f64> = out.report.sweeps.iter().map(|s| s.fitness).collect();
         let max_so_far = fits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let last = *fits.last().unwrap();
-        assert!(last > max_so_far - 0.05, "fitness collapsed: {last} vs {max_so_far}");
+        assert!(
+            last > max_so_far - 0.05,
+            "fitness collapsed: {last} vs {max_so_far}"
+        );
     }
 
     #[test]
@@ -292,7 +306,13 @@ mod tests {
     fn approx_sweeps_are_cheaper_than_exact() {
         // PP's selling point: the approximated step costs O(N²(s²R+R²))
         // instead of O(s^N R).
-        let cfg = CollinearityConfig { s: 24, r: 6, order: 3, lo: 0.6, hi: 0.8 };
+        let cfg = CollinearityConfig {
+            s: 24,
+            r: 6,
+            order: 3,
+            lo: 0.6,
+            hi: 0.8,
+        };
         let (t, _, _) = collinearity_tensor(&cfg, 11);
         let out = pp_cp_als(&t, &pp_cfg(6).with_max_sweeps(60));
         let exact_mean = out.report.mean_secs(SweepKind::Exact);

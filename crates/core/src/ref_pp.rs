@@ -197,8 +197,7 @@ mod tests {
                 let _ = st.update_mode_exact(ctx, &c2, n);
             }
             let ops = build_pp_operators(&mut st.input, &st.fs_local, &mut st.engine);
-            let p_p: Vec<Matrix> =
-                st.dist_factors.iter().map(|f| f.p().clone()).collect();
+            let p_p: Vec<Matrix> = st.dist_factors.iter().map(|f| f.p().clone()).collect();
             // Perturb factors.
             for n in 0..3 {
                 let mut q = st.dist_factors[n].q().clone();

@@ -105,7 +105,12 @@ mod tests {
     use super::*;
 
     fn rec(kind: SweepKind, secs: f64, fitness: f64, cum: f64) -> SweepRecord {
-        SweepRecord { kind, secs, fitness, cumulative_secs: cum }
+        SweepRecord {
+            kind,
+            secs,
+            fitness,
+            cumulative_secs: cum,
+        }
     }
 
     #[test]

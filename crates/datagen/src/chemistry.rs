@@ -127,12 +127,22 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> ChemistryConfig {
-        ChemistryConfig { n_orb: 12, n_aux: 30, ..ChemistryConfig::default() }
+        ChemistryConfig {
+            n_orb: 12,
+            n_aux: 30,
+            ..ChemistryConfig::default()
+        }
     }
 
     #[test]
     fn shape_and_symmetry() {
-        let t = density_fitting_tensor(&ChemistryConfig { noise: 0.0, ..small_cfg() }, 3);
+        let t = density_fitting_tensor(
+            &ChemistryConfig {
+                noise: 0.0,
+                ..small_cfg()
+            },
+            3,
+        );
         assert_eq!(t.shape().dims(), &[30, 12, 12]);
         for e in 0..5 {
             for a in 0..12 {
@@ -145,7 +155,13 @@ mod tests {
 
     #[test]
     fn distant_orbitals_decay() {
-        let t = density_fitting_tensor(&ChemistryConfig { noise: 0.0, ..small_cfg() }, 3);
+        let t = density_fitting_tensor(
+            &ChemistryConfig {
+                noise: 0.0,
+                ..small_cfg()
+            },
+            3,
+        );
         // Orbitals 0 and 11 sit ~2.2 atoms apart with sigma=2.5; pairs on
         // the same atom must dominate well-separated pairs on average.
         let near: f64 = (0..30).map(|e| t.get(&[e, 0, 1]).abs()).sum();
@@ -158,7 +174,13 @@ mod tests {
         let t = density_fitting_tensor(&small_cfg(), 5);
         assert!(t.norm() > 0.0);
         // Noise floor keeps it full rank: no exact zeros plane-to-plane.
-        let t2 = density_fitting_tensor(&ChemistryConfig { noise: 0.0, ..small_cfg() }, 5);
+        let t2 = density_fitting_tensor(
+            &ChemistryConfig {
+                noise: 0.0,
+                ..small_cfg()
+            },
+            5,
+        );
         let mut diff = t.clone();
         diff.axpy(-1.0, &t2);
         assert!(diff.norm() > 0.0);

@@ -25,7 +25,11 @@ pub struct CoilConfig {
 
 impl Default for CoilConfig {
     fn default() -> Self {
-        CoilConfig { size: 64, objects: 10, poses: 36 }
+        CoilConfig {
+            size: 64,
+            objects: 10,
+            poses: 36,
+        }
     }
 }
 
@@ -93,7 +97,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> CoilConfig {
-        CoilConfig { size: 16, objects: 3, poses: 8 }
+        CoilConfig {
+            size: 16,
+            objects: 3,
+            poses: 8,
+        }
     }
 
     #[test]

@@ -83,7 +83,13 @@ mod tests {
 
     #[test]
     fn tensor_has_bounded_rank() {
-        let cfg = CollinearityConfig { s: 8, r: 3, order: 3, lo: 0.4, hi: 0.6 };
+        let cfg = CollinearityConfig {
+            s: 8,
+            r: 3,
+            order: 3,
+            lo: 0.4,
+            hi: 0.6,
+        };
         let (t, factors, cs) = collinearity_tensor(&cfg, 9);
         assert_eq!(t.shape().dims(), &[8, 8, 8]);
         assert_eq!(factors.len(), 3);

@@ -8,7 +8,10 @@ use pp_tensor::{DenseTensor, Matrix};
 /// random factors. Returns the tensor and the planted factors.
 pub fn exact_rank(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
     let mut rng = seeded(seed);
-    let factors: Vec<Matrix> = dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+    let factors: Vec<Matrix> = dims
+        .iter()
+        .map(|&d| uniform_matrix(d, r, &mut rng))
+        .collect();
     (reconstruct(&factors), factors)
 }
 

@@ -214,7 +214,12 @@ mod tests {
                 basis.push(s);
             }
         }
-        assert!(basis.len() <= cfg.materials, "rank {} > {}", basis.len(), cfg.materials);
+        assert!(
+            basis.len() <= cfg.materials,
+            "rank {} > {}",
+            basis.len(),
+            cfg.materials
+        );
     }
 
     #[test]

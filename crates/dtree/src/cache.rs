@@ -149,8 +149,12 @@ mod tests {
     fn get_valid_evicts_stale() {
         let mut c = InterCache::new();
         c.insert(dummy(&[0, 1], vec![0, 0, 3]));
-        assert!(c.get_valid(ModeSet::from_modes([0, 1]), &[9, 9, 3]).is_some());
-        assert!(c.get_valid(ModeSet::from_modes([0, 1]), &[9, 9, 4]).is_none());
+        assert!(c
+            .get_valid(ModeSet::from_modes([0, 1]), &[9, 9, 3])
+            .is_some());
+        assert!(c
+            .get_valid(ModeSet::from_modes([0, 1]), &[9, 9, 4])
+            .is_none());
         assert!(c.is_empty(), "stale entry must be evicted");
     }
 

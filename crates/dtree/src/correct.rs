@@ -118,8 +118,10 @@ mod tests {
     fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, FactorState) {
         let mut rng = seeded(seed);
         let t = uniform_tensor(dims, &mut rng);
-        let factors: Vec<Matrix> =
-            dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| uniform_matrix(d, r, &mut rng))
+            .collect();
         (t, FactorState::new(factors))
     }
 

@@ -135,7 +135,13 @@ impl DimTreeEngine {
     }
 
     /// One batched-TTV step: contract mode `j` out of `current`.
-    fn step(&mut self, current: Intermediate, fs: &FactorState, j: usize, cache_it: bool) -> Intermediate {
+    fn step(
+        &mut self,
+        current: Intermediate,
+        fs: &FactorState,
+        j: usize,
+        cache_it: bool,
+    ) -> Intermediate {
         let pos = current.position_of(j);
         let t0 = Instant::now();
         let out = mttv(&current.tensor, pos, fs.factor(j));
@@ -144,7 +150,11 @@ impl DimTreeEngine {
         mode_order.remove(pos);
         let mut versions = current.versions;
         versions[j] = fs.version(j);
-        let next = Intermediate { tensor: std::sync::Arc::new(out.tensor), mode_order, versions };
+        let next = Intermediate {
+            tensor: std::sync::Arc::new(out.tensor),
+            mode_order,
+            versions,
+        };
         if self.caching && cache_it {
             self.cache.insert(next.clone());
         }
@@ -152,7 +162,12 @@ impl DimTreeEngine {
     }
 
     /// Canonical binary-tree walk (Fig. 1a).
-    fn obtain_standard(&mut self, input: &mut InputTensor, fs: &FactorState, n: usize) -> Intermediate {
+    fn obtain_standard(
+        &mut self,
+        input: &mut InputTensor,
+        fs: &FactorState,
+        n: usize,
+    ) -> Intermediate {
         let target = ModeSet::single(n);
         let chain = standard_chain(self.n_modes, n);
         debug_assert_eq!(*chain.last().unwrap(), target);
@@ -169,7 +184,11 @@ impl DimTreeEngine {
         }
         let mut current: Intermediate = match start_idx {
             Some(i) => {
-                let cached = self.cache.get_valid(chain[i], fs.versions()).unwrap().clone();
+                let cached = self
+                    .cache
+                    .get_valid(chain[i], fs.versions())
+                    .unwrap()
+                    .clone();
                 if chain[i] == target {
                     return cached;
                 }
@@ -285,7 +304,10 @@ mod tests {
     fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, FactorState) {
         let mut rng = seeded(seed);
         let t = uniform_tensor(dims, &mut rng);
-        let factors: Vec<Matrix> = dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| uniform_matrix(d, r, &mut rng))
+            .collect();
         (t, FactorState::new(factors))
     }
 

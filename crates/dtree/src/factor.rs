@@ -57,7 +57,11 @@ impl FactorState {
 
     /// Replace mode `n`'s factor, bumping its version.
     pub fn update(&mut self, n: usize, m: Matrix) {
-        assert_eq!(m.rows(), self.factors[n].rows(), "row count change on update");
+        assert_eq!(
+            m.rows(),
+            self.factors[n].rows(),
+            "row count change on update"
+        );
         assert_eq!(m.cols(), self.factors[n].cols(), "rank change on update");
         self.factors[n] = m;
         self.versions[n] += 1;

@@ -52,7 +52,10 @@ impl InputTensor {
     pub fn new(t: DenseTensor) -> Self {
         let order = t.order();
         InputTensor {
-            layouts: vec![Layout { mode_order: (0..order).collect(), tensor: t }],
+            layouts: vec![Layout {
+                mode_order: (0..order).collect(),
+                tensor: t,
+            }],
             order,
             cache_transposes: false,
         }
@@ -69,14 +72,21 @@ impl InputTensor {
         let mut uncovered: Vec<usize> = (1..order.saturating_sub(1)).collect();
         while !uncovered.is_empty() {
             let a = uncovered.remove(0);
-            let b = if uncovered.is_empty() { None } else { Some(uncovered.pop().unwrap()) };
+            let b = if uncovered.is_empty() {
+                None
+            } else {
+                Some(uncovered.pop().unwrap())
+            };
             let mut perm = vec![a];
             perm.extend((0..order).filter(|&m| m != a && Some(m) != b));
             if let Some(b) = b {
                 perm.push(b);
             }
             let permuted = permute(&input.layouts[0].tensor, &perm);
-            input.layouts.push(Layout { mode_order: perm, tensor: permuted });
+            input.layouts.push(Layout {
+                mode_order: perm,
+                tensor: permuted,
+            });
         }
         input
     }
@@ -88,7 +98,11 @@ impl InputTensor {
 
     /// Extent of original mode `m`.
     pub fn dim(&self, m: usize) -> usize {
-        let pos = self.layouts[0].mode_order.iter().position(|&x| x == m).unwrap();
+        let pos = self.layouts[0]
+            .mode_order
+            .iter()
+            .position(|&x| x == m)
+            .unwrap();
         self.layouts[0].tensor.dim(pos)
     }
 
@@ -175,7 +189,10 @@ impl InputTensor {
         let ttm_time = t1.elapsed();
         let result_modes = mode_order_new[..self.order - 1].to_vec();
         if self.cache_transposes {
-            self.layouts.push(Layout { mode_order: mode_order_new, tensor: moved });
+            self.layouts.push(Layout {
+                mode_order: mode_order_new,
+                tensor: moved,
+            });
         }
         FirstLevel {
             tensor: out,
@@ -211,7 +228,9 @@ mod tests {
         let len = shape.len();
         DenseTensor::from_vec(
             shape,
-            (0..len).map(|x| ((x * 37) % 19) as f64 / 7.0 - 1.0).collect(),
+            (0..len)
+                .map(|x| ((x * 37) % 19) as f64 / 7.0 - 1.0)
+                .collect(),
         )
     }
 
@@ -265,10 +284,7 @@ mod tests {
                 let fl = input.contract_mode(mode, &a);
                 let got = canonicalize(&fl);
                 let want = ttm(&base, mode, &a).tensor;
-                assert!(
-                    got.max_abs_diff(&want) < 1e-10,
-                    "mode {mode}, msdt={msdt}"
-                );
+                assert!(got.max_abs_diff(&want) < 1e-10, "mode {mode}, msdt={msdt}");
                 if msdt {
                     assert_eq!(fl.transpose_words, 0, "MSDT copies must avoid transposes");
                 }

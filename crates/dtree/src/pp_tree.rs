@@ -115,7 +115,11 @@ pub fn build_pp_operators_with(
         firsts.push(Matrix::from_vec(rows, r, out.tensor.into_vec()));
     }
 
-    PpOperators { pairs, firsts, fresh_ttms }
+    PpOperators {
+        pairs,
+        firsts,
+        fresh_ttms,
+    }
 }
 
 /// Memoized construction of a PP-form intermediate, sharing the engine
@@ -142,15 +146,12 @@ fn obtain_pp(
         .collect();
     debug_assert!(!candidates.is_empty(), "PP-form sets always extend");
 
-    let cached_choice = candidates
-        .iter()
-        .copied()
-        .find(|&c| {
-            engine
-                .cache_mut()
-                .get_valid(set.with(c), fs.versions())
-                .is_some()
-        });
+    let cached_choice = candidates.iter().copied().find(|&c| {
+        engine
+            .cache_mut()
+            .get_valid(set.with(c), fs.versions())
+            .is_some()
+    });
     let choice = cached_choice.unwrap_or_else(|| {
         if set.len() == n_modes - 1 {
             // Parent is the input tensor.
@@ -212,7 +213,11 @@ fn obtain_pp_combined(
         .copied()
         .find(|&s| engine.cache_mut().get_valid(s, fs.versions()).is_some());
     let first = match cached {
-        Some(s) => engine.cache_mut().get_valid(s, fs.versions()).unwrap().clone(),
+        Some(s) => engine
+            .cache_mut()
+            .get_valid(s, fs.versions())
+            .unwrap()
+            .clone(),
         None => {
             let target = parent_sets
                 .iter()
@@ -274,7 +279,11 @@ fn contract_step(
     mode_order.remove(pos);
     let mut versions = parent.versions;
     versions[gone] = fs.version(gone);
-    let inter = Intermediate { tensor: std::sync::Arc::new(out.tensor), mode_order, versions };
+    let inter = Intermediate {
+        tensor: std::sync::Arc::new(out.tensor),
+        mode_order,
+        versions,
+    };
     debug_assert_eq!(inter.set(), expect);
     engine.cache_mut().insert(inter.clone());
     inter
@@ -292,8 +301,10 @@ mod tests {
     fn setup(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, FactorState) {
         let mut rng = seeded(seed);
         let t = uniform_tensor(dims, &mut rng);
-        let factors: Vec<Matrix> =
-            dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+        let factors: Vec<Matrix> = dims
+            .iter()
+            .map(|&d| uniform_matrix(d, r, &mut rng))
+            .collect();
         (t, FactorState::new(factors))
     }
 
@@ -340,10 +351,7 @@ mod tests {
                 } else {
                     pp_tensor::transpose::swap_first_two(&got.tensor)
                 };
-                assert!(
-                    got_t.max_abs_diff(&want) < 1e-9,
-                    "pair ({i},{j}) mismatch"
-                );
+                assert!(got_t.max_abs_diff(&want) < 1e-9, "pair ({i},{j}) mismatch");
             }
         }
         // Anchors must equal the exact MTTKRP at the reference point.
@@ -414,8 +422,7 @@ mod tests {
 
         let mut in2 = InputTensor::new(t);
         let mut e2 = DimTreeEngine::new(TreePolicy::Standard, 4);
-        let combined =
-            build_pp_operators_with(&mut in2, &fs, &mut e2, PpTreeMemory::CombineInner);
+        let combined = build_pp_operators_with(&mut in2, &fs, &mut e2, PpTreeMemory::CombineInner);
 
         for (key, a) in &full.pairs {
             let b = &combined.pairs[key];

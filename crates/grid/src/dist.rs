@@ -14,7 +14,11 @@ impl BlockDist {
     pub fn new(global: usize, parts: usize) -> Self {
         assert!(parts >= 1);
         assert!(global >= 1);
-        BlockDist { global, parts, block: global.div_ceil(parts) }
+        BlockDist {
+            global,
+            parts,
+            block: global.div_ceil(parts),
+        }
     }
 
     /// Number of real (unpadded) elements.

@@ -93,7 +93,12 @@ impl DistFactor {
     /// Build from a replicated global factor matrix (used at initialization:
     /// every rank generates the same seeded random matrix and takes its
     /// rows, which matches Alg. 3 without a scatter).
-    pub fn from_global(global: &Matrix, layout: FactorLayout, coord: usize, slice_pos: usize) -> Self {
+    pub fn from_global(
+        global: &Matrix,
+        layout: FactorLayout,
+        coord: usize,
+        slice_pos: usize,
+    ) -> Self {
         assert_eq!(global.rows(), layout.global_rows);
         assert_eq!(global.cols(), layout.rank_cols);
         let r = layout.rank_cols;
@@ -109,7 +114,13 @@ impl DistFactor {
                 p.row_mut(l).copy_from_slice(global.row(g));
             }
         }
-        DistFactor { layout, coord, slice_pos, q, p }
+        DistFactor {
+            layout,
+            coord,
+            slice_pos,
+            q,
+            p,
+        }
     }
 
     /// Layout parameters.
@@ -143,7 +154,11 @@ impl DistFactor {
         assert_eq!(q.rows(), self.layout.sub);
         assert_eq!(q.cols(), self.layout.rank_cols);
         for l in 0..self.layout.sub {
-            if self.layout.global_row(self.coord, self.slice_pos, l).is_none() {
+            if self
+                .layout
+                .global_row(self.coord, self.slice_pos, l)
+                .is_none()
+            {
                 q.row_mut(l).fill(0.0);
             }
         }

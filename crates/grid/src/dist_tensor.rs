@@ -154,9 +154,10 @@ mod tests {
     fn padding_is_zero() {
         let t = seq_tensor(vec![5, 3]);
         let grid = ProcGrid::new(vec![2, 2]);
-        let dt = DistTensor::from_global(&t, &grid, 3); // coords (1,1)
+        // Rank 3 has grid coords (1,1).
         // Mode 0 block = 3 → rank row block [3,6) has one padded row (5).
         // Mode 1 block = 2 → col block [2,4) has one padded col (3).
+        let dt = DistTensor::from_global(&t, &grid, 3);
         assert_eq!(dt.local().shape().dims(), &[3, 2]);
         assert_eq!(dt.local().get(&[2, 0]), 0.0); // padded row
         assert_eq!(dt.local().get(&[0, 1]), 0.0); // padded col

@@ -136,11 +136,7 @@ mod tests {
         });
         for (rank, size, gathered) in out.results {
             assert_eq!(size, 3);
-            let expect: Vec<f64> = g
-                .slice_members(0, rank)
-                .iter()
-                .map(|&r| r as f64)
-                .collect();
+            let expect: Vec<f64> = g.slice_members(0, rank).iter().map(|&r| r as f64).collect();
             assert_eq!(gathered, expect);
         }
     }

@@ -153,7 +153,10 @@ impl DenseTensor {
             "reshape to {} changes element count",
             shape
         );
-        DenseTensor { shape, data: self.data }
+        DenseTensor {
+            shape,
+            data: self.data,
+        }
     }
 
     /// Maximum absolute difference against another tensor of the same shape.

@@ -249,10 +249,7 @@ mod tests {
             let mut c = Matrix::zeros(m, n);
             gemm(ta, tb, 1.0, &a, &b, 0.0, &mut c);
             let want = naive(ta, tb, &a, &b);
-            assert!(
-                c.max_abs_diff(&want) < 1e-10,
-                "mismatch for {ta:?},{tb:?}"
-            );
+            assert!(c.max_abs_diff(&want) < 1e-10, "mismatch for {ta:?},{tb:?}");
         }
     }
 

@@ -31,12 +31,22 @@ pub struct MttvOutput {
 /// and whose columns match the trailing rank extent.
 pub fn mttv(inter: &DenseTensor, pos: usize, factor: &Matrix) -> MttvOutput {
     let order = inter.order();
-    assert!(order >= 2, "intermediate must have at least one tensor mode plus rank");
+    assert!(
+        order >= 2,
+        "intermediate must have at least one tensor mode plus rank"
+    );
     let ntensor_modes = order - 1;
-    assert!(pos < ntensor_modes, "pos {pos} out of range ({ntensor_modes} tensor modes)");
+    assert!(
+        pos < ntensor_modes,
+        "pos {pos} out of range ({ntensor_modes} tensor modes)"
+    );
     let r = inter.dim(order - 1);
     assert_eq!(factor.cols(), r, "factor columns must equal rank extent");
-    assert_eq!(factor.rows(), inter.dim(pos), "factor rows must match contracted extent");
+    assert_eq!(
+        factor.rows(),
+        inter.dim(pos),
+        "factor rows must match contracted extent"
+    );
 
     let dims = inter.shape().dims();
     let outer: usize = dims[..pos].iter().product();
@@ -138,7 +148,9 @@ mod tests {
         let len = shape.len();
         DenseTensor::from_vec(
             shape,
-            (0..len).map(|x| ((x * 7919) % 23) as f64 / 11.0 - 1.0).collect(),
+            (0..len)
+                .map(|x| ((x * 7919) % 23) as f64 / 11.0 - 1.0)
+                .collect(),
         )
     }
 

@@ -159,7 +159,9 @@ mod tests {
         let len = shape.len();
         DenseTensor::from_vec(
             shape,
-            (0..len).map(|x| ((x * 31) % 13) as f64 / 5.0 - 1.0).collect(),
+            (0..len)
+                .map(|x| ((x * 31) % 13) as f64 / 5.0 - 1.0)
+                .collect(),
         )
     }
 

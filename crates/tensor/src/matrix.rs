@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -122,15 +126,7 @@ impl Matrix {
     /// Matrix product `self * other`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         let mut c = Matrix::zeros(self.rows, other.cols);
-        gemm(
-            Trans::No,
-            Trans::No,
-            1.0,
-            self,
-            other,
-            0.0,
-            &mut c,
-        );
+        gemm(Trans::No, Trans::No, 1.0, self, other, 0.0, &mut c);
         c
     }
 
@@ -158,7 +154,11 @@ impl Matrix {
             .zip(other.data.iter())
             .map(|(a, b)| a * b)
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place Hadamard product: `self ∗= other`.
@@ -249,7 +249,11 @@ impl Matrix {
     pub fn row_block(&self, start: usize, len: usize) -> Matrix {
         assert!(start + len <= self.rows);
         let data = self.data[start * self.cols..(start + len) * self.cols].to_vec();
-        Matrix { rows: len, cols: self.cols, data }
+        Matrix {
+            rows: len,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Copy `block` into rows `[start, start+block.rows)`.

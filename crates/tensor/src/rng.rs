@@ -73,7 +73,10 @@ fn box_muller(rng: &mut impl Rng) -> (f64, f64) {
 /// modified Gram-Schmidt (with one re-orthogonalization pass) on a Gaussian
 /// matrix. Requires `rows ≥ cols`.
 pub fn orthonormal_cols(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
-    assert!(rows >= cols, "cannot fit {cols} orthonormal columns in R^{rows}");
+    assert!(
+        rows >= cols,
+        "cannot fit {cols} orthonormal columns in R^{rows}"
+    );
     let mut q = gaussian_matrix(rows, cols, rng);
     for j in 0..cols {
         // Two MGS passes for numerical robustness.
@@ -86,7 +89,10 @@ pub fn orthonormal_cols(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix 
                 }
             }
         }
-        let norm: f64 = (0..rows).map(|i| q.get(i, j) * q.get(i, j)).sum::<f64>().sqrt();
+        let norm: f64 = (0..rows)
+            .map(|i| q.get(i, j) * q.get(i, j))
+            .sum::<f64>()
+            .sqrt();
         assert!(norm > 1e-12, "degenerate column in orthonormalization");
         for i in 0..rows {
             let v = q.get(i, j) / norm;
@@ -116,7 +122,12 @@ mod tests {
         let g = gaussian_matrix(200, 50, &mut rng);
         let n = g.data().len() as f64;
         let mean: f64 = g.data().iter().sum::<f64>() / n;
-        let var: f64 = g.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let var: f64 = g
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

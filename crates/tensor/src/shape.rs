@@ -112,7 +112,11 @@ impl Shape {
     pub fn indices(&self) -> IndexIter {
         IndexIter {
             shape: self.clone(),
-            next: if self.is_empty() { None } else { Some(vec![0; self.order()]) },
+            next: if self.is_empty() {
+                None
+            } else {
+                Some(vec![0; self.order()])
+            },
         }
     }
 }

@@ -160,7 +160,11 @@ pub enum SolveMethod {
 /// solved independently in parallel.
 pub fn solve_gram(gamma: &Matrix, m: &Matrix) -> (Matrix, SolveMethod) {
     assert_eq!(gamma.rows(), gamma.cols());
-    assert_eq!(m.cols(), gamma.rows(), "RHS column count must equal Γ order");
+    assert_eq!(
+        m.cols(),
+        gamma.rows(),
+        "RHS column count must equal Γ order"
+    );
     match cholesky(gamma) {
         Some(l) => {
             let mut out = m.clone();

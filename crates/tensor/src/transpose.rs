@@ -8,7 +8,6 @@
 
 use crate::dense::DenseTensor;
 
-
 /// Permute the modes of a tensor: `out[i_{perm[0]}, ..., i_{perm[N-1]}] = t[i_0, ..., i_{N-1}]`
 /// — i.e. mode `k` of the output is mode `perm[k]` of the input.
 pub fn permute(t: &DenseTensor, perm: &[usize]) -> DenseTensor {
@@ -45,8 +44,7 @@ pub fn permute(t: &DenseTensor, perm: &[usize]) -> DenseTensor {
     let mut dst = 0usize;
     for _ in 0..outer_count {
         if inner_stride == 1 {
-            out[dst..dst + inner_len]
-                .copy_from_slice(&src[src_base..src_base + inner_len]);
+            out[dst..dst + inner_len].copy_from_slice(&src[src_base..src_base + inner_len]);
         } else {
             let mut s = src_base;
             for o in out[dst..dst + inner_len].iter_mut() {

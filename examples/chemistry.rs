@@ -8,7 +8,11 @@ use parallel_pp::datagen::chemistry::{density_fitting_tensor, ChemistryConfig};
 use parallel_pp::dtree::TreePolicy;
 
 fn main() {
-    let cfg = ChemistryConfig { n_orb: 28, n_aux: 16 * 28, ..ChemistryConfig::default() };
+    let cfg = ChemistryConfig {
+        n_orb: 28,
+        n_aux: 16 * 28,
+        ..ChemistryConfig::default()
+    };
     let t = density_fitting_tensor(&cfg, 7);
     println!(
         "density-fitting surrogate: {} (aux × orb × orb), ‖T‖ = {:.3e}",
@@ -18,7 +22,10 @@ fn main() {
 
     for rank in [12usize, 24] {
         println!("\n--- CP rank {rank} ---");
-        let base = AlsConfig::new(rank).with_tol(1e-5).with_max_sweeps(80).with_pp_tol(0.1);
+        let base = AlsConfig::new(rank)
+            .with_tol(1e-5)
+            .with_max_sweeps(80)
+            .with_pp_tol(0.1);
 
         let dt = cp_als(&t, &base.clone().with_policy(TreePolicy::Standard));
         let msdt = cp_als(&t, &base.clone().with_policy(TreePolicy::MultiSweep));

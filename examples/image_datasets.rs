@@ -11,7 +11,10 @@ use parallel_pp::tensor::DenseTensor;
 
 fn compare(name: &str, t: &DenseTensor, rank: usize, pp_tol: f64) {
     println!("\n=== {name}: {} , R={rank} ===", t.shape());
-    let base = AlsConfig::new(rank).with_tol(1e-5).with_max_sweeps(60).with_pp_tol(pp_tol);
+    let base = AlsConfig::new(rank)
+        .with_tol(1e-5)
+        .with_max_sweeps(60)
+        .with_pp_tol(pp_tol);
     let dt = cp_als(t, &base.clone().with_policy(TreePolicy::Standard));
     let pp = pp_cp_als(t, &base.clone().with_policy(TreePolicy::MultiSweep));
     println!(
@@ -38,11 +41,22 @@ fn compare(name: &str, t: &DenseTensor, rank: usize, pp_tol: f64) {
 }
 
 fn main() {
-    let coil = coil_tensor(&CoilConfig { size: 32, objects: 5, poses: 24 });
+    let coil = coil_tensor(&CoilConfig {
+        size: 32,
+        objects: 5,
+        poses: 24,
+    });
     compare("COIL-like (Fig. 5e)", &coil, 20, 0.1);
 
     let tl = timelapse_tensor(
-        &TimelapseConfig { height: 48, width: 64, bands: 33, times: 9, materials: 12, noise: 5e-3 },
+        &TimelapseConfig {
+            height: 48,
+            width: 64,
+            bands: 33,
+            times: 9,
+            materials: 12,
+            noise: 5e-3,
+        },
         11,
     );
     compare("Time-lapse-like (Fig. 5f)", &tl, 25, 0.1);

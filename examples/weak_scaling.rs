@@ -62,8 +62,9 @@ fn main() {
     for grid in [vec![4, 4, 4], vec![8, 8, 8], vec![8, 8, 16]] {
         let p: usize = grid.iter().product();
         let s = 400.0 * (p as f64).powf(1.0 / 3.0);
-        let dt = parallel_pp::comm::sweep_cost(parallel_pp::comm::Method::Dt, 3, s, 400.0, p as f64)
-            .modeled_time(&model);
+        let dt =
+            parallel_pp::comm::sweep_cost(parallel_pp::comm::Method::Dt, 3, s, 400.0, p as f64)
+                .modeled_time(&model);
         let ms =
             parallel_pp::comm::sweep_cost(parallel_pp::comm::Method::Msdt, 3, s, 400.0, p as f64)
                 .modeled_time(&model);

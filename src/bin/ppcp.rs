@@ -102,10 +102,18 @@ fn make_tensor(args: &Args) -> DenseTensor {
             collinearity_tensor(&cfg, args.seed).0
         }
         "chemistry" => density_fitting_tensor(
-            &ChemistryConfig { n_orb: 40, n_aux: 640, ..ChemistryConfig::default() },
+            &ChemistryConfig {
+                n_orb: 40,
+                n_aux: 640,
+                ..ChemistryConfig::default()
+            },
             args.seed,
         ),
-        "coil" => coil_tensor(&CoilConfig { size: 32, objects: 6, poses: 24 }),
+        "coil" => coil_tensor(&CoilConfig {
+            size: 32,
+            objects: 6,
+            poses: 24,
+        }),
         "timelapse" => timelapse_tensor(
             &TimelapseConfig {
                 height: 48,
@@ -217,7 +225,11 @@ fn main() {
         report.count(SweepKind::PpApprox),
         report.final_fitness,
         report.total_secs(),
-        if report.converged { " (converged)" } else { " (sweep limit)" },
+        if report.converged {
+            " (converged)"
+        } else {
+            " (sweep limit)"
+        },
     );
     if args.trace {
         for s in &report.sweeps {

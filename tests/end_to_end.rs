@@ -21,12 +21,21 @@ fn all_four_parallel_drivers_agree_on_one_workload() {
     // exact drivers must agree with each other sweep-by-sweep; PP must end
     // within approximation distance.
     let (t, _, _) = collinearity_tensor(
-        &CollinearityConfig { s: 12, r: 3, order: 3, lo: 0.4, hi: 0.6 },
+        &CollinearityConfig {
+            s: 12,
+            r: 3,
+            order: 3,
+            lo: 0.4,
+            hi: 0.6,
+        },
         21,
     );
     let t = Arc::new(t);
     let grid = ProcGrid::new(vec![2, 2, 1]);
-    let cfg = AlsConfig::new(3).with_max_sweeps(12).with_tol(0.0).with_pp_tol(0.3);
+    let cfg = AlsConfig::new(3)
+        .with_max_sweeps(12)
+        .with_tol(0.0)
+        .with_pp_tol(0.3);
 
     let run = |which: usize| {
         let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
@@ -53,7 +62,12 @@ fn all_four_parallel_drivers_agree_on_one_workload() {
     let planc = run(2);
     let pp = run(3);
 
-    for ((a, b), c) in dt.sweeps.iter().zip(msdt.sweeps.iter()).zip(planc.sweeps.iter()) {
+    for ((a, b), c) in dt
+        .sweeps
+        .iter()
+        .zip(msdt.sweeps.iter())
+        .zip(planc.sweeps.iter())
+    {
         assert!((a.fitness - b.fitness).abs() < 1e-8, "DT vs MSDT");
         assert!((a.fitness - c.fitness).abs() < 1e-8, "DT vs PLANC");
     }
@@ -68,7 +82,11 @@ fn all_four_parallel_drivers_agree_on_one_workload() {
 #[test]
 fn parallel_pp_chemistry_matches_sequential() {
     let t = Arc::new(density_fitting_tensor(
-        &ChemistryConfig { n_orb: 10, n_aux: 40, ..ChemistryConfig::default() },
+        &ChemistryConfig {
+            n_orb: 10,
+            n_aux: 40,
+            ..ChemistryConfig::default()
+        },
         5,
     ));
     let cfg = AlsConfig::new(4)
@@ -95,24 +113,49 @@ fn parallel_pp_chemistry_matches_sequential() {
 
 #[test]
 fn coil_and_timelapse_decompose_sanely() {
-    let coil = coil_tensor(&CoilConfig { size: 12, objects: 3, poses: 8 });
+    let coil = coil_tensor(&CoilConfig {
+        size: 12,
+        objects: 3,
+        poses: 8,
+    });
     let cfg = AlsConfig::new(6).with_max_sweeps(30).with_tol(1e-6);
     let out = cp_als(&coil, &cfg);
-    assert!(out.report.final_fitness > 0.5, "COIL fitness {}", out.report.final_fitness);
+    assert!(
+        out.report.final_fitness > 0.5,
+        "COIL fitness {}",
+        out.report.final_fitness
+    );
 
     let tl = timelapse_tensor(
-        &TimelapseConfig { height: 10, width: 12, bands: 8, times: 5, materials: 4, noise: 1e-3 },
+        &TimelapseConfig {
+            height: 10,
+            width: 12,
+            bands: 8,
+            times: 5,
+            materials: 4,
+            noise: 1e-3,
+        },
         3,
     );
     let out = cp_als(&tl, &AlsConfig::new(5).with_max_sweeps(40).with_tol(1e-7));
-    assert!(out.report.final_fitness > 0.95, "timelapse fitness {}", out.report.final_fitness);
+    assert!(
+        out.report.final_fitness > 0.95,
+        "timelapse fitness {}",
+        out.report.final_fitness
+    );
 }
 
 #[test]
 fn pp_speedup_appears_on_slow_converging_tensor() {
     // High collinearity → many sweeps → most of them PP-approx.
     let (t, _, _) = collinearity_tensor(
-        &CollinearityConfig { s: 30, r: 6, order: 3, lo: 0.6, hi: 0.8 },
+        &CollinearityConfig {
+            s: 30,
+            r: 6,
+            order: 3,
+            lo: 0.6,
+            hi: 0.8,
+        },
         9,
     );
     let cfg = AlsConfig::new(6)
@@ -157,7 +200,11 @@ fn rank_one_decomposition_works() {
     // Degenerate CP rank R = 1 end to end.
     let (t, _) = parallel_pp::datagen::lowrank::exact_rank(&[6, 5, 7], 1, 13);
     let out = cp_als(&t, &AlsConfig::new(1).with_max_sweeps(60).with_tol(1e-10));
-    assert!(out.report.final_fitness > 0.999, "fitness {}", out.report.final_fitness);
+    assert!(
+        out.report.final_fitness > 0.999,
+        "fitness {}",
+        out.report.final_fitness
+    );
 }
 
 #[test]

@@ -4,9 +4,7 @@
 
 use parallel_pp::comm::Runtime;
 use parallel_pp::core::par_als::par_cp_als;
-use parallel_pp::core::{
-    cp_als_with_init, init_factors_with, nn_cp_als, AlsConfig, InitStrategy,
-};
+use parallel_pp::core::{cp_als_with_init, init_factors_with, nn_cp_als, AlsConfig, InitStrategy};
 use parallel_pp::datagen::coil::{coil_tensor, CoilConfig};
 use parallel_pp::datagen::lowrank::noisy_rank;
 use parallel_pp::datagen::timelapse::{timelapse_tensor, TimelapseConfig};
@@ -19,13 +17,21 @@ fn nncp_on_coil_stays_nonnegative_and_fits() {
     // COIL-class tensors are the standard NNCP benchmark; pixel data is
     // nonnegative so the constrained model should fit nearly as well as
     // the unconstrained one.
-    let t = coil_tensor(&CoilConfig { size: 16, objects: 3, poses: 12 });
+    let t = coil_tensor(&CoilConfig {
+        size: 16,
+        objects: 3,
+        poses: 12,
+    });
     let cfg = AlsConfig::new(8).with_max_sweeps(40).with_tol(1e-6);
     let nn = nn_cp_als(&t, &cfg);
     for f in &nn.factors {
         assert!(f.data().iter().all(|&x| x >= 0.0));
     }
-    assert!(nn.report.final_fitness > 0.6, "fitness {}", nn.report.final_fitness);
+    assert!(
+        nn.report.final_fitness > 0.6,
+        "fitness {}",
+        nn.report.final_fitness
+    );
 }
 
 #[test]
@@ -57,7 +63,11 @@ fn nncp_on_timelapse_close_to_unconstrained() {
 #[test]
 fn every_init_strategy_feeds_als() {
     let t = noisy_rank(&[10, 9, 8], 3, 0.05, 3);
-    for s in [InitStrategy::Uniform, InitStrategy::Gaussian, InitStrategy::SketchedRange] {
+    for s in [
+        InitStrategy::Uniform,
+        InitStrategy::Gaussian,
+        InitStrategy::SketchedRange,
+    ] {
         let init = init_factors_with(&t, 3, 7, s);
         let out = cp_als_with_init(
             &t,

@@ -16,13 +16,17 @@ use parallel_pp::tensor::rng::{seeded, uniform_matrix, uniform_tensor};
 use parallel_pp::tensor::solve::{cholesky, solve_gram};
 use parallel_pp::tensor::Matrix;
 use proptest::prelude::*;
+use rand::Rng;
 
 fn small_dims(order: usize) -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(2usize..6, order..=order)
 }
 
+// Case counts are tuned for a < 60 s debug-mode budget for the whole suite
+// (floor: 24/16/8 per block). The small input sizes keep each case cheap, so
+// we run well above the floor for coverage; measured ~0.5 s total in debug.
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(96))]
 
     #[test]
     fn dt_msdt_naive_agree_order3(dims in small_dims(3), seed in 0u64..1000, r in 1usize..5) {
@@ -114,7 +118,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn pp_first_order_exact_for_single_mode(dims in small_dims(3), seed in 0u64..500, mode in 1usize..3, eps in 0.05f64..0.8) {
@@ -170,8 +174,8 @@ proptest! {
 }
 
 proptest! {
-    // These spin up rank threads; keep the case count low.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    // These spin up rank threads; keep the case count low (floor: 8).
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
     fn dist_tensor_scatter_gather_roundtrip(
@@ -250,7 +254,10 @@ proptest! {
 fn check_tree_agreement(dims: &[usize], r: usize, seed: u64) {
     let mut rng = seeded(seed);
     let t = uniform_tensor(dims, &mut rng);
-    let factors: Vec<Matrix> = dims.iter().map(|&d| uniform_matrix(d, r, &mut rng)).collect();
+    let factors: Vec<Matrix> = dims
+        .iter()
+        .map(|&d| uniform_matrix(d, r, &mut rng))
+        .collect();
     let mut fs_dt = FactorState::new(factors.clone());
     let mut fs_ms = FactorState::new(factors);
     let mut in_dt = InputTensor::new(t.clone());
@@ -263,7 +270,10 @@ fn check_tree_agreement(dims: &[usize], r: usize, seed: u64) {
             let m_ms = e_ms.mttkrp(&mut in_ms, &fs_ms, n);
             let m_naive = mttkrp(&t, fs_dt.factors(), n);
             assert!(m_dt.max_abs_diff(&m_naive) < 1e-9, "DT vs naive, mode {n}");
-            assert!(m_ms.max_abs_diff(&m_naive) < 1e-9, "MSDT vs naive, mode {n}");
+            assert!(
+                m_ms.max_abs_diff(&m_naive) < 1e-9,
+                "MSDT vs naive, mode {n}"
+            );
             let upd = uniform_matrix(dims[n], r, &mut rng);
             fs_dt.update(n, upd.clone());
             fs_ms.update(n, upd);

@@ -1,0 +1,308 @@
+//! Minimal offline stand-in for `proptest`, covering the surface the
+//! workspace's property suite uses: the [`proptest!`] macro with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, range strategies
+//! (`0u64..1000`, `0.05f64..0.8`), `prop::collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate: inputs are sampled deterministically
+//! (seeded from the test name and case index, so failures reproduce
+//! exactly), and failing cases are reported but NOT shrunk to minimal
+//! counterexamples.
+
+pub mod test_runner {
+    /// Per-case deterministic RNG (SplitMix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(seed: u64, case: u32) -> Self {
+            let mut rng = TestRng {
+                state: seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            };
+            // Burn one output so case 0 isn't the raw name hash.
+            let _ = rng.next_u64();
+            rng
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a hash of a test name, used as the per-test seed base.
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, i64, i32);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy, with length drawn
+    /// uniformly from `[min_len, max_len]`.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) min_len: usize,
+        pub(crate) max_len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_len - self.min_len) as u64 + 1;
+            let len = self.min_len + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        fn into_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn into_bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min_len, max_len) = size.into_bounds();
+        assert!(min_len <= max_len, "inverted vec size bounds");
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+}
+
+/// Subset of proptest's run configuration: the number of cases per test.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of `proptest::prelude::prop` (module-path style access like
+    /// `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let seed = $crate::test_runner::name_seed(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut proptest_rng = $crate::test_runner::TestRng::for_case(seed, case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut proptest_rng);
+                    )+
+                    let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(message) = result {
+                        panic!(
+                            "proptest case {case}/{} failed: {message}\n(inputs are deterministic per test name + case index; rerun to reproduce)",
+                            config.cases
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name($($arg in $strat),+) $body )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn dims(order: usize) -> impl Strategy<Value = Vec<usize>> {
+        prop::collection::vec(2usize..6, order..=order)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 2usize..6, b in 0u64..1000, x in 0.05f64..0.8) {
+            prop_assert!((2..6).contains(&a));
+            prop_assert!(b < 1000);
+            prop_assert!((0.05..0.8).contains(&x), "x out of range: {x}");
+        }
+
+        #[test]
+        fn vec_strategy_has_exact_len(v in dims(3)) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(v.iter().all(|&d| (2..6).contains(&d)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let seed = crate::test_runner::name_seed("some::test");
+        let a: Vec<u64> = (0..5)
+            .map(|c| crate::test_runner::TestRng::for_case(seed, c).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|c| crate::test_runner::TestRng::for_case(seed, c).next_u64())
+            .collect();
+        assert_eq!(a, b);
+        // Distinct cases see distinct inputs.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,24 @@
+//! Guard test: the proptest! macro must actually run each case body.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static RUNS: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(17))]
+
+    #[test]
+    fn body_runs_once_per_case(x in 0u64..10) {
+        RUNS.fetch_add(1, Ordering::SeqCst);
+        prop_assert!(x < 10);
+    }
+}
+
+#[test]
+fn all_cases_executed() {
+    // The harness may also run `body_runs_once_per_case` concurrently, so
+    // call it directly and check the floor only.
+    body_runs_once_per_case();
+    assert!(RUNS.load(Ordering::SeqCst) >= 17);
+}

@@ -1,0 +1,143 @@
+//! Minimal offline stand-in for `rayon`, covering the surface this
+//! workspace uses: `slice.par_chunks_mut(n).for_each(..)` (optionally with
+//! `.enumerate()`) and [`current_num_threads`].
+//!
+//! Parallelism is real — chunks are statically partitioned over
+//! `std::thread::scope` workers — but there is no work-stealing pool;
+//! threads are spawned per call. Callers in this workspace guard the
+//! parallel path behind work-size thresholds, so the spawn cost is
+//! amortized. Replacing this with a persistent pool is tracked on the
+//! ROADMAP.
+
+/// Number of worker threads the parallel adapters will fan out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// `rayon::prelude::ParallelSliceMut` subset: parallel mutable chunking.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+pub struct EnumeratedParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        run_indexed(self.chunks, &|_, chunk| f(chunk));
+    }
+}
+
+impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        run_indexed(self.chunks, &|i, chunk| f((i, chunk)));
+    }
+}
+
+/// Statically partition `chunks` over scoped worker threads and apply `f`
+/// to each `(index, chunk)`. Chunk workloads in this workspace are uniform
+/// (equal-sized row blocks), so a static split matches dynamic scheduling.
+fn run_indexed<T: Send, F>(chunks: Vec<&mut [T]>, f: &F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = chunks.len();
+    if n == 0 {
+        return;
+    }
+    let nthreads = current_num_threads().clamp(1, n);
+    if nthreads == 1 {
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let per = n.div_ceil(nthreads);
+    std::thread::scope(|s| {
+        let mut rest = chunks;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let batch: Vec<&mut [T]> = rest.drain(..take).collect();
+            let start = base;
+            s.spawn(move || {
+                for (k, chunk) in batch.into_iter().enumerate() {
+                    f(start + k, chunk);
+                }
+            });
+            base += take;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_slice_with_correct_indices() {
+        let mut v = vec![0usize; 1003];
+        v.as_mut_slice()
+            .par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = i + 1;
+                }
+            });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, j / 10 + 1);
+        }
+    }
+
+    #[test]
+    fn plain_for_each_touches_everything() {
+        let mut v = vec![1.0f64; 77];
+        v.as_mut_slice().par_chunks_mut(8).for_each(|chunk| {
+            for x in chunk.iter_mut() {
+                *x *= 2.0;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut v: Vec<f64> = Vec::new();
+        v.as_mut_slice()
+            .par_chunks_mut(4)
+            .for_each(|_| panic!("no chunks expected"));
+    }
+}
