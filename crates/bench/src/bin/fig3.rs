@@ -104,6 +104,8 @@ fn breakdown(title: &str, grid: &[usize], s_local: usize, rank: usize, sweeps: u
 }
 
 fn main() {
+    let threads = pp_bench::apply_threads_flag();
+    eprintln!("[pool] {threads} kernel threads");
     let full = std::env::args().any(|a| a == "--full");
     let model = CostModel::stampede2_like();
     // Reproduction-scale parameters (paper scale needs 1024 KNL nodes).

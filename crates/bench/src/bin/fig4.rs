@@ -29,6 +29,8 @@ fn quartiles(v: &mut [f64]) -> (f64, f64, f64) {
 }
 
 fn main() {
+    let threads = pp_bench::apply_threads_flag();
+    eprintln!("[pool] {threads} kernel threads");
     let full = std::env::args().any(|a| a == "--full");
     let (s, r, seeds, max_sweeps) = if full {
         (160, 32, 5, 300)

@@ -75,7 +75,14 @@ fn run_all(name: &str, t: &DenseTensor, rank: usize, max_sweeps: usize, pp_tol: 
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = pp_bench::apply_threads_flag();
+    eprintln!("[pool] {threads} kernel threads");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads <n>` was consumed by `apply_threads_flag`; strip it so its
+    // value is not mistaken for the positional figure selector.
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        args.drain(i..(i + 2).min(args.len()));
+    }
     let full = args.iter().any(|a| a == "--full");
     let which = args
         .iter()

@@ -47,6 +47,8 @@ fn print_point(n: usize, s: f64, r: f64, p: f64, model: &CostModel) {
 }
 
 fn main() {
+    let threads = pp_bench::apply_threads_flag();
+    eprintln!("[pool] {threads} kernel threads");
     let model = CostModel::stampede2_like();
     println!("Table I — leading-order per-sweep MTTKRP costs (α–β–γ–ν model)");
     println!(

@@ -46,6 +46,8 @@ fn measure(grid_dims: &[usize], s_local: usize, rank: usize, variant: PpVariant)
 }
 
 fn main() {
+    let threads = pp_bench::apply_threads_flag();
+    eprintln!("[pool] {threads} kernel threads");
     // Grid ladder restricted to the machine's parallelism; same shape as
     // the paper's Table II (four 3-D + four 4-D configurations).
     let grids3: Vec<Vec<usize>> = vec![vec![1, 2, 2], vec![2, 2, 2], vec![2, 2, 4], vec![2, 4, 2]];

@@ -22,6 +22,25 @@ use pp_tensor::DenseTensor;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Honor a `--threads <n>` flag (shared by every bench binary): pins the
+/// persistent kernel pool for the whole process. Exits with status 2 on a
+/// malformed value. Returns the effective thread count.
+pub fn apply_threads_flag() -> usize {
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--threads") {
+        match argv.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n > 0 => {
+                rayon::set_num_threads(n);
+            }
+            _ => {
+                eprintln!("error: --threads expects a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    rayon::current_num_threads()
+}
+
 /// The per-sweep-time methods of Fig. 3's legend.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Fig3Method {

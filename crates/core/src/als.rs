@@ -32,6 +32,7 @@ pub fn cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) -> 
     let n_modes = t.order();
     assert!(n_modes >= 2);
     assert_eq!(init.len(), n_modes);
+    let _threads = cfg.thread_guard();
 
     let mut input = match cfg.policy {
         TreePolicy::Standard => InputTensor::new(t.clone()),

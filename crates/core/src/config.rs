@@ -36,6 +36,21 @@ pub struct AlsConfig {
     /// Compute the fitness every sweep (needed for Fig. 4/5-style traces;
     /// adds one Γ/S inner product per sweep, negligible).
     pub track_fitness: bool,
+    /// Intra-rank thread count for the persistent kernel pool (the paper's
+    /// OpenMP/MKL threads per rank). `None` follows `PP_NUM_THREADS` / the
+    /// hardware; `Some(n)` pins the pool width for the duration of the run.
+    /// Results are bit-identical for any value — this is a pure
+    /// performance knob.
+    pub threads: Option<usize>,
+}
+
+impl AlsConfig {
+    /// Pin the pool width for this run; restores the previous width when
+    /// the driver returns. The override is process-global, so concurrent
+    /// runs pinning *different* widths should be avoided.
+    pub(crate) fn thread_guard(&self) -> Option<rayon::ThreadGuard> {
+        self.threads.map(rayon::scoped_num_threads)
+    }
 }
 
 impl AlsConfig {
@@ -51,6 +66,7 @@ impl AlsConfig {
             pp_tol: 0.1,
             seed: 42,
             track_fitness: true,
+            threads: None,
         }
     }
 
@@ -84,6 +100,12 @@ impl AlsConfig {
         self.solve = s;
         self
     }
+
+    pub fn with_threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "thread count must be non-zero");
+        self.threads = Some(n);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -98,8 +120,10 @@ mod tests {
             .with_max_sweeps(50)
             .with_pp_tol(0.2)
             .with_seed(7)
-            .with_solve(SolveStrategy::Replicated);
+            .with_solve(SolveStrategy::Replicated)
+            .with_threads(3);
         assert_eq!(c.rank, 8);
+        assert_eq!(c.threads, Some(3));
         assert_eq!(c.policy, TreePolicy::MultiSweep);
         assert_eq!(c.max_sweeps, 50);
         assert_eq!(c.solve, SolveStrategy::Replicated);

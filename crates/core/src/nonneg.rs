@@ -56,6 +56,7 @@ pub fn hals_update(a: &Matrix, m: &Matrix, gamma: &Matrix, inner_iters: usize) -
 /// unconstrained normal-equation solve. Initial factors are uniform
 /// `[0,1)` (already nonnegative).
 pub fn nn_cp_als(t: &DenseTensor, cfg: &AlsConfig) -> AlsOutput {
+    let _threads = cfg.thread_guard();
     let n_modes = t.order();
     let dims: Vec<usize> = t.shape().dims().to_vec();
     let mut rng = seeded(cfg.seed);

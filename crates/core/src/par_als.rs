@@ -33,6 +33,8 @@ pub fn par_cp_als(
     local: &DistTensor,
     cfg: &AlsConfig,
 ) -> ParAlsOutput {
+    // Every rank pins the same pool width, so the guard churn is idempotent.
+    let _threads = cfg.thread_guard();
     let mut st = ParState::init(ctx, grid, local, cfg);
     let n_modes = st.n_modes();
 

@@ -64,6 +64,8 @@ pub fn par_pp_cp_als(
     local: &DistTensor,
     cfg: &AlsConfig,
 ) -> ParAlsOutput {
+    // Every rank pins the same pool width, so the guard churn is idempotent.
+    let _threads = cfg.thread_guard();
     let mut st = ParState::init(ctx, grid, local, cfg);
     let n_modes = st.n_modes();
 

@@ -34,6 +34,7 @@ pub fn pp_cp_als(t: &DenseTensor, cfg: &AlsConfig) -> AlsOutput {
 pub fn pp_cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) -> AlsOutput {
     let n_modes = t.order();
     assert!(n_modes >= 3, "pairwise perturbation needs order ≥ 3");
+    let _threads = cfg.thread_guard();
 
     let mut input = match cfg.policy {
         TreePolicy::Standard => InputTensor::new(t.clone()),

@@ -62,13 +62,16 @@ impl InputTensor {
     }
 
     /// Wrap a tensor and pre-create the permuted copies MSDT needs so every
-    /// mode is the first or last mode of some stored layout.
+    /// mode is the first or last mode of some stored layout. The copies are
+    /// independent reads of the base tensor, so they are built in parallel
+    /// on the persistent pool (each permutation is itself pool-parallel).
     pub fn with_msdt_copies(t: DenseTensor) -> Self {
         let order = t.order();
         let mut input = InputTensor::new(t);
         input.cache_transposes = true;
         // Base layout covers modes 0 and order-1. Cover the rest pairwise:
         // a copy laid out [a, ..., b] exposes a (first) and b (last).
+        let mut perms: Vec<Vec<usize>> = Vec::new();
         let mut uncovered: Vec<usize> = (1..order.saturating_sub(1)).collect();
         while !uncovered.is_empty() {
             let a = uncovered.remove(0);
@@ -82,10 +85,16 @@ impl InputTensor {
             if let Some(b) = b {
                 perm.push(b);
             }
-            let permuted = permute(&input.layouts[0].tensor, &perm);
+            perms.push(perm);
+        }
+        let tensors = {
+            let base = &input.layouts[0].tensor;
+            crate::par_collect(perms.len(), |i| permute(base, &perms[i]))
+        };
+        for (perm, tensor) in perms.into_iter().zip(tensors) {
             input.layouts.push(Layout {
                 mode_order: perm,
-                tensor: permuted,
+                tensor,
             });
         }
         input

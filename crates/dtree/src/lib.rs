@@ -25,6 +25,34 @@ pub mod modeset;
 pub mod pp_tree;
 pub mod stats;
 
+/// Evaluate `f(0)..f(n-1)` and collect the results in index order, fanning
+/// independent evaluations out over the persistent rayon pool when it has
+/// more than one thread. Used for the embarrassingly-parallel tree work:
+/// PP pair-operator contractions and MSDT input-copy construction.
+pub(crate) fn par_collect<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use rayon::prelude::*;
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if n > 1 && rayon::current_num_threads() > 1 {
+        slots
+            .as_mut_slice()
+            .par_chunks_mut(1)
+            .enumerate()
+            .for_each(|(i, slot)| slot[0] = Some(f(i)));
+    } else {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("par_collect slot filled"))
+        .collect()
+}
+
 pub use cache::{InterCache, Intermediate};
 pub use engine::{DimTreeEngine, TreePolicy};
 pub use factor::FactorState;

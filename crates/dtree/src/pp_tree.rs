@@ -13,17 +13,25 @@
 //! first-level intermediate left over from the preceding exact ALS sweep is
 //! reused when its factor versions still match (the paper's footnote 1:
 //! only 2 of the 3 first-level contractions are recomputed for N = 4).
+//!
+//! Construction runs in three phases: a sequential walk secures shared
+//! parents in the cache, then the per-pair contraction chains — which are
+//! independent given the frozen factors — fan out over the persistent
+//! rayon pool, and finally stats/cache bookkeeping merges back in
+//! deterministic key order (so traces and cache contents are identical for
+//! any thread count).
 
 use crate::cache::Intermediate;
 use crate::engine::DimTreeEngine;
 use crate::factor::FactorState;
 use crate::input::InputTensor;
 use crate::modeset::ModeSet;
+use crate::par_collect;
 use crate::stats::Kernel;
 use pp_tensor::kernels::mttv::mttv;
 use pp_tensor::Matrix;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The PP operators produced by the initialization step.
 pub struct PpOperators {
@@ -85,34 +93,69 @@ pub fn build_pp_operators_with(
     assert!(n_modes >= 3, "pairwise perturbation needs order ≥ 3");
     let mut fresh_ttms = 0usize;
 
-    let mut pairs: HashMap<(usize, usize), Intermediate> = HashMap::new();
+    // ---- Phase A (sequential): secure each pair's starting intermediate.
+    // First-level TTMs mutate `input` (layout caching) and the shared
+    // version-checked cache is single-writer, so this walk stays serial —
+    // it is also where cross-pair sharing happens, so the work is small.
+    let mut ready: Vec<((usize, usize), Intermediate)> = Vec::new();
+    let mut deferred: Vec<((usize, usize), Intermediate)> = Vec::new();
     for i in 0..n_modes {
         for j in i + 1..n_modes {
             let set = ModeSet::from_modes([i, j]);
-            let inter = match memory {
-                PpTreeMemory::Full => obtain_pp(input, fs, engine, set, &mut fresh_ttms),
-                PpTreeMemory::CombineInner => {
-                    obtain_pp_combined(input, fs, engine, set, &mut fresh_ttms)
+            match memory {
+                PpTreeMemory::Full => {
+                    match obtain_pp_start(input, fs, engine, set, &mut fresh_ttms) {
+                        PairStart::Done(inter) => ready.push(((i, j), inter)),
+                        PairStart::From(start) => deferred.push(((i, j), start)),
+                    }
                 }
-            };
-            pairs.insert((i, j), inter);
+                PpTreeMemory::CombineInner => {
+                    let first = combined_start(input, fs, engine, set, &mut fresh_ttms);
+                    deferred.push(((i, j), first));
+                }
+            }
         }
     }
 
-    // Anchors Mp^(n): contract the partner mode out of a pair operator.
-    let mut firsts = Vec::with_capacity(n_modes);
-    for n in 0..n_modes {
+    // ---- Phase B (parallel): finish each deferred pair with its chain of
+    // batched TTVs. The (i, j) chains are independent (they only read the
+    // frozen factors and their own starting intermediate), so they fan out
+    // over the persistent pool.
+    let finished = par_collect(deferred.len(), |k| {
+        let (key, start) = &deferred[k];
+        finish_pair(*key, start.clone(), fs)
+    });
+
+    // ---- Phase C (sequential): merge bookkeeping in deterministic order.
+    let mut pairs: HashMap<(usize, usize), Intermediate> = ready.into_iter().collect();
+    for done in finished {
+        for &(dur, flops) in &done.steps {
+            engine.stats.record(Kernel::Mttv, dur, flops);
+        }
+        if memory == PpTreeMemory::Full {
+            engine.cache_mut().insert(done.inter.clone());
+        }
+        pairs.insert(done.key, done.inter);
+    }
+
+    // Anchors Mp^(n): contract the partner mode out of a pair operator —
+    // one independent mTTV per mode, also fanned over the pool.
+    let anchors = par_collect(n_modes, |n| {
         let partner = if n == 0 { 1 } else { 0 };
         let key = (n.min(partner), n.max(partner));
         let pair = &pairs[&key];
         let pos = pair.position_of(partner);
         let t0 = Instant::now();
         let out = mttv(&pair.tensor, pos, fs.factor(partner));
-        engine.stats.record(Kernel::Mttv, t0.elapsed(), out.flops);
-        debug_assert_eq!(out.tensor.order(), 2);
-        let rows = out.tensor.dim(0);
-        let r = out.tensor.dim(1);
-        firsts.push(Matrix::from_vec(rows, r, out.tensor.into_vec()));
+        (t0.elapsed(), out.flops, out.tensor)
+    });
+    let mut firsts = Vec::with_capacity(n_modes);
+    for (dur, flops, tensor) in anchors {
+        engine.stats.record(Kernel::Mttv, dur, flops);
+        debug_assert_eq!(tensor.order(), 2);
+        let rows = tensor.dim(0);
+        let r = tensor.dim(1);
+        firsts.push(Matrix::from_vec(rows, r, tensor.into_vec()));
     }
 
     PpOperators {
@@ -120,6 +163,108 @@ pub fn build_pp_operators_with(
         firsts,
         fresh_ttms,
     }
+}
+
+/// How a pair operator's construction proceeds after Phase A.
+enum PairStart {
+    /// Already complete (cache hit, or produced directly by a TTM).
+    Done(Intermediate),
+    /// Finish by contracting the modes outside the pair out of this
+    /// intermediate (cache-independent, safe to run in parallel).
+    From(Intermediate),
+}
+
+/// One pair's deferred contraction chain, with kernel bookkeeping to merge
+/// back into the engine on the coordinating thread.
+struct PairDone {
+    key: (usize, usize),
+    inter: Intermediate,
+    steps: Vec<(Duration, u64)>,
+}
+
+/// Contract every mode outside `key` out of `start` (batched TTVs). Pure
+/// function of the frozen factors — no cache or stats access.
+fn finish_pair(key: (usize, usize), start: Intermediate, fs: &FactorState) -> PairDone {
+    let set = ModeSet::from_modes([key.0, key.1]);
+    let mut current = start;
+    let mut steps = Vec::new();
+    while current.set().len() > 2 {
+        let gone = current.set().minus(set).min().unwrap();
+        let pos = current.position_of(gone);
+        let t0 = Instant::now();
+        let out = mttv(&current.tensor, pos, fs.factor(gone));
+        steps.push((t0.elapsed(), out.flops));
+        let mut mode_order = current.mode_order.clone();
+        mode_order.remove(pos);
+        let mut versions = current.versions;
+        versions[gone] = fs.version(gone);
+        current = Intermediate {
+            tensor: std::sync::Arc::new(out.tensor),
+            mode_order,
+            versions,
+        };
+    }
+    debug_assert_eq!(current.set(), set);
+    PairDone {
+        key,
+        inter: current,
+        steps,
+    }
+}
+
+/// Choose the mode `c` to re-add so the parent `S ∪ {c}` is PP-form,
+/// preferring (a) an already-cached parent, (b) the full set (TTM), then
+/// (c) extending the block upward, (d) downward.
+fn pick_parent_mode(
+    engine: &mut DimTreeEngine,
+    fs: &FactorState,
+    set: ModeSet,
+    n_modes: usize,
+) -> usize {
+    let candidates: Vec<usize> = (0..n_modes)
+        .filter(|&c| !set.contains(c) && set.with(c).is_pp_form())
+        .collect();
+    debug_assert!(!candidates.is_empty(), "PP-form sets always extend");
+
+    let cached_choice = candidates.iter().copied().find(|&c| {
+        engine
+            .cache_mut()
+            .get_valid(set.with(c), fs.versions())
+            .is_some()
+    });
+    cached_choice.unwrap_or_else(|| {
+        if set.len() == n_modes - 1 {
+            // Parent is the input tensor.
+            ModeSet::full(n_modes).minus(set).min().unwrap()
+        } else {
+            let above = candidates.iter().copied().find(|&c| c > set.max().unwrap());
+            above.unwrap_or_else(|| *candidates.last().unwrap())
+        }
+    })
+}
+
+/// First-level TTM contracting `contract` out of the input tensor, with
+/// stats recorded and the result cached.
+fn first_level_ttm(
+    input: &mut InputTensor,
+    fs: &FactorState,
+    engine: &mut DimTreeEngine,
+    contract: usize,
+    fresh_ttms: &mut usize,
+) -> Intermediate {
+    *fresh_ttms += 1;
+    let fl = input.contract_mode(contract, fs.factor(contract));
+    if fl.transpose_words > 0 {
+        engine.stats.record(Kernel::Transpose, fl.transpose_time, 0);
+    }
+    engine.stats.record(Kernel::Ttm, fl.ttm_time, fl.flops);
+    let inter = Intermediate {
+        tensor: std::sync::Arc::new(fl.tensor),
+        mode_order: fl.mode_order,
+        versions: fs.versions().to_vec(),
+    };
+    engine.cache_mut().insert(inter.clone());
+    inter
 }
 
 /// Memoized construction of a PP-form intermediate, sharing the engine
@@ -138,47 +283,13 @@ fn obtain_pp(
         return c.clone();
     }
 
-    // Choose the mode `c` to re-add so the parent S ∪ {c} is PP-form,
-    // preferring (a) an already-cached parent, (b) the full set (TTM), then
-    // (c) extending the block upward, (d) downward.
-    let candidates: Vec<usize> = (0..n_modes)
-        .filter(|&c| !set.contains(c) && set.with(c).is_pp_form())
-        .collect();
-    debug_assert!(!candidates.is_empty(), "PP-form sets always extend");
-
-    let cached_choice = candidates.iter().copied().find(|&c| {
-        engine
-            .cache_mut()
-            .get_valid(set.with(c), fs.versions())
-            .is_some()
-    });
-    let choice = cached_choice.unwrap_or_else(|| {
-        if set.len() == n_modes - 1 {
-            // Parent is the input tensor.
-            ModeSet::full(n_modes).minus(set).min().unwrap()
-        } else {
-            let above = candidates.iter().copied().find(|&c| c > set.max().unwrap());
-            above.unwrap_or_else(|| *candidates.last().unwrap())
-        }
-    });
-
+    let choice = pick_parent_mode(engine, fs, set, n_modes);
     let parent_set = set.with(choice);
     if parent_set == ModeSet::full(n_modes) {
         // The parent is the input tensor itself: a single first-level TTM
         // contracting `choice` produces exactly `set`.
-        *fresh_ttms += 1;
-        let fl = input.contract_mode(choice, fs.factor(choice));
-        if fl.transpose_words > 0 {
-            engine.stats.record(Kernel::Transpose, fl.transpose_time, 0);
-        }
-        engine.stats.record(Kernel::Ttm, fl.ttm_time, fl.flops);
-        let inter = Intermediate {
-            tensor: std::sync::Arc::new(fl.tensor),
-            mode_order: fl.mode_order,
-            versions: fs.versions().to_vec(),
-        };
+        let inter = first_level_ttm(input, fs, engine, choice, fresh_ttms);
         debug_assert_eq!(inter.set(), set);
-        engine.cache_mut().insert(inter.clone());
         return inter;
     }
 
@@ -186,11 +297,40 @@ fn obtain_pp(
     contract_step(fs, engine, parent, choice, set)
 }
 
-/// Level-combined construction (paper §IV): each pair descends from a
-/// first-level intermediate by contracting all other modes in one pass,
-/// without caching the inner levels. First-level intermediates are still
-/// cached (and reused across pairs and from the preceding exact sweep).
-fn obtain_pp_combined(
+/// Phase-A entry for one pair under [`PpTreeMemory::Full`]: return the pair
+/// directly when it is cached or one TTM away from the input, else secure
+/// its (cached) parent and defer the final contraction.
+fn obtain_pp_start(
+    input: &mut InputTensor,
+    fs: &FactorState,
+    engine: &mut DimTreeEngine,
+    set: ModeSet,
+    fresh_ttms: &mut usize,
+) -> PairStart {
+    debug_assert_eq!(set.len(), 2);
+    let n_modes = fs.order();
+
+    if let Some(c) = engine.cache_mut().get_valid(set, fs.versions()) {
+        return PairStart::Done(c.clone());
+    }
+
+    let choice = pick_parent_mode(engine, fs, set, n_modes);
+    let parent_set = set.with(choice);
+    if parent_set == ModeSet::full(n_modes) {
+        // Order-3 tensors: the pair is itself a first-level intermediate.
+        let inter = first_level_ttm(input, fs, engine, choice, fresh_ttms);
+        debug_assert_eq!(inter.set(), set);
+        return PairStart::Done(inter);
+    }
+    PairStart::From(obtain_pp(input, fs, engine, parent_set, fresh_ttms))
+}
+
+/// Level-combined construction, Phase A (paper §IV): secure the pair's
+/// first-level parent. The pair then descends from it by contracting all
+/// other modes in one deferred pass ([`finish_pair`]) without caching the
+/// inner levels. First-level intermediates are still cached (and reused
+/// across pairs and from the preceding exact sweep).
+fn combined_start(
     input: &mut InputTensor,
     fs: &FactorState,
     engine: &mut DimTreeEngine,
@@ -212,7 +352,7 @@ fn obtain_pp_combined(
         .iter()
         .copied()
         .find(|&s| engine.cache_mut().get_valid(s, fs.versions()).is_some());
-    let first = match cached {
+    match cached {
         Some(s) => engine
             .cache_mut()
             .get_valid(s, fs.versions())
@@ -225,42 +365,9 @@ fn obtain_pp_combined(
                 .find(|s| s.is_pp_form())
                 .unwrap_or(parent_sets[0]);
             let k = full.minus(target).min().unwrap();
-            *fresh_ttms += 1;
-            let fl = input.contract_mode(k, fs.factor(k));
-            if fl.transpose_words > 0 {
-                engine.stats.record(Kernel::Transpose, fl.transpose_time, 0);
-            }
-            engine.stats.record(Kernel::Ttm, fl.ttm_time, fl.flops);
-            let inter = Intermediate {
-                tensor: std::sync::Arc::new(fl.tensor),
-                mode_order: fl.mode_order,
-                versions: fs.versions().to_vec(),
-            };
-            engine.cache_mut().insert(inter.clone());
-            inter
+            first_level_ttm(input, fs, engine, k, fresh_ttms)
         }
-    };
-
-    // Contract everything outside the pair, without caching inner levels.
-    let mut current = first;
-    while current.set().len() > 2 {
-        let gone = current.set().minus(set).min().unwrap();
-        let pos = current.position_of(gone);
-        let t0 = Instant::now();
-        let out = mttv(&current.tensor, pos, fs.factor(gone));
-        engine.stats.record(Kernel::Mttv, t0.elapsed(), out.flops);
-        let mut mode_order = current.mode_order.clone();
-        mode_order.remove(pos);
-        let mut versions = current.versions;
-        versions[gone] = fs.version(gone);
-        current = Intermediate {
-            tensor: std::sync::Arc::new(out.tensor),
-            mode_order,
-            versions,
-        };
     }
-    debug_assert_eq!(current.set(), set);
-    current
 }
 
 /// Contract `gone` out of `parent` with a batched TTV, cache, and return.
@@ -443,6 +550,31 @@ mod tests {
             e2.cache_memory_elems(),
             e1.cache_memory_elems()
         );
+    }
+
+    #[test]
+    fn operators_bit_identical_across_thread_counts() {
+        // The parallel Phase B must not change a single bit of any pair
+        // operator or anchor relative to a 1-thread build.
+        let dims = [4, 5, 3, 4];
+        let (t, fs) = setup(&dims, 2, 17);
+        let build = |threads: usize| {
+            let _g = rayon::scoped_num_threads(threads);
+            let mut input = InputTensor::new(t.clone());
+            let mut engine = DimTreeEngine::new(TreePolicy::Standard, dims.len());
+            build_pp_operators(&mut input, &fs, &mut engine)
+        };
+        let serial = build(1);
+        let parallel = build(4);
+        assert_eq!(serial.fresh_ttms, parallel.fresh_ttms);
+        for (key, a) in &serial.pairs {
+            let b = &parallel.pairs[key];
+            assert_eq!(a.mode_order, b.mode_order, "pair {key:?} layout");
+            assert_eq!(a.tensor.data(), b.tensor.data(), "pair {key:?} data");
+        }
+        for (a, b) in serial.firsts.iter().zip(parallel.firsts.iter()) {
+            assert_eq!(a.data(), b.data());
+        }
     }
 
     #[test]

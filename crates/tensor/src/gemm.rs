@@ -24,8 +24,15 @@ const MC: usize = 64;
 const KC: usize = 256;
 
 /// Minimum number of multiply-adds before it is worth fanning out to the
-/// rayon pool; below this the dispatch overhead exceeds the work.
-const PAR_WORK_THRESHOLD: usize = 1 << 18;
+/// rayon pool; below this the dispatch overhead exceeds the work. With the
+/// persistent pool, dispatch is an enqueue + atomic chunk claims (no thread
+/// spawn), so this sits 4× lower than the per-call-spawn era (2^18).
+const PAR_WORK_THRESHOLD: usize = 1 << 16;
+
+/// Row chunks handed to the pool per worker thread. Oversubscribing ~4×
+/// lets the dynamic chunk claiming balance uneven progress across workers
+/// at negligible cost (one atomic op per chunk).
+const CHUNKS_PER_THREAD: usize = 4;
 
 /// General matrix multiply over `Matrix` values: `C ← α·op(A)·op(B) + β·C`.
 ///
@@ -167,9 +174,10 @@ pub fn gemm_slice(
     };
 
     if m * n * k >= PAR_WORK_THRESHOLD && m > 1 {
-        // Split C into contiguous row chunks, one rayon task each.
+        // Split C into contiguous row chunks, claimed dynamically off the
+        // persistent pool.
         let nthreads = rayon::current_num_threads().max(1);
-        let rows_per_chunk = m.div_ceil(nthreads).max(1);
+        let rows_per_chunk = m.div_ceil(nthreads * CHUNKS_PER_THREAD).max(1);
         cdata
             .par_chunks_mut(rows_per_chunk * c_cols)
             .enumerate()

@@ -1,11 +1,21 @@
 //! Khatri-Rao products and the Γ Hadamard chains of CP-ALS.
 
 use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Minimum output elements before the row-blocked parallel path pays for
+/// the pool dispatch (an enqueue plus atomic chunk claims).
+const PAR_ELEMS: usize = 1 << 14;
 
 /// Column-wise Khatri-Rao product of a list of matrices sharing a column
 /// count `R`. Row ordering: `mats[0]`'s row index varies *slowest* — matching
 /// the row-major unfolding used by [`crate::kernels::naive::unfold`], so that
 /// `M^(n) = unfold_n(T) · khatri_rao(other factors in mode order)`.
+///
+/// Output rows are independent, so the materialization is row-blocked over
+/// the persistent pool: each block decodes its starting odometer state from
+/// the row index and walks its rows locally. Per-row work is identical to
+/// the serial loop, so results are bit-identical for any thread count.
 pub fn khatri_rao(mats: &[&Matrix]) -> Matrix {
     assert!(!mats.is_empty(), "khatri_rao of empty list");
     let r = mats[0].cols();
@@ -15,25 +25,42 @@ pub fn khatri_rao(mats: &[&Matrix]) -> Matrix {
     let total_rows: usize = mats.iter().map(|m| m.rows()).product();
     let mut out = Matrix::from_fn(total_rows, r, |_, _| 1.0);
 
-    // Build iteratively: out starts as all-ones 1×R (conceptually), and each
-    // matrix expands the row space. We materialize directly with an odometer.
-    let mut idx = vec![0usize; mats.len()];
-    for row in 0..total_rows {
-        let orow = out.row_mut(row);
-        for (m, &i) in mats.iter().zip(idx.iter()) {
-            let mrow = m.row(i);
-            for (o, v) in orow.iter_mut().zip(mrow.iter()) {
-                *o *= v;
-            }
-        }
-        // Odometer increment, last matrix fastest.
+    // Fill rows [row0, row0 + block.len()/r) of the output, odometer
+    // initialized by mixed-radix decoding of `row0` (last matrix fastest).
+    let fill = |row0: usize, block: &mut [f64]| {
+        let mut idx = vec![0usize; mats.len()];
+        let mut rem = row0;
         for k in (0..mats.len()).rev() {
-            idx[k] += 1;
-            if idx[k] < mats[k].rows() {
-                break;
-            }
-            idx[k] = 0;
+            idx[k] = rem % mats[k].rows();
+            rem /= mats[k].rows();
         }
+        for orow in block.chunks_exact_mut(r) {
+            for (m, &i) in mats.iter().zip(idx.iter()) {
+                let mrow = m.row(i);
+                for (o, v) in orow.iter_mut().zip(mrow.iter()) {
+                    *o *= v;
+                }
+            }
+            // Odometer increment, last matrix fastest.
+            for k in (0..mats.len()).rev() {
+                idx[k] += 1;
+                if idx[k] < mats[k].rows() {
+                    break;
+                }
+                idx[k] = 0;
+            }
+        }
+    };
+
+    let nthreads = rayon::current_num_threads().max(1);
+    if total_rows > 1 && total_rows * r >= PAR_ELEMS && nthreads > 1 {
+        let rows_per_chunk = total_rows.div_ceil(nthreads * 4).max(1);
+        out.data_mut()
+            .par_chunks_mut(rows_per_chunk * r)
+            .enumerate()
+            .for_each(|(ci, block)| fill(ci * rows_per_chunk, block));
+    } else {
+        fill(0, out.data_mut());
     }
     out
 }
@@ -81,6 +108,23 @@ mod tests {
         assert_eq!(k.rows(), 8);
         // idx (1,0,1): 3 * 5 * 13
         assert_eq!(k.get(1 * 4 + 0 * 2 + 1, 0), 3.0 * 5.0 * 13.0);
+    }
+
+    #[test]
+    fn krp_parallel_path_matches_rowwise_oracle() {
+        // Large enough to cross PAR_ELEMS and exercise the pooled path.
+        let a = Matrix::from_fn(64, 24, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let b = Matrix::from_fn(48, 24, |i, j| ((i * 5 + j) % 9) as f64 / 4.0 - 1.0);
+        let c = Matrix::from_fn(16, 24, |i, j| ((i + j * 2) % 7) as f64 - 3.0);
+        let k = khatri_rao(&[&a, &b, &c]);
+        assert_eq!(k.rows(), 64 * 48 * 16);
+        for &(ia, ib, ic) in &[(0, 0, 0), (1, 2, 3), (63, 47, 15), (17, 31, 9)] {
+            let row = (ia * 48 + ib) * 16 + ic;
+            for col in 0..24 {
+                let want = a.get(ia, col) * b.get(ib, col) * c.get(ic, col);
+                assert_eq!(k.get(row, col), want, "row {row} col {col}");
+            }
+        }
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub fn mttv(inter: &DenseTensor, pos: usize, factor: &Matrix) -> MttvOutput {
         }
     };
 
-    const PAR_ELEMS: usize = 256 * 1024;
+    // Pooled dispatch is an enqueue + atomic chunk claims, so the parallel
+    // path pays off 4× earlier than under per-call thread spawning (256K).
+    const PAR_ELEMS: usize = 64 * 1024;
     if outer > 1 && inter.len() >= PAR_ELEMS {
         out.par_chunks_mut(slab)
             .enumerate()
@@ -86,9 +88,10 @@ pub fn mttv(inter: &DenseTensor, pos: usize, factor: &Matrix) -> MttvOutput {
     } else if outer == 1 && inter.len() >= PAR_ELEMS && inner > 1 {
         // Contraction over the leading mode: parallelize over inner slabs.
         // Each task owns a contiguous chunk of the output's (inner, R) plane
-        // and strides over y in the input.
+        // and strides over y in the input. ~4× chunk oversubscription lets
+        // the pool's dynamic claiming balance the workers.
         let nthreads = rayon::current_num_threads().max(1);
-        let chunk_rows = inner.div_ceil(nthreads).max(1);
+        let chunk_rows = inner.div_ceil(nthreads * 4).max(1);
         out.par_chunks_mut(chunk_rows * r)
             .enumerate()
             .for_each(|(ci, block)| {

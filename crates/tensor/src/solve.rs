@@ -169,12 +169,21 @@ pub fn solve_gram(gamma: &Matrix, m: &Matrix) -> (Matrix, SolveMethod) {
         Some(l) => {
             let mut out = m.clone();
             let cols = out.cols();
-            // Two triangular solves per row ≈ 2·R² flops; only parallelize
-            // when the total work clears the rayon dispatch overhead.
-            if out.rows() * cols * cols >= 1 << 17 {
+            let rows = out.rows();
+            // Two triangular solves per row ≈ 2·R² flops; the persistent
+            // pool makes dispatch cheap enough to fan out 4× earlier than
+            // under per-call spawning (2^17), in multi-row chunks claimed
+            // dynamically.
+            let nthreads = rayon::current_num_threads().max(1);
+            if rows * cols * cols >= 1 << 15 && nthreads > 1 {
+                let rows_per_chunk = rows.div_ceil(nthreads * 4).max(1);
                 out.data_mut()
-                    .par_chunks_mut(cols)
-                    .for_each(|row| solve_row_in_place(&l, row));
+                    .par_chunks_mut(rows_per_chunk * cols)
+                    .for_each(|block| {
+                        for row in block.chunks_mut(cols) {
+                            solve_row_in_place(&l, row);
+                        }
+                    });
             } else {
                 for row in out.data_mut().chunks_mut(cols) {
                     solve_row_in_place(&l, row);

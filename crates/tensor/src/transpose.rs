@@ -7,9 +7,19 @@
 //! (§IV) and what [`crate::kernels::ttm`] supports via pre-permuted inputs.
 
 use crate::dense::DenseTensor;
+use rayon::prelude::*;
+
+/// Minimum tensor elements before a permutation fans out to the pool.
+const PAR_ELEMS: usize = 1 << 16;
 
 /// Permute the modes of a tensor: `out[i_{perm[0]}, ..., i_{perm[N-1]}] = t[i_0, ..., i_{N-1}]`
 /// — i.e. mode `k` of the output is mode `perm[k]` of the input.
+///
+/// The output is walked row-major; blocks of "outer" iterations (each
+/// covering one contiguous innermost run) are distributed over the
+/// persistent pool, each block decoding its starting input offset from its
+/// outer index. Every output element is written exactly once, so results
+/// are identical for any thread count.
 pub fn permute(t: &DenseTensor, perm: &[usize]) -> DenseTensor {
     let n = t.order();
     assert_eq!(perm.len(), n, "permutation length must equal tensor order");
@@ -39,30 +49,48 @@ pub fn permute(t: &DenseTensor, perm: &[usize]) -> DenseTensor {
     let inner_stride = strides_for_out[n - 1];
     let outer_count: usize = out_dims[..n - 1].iter().product();
 
-    let mut idx = vec![0usize; n - 1];
-    let mut src_base = 0usize;
-    let mut dst = 0usize;
-    for _ in 0..outer_count {
-        if inner_stride == 1 {
-            out[dst..dst + inner_len].copy_from_slice(&src[src_base..src_base + inner_len]);
-        } else {
-            let mut s = src_base;
-            for o in out[dst..dst + inner_len].iter_mut() {
-                *o = src[s];
-                s += inner_stride;
-            }
-        }
-        dst += inner_len;
-        // Odometer increment over the outer output modes.
+    // Fill output rows [outer0, outer0 + block.len()/inner_len): decode the
+    // starting odometer state and input offset from `outer0`, then walk.
+    let fill = |outer0: usize, block: &mut [f64]| {
+        let mut idx = vec![0usize; n - 1];
+        let mut rem = outer0;
+        let mut src_base = 0usize;
         for k in (0..n - 1).rev() {
-            idx[k] += 1;
-            src_base += strides_for_out[k];
-            if idx[k] < out_dims[k] {
-                break;
-            }
-            src_base -= strides_for_out[k] * out_dims[k];
-            idx[k] = 0;
+            idx[k] = rem % out_dims[k];
+            rem /= out_dims[k];
+            src_base += idx[k] * strides_for_out[k];
         }
+        for row in block.chunks_exact_mut(inner_len) {
+            if inner_stride == 1 {
+                row.copy_from_slice(&src[src_base..src_base + inner_len]);
+            } else {
+                let mut s = src_base;
+                for o in row.iter_mut() {
+                    *o = src[s];
+                    s += inner_stride;
+                }
+            }
+            // Odometer increment over the outer output modes.
+            for k in (0..n - 1).rev() {
+                idx[k] += 1;
+                src_base += strides_for_out[k];
+                if idx[k] < out_dims[k] {
+                    break;
+                }
+                src_base -= strides_for_out[k] * out_dims[k];
+                idx[k] = 0;
+            }
+        }
+    };
+
+    let nthreads = rayon::current_num_threads().max(1);
+    if t.len() >= PAR_ELEMS && outer_count > 1 && nthreads > 1 {
+        let outers_per_chunk = outer_count.div_ceil(nthreads * 4).max(1);
+        out.par_chunks_mut(outers_per_chunk * inner_len)
+            .enumerate()
+            .for_each(|(ci, block)| fill(ci * outers_per_chunk, block));
+    } else {
+        fill(0, &mut out);
     }
 
     DenseTensor::from_vec(out_shape, out)
@@ -179,6 +207,20 @@ mod tests {
         let s = swap_first_two(&t);
         assert_eq!(s.shape().dims(), &[4, 3, 2]);
         assert_eq!(s.get(&[1, 2, 0]), t.get(&[2, 1, 0]));
+    }
+
+    #[test]
+    fn large_parallel_permute_matches_pointwise() {
+        // ≥ PAR_ELEMS so the pooled path runs; strided inner dimension.
+        let t = seq_tensor(vec![48, 64, 48]);
+        let p = permute(&t, &[2, 0, 1]);
+        assert_eq!(p.shape().dims(), &[48, 48, 64]);
+        for &(i, j, k) in &[(0, 0, 0), (47, 63, 47), (13, 21, 34), (30, 7, 2)] {
+            assert_eq!(p.get(&[k, i, j]), t.get(&[i, j, k]));
+        }
+        // Roundtrip through the inverse also exercises inner_stride == 1.
+        let back = permute(&p, &[1, 2, 0]);
+        assert_eq!(back.data(), t.data());
     }
 
     #[test]

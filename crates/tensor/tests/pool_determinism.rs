@@ -1,0 +1,88 @@
+//! Determinism of pooled kernels: GEMM, Khatri-Rao, and batched TTV must
+//! produce **bit-identical** outputs whether the pool runs 1 thread or
+//! many. Each output element is computed by the same sequential loop
+//! regardless of how chunks are claimed, so equality is exact, not
+//! approximate — this is what makes `PP_NUM_THREADS` a pure performance
+//! knob.
+
+use pp_tensor::gemm::{gemm, Trans};
+use pp_tensor::kernels::krp::khatri_rao;
+use pp_tensor::kernels::mttv::mttv;
+use pp_tensor::rng::{seeded, uniform_matrix, uniform_tensor};
+use pp_tensor::Matrix;
+use std::sync::Mutex;
+
+/// The thread override is process-global and the test harness runs tests
+/// concurrently, so pinning must be serialized — otherwise one test's
+/// "1-thread" baseline could silently run wide under another's pin.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` under a pinned pool width and return its result.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = rayon::scoped_num_threads(n);
+    f()
+}
+
+#[test]
+fn gemm_bit_identical_across_thread_counts() {
+    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = seeded(42);
+    // Big enough to clear the parallel-work threshold (m·n·k ≥ 2^16).
+    let a = uniform_matrix(96, 64, &mut rng);
+    let b = uniform_matrix(64, 80, &mut rng);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let mut c = Matrix::zeros(96, 80);
+            gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+            c
+        })
+    };
+    let serial = run(1);
+    for threads in [2, 4, 8] {
+        let par = run(threads);
+        assert_eq!(
+            serial.data(),
+            par.data(),
+            "gemm output differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn khatri_rao_bit_identical_across_thread_counts() {
+    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = seeded(7);
+    let a = uniform_matrix(60, 32, &mut rng);
+    let b = uniform_matrix(50, 32, &mut rng);
+    let serial = with_threads(1, || khatri_rao(&[&a, &b]));
+    for threads in [2, 4, 8] {
+        let par = with_threads(threads, || khatri_rao(&[&a, &b]));
+        assert_eq!(
+            serial.data(),
+            par.data(),
+            "khatri_rao output differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn mttv_bit_identical_across_thread_counts() {
+    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = seeded(13);
+    // 64 · 48 · 24 = 73_728 elements ≥ the 64K parallel threshold.
+    let inter = uniform_tensor(&[64, 48, 24], &mut rng);
+    let fac1 = uniform_matrix(48, 24, &mut rng);
+    let fac0 = uniform_matrix(64, 24, &mut rng);
+    // pos 1 exercises the outer-slab path, pos 0 the leading-mode path.
+    for (pos, fac) in [(1usize, &fac1), (0usize, &fac0)] {
+        let serial = with_threads(1, || mttv(&inter, pos, fac).tensor);
+        for threads in [2, 4, 8] {
+            let par = with_threads(threads, || mttv(&inter, pos, fac).tensor);
+            assert_eq!(
+                serial.data(),
+                par.data(),
+                "mttv pos {pos} differs at {threads} threads"
+            );
+        }
+    }
+}

@@ -9,9 +9,15 @@
 //!      --pp-tol  <ε>                        (default 0.1)
 //!      --ranks   <P>                        (default 1; >1 runs the
 //!                                            simulated distributed runtime)
+//!      --threads <T>                        (default: PP_NUM_THREADS or
+//!                                            hardware; pins the kernel
+//!                                            thread pool per rank)
 //!      --seed    <u64>                      (default 42)
 //!      --trace                              (print the fitness trace)
 //! ```
+//!
+//! Argument errors (unknown flags, unknown `--dataset`/`--method` values,
+//! unparsable numbers) exit with status 2.
 //!
 //! Examples:
 //! ```text
@@ -33,6 +39,7 @@ use parallel_pp::grid::{DistTensor, ProcGrid};
 use parallel_pp::tensor::DenseTensor;
 use std::sync::Arc;
 
+#[derive(Debug)]
 struct Args {
     dataset: String,
     method: String,
@@ -41,12 +48,21 @@ struct Args {
     tol: f64,
     pp_tol: f64,
     ranks: usize,
+    threads: Option<usize>,
     seed: u64,
     trace: bool,
+    help: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+const DATASETS: &[&str] = &["lowrank", "collinearity", "chemistry", "coil", "timelapse"];
+const METHODS: &[&str] = &["dt", "msdt", "pp", "nncp"];
+
+/// Parse and validate a CLI argument vector (without the program name).
+/// Unknown flags, unknown `--dataset`/`--method` values, and unparsable
+/// numbers are all hard errors — no silent fallbacks.
+fn parse_args_from(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
+        help: argv.iter().any(|a| a == "--help" || a == "-h"),
         dataset: "lowrank".into(),
         method: "msdt".into(),
         rank: 16,
@@ -54,10 +70,14 @@ fn parse_args() -> Result<Args, String> {
         tol: 1e-5,
         pp_tol: 0.1,
         ranks: 1,
+        threads: None,
         seed: 42,
         trace: false,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `--help` short-circuits all validation, per CLI convention.
+    if args.help {
+        return Ok(args);
+    }
     let mut i = 0;
     while i < argv.len() {
         let key = argv[i].as_str();
@@ -70,22 +90,70 @@ fn parse_args() -> Result<Args, String> {
         match key {
             "--dataset" => args.dataset = take(&mut i)?,
             "--method" => args.method = take(&mut i)?,
-            "--rank" => args.rank = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--sweeps" => args.sweeps = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--tol" => args.tol = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--pp-tol" => args.pp_tol = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--ranks" => args.ranks = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--trace" => args.trace = true,
-            "--help" | "-h" => {
-                println!("see module docs: ppcp --dataset <name> --method <dt|msdt|pp|nncp> ...");
-                std::process::exit(0);
+            "--rank" => {
+                args.rank = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?
             }
+            "--sweeps" => {
+                args.sweeps = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?
+            }
+            "--tol" => {
+                args.tol = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?
+            }
+            "--pp-tol" => {
+                args.pp_tol = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?
+            }
+            "--ranks" => {
+                args.ranks = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?
+            }
+            "--threads" => {
+                let t: usize = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(t);
+            }
+            "--seed" => {
+                args.seed = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?
+            }
+            "--trace" => args.trace = true,
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
     }
+    if !DATASETS.contains(&args.dataset.as_str()) {
+        return Err(format!(
+            "unknown dataset '{}' (expected one of {})",
+            args.dataset,
+            DATASETS.join("|")
+        ));
+    }
+    if !METHODS.contains(&args.method.as_str()) {
+        return Err(format!(
+            "unknown method '{}' (expected one of {})",
+            args.method,
+            METHODS.join("|")
+        ));
+    }
     Ok(args)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    parse_args_from(&argv)
 }
 
 fn make_tensor(args: &Args) -> DenseTensor {
@@ -170,15 +238,28 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.help {
+        println!("see module docs: ppcp --dataset <name> --method <dt|msdt|pp|nncp> ...");
+        return;
+    }
+    if let Some(t) = args.threads {
+        // Pin the persistent kernel pool process-wide, covering dataset
+        // generation and every simulated rank. This is the single thread
+        // mechanism in the CLI; `AlsConfig::threads` (the library-level
+        // scoped pin) is deliberately left unset to avoid a second,
+        // redundant control path.
+        rayon::set_num_threads(t);
+    }
     let t = make_tensor(&args);
     println!(
-        "dataset {} → tensor {} ({} elements), method {}, R={}, P={}",
+        "dataset {} → tensor {} ({} elements), method {}, R={}, P={}, threads={}",
         args.dataset,
         t.shape(),
         t.len(),
         args.method,
         args.rank,
-        args.ranks
+        args.ranks,
+        rayon::current_num_threads(),
     );
 
     let cfg = AlsConfig::new(args.rank)
@@ -240,5 +321,102 @@ fn main() {
                 s.fitness
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let a = parse_args_from(&argv(&[])).unwrap();
+        assert_eq!(a.dataset, "lowrank");
+        assert_eq!(a.method, "msdt");
+        assert_eq!(a.rank, 16);
+        assert_eq!(a.threads, None);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let a = parse_args_from(&argv(&[
+            "--dataset",
+            "chemistry",
+            "--method",
+            "pp",
+            "--rank",
+            "24",
+            "--sweeps",
+            "50",
+            "--tol",
+            "1e-4",
+            "--pp-tol",
+            "0.2",
+            "--ranks",
+            "4",
+            "--threads",
+            "8",
+            "--seed",
+            "7",
+            "--trace",
+        ]))
+        .unwrap();
+        assert_eq!(a.dataset, "chemistry");
+        assert_eq!(a.method, "pp");
+        assert_eq!(a.rank, 24);
+        assert_eq!(a.ranks, 4);
+        assert_eq!(a.threads, Some(8));
+        assert!(a.trace);
+    }
+
+    #[test]
+    fn help_short_circuits_validation() {
+        // `--help` anywhere on the line wins, even next to invalid args.
+        for argv_case in [
+            vec!["--help"],
+            vec!["-h"],
+            vec!["--help", "--method", "turbo"],
+            vec!["--rank", "abc", "--help"],
+            vec!["--help", "--frobnicate"],
+        ] {
+            let a = parse_args_from(&argv(&argv_case)).unwrap();
+            assert!(a.help, "{argv_case:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_method_is_rejected_not_defaulted() {
+        let err = parse_args_from(&argv(&["--method", "turbo"])).unwrap_err();
+        assert!(err.contains("unknown method 'turbo'"), "{err}");
+        assert!(err.contains("dt|msdt|pp|nncp"), "{err}");
+    }
+
+    #[test]
+    fn unknown_dataset_is_rejected() {
+        let err = parse_args_from(&argv(&["--dataset", "netflix"])).unwrap_err();
+        assert!(err.contains("unknown dataset 'netflix'"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = parse_args_from(&argv(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown flag --frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn bad_numbers_and_missing_values_are_rejected() {
+        assert!(parse_args_from(&argv(&["--rank", "abc"]))
+            .unwrap_err()
+            .contains("invalid value for --rank"));
+        assert!(parse_args_from(&argv(&["--seed"]))
+            .unwrap_err()
+            .contains("missing value for --seed"));
+        assert!(parse_args_from(&argv(&["--threads", "0"]))
+            .unwrap_err()
+            .contains("--threads must be at least 1"));
     }
 }

@@ -1,0 +1,109 @@
+//! End-to-end determinism of the solvers across pool widths: `cp_als` and
+//! `pp_cp_als` must produce **identical** fitness traces and factors under
+//! a 1-thread pool and an N-thread pool. Every parallel kernel partitions
+//! its output disjointly and computes each element with a fixed-order
+//! sequential loop, so equality is exact (bitwise), not approximate.
+//!
+//! The 40³ tensor is chosen to actually cross the GEMM parallel-work
+//! threshold (K·s·R = 1600·40·8 ≈ 5×10⁵ ≥ 2¹⁶), so the N-thread run
+//! really exercises the pooled parallel paths.
+
+use parallel_pp::core::{cp_als, pp_cp_als, AlsConfig};
+use parallel_pp::datagen::lowrank::noisy_rank;
+use parallel_pp::dtree::TreePolicy;
+use std::sync::Mutex;
+
+/// The thread override is process-global and the test harness runs tests
+/// concurrently, so pinning must be serialized — otherwise one test's
+/// "1-thread" baseline could silently run wide under another's pin.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+fn assert_identical(a: &parallel_pp::core::AlsOutput, b: &parallel_pp::core::AlsOutput) {
+    assert_eq!(a.report.sweeps.len(), b.report.sweeps.len(), "sweep count");
+    for (i, (sa, sb)) in a
+        .report
+        .sweeps
+        .iter()
+        .zip(b.report.sweeps.iter())
+        .enumerate()
+    {
+        assert_eq!(
+            sa.fitness.to_bits(),
+            sb.fitness.to_bits(),
+            "fitness diverged at sweep {i}: {} vs {}",
+            sa.fitness,
+            sb.fitness
+        );
+        assert_eq!(sa.kind, sb.kind, "sweep kind diverged at sweep {i}");
+    }
+    for (n, (fa, fb)) in a.factors.iter().zip(b.factors.iter()).enumerate() {
+        assert_eq!(fa.data(), fb.data(), "factor {n} diverged");
+    }
+}
+
+#[test]
+fn cp_als_trace_identical_under_1_and_n_threads() {
+    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let t = noisy_rank(&[40, 40, 40], 6, 0.05, 21);
+    let run = |threads: usize| {
+        cp_als(
+            &t,
+            &AlsConfig::new(8)
+                .with_max_sweeps(8)
+                .with_tol(0.0)
+                .with_threads(threads),
+        )
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_identical(&serial, &parallel);
+}
+
+#[test]
+fn msdt_cp_als_trace_identical_under_1_and_n_threads() {
+    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let t = noisy_rank(&[40, 40, 40], 6, 0.05, 33);
+    let run = |threads: usize| {
+        cp_als(
+            &t,
+            &AlsConfig::new(8)
+                .with_policy(TreePolicy::MultiSweep)
+                .with_max_sweeps(8)
+                .with_tol(0.0)
+                .with_threads(threads),
+        )
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_identical(&serial, &parallel);
+}
+
+#[test]
+fn pp_cp_als_trace_identical_under_1_and_n_threads() {
+    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let t = noisy_rank(&[40, 40, 40], 6, 0.05, 55);
+    let run = |threads: usize| {
+        pp_cp_als(
+            &t,
+            &AlsConfig::new(8)
+                .with_max_sweeps(20)
+                .with_tol(0.0)
+                // Loose ε so the run actually enters the PP regime and the
+                // parallel pair-operator construction is exercised.
+                .with_pp_tol(0.5)
+                .with_threads(threads),
+        )
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    // The PP regime must have fired for this test to mean anything.
+    assert!(
+        serial
+            .report
+            .sweeps
+            .iter()
+            .any(|s| s.kind == parallel_pp::core::SweepKind::PpInit),
+        "PP regime never engaged; loosen pp_tol"
+    );
+    assert_identical(&serial, &parallel);
+}

@@ -8,6 +8,12 @@
 //! timed samples per benchmark and prints min / mean / max wall time — a
 //! plain-text report good enough to eyeball the paper's relative-ordering
 //! claims until a networked environment allows the real crate.
+//!
+//! Like the real criterion, each *sample* loops the measured closure
+//! enough times that the sample lasts at least [`MIN_SAMPLE_SECS`]
+//! (calibrated from a warm-up pass), so sub-microsecond kernels are timed
+//! over thousands of amortized iterations instead of a single
+//! timer-resolution-dominated call. Reported numbers are per iteration.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -93,33 +99,62 @@ impl BenchmarkId {
 pub struct Bencher {
     elapsed: Duration,
     iterations: u64,
+    /// How many times `iter` loops its closure per call (amortized timing;
+    /// decided by the harness from the warm-up calibration).
+    iters_per_sample: u64,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let start = Instant::now();
-        black_box(f());
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
         self.elapsed += start.elapsed();
-        self.iterations += 1;
+        self.iterations += self.iters_per_sample;
     }
+}
+
+/// Minimum duration one sample should cover. Sub-microsecond closures get
+/// looped ~thousands of times per sample so the `Instant` read (tens of
+/// nanoseconds) and scheduler noise amortize away; closures that already
+/// run longer than this are timed one iteration per sample, as before.
+pub const MIN_SAMPLE_SECS: f64 = 2e-3;
+
+/// Iterations per sample so a sample lasts ≥ [`MIN_SAMPLE_SECS`], given
+/// the calibrated per-iteration time. Clamped so pathological inputs
+/// (zero-cost closures, timer granularity 0) cannot spin forever.
+pub fn calibrate_iters(per_iter_secs: f64) -> u64 {
+    if !per_iter_secs.is_finite() || per_iter_secs <= 0.0 {
+        return 1 << 20;
+    }
+    ((MIN_SAMPLE_SECS / per_iter_secs).ceil() as u64).clamp(1, 1 << 20)
 }
 
 fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
-    // One warm-up sample, then `sample_size` timed samples.
+    // One warm-up sample (single iteration) to calibrate the amortization.
     let mut warmup = Bencher {
         elapsed: Duration::ZERO,
         iterations: 0,
+        iters_per_sample: 1,
     };
     f(&mut warmup);
+    let per_iter = if warmup.iterations > 0 {
+        warmup.elapsed.as_secs_f64() / warmup.iterations as f64
+    } else {
+        f64::NAN
+    };
+    let iters_per_sample = calibrate_iters(per_iter);
 
     let mut samples = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
         let mut b = Bencher {
             elapsed: Duration::ZERO,
             iterations: 0,
+            iters_per_sample,
         };
         f(&mut b);
         if b.iterations > 0 {
@@ -134,7 +169,7 @@ where
     let max = samples.iter().cloned().fold(0.0f64, f64::max);
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     eprintln!(
-        "  {id:50} min {} | mean {} | max {}",
+        "  {id:50} min {} | mean {} | max {} ({iters_per_sample} iters/sample)",
         fmt_time(min),
         fmt_time(mean),
         fmt_time(max)
@@ -191,6 +226,40 @@ mod tests {
         g.finish();
         // warm-up + 5 samples
         assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn calibration_amortizes_fast_closures_only() {
+        // Slow closures: one iteration per sample (previous behavior).
+        assert_eq!(calibrate_iters(1.0), 1);
+        assert_eq!(calibrate_iters(MIN_SAMPLE_SECS), 1);
+        // A 1 µs kernel gets looped until the sample spans MIN_SAMPLE_SECS.
+        assert_eq!(
+            calibrate_iters(1e-6),
+            (MIN_SAMPLE_SECS / 1e-6).ceil() as u64
+        );
+        // Degenerate timings clamp instead of spinning forever.
+        assert_eq!(calibrate_iters(0.0), 1 << 20);
+        assert_eq!(calibrate_iters(f64::NAN), 1 << 20);
+        assert_eq!(calibrate_iters(1e-15), 1 << 20);
+    }
+
+    #[test]
+    fn sub_microsecond_benches_loop_many_iterations_per_sample() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let inner = AtomicU64::new(0);
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("amortize");
+        g.sample_size(3);
+        g.bench_function("nop", |b| b.iter(|| inner.fetch_add(1, Ordering::Relaxed)));
+        g.finish();
+        // A nanosecond-scale closure must be looped far more than the
+        // warm-up + 3 single calls the old shim performed.
+        assert!(
+            inner.load(Ordering::Relaxed) > 1000,
+            "only {} inner iterations recorded",
+            inner.load(Ordering::Relaxed)
+        );
     }
 
     #[test]

@@ -1,23 +1,71 @@
 //! Minimal offline stand-in for `rayon`, covering the surface this
-//! workspace uses: `slice.par_chunks_mut(n).for_each(..)` (optionally with
-//! `.enumerate()`) and [`current_num_threads`].
+//! workspace uses: `slice.par_chunks_mut(n)` / `slice.par_chunks(n)`
+//! (optionally `.enumerate()`) with `.for_each(..)`, [`join`], [`scope`],
+//! and [`current_num_threads`].
 //!
-//! Parallelism is real — chunks are statically partitioned over
-//! `std::thread::scope` workers — but there is no work-stealing pool;
-//! threads are spawned per call. Callers in this workspace guard the
-//! parallel path behind work-size thresholds, so the spawn cost is
-//! amortized. Replacing this with a persistent pool is tracked on the
-//! ROADMAP.
+//! Unlike the original per-call `std::thread::scope` implementation,
+//! parallel work now runs on a **persistent pool** (see [`pool`] module
+//! docs): worker threads are spawned lazily once and reused; chunks are
+//! claimed dynamically off a shared queue, and the calling thread always
+//! participates, so nested parallel calls cannot deadlock. The pool size
+//! follows `PP_NUM_THREADS` (env) or the hardware, and can be pinned per
+//! run with [`set_num_threads`] / [`scoped_num_threads`].
 
-/// Number of worker threads the parallel adapters will fan out to.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+mod pool;
+
+pub use pool::{
+    current_num_threads, join, pool_worker_count, scope, scoped_num_threads, set_num_threads,
+    Scope, ThreadGuard,
+};
+
+use pool::run_batch;
 
 pub mod prelude {
-    pub use crate::ParallelSliceMut;
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Pointer wrapper so disjoint mutable chunks can be re-materialized on
+/// worker threads. Soundness: chunk index `i` maps to a unique,
+/// non-overlapping `[i*chunk, i*chunk+len)` range, and the batch protocol
+/// claims each index exactly once.
+struct SendPtr<T>(*mut T);
+// Manual impls: the derive would add unwanted `T: Clone`/`T: Copy` bounds.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor taking the whole wrapper, so closures capture `SendPtr`
+    /// (which is `Sync`) rather than the raw field (which is not).
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_size: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let n_chunks = len.div_ceil(chunk_size);
+    let base = SendPtr(data.as_mut_ptr());
+    run_batch(n_chunks, &|i| {
+        let start = i * chunk_size;
+        let l = chunk_size.min(len - start);
+        // SAFETY: see `SendPtr`; ranges for distinct `i` are disjoint and
+        // `run_batch` does not return until every claimed index finished.
+        let slice = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), l) };
+        f(i, slice);
+    });
 }
 
 /// `rayon::prelude::ParallelSliceMut` subset: parallel mutable chunking.
@@ -29,23 +77,27 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
         assert!(chunk_size > 0, "chunk size must be non-zero");
         ParChunksMut {
-            chunks: self.chunks_mut(chunk_size).collect(),
+            data: self,
+            chunk_size,
         }
     }
 }
 
 pub struct ParChunksMut<'a, T> {
-    chunks: Vec<&'a mut [T]>,
+    data: &'a mut [T],
+    chunk_size: usize,
 }
 
 pub struct EnumeratedParChunksMut<'a, T> {
-    chunks: Vec<&'a mut [T]>,
+    data: &'a mut [T],
+    chunk_size: usize,
 }
 
 impl<'a, T: Send> ParChunksMut<'a, T> {
     pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
         EnumeratedParChunksMut {
-            chunks: self.chunks,
+            data: self.data,
+            chunk_size: self.chunk_size,
         }
     }
 
@@ -53,7 +105,7 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
     where
         F: Fn(&mut [T]) + Sync,
     {
-        run_indexed(self.chunks, &|_, chunk| f(chunk));
+        for_each_chunk_mut(self.data, self.chunk_size, &|_, chunk| f(chunk));
     }
 }
 
@@ -62,49 +114,84 @@ impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
     where
         F: Fn((usize, &mut [T])) + Sync,
     {
-        run_indexed(self.chunks, &|i, chunk| f((i, chunk)));
+        for_each_chunk_mut(self.data, self.chunk_size, &|i, chunk| f((i, chunk)));
     }
 }
 
-/// Statically partition `chunks` over scoped worker threads and apply `f`
-/// to each `(index, chunk)`. Chunk workloads in this workspace are uniform
-/// (equal-sized row blocks), so a static split matches dynamic scheduling.
-fn run_indexed<T: Send, F>(chunks: Vec<&mut [T]>, f: &F)
-where
-    F: Fn(usize, &mut [T]) + Sync,
-{
-    let n = chunks.len();
-    if n == 0 {
-        return;
-    }
-    let nthreads = current_num_threads().clamp(1, n);
-    if nthreads == 1 {
-        for (i, chunk) in chunks.into_iter().enumerate() {
-            f(i, chunk);
+/// `rayon::prelude::ParallelSlice` subset: parallel shared chunking.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunks {
+            data: self,
+            chunk_size,
         }
-        return;
     }
-    let per = n.div_ceil(nthreads);
-    std::thread::scope(|s| {
-        let mut rest = chunks;
-        let mut base = 0usize;
-        while !rest.is_empty() {
-            let take = per.min(rest.len());
-            let batch: Vec<&mut [T]> = rest.drain(..take).collect();
-            let start = base;
-            s.spawn(move || {
-                for (k, chunk) in batch.into_iter().enumerate() {
-                    f(start + k, chunk);
-                }
-            });
-            base += take;
+}
+
+pub struct ParChunks<'a, T> {
+    data: &'a [T],
+    chunk_size: usize,
+}
+
+pub struct EnumeratedParChunks<'a, T> {
+    data: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    pub fn enumerate(self) -> EnumeratedParChunks<'a, T> {
+        EnumeratedParChunks {
+            data: self.data,
+            chunk_size: self.chunk_size,
         }
-    });
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&[T]) + Sync,
+    {
+        let (data, chunk) = (self.data, self.chunk_size);
+        let n = data.len().div_ceil(chunk);
+        run_batch(n, &|i| {
+            let start = i * chunk;
+            f(&data[start..(start + chunk).min(data.len())]);
+        });
+    }
+}
+
+impl<'a, T: Sync> EnumeratedParChunks<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &[T])) + Sync,
+    {
+        let (data, chunk) = (self.data, self.chunk_size);
+        let n = data.len().div_ceil(chunk);
+        run_batch(n, &|i| {
+            let start = i * chunk;
+            f((i, &data[start..(start + chunk).min(data.len())]));
+        });
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Tests here mutate the process-global thread override; serialize them.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn chunks_cover_slice_with_correct_indices() {
@@ -139,5 +226,158 @@ mod tests {
         v.as_mut_slice()
             .par_chunks_mut(4)
             .for_each(|_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn shared_chunks_read_everything() {
+        let v: Vec<usize> = (0..500).collect();
+        let sum = AtomicUsize::new(0);
+        v.as_slice().par_chunks(7).enumerate().for_each(|(i, c)| {
+            assert_eq!(c[0], i * 7);
+            sum.fetch_add(c.iter().sum::<usize>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 500 * 499 / 2);
+    }
+
+    #[test]
+    fn pool_threads_are_persistent_across_calls() {
+        let _g = locked();
+        let _t = scoped_num_threads(4);
+        // Record which OS threads execute chunks over many parallel calls.
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        for _ in 0..25 {
+            let mut v = vec![0u8; 64];
+            v.as_mut_slice().par_chunks_mut(4).for_each(|c| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::hint::black_box(c);
+            });
+        }
+        // Per-call spawning would accumulate ~25 × workers distinct ids;
+        // the persistent pool is bounded by workers + the caller.
+        let distinct = ids.lock().unwrap().len();
+        assert!(
+            distinct <= pool_worker_count() + 1,
+            "saw {distinct} distinct threads for {} pooled workers",
+            pool_worker_count()
+        );
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let _g = locked();
+        let _t = scoped_num_threads(4);
+        let (a, b) = join(|| 6 * 7, || "right".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn join_serial_when_one_thread() {
+        let _g = locked();
+        let _t = scoped_num_threads(1);
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn nested_join_and_chunks_do_not_deadlock() {
+        let _g = locked();
+        let _t = scoped_num_threads(4);
+        let mut v = vec![0u64; 256];
+        v.as_mut_slice()
+            .par_chunks_mut(32)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                // Nested parallelism from inside a pool task.
+                let (l, r) = join(
+                    || {
+                        let mut inner = vec![1u64; 128];
+                        inner.as_mut_slice().par_chunks_mut(8).for_each(|c| {
+                            for x in c.iter_mut() {
+                                *x += 1;
+                            }
+                        });
+                        inner.iter().sum::<u64>()
+                    },
+                    || (i as u64) + 1,
+                );
+                for x in chunk.iter_mut() {
+                    *x = l + r;
+                }
+            });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, 256 + (j as u64) / 32 + 1);
+        }
+    }
+
+    #[test]
+    fn deeply_nested_scopes_complete() {
+        let _g = locked();
+        let _t = scoped_num_threads(3);
+        let count = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|s| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scoped_override_restores_previous_value() {
+        let _g = locked();
+        let before = current_num_threads();
+        {
+            let _t = scoped_num_threads(2);
+            assert_eq!(current_num_threads(), 2);
+            {
+                let _t2 = scoped_num_threads(5);
+                assert_eq!(current_num_threads(), 5);
+            }
+            assert_eq!(current_num_threads(), 2);
+        }
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit 3 exploded")]
+    fn panics_propagate_to_the_submitter() {
+        let _g = locked();
+        let _t = scoped_num_threads(4);
+        let mut v = vec![0u8; 64];
+        v.as_mut_slice()
+            .par_chunks_mut(8)
+            .enumerate()
+            .for_each(|(i, _)| {
+                if i == 3 {
+                    panic!("unit 3 exploded");
+                }
+            });
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let _g = locked();
+        let run = |threads: usize| -> Vec<f64> {
+            let _t = scoped_num_threads(threads);
+            let mut v: Vec<f64> = (0..997).map(|i| i as f64 * 0.25).collect();
+            v.as_mut_slice()
+                .par_chunks_mut(13)
+                .enumerate()
+                .for_each(|(i, c)| {
+                    for (k, x) in c.iter_mut().enumerate() {
+                        *x = x.sin() * (i * 13 + k) as f64;
+                    }
+                });
+            v
+        };
+        let serial = run(1);
+        let parallel = run(6);
+        assert_eq!(serial, parallel, "chunk outputs must be bit-identical");
     }
 }

@@ -1,0 +1,427 @@
+//! The persistent worker pool behind every parallel adapter in this shim.
+//!
+//! Design (crossbeam-lite on std primitives only):
+//!
+//! * Worker threads are spawned **once**, lazily, at the first parallel
+//!   call, and then persist for the life of the process. The pool can grow
+//!   (never shrink) if a later caller pins a higher thread count than has
+//!   been spawned so far.
+//! * The unit of scheduling is a [`Batch`]: a type-erased indexed loop
+//!   `for i in 0..total { f(i) }`. Executors *claim* indices with a single
+//!   `fetch_add` on a shared counter — dynamic self-scheduling, which gives
+//!   the same load-balancing behavior as work-stealing a chunk deque for
+//!   the uniform row-block workloads in this workspace, without per-call
+//!   channel or thread setup.
+//! * Batches sit in a FIFO injector queue. Every idle worker scans the
+//!   queue for the first batch that still has unclaimed indices and a free
+//!   concurrency slot (`active < limit`), then claims indices until the
+//!   batch is drained.
+//! * The **submitter always participates**: after enqueueing, it claims
+//!   indices like a worker and only then blocks waiting for stragglers.
+//!   A task that submits a nested batch therefore always has at least one
+//!   executor (itself), so nested `join`/`par_chunks_mut` cannot deadlock
+//!   even when every worker is busy.
+//! * Panics inside a unit are caught, recorded, and re-thrown on the
+//!   submitting thread once the batch has fully drained — so borrowed data
+//!   never outlives its executors, and `#[should_panic]` tests behave.
+//!
+//! Thread-count resolution order: a scoped override set via
+//! [`set_num_threads`]/[`scoped_num_threads`] > the `PP_NUM_THREADS`
+//! environment variable > `std::thread::available_parallelism()`.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Process-wide override of the effective thread count (0 = unset).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `PP_NUM_THREADS` / hardware default, resolved once.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn default_threads() -> usize {
+    *DEFAULT_THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("PP_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Effective number of threads parallel adapters fan out to.
+pub fn current_num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Set the effective thread count for subsequent parallel calls
+/// (process-global). `n = 0` clears the override, returning to
+/// `PP_NUM_THREADS` / hardware default. Returns the previous override
+/// (0 if none was set).
+pub fn set_num_threads(n: usize) -> usize {
+    THREAD_OVERRIDE.swap(n, Ordering::Relaxed)
+}
+
+/// RAII guard restoring the previous thread-count override on drop.
+pub struct ThreadGuard {
+    prev: usize,
+}
+
+/// Pin the effective thread count until the returned guard is dropped.
+///
+/// The override is process-global, not thread-local: concurrent scopes
+/// pinning *different* counts race benignly (the last setter wins while
+/// both are alive; each restores what it observed). Intended use is one
+/// pinned run at a time, e.g. `AlsConfig::threads`.
+pub fn scoped_num_threads(n: usize) -> ThreadGuard {
+    ThreadGuard {
+        prev: set_num_threads(n),
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        set_num_threads(self.prev);
+    }
+}
+
+/// A type-erased indexed parallel loop shared between the submitter and
+/// any workers that join in.
+pub(crate) struct Batch {
+    /// `run(ctx, i)` executes unit `i`. Only invoked for `i < total`, and
+    /// each index is claimed exactly once, so `ctx` may reference the
+    /// submitter's stack: the submitter does not return (or unwind) until
+    /// `finished == total`.
+    run: unsafe fn(*const (), usize),
+    ctx: *const (),
+    total: usize,
+    /// Concurrency cap for this batch (effective thread count at submit).
+    limit: usize,
+    next: AtomicUsize,
+    active: AtomicUsize,
+    finished: AtomicUsize,
+    panicked: AtomicBool,
+    /// First captured panic payload, re-thrown on the submitter.
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `ctx` is only dereferenced through `run` for claimed indices,
+// all of which complete before the submitter (the owner of the referenced
+// data) proceeds.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    fn drained(&self) -> bool {
+        self.next.load(Ordering::Acquire) >= self.total
+    }
+}
+
+pub(crate) struct Pool {
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    work_cv: Condvar,
+    spawned: AtomicUsize,
+    spawn_lock: Mutex<()>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking unit is caught inside `execute`, so poisoning is benign.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        work_cv: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+        spawn_lock: Mutex::new(()),
+    })
+}
+
+/// Number of persistent worker threads spawned so far (diagnostics/tests).
+pub fn pool_worker_count() -> usize {
+    pool().spawned.load(Ordering::Relaxed)
+}
+
+impl Pool {
+    /// Grow the pool so at least `target` persistent workers exist.
+    fn ensure_workers(&'static self, target: usize) {
+        if self.spawned.load(Ordering::Relaxed) >= target {
+            return;
+        }
+        let _g = lock(&self.spawn_lock);
+        let cur = self.spawned.load(Ordering::Relaxed);
+        for i in cur..target {
+            std::thread::Builder::new()
+                .name(format!("pp-pool-{i}"))
+                .spawn(move || worker_loop(self))
+                .expect("failed to spawn pool worker");
+        }
+        if target > cur {
+            self.spawned.store(target, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut q = lock(&pool.queue);
+    loop {
+        q.retain(|b| !b.drained());
+        let picked = q
+            .iter()
+            .find(|b| !b.drained() && b.active.load(Ordering::Acquire) < b.limit)
+            .cloned();
+        match picked {
+            Some(b) => {
+                b.active.fetch_add(1, Ordering::AcqRel);
+                drop(q);
+                execute(&b);
+                b.active.fetch_sub(1, Ordering::AcqRel);
+                q = lock(&pool.queue);
+            }
+            None => {
+                // Timed wait: a slot freed by `active` dropping below
+                // `limit` is not separately signalled, so poll briefly.
+                q = pool
+                    .work_cv
+                    .wait_timeout(q, Duration::from_millis(1))
+                    .map(|(g, _)| g)
+                    .unwrap_or_else(|e| {
+                        let (g, _) = e.into_inner();
+                        g
+                    });
+            }
+        }
+    }
+}
+
+/// Claim and execute units of `b` until none remain unclaimed.
+fn execute(b: &Batch) {
+    loop {
+        let i = b.next.fetch_add(1, Ordering::AcqRel);
+        if i >= b.total {
+            break;
+        }
+        let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe { (b.run)(b.ctx, i) }));
+        if let Err(p) = result {
+            b.panicked.store(true, Ordering::Release);
+            let mut slot = lock(&b.payload);
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+        if b.finished.fetch_add(1, Ordering::AcqRel) + 1 == b.total {
+            let mut g = lock(&b.done);
+            *g = true;
+            b.done_cv.notify_all();
+        }
+    }
+}
+
+/// Block until every unit of `b` has finished executing.
+fn wait_done(b: &Batch) {
+    if b.finished.load(Ordering::Acquire) == b.total {
+        return;
+    }
+    let mut g = lock(&b.done);
+    while !*g {
+        g = b
+            .done_cv
+            .wait_timeout(g, Duration::from_millis(10))
+            .map(|(g, _)| g)
+            .unwrap_or_else(|e| {
+                let (g, _) = e.into_inner();
+                g
+            });
+        if b.finished.load(Ordering::Acquire) == b.total {
+            break;
+        }
+    }
+}
+
+/// After a drained-and-finished batch, re-throw the first captured panic.
+fn propagate_panic(b: &Batch) {
+    if b.panicked.load(Ordering::Acquire) {
+        let payload = lock(&b.payload).take();
+        match payload {
+            Some(p) => panic::resume_unwind(p),
+            None => panic!("parallel task panicked"),
+        }
+    }
+}
+
+unsafe fn call_shim<F: Fn(usize) + Sync>(ctx: *const (), i: usize) {
+    (*(ctx as *const F))(i)
+}
+
+/// Run `f(0..total)` across the pool: enqueue a batch, let idle workers
+/// join, and participate from the calling thread until done. Falls back to
+/// a plain serial loop when the effective thread count is 1 or there is
+/// only one unit.
+pub(crate) fn run_batch<F: Fn(usize) + Sync>(total: usize, f: &F) {
+    if total == 0 {
+        return;
+    }
+    let threads = current_num_threads();
+    if threads <= 1 || total == 1 {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    let p = pool();
+    p.ensure_workers(threads - 1);
+
+    let batch = Arc::new(Batch {
+        run: call_shim::<F>,
+        ctx: f as *const F as *const (),
+        total,
+        limit: threads,
+        next: AtomicUsize::new(0),
+        active: AtomicUsize::new(1), // the submitter occupies a slot
+        finished: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        payload: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut q = lock(&p.queue);
+        q.push_back(batch.clone());
+    }
+    p.work_cv.notify_all();
+
+    // Participate, then wait for units claimed by workers. `execute`
+    // catches unit panics, so we always reach `wait_done` — the stack data
+    // `ctx` points at stays alive until every executor is finished.
+    execute(&batch);
+    wait_done(&batch);
+    propagate_panic(&batch);
+}
+
+/// Potentially-parallel `join`: `b` is offered to the pool while `a` runs
+/// on the calling thread; whoever gets there first executes `b`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let threads = current_num_threads();
+    if threads <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let p = pool();
+    p.ensure_workers(threads - 1);
+
+    use std::cell::UnsafeCell;
+    struct JoinCtx<B, RB> {
+        f: UnsafeCell<Option<B>>,
+        r: UnsafeCell<Option<RB>>,
+    }
+    unsafe fn run_b<B: FnOnce() -> RB, RB>(ctx: *const (), _i: usize) {
+        let c = &*(ctx as *const JoinCtx<B, RB>);
+        // The index-claim protocol guarantees a single executor.
+        if let Some(f) = (*c.f.get()).take() {
+            *c.r.get() = Some(f());
+        }
+    }
+    let ctx = JoinCtx::<B, RB> {
+        f: UnsafeCell::new(Some(oper_b)),
+        r: UnsafeCell::new(None),
+    };
+    let batch = Arc::new(Batch {
+        run: run_b::<B, RB>,
+        ctx: &ctx as *const JoinCtx<B, RB> as *const (),
+        total: 1,
+        limit: threads,
+        next: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        finished: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        payload: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut q = lock(&p.queue);
+        q.push_back(batch.clone());
+    }
+    p.work_cv.notify_all();
+
+    // If `a` unwinds we must still drain `b` before the stack frame dies.
+    struct DrainGuard<'a>(&'a Batch);
+    impl Drop for DrainGuard<'_> {
+        fn drop(&mut self) {
+            execute(self.0);
+            wait_done(self.0);
+        }
+    }
+    let guard = DrainGuard(&batch);
+    let ra = oper_a();
+    drop(guard); // claims b ourselves if no worker got to it, then waits
+    propagate_panic(&batch);
+    let rb = unsafe { (*ctx.r.get()).take() }.expect("join: missing result");
+    (ra, rb)
+}
+
+/// A fork-join scope: closures spawned onto it run on the pool and are all
+/// complete when [`scope`] returns. Spawned tasks receive the scope and may
+/// spawn further tasks.
+pub struct Scope<'scope> {
+    #[allow(clippy::type_complexity)]
+    tasks: Mutex<Vec<Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue `body` for execution before the scope ends.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        lock(&self.tasks).push(Box::new(body));
+    }
+}
+
+/// Run `f` with a [`Scope`], executing everything it spawns (including
+/// tasks spawned by other tasks) before returning.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        tasks: Mutex::new(Vec::new()),
+    };
+    let r = f(&s);
+    loop {
+        let tasks = std::mem::take(&mut *lock(&s.tasks));
+        if tasks.is_empty() {
+            break;
+        }
+        let slots: Vec<Mutex<Option<Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        run_batch(slots.len(), &|i| {
+            if let Some(t) = lock(&slots[i]).take() {
+                t(&s);
+            }
+        });
+    }
+    r
+}
