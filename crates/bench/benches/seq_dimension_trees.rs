@@ -17,10 +17,10 @@ fn sweep(
     r: usize,
     rng: &mut impl rand::Rng,
 ) {
-    for n in 0..dims.len() {
+    for (n, &dim) in dims.iter().enumerate() {
         let m = engine.mttkrp(input, fs, n);
         black_box(&m);
-        fs.update(n, uniform_matrix(dims[n], r, rng));
+        fs.update(n, uniform_matrix(dim, r, rng));
     }
 }
 

@@ -22,9 +22,17 @@ use pp_tensor::DenseTensor;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Honor a `--threads <n>` flag (shared by every bench binary): pins the
-/// persistent kernel pool for the whole process. Exits with status 2 on a
-/// malformed value. Returns the effective thread count.
+/// Honor a `--no-lookahead` flag (shared by the bench binaries): when
+/// present, drivers run with `AlsConfig::lookahead` off (ablation).
+pub fn no_lookahead_flag() -> bool {
+    std::env::args().any(|a| a == "--no-lookahead")
+}
+
+/// Honor a `--threads <n>` flag (shared by every bench binary): installs
+/// the process-wide *base* pool width (the bench process is single
+/// purpose; library callers should prefer the scoped
+/// `AlsConfig::threads`). Exits with status 2 on a malformed value.
+/// Returns the effective thread count.
 pub fn apply_threads_flag() -> usize {
     let argv: Vec<String> = std::env::args().collect();
     if let Some(i) = argv.iter().position(|a| a == "--threads") {
@@ -89,13 +97,27 @@ pub fn weak_scaling_tensor(s_local: usize, grid: &ProcGrid, seed: u64) -> DenseT
     uniform_tensor(&dims, &mut rng)
 }
 
-/// Measure mean per-sweep time for one method on one grid (Fig. 3a/b).
+/// Measure mean per-sweep time for one method on one grid (Fig. 3a/b)
+/// with cross-mode lookahead on (the default).
 pub fn measure_per_sweep(
     method: Fig3Method,
     grid_dims: &[usize],
     s_local: usize,
     rank: usize,
     sweeps: usize,
+) -> SweepMeasurement {
+    measure_per_sweep_with(method, grid_dims, s_local, rank, sweeps, true)
+}
+
+/// [`measure_per_sweep`] with an explicit lookahead setting (ablation:
+/// `--no-lookahead` rows of EXPERIMENTS.md).
+pub fn measure_per_sweep_with(
+    method: Fig3Method,
+    grid_dims: &[usize],
+    s_local: usize,
+    rank: usize,
+    sweeps: usize,
+    lookahead: bool,
 ) -> SweepMeasurement {
     let grid = ProcGrid::new(grid_dims.to_vec());
     let t = Arc::new(weak_scaling_tensor(s_local, &grid, 7));
@@ -111,7 +133,8 @@ pub fn measure_per_sweep(
         }
     }
     .with_max_sweeps(sweeps)
-    .with_tol(0.0);
+    .with_tol(0.0)
+    .with_lookahead(lookahead);
 
     match method {
         Fig3Method::Planc | Fig3Method::Dt | Fig3Method::Msdt => {
@@ -123,6 +146,9 @@ pub fn measure_per_sweep(
                 for n in 0..g2.order() {
                     let _ = st.update_mode_exact(ctx, &c2, n);
                 }
+                // The warm-up's trailing speculation must not run into
+                // the timed region.
+                st.engine.drain_lookahead();
                 st.engine.take_stats();
                 ctx.comm.barrier();
                 let t0 = Instant::now();
@@ -133,6 +159,7 @@ pub fn measure_per_sweep(
                 }
                 ctx.comm.barrier();
                 let secs = t0.elapsed().as_secs_f64() / c2.max_sweeps as f64;
+                st.engine.drain_lookahead(); // nothing leaks past this run
                 (
                     secs,
                     st.engine.take_stats().scaled(1.0 / c2.max_sweeps as f64),

@@ -158,7 +158,7 @@ mod tests {
             for i in 0..40 {
                 let g = ctx.comm.all_gather(&[ctx.rank() as f64 + i as f64]);
                 acc += g.iter().sum::<f64>();
-                let s = ctx.comm.reduce_scatter_sum(&vec![1.0; 8], &[1; 8]);
+                let s = ctx.comm.reduce_scatter_sum(&[1.0; 8], &[1; 8]);
                 acc += s[0];
                 ctx.comm.barrier();
             }

@@ -48,7 +48,7 @@ pub fn cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) -> 
     let mut cumulative = 0.0f64;
     let mut converged = false;
 
-    for _sweep in 0..cfg.max_sweeps {
+    for sweep in 0..cfg.max_sweeps {
         let sweep_t0 = Instant::now();
         let mut last_gamma: Option<Matrix> = None;
         let mut last_m: Option<Matrix> = None;
@@ -59,6 +59,16 @@ pub fn cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) -> 
 
             let m = engine.mttkrp(&mut input, &fs, n);
 
+            // Cross-mode lookahead: start the next MTTKRP's first-level
+            // contraction on the pool while this mode's solve runs. The
+            // final mode of the final sweep speculates for a sweep that
+            // cannot run, so skip it there.
+            let next = (n + 1) % n_modes;
+            let spec = cfg.lookahead && !(n == n_modes - 1 && sweep == cfg.max_sweeps - 1);
+            if spec {
+                engine.lookahead(&input, &fs, next, Some(n));
+            }
+
             let s0 = Instant::now();
             let (a_new, _method) = solve_gram(&gamma, &m);
             engine.stats.record(Kernel::Solve, s0.elapsed(), 0);
@@ -67,6 +77,11 @@ pub fn cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) -> 
             grams[n] = a_new.gram();
             engine.stats.record(Kernel::Other, g0.elapsed(), 0);
             fs.update(n, a_new);
+            if spec {
+                // Post-commit pass: contractions that need the factor just
+                // updated (MSDT's fresh TTM always does) launch here.
+                engine.lookahead(&input, &fs, next, None);
+            }
             if n == n_modes - 1 {
                 last_gamma = Some(gamma);
                 last_m = Some(m);
@@ -101,6 +116,7 @@ pub fn cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) -> 
         fitness_old = fitness;
     }
 
+    engine.drain_lookahead(); // settle any final-mode speculation
     report.stats = engine.take_stats();
     report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
     report.converged = converged;

@@ -41,13 +41,27 @@ pub struct AlsConfig {
     /// hardware; `Some(n)` pins the pool width for the duration of the run.
     /// Results are bit-identical for any value — this is a pure
     /// performance knob.
+    ///
+    /// Contract: the pin is a process-global *scoped* override
+    /// ([`rayon::scoped_num_threads`]) released when the driver returns,
+    /// including on panic. Nested runs compose (innermost pin wins, outer
+    /// pin restored), and concurrent runs pinning the **same** width —
+    /// every rank of a simulated parallel run — compose regardless of
+    /// drop order. Concurrent runs pinning *different* widths are
+    /// contradictory and trip a debug assertion.
     pub threads: Option<usize>,
+    /// Cross-mode lookahead: while mode `n`'s solve/commit runs, the next
+    /// mode's first-level dimension-tree contraction is speculatively
+    /// launched on the kernel pool, keyed by factor versions so a stale
+    /// speculation is discarded rather than used. Bit-identical results
+    /// either way; on by default, off for ablation.
+    pub lookahead: bool,
 }
 
 impl AlsConfig {
-    /// Pin the pool width for this run; restores the previous width when
-    /// the driver returns. The override is process-global, so concurrent
-    /// runs pinning *different* widths should be avoided.
+    /// Pin the pool width for this run; released (restoring the previous
+    /// effective width) when the driver returns. See
+    /// [`AlsConfig::threads`] for the nesting/concurrency contract.
     pub(crate) fn thread_guard(&self) -> Option<rayon::ThreadGuard> {
         self.threads.map(rayon::scoped_num_threads)
     }
@@ -67,6 +81,7 @@ impl AlsConfig {
             seed: 42,
             track_fitness: true,
             threads: None,
+            lookahead: true,
         }
     }
 
@@ -106,6 +121,11 @@ impl AlsConfig {
         self.threads = Some(n);
         self
     }
+
+    pub fn with_lookahead(mut self, on: bool) -> Self {
+        self.lookahead = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -121,9 +141,12 @@ mod tests {
             .with_pp_tol(0.2)
             .with_seed(7)
             .with_solve(SolveStrategy::Replicated)
-            .with_threads(3);
+            .with_threads(3)
+            .with_lookahead(false);
         assert_eq!(c.rank, 8);
         assert_eq!(c.threads, Some(3));
+        assert!(!c.lookahead);
+        assert!(AlsConfig::new(2).lookahead, "lookahead defaults on");
         assert_eq!(c.policy, TreePolicy::MultiSweep);
         assert_eq!(c.max_sweeps, 50);
         assert_eq!(c.solve, SolveStrategy::Replicated);

@@ -79,7 +79,7 @@ pub fn nn_cp_als(t: &DenseTensor, cfg: &AlsConfig) -> AlsOutput {
     let mut cumulative = 0.0;
     let mut converged = false;
 
-    for _sweep in 0..cfg.max_sweeps {
+    for sweep in 0..cfg.max_sweeps {
         let t0 = Instant::now();
         let mut last_gamma: Option<Matrix> = None;
         let mut last_m: Option<Matrix> = None;
@@ -90,12 +90,23 @@ pub fn nn_cp_als(t: &DenseTensor, cfg: &AlsConfig) -> AlsOutput {
 
             let m = engine.mttkrp(&mut input, &fs, n);
 
+            // Skip the speculation on the final mode of the final sweep —
+            // its consumer can never run.
+            let next = (n + 1) % n_modes;
+            let spec = cfg.lookahead && !(n == n_modes - 1 && sweep == cfg.max_sweeps - 1);
+            if spec {
+                engine.lookahead(&input, &fs, next, Some(n));
+            }
+
             let s0 = Instant::now();
             let a_new = hals_update(fs.factor(n), &m, &gamma, 2);
             engine.stats.record(Kernel::Solve, s0.elapsed(), 0);
 
             grams[n] = a_new.gram();
             fs.update(n, a_new);
+            if spec {
+                engine.lookahead(&input, &fs, next, None);
+            }
             if n == n_modes - 1 {
                 last_gamma = Some(gamma);
                 last_m = Some(m);
@@ -128,6 +139,7 @@ pub fn nn_cp_als(t: &DenseTensor, cfg: &AlsConfig) -> AlsOutput {
         fitness_old = fitness;
     }
 
+    engine.drain_lookahead(); // settle any final-mode speculation
     report.stats = engine.take_stats();
     report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
     report.converged = converged;

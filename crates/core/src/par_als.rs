@@ -43,11 +43,19 @@ pub fn par_cp_als(
     let mut cumulative = 0.0;
     let mut converged = false;
 
-    for _sweep in 0..cfg.max_sweeps {
+    // The final mode of the final sweep must not speculate — its consumer
+    // can never run and drain_lookahead would have to join the wasted TTM.
+    let cfg_last = cfg.clone().with_lookahead(false);
+    for sweep in 0..cfg.max_sweeps {
         let t0 = Instant::now();
         let mut last: Option<(Matrix, Matrix)> = None;
         for n in 0..n_modes {
-            let out = st.update_mode_exact(ctx, cfg, n);
+            let c = if sweep == cfg.max_sweeps - 1 && n == n_modes - 1 {
+                &cfg_last
+            } else {
+                cfg
+            };
+            let out = st.update_mode_exact(ctx, c, n);
             if n == n_modes - 1 {
                 last = Some(out);
             }
@@ -73,6 +81,7 @@ pub fn par_cp_als(
         fitness_old = fitness;
     }
 
+    st.engine.drain_lookahead(); // settle any final-mode speculation
     let factors = st.gather_factors(ctx);
     report.stats = st.engine.take_stats();
     report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);

@@ -185,8 +185,16 @@ pub fn par_pp_cp_als(
         let q_before: Vec<Matrix> = st.dist_factors.iter().map(|f| f.q().clone()).collect();
         let sweep_t0 = Instant::now();
         let mut last: Option<(Matrix, Matrix)> = None;
+        // Skip the final-sweep/final-mode speculation: its consumer can
+        // never run.
+        let cfg_last = cfg.clone().with_lookahead(false);
         for n in 0..n_modes {
-            let out = st.update_mode_exact(ctx, cfg, n);
+            let c = if sweeps_done + 1 >= cfg.max_sweeps && n == n_modes - 1 {
+                &cfg_last
+            } else {
+                cfg
+            };
+            let out = st.update_mode_exact(ctx, c, n);
             if n == n_modes - 1 {
                 last = Some(out);
             }
@@ -215,6 +223,7 @@ pub fn par_pp_cp_als(
         fitness_old = fitness;
     }
 
+    st.engine.drain_lookahead(); // settle any final-mode speculation
     let factors = st.gather_factors(ctx);
     report.stats = st.engine.take_stats();
     report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);

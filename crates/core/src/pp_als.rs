@@ -45,16 +45,10 @@ pub fn pp_cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) 
     let mut grams: Vec<Matrix> = fs.factors().iter().map(|a| a.gram()).collect();
     let t_norm_sq = t.norm_sq();
 
-    // dA over the most recent sweep (exact or approximated).
-    let mut d_factors: Vec<Matrix> = fs
-        .factors()
-        .iter()
-        .map(|a| {
-            // Alg. 2 line 2 initializes dA ← A, so PP never triggers before
-            // the first exact sweep.
-            a.clone()
-        })
-        .collect();
+    // dA over the most recent sweep (exact or approximated). Alg. 2
+    // line 2 initializes dA ← A, so PP never triggers before the first
+    // exact sweep.
+    let mut d_factors: Vec<Matrix> = fs.factors().to_vec();
 
     let mut report = AlsReport::default();
     let mut fitness_old = f64::NEG_INFINITY;
@@ -171,12 +165,23 @@ pub fn pp_cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) 
 
             let m = engine.mttkrp(&mut input, &fs, n);
 
+            // Skip the speculation when this is the final mode of the
+            // final permitted sweep — its consumer can never run.
+            let next = (n + 1) % n_modes;
+            let spec = cfg.lookahead && !(n == n_modes - 1 && sweeps_done + 1 >= cfg.max_sweeps);
+            if spec {
+                engine.lookahead(&input, &fs, next, Some(n));
+            }
+
             let s0 = Instant::now();
             let (a_new, _) = solve_gram(&gamma, &m);
             engine.stats.record(Kernel::Solve, s0.elapsed(), 0);
 
             grams[n] = a_new.gram();
             fs.update(n, a_new);
+            if spec {
+                engine.lookahead(&input, &fs, next, None);
+            }
             if n == n_modes - 1 {
                 last_gamma = Some(gamma);
                 last_m = Some(m);
@@ -214,6 +219,7 @@ pub fn pp_cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) 
         fitness_old = fitness;
     }
 
+    engine.drain_lookahead(); // settle any final-mode speculation
     report.stats = engine.take_stats();
     report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
     report.converged = converged;

@@ -19,7 +19,7 @@ use rand::Rng;
 /// Requires `rows ≥ r + 1`.
 pub fn collinear_factor(rows: usize, r: usize, c: f64, rng: &mut impl Rng) -> Matrix {
     assert!((0.0..1.0).contains(&c), "collinearity must be in [0,1)");
-    assert!(rows >= r + 1, "need rows ≥ R+1 for the construction");
+    assert!(rows > r, "need rows ≥ R+1 for the construction");
     let basis = orthonormal_cols(rows, r + 1, rng); // w = col 0, q_i = col i+1
     let sc = c.sqrt();
     let sq = (1.0 - c).sqrt();

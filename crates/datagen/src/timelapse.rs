@@ -111,7 +111,12 @@ pub fn timelapse_tensor(cfg: &TimelapseConfig, seed: u64) -> DenseTensor {
                     // Daylight arc with material-specific shading phase.
                     let tau = t as f64 / (nt.max(2) - 1) as f64;
                     let sun = (std::f64::consts::PI * tau).sin();
-                    m.amp * (0.2 + sun * (0.7 + 0.3 * (m.phase * 6.28 + tau * 3.0).cos()))
+                    // Keep the historical 6.28 literal: swapping in TAU
+                    // would silently change every generated dataset value
+                    // and break reproducibility of recorded runs.
+                    #[allow(clippy::approx_constant)]
+                    let phase = m.phase * 6.28 + tau * 3.0;
+                    m.amp * (0.2 + sun * (0.7 + 0.3 * phase.cos()))
                 })
                 .collect()
         })

@@ -13,6 +13,7 @@ use crate::modeset::ModeSet;
 use pp_tensor::DenseTensor;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A cached contraction intermediate with its provenance.
 ///
@@ -54,10 +55,53 @@ impl Intermediate {
     }
 }
 
-/// The cache: one intermediate per mode set.
+/// What a speculative first-level contraction returns from the pool.
+pub struct SpecPayload {
+    /// The contracted intermediate (rank mode trailing).
+    pub tensor: DenseTensor,
+    /// GEMM wall time inside the speculative task.
+    pub ttm_time: Duration,
+    /// Flops performed.
+    pub flops: u64,
+}
+
+/// An in-flight speculative first-level contraction (cross-mode
+/// lookahead), keyed by the factor versions it was launched against.
+///
+/// The speculation may be *consumed* only when every contracted-away
+/// factor (mode ∉ `set`) is still at the recorded version — the exact
+/// validity rule of [`Intermediate`] — otherwise it must be discarded,
+/// never silently used: bit-identical results are a hard invariant.
+/// Dropping the slot cancels (or detaches) the pool batch, so stale
+/// speculations cannot leak queue entries.
+pub struct SpecSlot {
+    /// Pool handle for the queued/running TTM.
+    pub handle: rayon::BatchHandle<SpecPayload>,
+    /// Mode set of the intermediate being produced.
+    pub set: ModeSet,
+    /// Original tensor modes of the result, in its layout order.
+    pub mode_order: Vec<usize>,
+    /// Factor versions at launch.
+    pub versions: Vec<u64>,
+}
+
+impl SpecSlot {
+    /// Consumable under `current` versions? Same rule as
+    /// [`Intermediate::valid_for`].
+    pub fn valid_for(&self, current: &[u64]) -> bool {
+        current
+            .iter()
+            .enumerate()
+            .all(|(j, &v)| self.set.contains(j) || self.versions[j] == v)
+    }
+}
+
+/// The cache: one intermediate per mode set, plus at most one in-flight
+/// speculative contraction.
 #[derive(Default)]
 pub struct InterCache {
     map: HashMap<ModeSet, Intermediate>,
+    spec: Option<SpecSlot>,
 }
 
 impl InterCache {
@@ -91,6 +135,37 @@ impl InterCache {
         self.map.get(&best)
     }
 
+    /// Non-evicting validity probe: is a valid entry for `set` present
+    /// under `versions`? Used by lookahead planning against *predicted*
+    /// future versions, which must not disturb entries that are still
+    /// valid at the current ones.
+    pub fn has_valid(&self, set: ModeSet, versions: &[u64]) -> bool {
+        self.map.get(&set).is_some_and(|e| e.valid_for(versions))
+    }
+
+    /// Non-evicting probe over supersets of `target` (MSDT planning).
+    pub fn has_valid_superset(&self, target: ModeSet, versions: &[u64]) -> bool {
+        self.map
+            .iter()
+            .any(|(s, e)| target.is_subset_of(*s) && e.valid_for(versions))
+    }
+
+    /// Install a speculative slot (at most one in flight), returning any
+    /// displaced previous slot for the caller to discard and account.
+    pub fn put_spec(&mut self, slot: SpecSlot) -> Option<SpecSlot> {
+        self.spec.replace(slot)
+    }
+
+    /// Take the speculative slot, if any.
+    pub fn take_spec(&mut self) -> Option<SpecSlot> {
+        self.spec.take()
+    }
+
+    /// Peek at the speculative slot.
+    pub fn spec(&self) -> Option<&SpecSlot> {
+        self.spec.as_ref()
+    }
+
     /// Insert (replacing any entry for the same set).
     pub fn insert(&mut self, inter: Intermediate) {
         self.map.insert(inter.set(), inter);
@@ -106,9 +181,10 @@ impl InterCache {
         self.map.is_empty()
     }
 
-    /// Drop everything.
+    /// Drop everything, cancelling any in-flight speculation.
     pub fn clear(&mut self) {
         self.map.clear();
+        self.spec = None;
     }
 
     /// Total f64 elements held (auxiliary-memory metric of Table I).

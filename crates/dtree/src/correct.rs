@@ -90,13 +90,12 @@ pub fn approx_mttkrp(
     d_grams: &[Matrix],
     n: usize,
 ) -> Matrix {
-    let n_modes = d_factors.len();
     let mut m = ops.firsts[n].clone();
-    for i in 0..n_modes {
+    for (i, d) in d_factors.iter().enumerate() {
         if i == n {
             continue;
         }
-        let u = first_order_correction(ops, n, i, &d_factors[i]);
+        let u = first_order_correction(ops, n, i, d);
         m.axpy(1.0, &u);
     }
     let v = second_order_correction(&factors[n], grams, d_grams, n);
@@ -167,8 +166,8 @@ mod tests {
             approx_mttkrp(&ops, &d_factors, &new_factors, &grams, &d_grams, n)
         } else {
             let mut m = ops.firsts[n].clone();
-            for i in 1..dims.len() {
-                m.axpy(1.0, &first_order_correction(&ops, n, i, &d_factors[i]));
+            for (i, d) in d_factors.iter().enumerate().skip(1) {
+                m.axpy(1.0, &first_order_correction(&ops, n, i, d));
             }
             m
         };

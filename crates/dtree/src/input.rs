@@ -12,13 +12,16 @@
 use pp_tensor::kernels::ttm::{ttm_first, ttm_last};
 use pp_tensor::transpose::permute;
 use pp_tensor::{DenseTensor, Matrix};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One stored layout: a permutation of the base tensor's modes.
+/// One stored layout: a permutation of the base tensor's modes. The
+/// tensor sits behind an `Arc` so a [`ContractPlan`] can ship it to a pool
+/// worker (cross-mode lookahead) without copying gigabytes.
 struct Layout {
     /// `mode_order[k]` = which original tensor mode sits at position `k`.
     mode_order: Vec<usize>,
-    tensor: DenseTensor,
+    tensor: Arc<DenseTensor>,
 }
 
 /// The CP input tensor plus any pre-permuted copies, with a uniform
@@ -47,6 +50,43 @@ pub struct FirstLevel {
     pub ttm_time: Duration,
 }
 
+/// Which end of a stored layout a planned first-level contraction touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContractEnd {
+    /// The contracted mode is the layout's first mode (`ttm_first`).
+    First,
+    /// The contracted mode is the layout's last mode (`ttm_last`).
+    Last,
+}
+
+/// A zero-copy plan for a first-level TTM: the chosen stored layout plus
+/// the end the contracted mode occupies. The tensor is shared by `Arc`, so
+/// the plan can outlive `&self` and execute on another thread — the
+/// speculative half of the engine's cross-mode lookahead.
+pub struct ContractPlan {
+    tensor: Arc<DenseTensor>,
+    end: ContractEnd,
+    /// Original tensor modes of the *result*, in its layout order.
+    pub mode_order: Vec<usize>,
+}
+
+impl ContractPlan {
+    /// Execute the planned TTM — the identical kernel call
+    /// [`InputTensor::contract_mode`] would issue on the same layout, so
+    /// the result is bit-identical to the non-speculative path.
+    pub fn run(&self, factor: &Matrix) -> DenseTensor {
+        match self.end {
+            ContractEnd::Last => ttm_last(&self.tensor, factor),
+            ContractEnd::First => ttm_first(&self.tensor, factor),
+        }
+    }
+
+    /// Elements of the input layout (for flop accounting).
+    pub fn input_elems(&self) -> usize {
+        self.tensor.len()
+    }
+}
+
 impl InputTensor {
     /// Wrap a tensor with no extra copies (standard dimension tree).
     pub fn new(t: DenseTensor) -> Self {
@@ -54,7 +94,7 @@ impl InputTensor {
         InputTensor {
             layouts: vec![Layout {
                 mode_order: (0..order).collect(),
-                tensor: t,
+                tensor: Arc::new(t),
             }],
             order,
             cache_transposes: false,
@@ -94,7 +134,7 @@ impl InputTensor {
         for (perm, tensor) in perms.into_iter().zip(tensors) {
             input.layouts.push(Layout {
                 mode_order: perm,
-                tensor,
+                tensor: Arc::new(tensor),
             });
         }
         input
@@ -135,6 +175,37 @@ impl InputTensor {
         self.layouts[0].tensor.is_empty()
     }
 
+    /// Plan contracting `mode` without mutating or copying: `Some` iff
+    /// some stored layout has `mode` extremal — chosen with the same
+    /// layout-selection order as [`InputTensor::contract_mode`], so a plan
+    /// executed speculatively reproduces the sync path bit for bit.
+    /// `None` when an explicit transpose would be needed (not worth
+    /// speculating).
+    pub fn plan_contract(&self, mode: usize) -> Option<ContractPlan> {
+        assert!(mode < self.order);
+        // 1. A layout with `mode` last?
+        if let Some(l) = self
+            .layouts
+            .iter()
+            .find(|l| *l.mode_order.last().unwrap() == mode)
+        {
+            return Some(ContractPlan {
+                tensor: l.tensor.clone(),
+                end: ContractEnd::Last,
+                mode_order: l.mode_order[..self.order - 1].to_vec(),
+            });
+        }
+        // 2. A layout with `mode` first?
+        if let Some(l) = self.layouts.iter().find(|l| l.mode_order[0] == mode) {
+            return Some(ContractPlan {
+                tensor: l.tensor.clone(),
+                end: ContractEnd::First,
+                mode_order: l.mode_order[1..].to_vec(),
+            });
+        }
+        None
+    }
+
     /// Contract original mode `mode` with `factor` (first-level TTM),
     /// choosing a stored layout where `mode` is extremal if possible and
     /// transposing (with cost accounted) otherwise.
@@ -144,41 +215,20 @@ impl InputTensor {
         let total = self.len();
         let flops = 2 * total as u64 * r as u64;
 
-        // 1. A layout with `mode` last?
-        if let Some(l) = self
-            .layouts
-            .iter()
-            .find(|l| *l.mode_order.last().unwrap() == mode)
-        {
+        if let Some(plan) = self.plan_contract(mode) {
             let t0 = Instant::now();
-            let out = ttm_last(&l.tensor, factor);
+            let out = plan.run(factor);
             let ttm_time = t0.elapsed();
-            let mode_order = l.mode_order[..self.order - 1].to_vec();
             return FirstLevel {
                 tensor: out,
-                mode_order,
+                mode_order: plan.mode_order,
                 flops,
                 transpose_time: Duration::ZERO,
                 transpose_words: 0,
                 ttm_time,
             };
         }
-        // 2. A layout with `mode` first?
-        if let Some(l) = self.layouts.iter().find(|l| l.mode_order[0] == mode) {
-            let t0 = Instant::now();
-            let out = ttm_first(&l.tensor, factor);
-            let ttm_time = t0.elapsed();
-            let mode_order = l.mode_order[1..].to_vec();
-            return FirstLevel {
-                tensor: out,
-                mode_order,
-                flops,
-                transpose_time: Duration::ZERO,
-                transpose_words: 0,
-                ttm_time,
-            };
-        }
-        // 3. Transpose: move `mode` last in a fresh copy.
+        // Transpose: move `mode` last in a fresh copy.
         let t0 = Instant::now();
         let mut perm: Vec<usize> = Vec::with_capacity(self.order);
         let base = &self.layouts[0];
@@ -189,7 +239,7 @@ impl InputTensor {
         }
         perm.push(pos_of(mode));
         let mode_order_new: Vec<usize> = perm.iter().map(|&p| base.mode_order[p]).collect();
-        let moved = permute(&base.tensor, &perm);
+        let moved = Arc::new(permute(&base.tensor, &perm));
         let transpose_time = t0.elapsed();
         let transpose_words = 2 * total as u64;
 
@@ -288,8 +338,8 @@ mod tests {
             } else {
                 InputTensor::new(base.clone())
             };
-            for mode in 0..4 {
-                let a = factor(dims[mode], 3);
+            for (mode, &dim) in dims.iter().enumerate() {
+                let a = factor(dim, 3);
                 let fl = input.contract_mode(mode, &a);
                 let got = canonicalize(&fl);
                 let want = ttm(&base, mode, &a).tensor;

@@ -510,7 +510,7 @@ mod tests {
         // One DT sweep with factor updates.
         for n in 0..4 {
             let _ = engine.mttkrp(&mut input, &fs, n);
-            fs.update(n, uniform_matrix(dims[n], 2, &mut rng));
+            fs.update(n, uniform_matrix(4, 2, &mut rng));
         }
         let ops = build_pp_operators(&mut input, &fs, &mut engine);
         assert_eq!(ops.fresh_ttms, 4 - 2);

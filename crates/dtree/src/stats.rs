@@ -51,6 +51,12 @@ pub struct KernelStats {
     pub ttm_count: u64,
     pub mttv_count: u64,
     pub transpose_count: u64,
+    /// Cross-mode lookahead: speculative first-level TTMs launched.
+    pub spec_launched: u64,
+    /// Speculations consumed in place of a synchronous TTM (hits).
+    pub spec_hits: u64,
+    /// Speculations discarded as stale or superseded (wasted).
+    pub spec_wasted: u64,
 }
 
 impl KernelStats {
@@ -101,6 +107,9 @@ impl KernelStats {
         self.ttm_count += other.ttm_count;
         self.mttv_count += other.mttv_count;
         self.transpose_count += other.transpose_count;
+        self.spec_launched += other.spec_launched;
+        self.spec_hits += other.spec_hits;
+        self.spec_wasted += other.spec_wasted;
     }
 
     /// Scale all timings (e.g. to average over sweeps).

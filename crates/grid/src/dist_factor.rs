@@ -240,7 +240,7 @@ mod tests {
         let layout = FactorLayout::new(7, &grid, 0, 2);
         assert_eq!(layout.block, 4); // ceil(7/2)
         assert_eq!(layout.sub, 2); // ceil(4/3)
-        let mut seen = vec![false; 7];
+        let mut seen = [false; 7];
         for coord in 0..2 {
             for pos in 0..3 {
                 for l in 0..2 {

@@ -84,8 +84,8 @@ mod tests {
         let k = khatri_rao(&[&a, &b]);
         assert_eq!(k.rows(), 6);
         // Row (i_a=1, i_b=2): a.row(1) * b.row(2) elementwise.
-        assert_eq!(k.get(1 * 3 + 2, 0), 3.0 * 14.0);
-        assert_eq!(k.get(1 * 3 + 2, 1), 4.0 * 15.0);
+        assert_eq!(k.get(3 + 2, 0), 3.0 * 14.0);
+        assert_eq!(k.get(3 + 2, 1), 4.0 * 15.0);
         // a's index is slowest: rows 0..3 share a.row(0).
         assert_eq!(k.get(0, 0), 1.0 * 10.0);
         assert_eq!(k.get(2, 0), 1.0 * 14.0);
@@ -107,7 +107,7 @@ mod tests {
         let k = khatri_rao(&[&a, &b, &c]);
         assert_eq!(k.rows(), 8);
         // idx (1,0,1): 3 * 5 * 13
-        assert_eq!(k.get(1 * 4 + 0 * 2 + 1, 0), 3.0 * 5.0 * 13.0);
+        assert_eq!(k.get(4 + 1, 0), 3.0 * 5.0 * 13.0);
     }
 
     #[test]

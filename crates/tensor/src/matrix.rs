@@ -107,8 +107,8 @@ impl Matrix {
     /// Overwrite column `j`.
     pub fn set_col(&mut self, j: usize, v: &[f64]) {
         assert_eq!(v.len(), self.rows);
-        for i in 0..self.rows {
-            self.set(i, j, v[i]);
+        for (i, &x) in v.iter().enumerate() {
+            self.set(i, j, x);
         }
     }
 

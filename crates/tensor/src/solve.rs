@@ -50,16 +50,16 @@ fn solve_row_in_place(l: &Matrix, row: &mut [f64]) {
     // Solve y such that y * L^T = row  ⇔  L y^T = row^T  (forward subst).
     for i in 0..n {
         let mut v = row[i];
-        for k in 0..i {
-            v -= l.get(i, k) * row[k];
+        for (k, &r) in row[..i].iter().enumerate() {
+            v -= l.get(i, k) * r;
         }
         row[i] = v / l.get(i, i);
     }
     // Solve x such that x * L = y  ⇔  L^T x^T = y^T  (backward subst).
     for i in (0..n).rev() {
         let mut v = row[i];
-        for k in i + 1..n {
-            v -= l.get(k, i) * row[k];
+        for (k, &r) in row.iter().enumerate().take(n).skip(i + 1) {
+            v -= l.get(k, i) * r;
         }
         row[i] = v / l.get(i, i);
     }
@@ -133,8 +133,7 @@ pub fn pinv_sym(g: &Matrix) -> Matrix {
     let cutoff = max_eig.max(0.0) * 1e-12 * n as f64;
     // pinv = V diag(1/λ over cutoff) Vᵀ
     let mut vinv = v.clone(); // will hold V * diag(λ⁺)
-    for j in 0..n {
-        let lam = eig[j];
+    for (j, &lam) in eig.iter().enumerate() {
         let inv = if lam > cutoff { 1.0 / lam } else { 0.0 };
         for i in 0..n {
             let val = vinv.get(i, j) * inv;
@@ -259,11 +258,11 @@ mod tests {
         let g = spd(5, 11);
         let (eig, v) = jacobi_eigh(&g, 50);
         // Check G v_j = λ_j v_j for each column.
-        for j in 0..5 {
+        for (j, &lam) in eig.iter().enumerate() {
             let vj = v.col(j);
             for i in 0..5 {
                 let gv: f64 = (0..5).map(|k| g.get(i, k) * vj[k]).sum();
-                assert!((gv - eig[j] * vj[i]).abs() < 1e-8, "eigpair {j}");
+                assert!((gv - lam * vj[i]).abs() < 1e-8, "eigpair {j}");
             }
         }
     }

@@ -1,0 +1,48 @@
+//! Cross-mode lookahead ablation: time exact CP-ALS with the speculative
+//! first-level contraction on vs. off, for both tree policies, and report
+//! the speculation ledger. Results are bit-identical either way (enforced
+//! by `tests/lookahead_parity.rs`); this probe shows the wall-time effect
+//! and the hit rate on the current machine.
+//!
+//! Run: `cargo run --release --example lookahead_ablation [-- --threads N]`
+
+use parallel_pp::core::{cp_als, AlsConfig};
+use parallel_pp::datagen::lowrank::noisy_rank;
+use parallel_pp::dtree::TreePolicy;
+use std::time::Instant;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let threads = match argv.iter().position(|a| a == "--threads") {
+        Some(i) => match argv.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n > 0 => n,
+            _ => {
+                eprintln!("error: --threads expects a positive integer");
+                std::process::exit(2);
+            }
+        },
+        None => 2,
+    };
+    println!("pool width: {threads} (1 physical core flattens the overlap)");
+    let t = noisy_rank(&[72, 72, 72], 16, 0.05, 7);
+    for policy in [TreePolicy::Standard, TreePolicy::MultiSweep] {
+        for lookahead in [true, false] {
+            let cfg = AlsConfig::new(64)
+                .with_policy(policy)
+                .with_max_sweeps(12)
+                .with_tol(0.0)
+                .with_threads(threads)
+                .with_lookahead(lookahead);
+            let _ = cp_als(&t, &cfg); // warm the pool and caches
+            let t0 = Instant::now();
+            let out = cp_als(&t, &cfg);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let s = out.report.stats;
+            println!(
+                "{policy:?} lookahead={lookahead}: {ms:7.1} ms | ttm={} mttv={} | \
+                 spec launched/hit/wasted = {}/{}/{}",
+                s.ttm_count, s.mttv_count, s.spec_launched, s.spec_hits, s.spec_wasted,
+            );
+        }
+    }
+}

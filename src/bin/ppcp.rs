@@ -11,7 +11,13 @@
 //!                                            simulated distributed runtime)
 //!      --threads <T>                        (default: PP_NUM_THREADS or
 //!                                            hardware; pins the kernel
-//!                                            thread pool per rank)
+//!                                            thread pool per rank, scoped
+//!                                            to this run via
+//!                                            AlsConfig::threads)
+//!      --no-lookahead                       (disable the cross-mode
+//!                                            lookahead speculation;
+//!                                            ablation — results are
+//!                                            bit-identical either way)
 //!      --seed    <u64>                      (default 42)
 //!      --trace                              (print the fitness trace)
 //! ```
@@ -49,6 +55,7 @@ struct Args {
     pp_tol: f64,
     ranks: usize,
     threads: Option<usize>,
+    no_lookahead: bool,
     seed: u64,
     trace: bool,
     help: bool,
@@ -71,6 +78,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         pp_tol: 0.1,
         ranks: 1,
         threads: None,
+        no_lookahead: false,
         seed: 42,
         trace: false,
     };
@@ -129,6 +137,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("invalid value for {key}: {e}"))?
             }
+            "--no-lookahead" => args.no_lookahead = true,
             "--trace" => args.trace = true,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -209,7 +218,7 @@ fn grid_for(t: &DenseTensor, p: usize) -> ProcGrid {
     let mut f = 2;
     let mut factors = Vec::new();
     while rem > 1 {
-        while rem % f == 0 {
+        while rem.is_multiple_of(f) {
             factors.push(f);
             rem /= f;
         }
@@ -242,35 +251,39 @@ fn main() {
         println!("see module docs: ppcp --dataset <name> --method <dt|msdt|pp|nncp> ...");
         return;
     }
-    if let Some(t) = args.threads {
-        // Pin the persistent kernel pool process-wide, covering dataset
-        // generation and every simulated rank. This is the single thread
-        // mechanism in the CLI; `AlsConfig::threads` (the library-level
-        // scoped pin) is deliberately left unset to avoid a second,
-        // redundant control path.
-        rayon::set_num_threads(t);
-    }
-    let t = make_tensor(&args);
+    // `--threads` routes through `AlsConfig::threads`: the pin is scoped
+    // to each driver run (per rank) and released when it returns, so one
+    // run cannot leak a global width into later in-process runs. Dataset
+    // generation runs at the default width, so pin it here briefly too.
+    let t = {
+        let _gen = args.threads.map(rayon::scoped_num_threads);
+        make_tensor(&args)
+    };
     println!(
-        "dataset {} → tensor {} ({} elements), method {}, R={}, P={}, threads={}",
+        "dataset {} → tensor {} ({} elements), method {}, R={}, P={}, threads={}, lookahead={}",
         args.dataset,
         t.shape(),
         t.len(),
         args.method,
         args.rank,
         args.ranks,
-        rayon::current_num_threads(),
+        args.threads.unwrap_or_else(rayon::current_num_threads),
+        !args.no_lookahead,
     );
 
-    let cfg = AlsConfig::new(args.rank)
+    let mut cfg = AlsConfig::new(args.rank)
         .with_max_sweeps(args.sweeps)
         .with_tol(args.tol)
         .with_pp_tol(args.pp_tol)
         .with_seed(args.seed)
+        .with_lookahead(!args.no_lookahead)
         .with_policy(match args.method.as_str() {
             "dt" => TreePolicy::Standard,
             _ => TreePolicy::MultiSweep,
         });
+    if let Some(t) = args.threads {
+        cfg = cfg.with_threads(t);
+    }
 
     let report = if args.ranks > 1 {
         let grid = grid_for(&t, args.ranks);
@@ -312,6 +325,12 @@ fn main() {
             " (sweep limit)"
         },
     );
+    if !args.no_lookahead {
+        println!(
+            "lookahead: {} speculative TTMs launched, {} hit, {} wasted",
+            report.stats.spec_launched, report.stats.spec_hits, report.stats.spec_wasted,
+        );
+    }
     if args.trace {
         for s in &report.sweeps {
             println!(
@@ -339,6 +358,29 @@ mod tests {
         assert_eq!(a.method, "msdt");
         assert_eq!(a.rank, 16);
         assert_eq!(a.threads, None);
+        assert!(!a.no_lookahead, "lookahead is on by default");
+    }
+
+    #[test]
+    fn no_lookahead_flag_parses() {
+        let a = parse_args_from(&argv(&["--no-lookahead"])).unwrap();
+        assert!(a.no_lookahead);
+    }
+
+    #[test]
+    fn threads_flag_routes_into_config_not_a_global() {
+        // The CLI must not leave a process-global width behind: `--threads`
+        // becomes `AlsConfig::threads`, whose scoped guard is released when
+        // each run returns.
+        let a = parse_args_from(&argv(&["--threads", "3"])).unwrap();
+        let before = rayon::current_num_threads();
+        let cfg = AlsConfig::new(a.rank).with_threads(a.threads.unwrap());
+        assert_eq!(cfg.threads, Some(3));
+        assert_eq!(
+            rayon::current_num_threads(),
+            before,
+            "parsing/config-building must not change the pool width"
+        );
     }
 
     #[test]
@@ -360,6 +402,7 @@ mod tests {
             "4",
             "--threads",
             "8",
+            "--no-lookahead",
             "--seed",
             "7",
             "--trace",
@@ -370,6 +413,7 @@ mod tests {
         assert_eq!(a.rank, 24);
         assert_eq!(a.ranks, 4);
         assert_eq!(a.threads, Some(8));
+        assert!(a.no_lookahead);
         assert!(a.trace);
     }
 

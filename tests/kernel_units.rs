@@ -97,10 +97,10 @@ fn mttkrp_matches_definition_small_random_tensors() {
             .iter()
             .map(|&d| uniform_matrix(d, r, &mut rng))
             .collect();
-        for n in 0..dims.len() {
+        for (n, &dim) in dims.iter().enumerate() {
             let fast = mttkrp(&t, &factors, n);
             let slow = mttkrp_by_definition(&t, &factors, n);
-            assert_eq!((fast.rows(), fast.cols()), (dims[n], r));
+            assert_eq!((fast.rows(), fast.cols()), (dim, r));
             assert!(
                 fast.max_abs_diff(&slow) < 1e-10,
                 "case {case}, mode {n}: MTTKRP kernel deviates from definition"
@@ -176,7 +176,7 @@ fn engines_stay_exact_across_a_full_sweep_of_updates() {
     let mut e_dt = DimTreeEngine::new(TreePolicy::Standard, dims.len());
     let mut e_ms = DimTreeEngine::new(TreePolicy::MultiSweep, dims.len());
 
-    for n in 0..dims.len() {
+    for (n, &dim) in dims.iter().enumerate() {
         let m_dt = e_dt.mttkrp(&mut in_dt, &fs_dt, n);
         let m_ms = e_ms.mttkrp(&mut in_ms, &fs_ms, n);
         let reference = mttkrp(&t, fs_dt.factors(), n);
@@ -188,7 +188,7 @@ fn engines_stay_exact_across_a_full_sweep_of_updates() {
             m_ms.max_abs_diff(&reference) < 1e-9,
             "MSDT drifted at mode {n}"
         );
-        let upd = uniform_matrix(dims[n], r, &mut rng);
+        let upd = uniform_matrix(dim, r, &mut rng);
         fs_dt.update(n, upd.clone());
         fs_ms.update(n, upd);
     }

@@ -1,0 +1,75 @@
+//! Cross-mode lookahead must be invisible in the results: fitness traces
+//! and factors are **bit-identical** with lookahead on vs. off, for both
+//! tree policies, in the exact and PP regimes, at any pool width. The
+//! speculation is keyed by factor versions and a stale speculation is
+//! discarded, never used — these tests pin that invariant end to end.
+
+use parallel_pp::core::{cp_als, pp_cp_als, AlsConfig, SweepKind};
+use parallel_pp::datagen::lowrank::noisy_rank;
+use parallel_pp::dtree::TreePolicy;
+
+mod common;
+use common::{assert_identical, override_lock};
+
+fn exact_cfg(policy: TreePolicy) -> AlsConfig {
+    AlsConfig::new(8)
+        .with_policy(policy)
+        .with_max_sweeps(8)
+        .with_tol(0.0)
+}
+
+/// Exact ALS: lookahead on vs. off, both policies, at the ambient pool
+/// width (the CI matrix re-runs this under PP_NUM_THREADS=1 and =4).
+#[test]
+fn exact_als_identical_with_and_without_lookahead() {
+    let t = noisy_rank(&[40, 40, 40], 6, 0.05, 21);
+    for policy in [TreePolicy::Standard, TreePolicy::MultiSweep] {
+        let on = cp_als(&t, &exact_cfg(policy).with_lookahead(true));
+        let off = cp_als(&t, &exact_cfg(policy).with_lookahead(false));
+        assert_identical(&on, &off);
+        assert_eq!(
+            on.report.stats.ttm_count, off.report.stats.ttm_count,
+            "lookahead must not change how many TTMs run ({policy:?})"
+        );
+        assert!(
+            on.report.stats.spec_hits > 0,
+            "lookahead never hit ({policy:?}); the test is vacuous"
+        );
+        assert_eq!(off.report.stats.spec_launched, 0);
+    }
+}
+
+/// Exact ALS under an explicitly pinned 4-thread pool, where speculative
+/// TTMs genuinely run concurrently with the solve.
+#[test]
+fn exact_als_identical_under_pinned_4_threads() {
+    let _serial = override_lock();
+    let t = noisy_rank(&[40, 40, 40], 6, 0.05, 33);
+    for policy in [TreePolicy::Standard, TreePolicy::MultiSweep] {
+        let on = cp_als(&t, &exact_cfg(policy).with_threads(4).with_lookahead(true));
+        let off = cp_als(&t, &exact_cfg(policy).with_threads(4).with_lookahead(false));
+        assert_identical(&on, &off);
+    }
+}
+
+/// PP regime: the driver alternates exact sweeps (with lookahead) and PP
+/// approximated sweeps; the whole schedule and trace must match bitwise.
+#[test]
+fn pp_als_identical_with_and_without_lookahead() {
+    let t = noisy_rank(&[40, 40, 40], 6, 0.05, 55);
+    for policy in [TreePolicy::Standard, TreePolicy::MultiSweep] {
+        let cfg = AlsConfig::new(8)
+            .with_policy(policy)
+            .with_max_sweeps(20)
+            .with_tol(0.0)
+            // Loose ε so the run actually enters the PP regime.
+            .with_pp_tol(0.5);
+        let on = pp_cp_als(&t, &cfg.clone().with_lookahead(true));
+        let off = pp_cp_als(&t, &cfg.with_lookahead(false));
+        assert!(
+            on.report.sweeps.iter().any(|s| s.kind == SweepKind::PpInit),
+            "PP regime never engaged ({policy:?}); loosen pp_tol"
+        );
+        assert_identical(&on, &off);
+    }
+}

@@ -265,7 +265,7 @@ fn check_tree_agreement(dims: &[usize], r: usize, seed: u64) {
     let mut e_dt = DimTreeEngine::new(TreePolicy::Standard, dims.len());
     let mut e_ms = DimTreeEngine::new(TreePolicy::MultiSweep, dims.len());
     for _sweep in 0..2 {
-        for n in 0..dims.len() {
+        for (n, &dim) in dims.iter().enumerate() {
             let m_dt = e_dt.mttkrp(&mut in_dt, &fs_dt, n);
             let m_ms = e_ms.mttkrp(&mut in_ms, &fs_ms, n);
             let m_naive = mttkrp(&t, fs_dt.factors(), n);
@@ -274,7 +274,7 @@ fn check_tree_agreement(dims: &[usize], r: usize, seed: u64) {
                 m_ms.max_abs_diff(&m_naive) < 1e-9,
                 "MSDT vs naive, mode {n}"
             );
-            let upd = uniform_matrix(dims[n], r, &mut rng);
+            let upd = uniform_matrix(dim, r, &mut rng);
             fs_dt.update(n, upd.clone());
             fs_ms.update(n, upd);
         }

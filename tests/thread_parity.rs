@@ -11,39 +11,13 @@
 use parallel_pp::core::{cp_als, pp_cp_als, AlsConfig};
 use parallel_pp::datagen::lowrank::noisy_rank;
 use parallel_pp::dtree::TreePolicy;
-use std::sync::Mutex;
 
-/// The thread override is process-global and the test harness runs tests
-/// concurrently, so pinning must be serialized — otherwise one test's
-/// "1-thread" baseline could silently run wide under another's pin.
-static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
-
-fn assert_identical(a: &parallel_pp::core::AlsOutput, b: &parallel_pp::core::AlsOutput) {
-    assert_eq!(a.report.sweeps.len(), b.report.sweeps.len(), "sweep count");
-    for (i, (sa, sb)) in a
-        .report
-        .sweeps
-        .iter()
-        .zip(b.report.sweeps.iter())
-        .enumerate()
-    {
-        assert_eq!(
-            sa.fitness.to_bits(),
-            sb.fitness.to_bits(),
-            "fitness diverged at sweep {i}: {} vs {}",
-            sa.fitness,
-            sb.fitness
-        );
-        assert_eq!(sa.kind, sb.kind, "sweep kind diverged at sweep {i}");
-    }
-    for (n, (fa, fb)) in a.factors.iter().zip(b.factors.iter()).enumerate() {
-        assert_eq!(fa.data(), fb.data(), "factor {n} diverged");
-    }
-}
+mod common;
+use common::{assert_identical, override_lock};
 
 #[test]
 fn cp_als_trace_identical_under_1_and_n_threads() {
-    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _serial = override_lock();
     let t = noisy_rank(&[40, 40, 40], 6, 0.05, 21);
     let run = |threads: usize| {
         cp_als(
@@ -61,7 +35,7 @@ fn cp_als_trace_identical_under_1_and_n_threads() {
 
 #[test]
 fn msdt_cp_als_trace_identical_under_1_and_n_threads() {
-    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _serial = override_lock();
     let t = noisy_rank(&[40, 40, 40], 6, 0.05, 33);
     let run = |threads: usize| {
         cp_als(
@@ -80,7 +54,7 @@ fn msdt_cp_als_trace_identical_under_1_and_n_threads() {
 
 #[test]
 fn pp_cp_als_trace_identical_under_1_and_n_threads() {
-    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _serial = override_lock();
     let t = noisy_rank(&[40, 40, 40], 6, 0.05, 55);
     let run = |threads: usize| {
         pp_cp_als(

@@ -1,7 +1,9 @@
 //! Minimal offline stand-in for `rayon`, covering the surface this
 //! workspace uses: `slice.par_chunks_mut(n)` / `slice.par_chunks(n)`
 //! (optionally `.enumerate()`) with `.for_each(..)`, [`join`], [`scope`],
-//! and [`current_num_threads`].
+//! [`submit`] (detached batches with a cancellable [`BatchHandle`] — the
+//! real rayon has no equivalent; the dimension-tree engine's cross-mode
+//! lookahead needs it), and [`current_num_threads`].
 //!
 //! Unlike the original per-call `std::thread::scope` implementation,
 //! parallel work now runs on a **persistent pool** (see [`pool`] module
@@ -15,7 +17,7 @@ mod pool;
 
 pub use pool::{
     current_num_threads, join, pool_worker_count, scope, scoped_num_threads, set_num_threads,
-    Scope, ThreadGuard,
+    submit, BatchHandle, Scope, ThreadGuard,
 };
 
 use pool::run_batch;
@@ -358,6 +360,125 @@ mod tests {
                     panic!("unit 3 exploded");
                 }
             });
+    }
+
+    #[test]
+    fn submit_join_returns_value() {
+        let _g = locked();
+        let _t = scoped_num_threads(4);
+        let h = submit(|| 6 * 7);
+        assert_eq!(h.join(), Some(42));
+    }
+
+    #[test]
+    fn submit_executes_at_most_once() {
+        let _g = locked();
+        let _t = scoped_num_threads(4);
+        let runs = std::sync::Arc::new(AtomicUsize::new(0));
+        let r2 = runs.clone();
+        let h = submit(move || {
+            r2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(h.join(), Some(()));
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cancelled_batch_never_runs_and_leaves_no_queue_entry() {
+        let _g = locked();
+        // Make sure persistent workers exist (an earlier wide phase), then
+        // pin width 1: submit must NOT enqueue, so no leftover worker can
+        // claim the batch — "cancelled before execution" is guaranteed,
+        // not timing-dependent.
+        {
+            let _t = scoped_num_threads(4);
+            let mut v = vec![0u8; 64];
+            v.as_mut_slice().par_chunks_mut(4).for_each(|c| {
+                std::hint::black_box(c);
+            });
+        }
+        let _t = scoped_num_threads(1);
+        let ran = std::sync::Arc::new(AtomicUsize::new(0));
+        let r2 = ran.clone();
+        let mut h = submit(move || {
+            r2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(!h.queued(), "width-1 submit must not enqueue");
+        assert!(h.cancel(), "nothing else can have claimed it");
+        assert!(!h.queued(), "no queue entry may remain after cancel");
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "closure must not run");
+        assert_eq!(h.join(), None, "join after cancel yields no result");
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn dropped_handle_cleans_up_queue_entry() {
+        let _g = locked();
+        let _t = scoped_num_threads(1);
+        let ran = std::sync::Arc::new(AtomicUsize::new(0));
+        let r2 = ran.clone();
+        {
+            let h = submit(move || {
+                r2.fetch_add(1, Ordering::SeqCst);
+            });
+            let _ = &h;
+            // Dropped unsettled: Drop cancels; at width 1 the cancel is
+            // guaranteed to win, so the closure never runs.
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speculative task exploded")]
+    fn submitted_panic_propagates_at_join() {
+        let _g = locked();
+        let _t = scoped_num_threads(1);
+        let h = submit(|| panic!("speculative task exploded"));
+        let _ = h.join();
+    }
+
+    #[test]
+    fn thread_guard_survives_panic_unwind() {
+        let _g = locked();
+        let before = current_num_threads();
+        let r = std::panic::catch_unwind(|| {
+            let _t = scoped_num_threads(2);
+            assert_eq!(current_num_threads(), 2);
+            panic!("unwind through the guard");
+        });
+        assert!(r.is_err());
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn concurrent_same_width_guards_restore_cleanly() {
+        let _g = locked();
+        let before = current_num_threads();
+        // Simulated parallel ranks all pin the same width and drop in an
+        // arbitrary (here: creation) order — no corruption either way.
+        let g1 = scoped_num_threads(3);
+        let g2 = scoped_num_threads(3);
+        let g3 = scoped_num_threads(3);
+        assert_eq!(current_num_threads(), 3);
+        drop(g1); // out of stack order, same width: fine
+        assert_eq!(current_num_threads(), 3);
+        drop(g3);
+        assert_eq!(current_num_threads(), 3);
+        drop(g2);
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn set_num_threads_is_shadowed_by_guards() {
+        let _g = locked();
+        let prev = set_num_threads(6);
+        assert_eq!(current_num_threads(), 6);
+        {
+            let _t = scoped_num_threads(2);
+            assert_eq!(current_num_threads(), 2);
+        }
+        assert_eq!(current_num_threads(), 6);
+        set_num_threads(prev);
     }
 
     #[test]

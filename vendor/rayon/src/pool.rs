@@ -21,22 +21,47 @@
 //!   A task that submits a nested batch therefore always has at least one
 //!   executor (itself), so nested `join`/`par_chunks_mut` cannot deadlock
 //!   even when every worker is busy.
+//! * [`submit`] enqueues a **detached** single-unit batch that owns its
+//!   closure: the submitter keeps running and later either [`BatchHandle::
+//!   join`]s (executing inline if no worker got there first) or
+//!   [`BatchHandle::cancel`]s it. This is the mechanism behind the
+//!   dimension-tree engine's cross-mode lookahead.
 //! * Panics inside a unit are caught, recorded, and re-thrown on the
 //!   submitting thread once the batch has fully drained — so borrowed data
 //!   never outlives its executors, and `#[should_panic]` tests behave.
+//! * Wakeups are **precise**: idle workers block on `work_cv` and are
+//!   notified on every transition that can make a batch claimable (an
+//!   enqueue, or a batch's `active` count dropping below its `limit`);
+//!   batch completion is signalled through `done_cv` alone. No timed
+//!   polling, so an idle pool burns no CPU.
 //!
 //! Thread-count resolution order: a scoped override set via
-//! [`set_num_threads`]/[`scoped_num_threads`] > the `PP_NUM_THREADS`
-//! environment variable > `std::thread::available_parallelism()`.
+//! [`scoped_num_threads`] > the process-wide [`set_num_threads`] base >
+//! the `PP_NUM_THREADS` environment variable >
+//! `std::thread::available_parallelism()`.
 
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
-use std::time::Duration;
 
-/// Process-wide override of the effective thread count (0 = unset).
+/// Cached effective thread-count override (0 = none). Maintained under
+/// `OVERRIDE_STACK`'s lock on every mutation; read lock-free on the hot
+/// path by [`current_num_threads`].
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide base override installed by [`set_num_threads`] (0 =
+/// unset). Shadowed by any live [`ThreadGuard`].
+static BASE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Live scoped overrides, oldest first: `(guard id, pinned width)`. The
+/// innermost (last) entry is the effective width. Guards remove their own
+/// entry by id on drop, so out-of-order drops (unwinding scopes,
+/// concurrent same-width runs) cannot corrupt what remains.
+static OVERRIDE_STACK: Mutex<Vec<(u64, usize)>> = Mutex::new(Vec::new());
+
+/// Unique ids for [`ThreadGuard`]s.
+static GUARD_SEQ: AtomicU64 = AtomicU64::new(1);
 
 /// `PP_NUM_THREADS` / hardware default, resolved once.
 static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
@@ -66,34 +91,71 @@ pub fn current_num_threads() -> usize {
     }
 }
 
-/// Set the effective thread count for subsequent parallel calls
-/// (process-global). `n = 0` clears the override, returning to
-/// `PP_NUM_THREADS` / hardware default. Returns the previous override
-/// (0 if none was set).
-pub fn set_num_threads(n: usize) -> usize {
-    THREAD_OVERRIDE.swap(n, Ordering::Relaxed)
+/// Recompute the cached effective override from the guard stack (top
+/// entry wins) falling back to the [`set_num_threads`] base. Must be
+/// called with `OVERRIDE_STACK`'s lock held.
+fn recompute_effective(stack: &[(u64, usize)]) {
+    let eff = stack
+        .last()
+        .map_or_else(|| BASE_OVERRIDE.load(Ordering::Relaxed), |&(_, n)| n);
+    THREAD_OVERRIDE.store(eff, Ordering::Relaxed);
 }
 
-/// RAII guard restoring the previous thread-count override on drop.
+/// Set the process-wide *base* thread count for subsequent parallel calls.
+/// `n = 0` clears it, returning to `PP_NUM_THREADS` / hardware default.
+/// Any live [`ThreadGuard`] shadows the base until it drops. Returns the
+/// previous base (0 if none was set).
+pub fn set_num_threads(n: usize) -> usize {
+    let stack = lock(&OVERRIDE_STACK);
+    let prev = BASE_OVERRIDE.swap(n, Ordering::Relaxed);
+    recompute_effective(&stack);
+    prev
+}
+
+/// RAII guard un-pinning its scoped thread-count override on drop.
+#[must_use = "the override is released when the guard drops"]
 pub struct ThreadGuard {
-    prev: usize,
+    id: u64,
+    width: usize,
 }
 
 /// Pin the effective thread count until the returned guard is dropped.
 ///
-/// The override is process-global, not thread-local: concurrent scopes
-/// pinning *different* counts race benignly (the last setter wins while
-/// both are alive; each restores what it observed). Intended use is one
-/// pinned run at a time, e.g. `AlsConfig::threads`.
+/// Guards form a process-global stack: the innermost live guard wins, and
+/// each guard removes *its own* entry on drop (panic-safe — the entry is
+/// found by id, not by position). Nested guards on one thread restore
+/// correctly in any unwind order, and concurrent runs pinning the **same**
+/// width (e.g. every rank of a simulated parallel run pinning
+/// `AlsConfig::threads`) compose without corruption. Concurrent guards
+/// pinning *different* widths are contradictory — the innermost wins while
+/// both are alive — and an out-of-order drop in that situation trips a
+/// debug assertion.
 pub fn scoped_num_threads(n: usize) -> ThreadGuard {
-    ThreadGuard {
-        prev: set_num_threads(n),
-    }
+    let id = GUARD_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut stack = lock(&OVERRIDE_STACK);
+    stack.push((id, n));
+    recompute_effective(&stack);
+    ThreadGuard { id, width: n }
 }
 
 impl Drop for ThreadGuard {
     fn drop(&mut self) {
-        set_num_threads(self.prev);
+        let mut stack = lock(&OVERRIDE_STACK);
+        let pos = stack
+            .iter()
+            .position(|&(id, _)| id == self.id)
+            .expect("ThreadGuard stack entry missing");
+        stack.remove(pos);
+        // Dropping a guard that is not the innermost is well-defined only
+        // when every guard still above it pins the same width; otherwise
+        // two live scopes disagreed about the width while overlapping.
+        debug_assert!(
+            stack[pos..].iter().all(|&(_, w)| w == self.width),
+            "ThreadGuard dropped out of order: this guard pinned {} but a \
+             concurrent/nested guard pinning a different width is still live",
+            self.width,
+        );
+        recompute_effective(&stack);
     }
 }
 
@@ -106,6 +168,11 @@ pub(crate) struct Batch {
     /// `finished == total`.
     run: unsafe fn(*const (), usize),
     ctx: *const (),
+    /// Keeps `ctx`'s referent alive for detached batches ([`submit`]),
+    /// whose context cannot live on the submitter's stack. `None` for
+    /// blocking batches, where the submitter's stack frame outlives every
+    /// executor.
+    _owner: Option<Box<dyn std::any::Any + Send>>,
     total: usize,
     /// Concurrency cap for this batch (effective thread count at submit).
     limit: usize,
@@ -119,9 +186,11 @@ pub(crate) struct Batch {
     done_cv: Condvar,
 }
 
-// SAFETY: `ctx` is only dereferenced through `run` for claimed indices,
-// all of which complete before the submitter (the owner of the referenced
-// data) proceeds.
+// SAFETY: `ctx` is only dereferenced through `run` for claimed indices.
+// For blocking batches those all complete before the submitter (the owner
+// of the referenced data) proceeds; for detached batches `_owner` keeps
+// the context alive for the batch's whole lifetime and is never touched
+// after construction.
 unsafe impl Send for Batch {}
 unsafe impl Sync for Batch {}
 
@@ -175,6 +244,15 @@ impl Pool {
             self.spawned.store(target, Ordering::Relaxed);
         }
     }
+
+    /// Drop a specific batch's queue entry (identity comparison). Used by
+    /// detached batches, which have no participating submitter to outlive
+    /// them and would otherwise linger in the queue when no worker ever
+    /// rescans (e.g. a 1-thread pool).
+    fn remove_batch(&self, b: &Arc<Batch>) {
+        let mut q = lock(&self.queue);
+        q.retain(|x| !Arc::ptr_eq(x, b));
+    }
 }
 
 fn worker_loop(pool: &'static Pool) {
@@ -190,20 +268,25 @@ fn worker_loop(pool: &'static Pool) {
                 b.active.fetch_add(1, Ordering::AcqRel);
                 drop(q);
                 execute(&b);
-                b.active.fetch_sub(1, Ordering::AcqRel);
+                let opened_slot = b.active.fetch_sub(1, Ordering::AcqRel) <= b.limit;
                 q = lock(&pool.queue);
+                // Precise wakeup: our departure may have opened a
+                // concurrency slot on a batch that still has unclaimed
+                // units, so peers blocked below must re-scan. (`execute`
+                // only returns once the batch is drained, so today this
+                // fires only under transient over-claiming; it keeps the
+                // wakeup protocol complete if gating ever changes.)
+                if opened_slot && !b.drained() {
+                    pool.work_cv.notify_all();
+                }
             }
             None => {
-                // Timed wait: a slot freed by `active` dropping below
-                // `limit` is not separately signalled, so poll briefly.
-                q = pool
-                    .work_cv
-                    .wait_timeout(q, Duration::from_millis(1))
-                    .map(|(g, _)| g)
-                    .unwrap_or_else(|e| {
-                        let (g, _) = e.into_inner();
-                        g
-                    });
+                // Precise wait, no polling: every transition that can make
+                // a batch claimable — an enqueue, or `active` dropping
+                // below `limit` — notifies `work_cv`, and enqueues require
+                // the queue lock we hold between the scan above and this
+                // wait, so the notification cannot slip through the gap.
+                q = pool.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         }
     }
@@ -224,32 +307,30 @@ fn execute(b: &Batch) {
                 *slot = Some(p);
             }
         }
-        if b.finished.fetch_add(1, Ordering::AcqRel) + 1 == b.total {
-            let mut g = lock(&b.done);
-            *g = true;
-            b.done_cv.notify_all();
-        }
+        finish_unit(b);
     }
 }
 
-/// Block until every unit of `b` has finished executing.
+/// Mark one unit of `b` finished; the last one flips `done` under its lock
+/// and signals `done_cv`, the sole completion channel for [`wait_done`].
+fn finish_unit(b: &Batch) {
+    if b.finished.fetch_add(1, Ordering::AcqRel) + 1 == b.total {
+        let mut g = lock(&b.done);
+        *g = true;
+        b.done_cv.notify_all();
+    }
+}
+
+/// Block until every unit of `b` has finished executing. `done` is set
+/// under its lock before `done_cv` is notified, so a plain (untimed) wait
+/// cannot miss the completion.
 fn wait_done(b: &Batch) {
     if b.finished.load(Ordering::Acquire) == b.total {
         return;
     }
     let mut g = lock(&b.done);
     while !*g {
-        g = b
-            .done_cv
-            .wait_timeout(g, Duration::from_millis(10))
-            .map(|(g, _)| g)
-            .unwrap_or_else(|e| {
-                let (g, _) = e.into_inner();
-                g
-            });
-        if b.finished.load(Ordering::Acquire) == b.total {
-            break;
-        }
+        g = b.done_cv.wait(g).unwrap_or_else(|e| e.into_inner());
     }
 }
 
@@ -289,6 +370,7 @@ pub(crate) fn run_batch<F: Fn(usize) + Sync>(total: usize, f: &F) {
     let batch = Arc::new(Batch {
         run: call_shim::<F>,
         ctx: f as *const F as *const (),
+        _owner: None,
         total,
         limit: threads,
         next: AtomicUsize::new(0),
@@ -311,6 +393,134 @@ pub(crate) fn run_batch<F: Fn(usize) + Sync>(total: usize, f: &F) {
     execute(&batch);
     wait_done(&batch);
     propagate_panic(&batch);
+}
+
+/// Owned context of a detached ([`submit`]ted) single-unit batch: the
+/// not-yet-run closure and its eventual result.
+struct SubmitCtx<T> {
+    #[allow(clippy::type_complexity)]
+    f: Mutex<Option<Box<dyn FnOnce() -> T + Send>>>,
+    out: Mutex<Option<T>>,
+}
+
+unsafe fn run_submit<T: Send + 'static>(ctx: *const (), _i: usize) {
+    let c = &*(ctx as *const SubmitCtx<T>);
+    // The index-claim protocol guarantees a single executor; take the
+    // closure out before running it so the lock is not held across `f()`.
+    let f = lock(&c.f).take();
+    if let Some(f) = f {
+        let r = f();
+        *lock(&c.out) = Some(r);
+    }
+}
+
+/// Handle to a batch enqueued with [`submit`]: the submitter keeps running
+/// and settles the batch later via [`join`](BatchHandle::join) or
+/// [`cancel`](BatchHandle::cancel). Dropping an unsettled handle cancels
+/// the batch (best-effort) so no queue entry or context can leak.
+pub struct BatchHandle<T: Send + 'static> {
+    batch: Arc<Batch>,
+    ctx: Arc<SubmitCtx<T>>,
+    settled: bool,
+}
+
+/// Enqueue `f` as a detached single-unit batch and return immediately.
+/// An idle worker may pick it up concurrently with whatever the caller
+/// does next. With an effective width of 1 the batch is **not** enqueued
+/// at all — persistent workers left over from earlier, wider phases must
+/// not claim it — so nothing runs until [`BatchHandle::join`] executes it
+/// inline, and [`BatchHandle::cancel`] is guaranteed to win. The closure
+/// must be self-contained (`'static`): share big inputs via `Arc`.
+pub fn submit<T, F>(f: F) -> BatchHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let threads = current_num_threads();
+    let ctx: Arc<SubmitCtx<T>> = Arc::new(SubmitCtx {
+        f: Mutex::new(Some(Box::new(f))),
+        out: Mutex::new(None),
+    });
+    let batch = Arc::new(Batch {
+        run: run_submit::<T>,
+        ctx: Arc::as_ptr(&ctx) as *const (),
+        _owner: Some(Box::new(ctx.clone())),
+        total: 1,
+        limit: threads.max(1),
+        next: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        finished: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        payload: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    if threads > 1 {
+        let p = pool();
+        p.ensure_workers(threads - 1);
+        {
+            let mut q = lock(&p.queue);
+            q.push_back(batch.clone());
+        }
+        p.work_cv.notify_all();
+    }
+    BatchHandle {
+        batch,
+        ctx,
+        settled: false,
+    }
+}
+
+impl<T: Send + 'static> BatchHandle<T> {
+    /// Try to cancel before any executor claims the unit. On success the
+    /// closure is dropped unrun and the queue entry is removed; returns
+    /// `false` when an executor already claimed it (it then runs to
+    /// completion and the claiming worker's rescan reaps the entry).
+    pub fn cancel(&mut self) -> bool {
+        if self.settled {
+            return false;
+        }
+        let claimed = self.batch.next.fetch_add(1, Ordering::AcqRel) == 0;
+        if claimed {
+            drop(lock(&self.ctx.f).take());
+            finish_unit(&self.batch);
+            pool().remove_batch(&self.batch);
+            self.settled = true;
+        }
+        claimed
+    }
+
+    /// Wait for the closure's result, executing it inline if no worker has
+    /// claimed it yet. Returns `None` if the batch was cancelled first.
+    /// Re-throws the closure's panic, if any, on this thread.
+    pub fn join(mut self) -> Option<T> {
+        execute(&self.batch);
+        wait_done(&self.batch);
+        pool().remove_batch(&self.batch);
+        self.settled = true;
+        propagate_panic(&self.batch);
+        lock(&self.ctx.out).take()
+    }
+
+    /// Whether the batch is still sitting in the pool's queue (test hook).
+    pub fn queued(&self) -> bool {
+        lock(&pool().queue)
+            .iter()
+            .any(|x| Arc::ptr_eq(x, &self.batch))
+    }
+
+    /// Whether the closure already ran (or was cancelled).
+    pub fn is_settled(&self) -> bool {
+        self.settled || self.batch.finished.load(Ordering::Acquire) == self.batch.total
+    }
+}
+
+impl<T: Send + 'static> Drop for BatchHandle<T> {
+    fn drop(&mut self) {
+        if !self.settled {
+            self.cancel();
+        }
+    }
 }
 
 /// Potentially-parallel `join`: `b` is offered to the pool while `a` runs
@@ -350,6 +560,7 @@ where
     let batch = Arc::new(Batch {
         run: run_b::<B, RB>,
         ctx: &ctx as *const JoinCtx<B, RB> as *const (),
+        _owner: None,
         total: 1,
         limit: threads,
         next: AtomicUsize::new(0),
@@ -415,8 +626,8 @@ where
         if tasks.is_empty() {
             break;
         }
-        let slots: Vec<Mutex<Option<Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>>>> =
-            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        type Slot<'s> = Mutex<Option<Box<dyn FnOnce(&Scope<'s>) + Send + 's>>>;
+        let slots: Vec<Slot<'scope>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
         run_batch(slots.len(), &|i| {
             if let Some(t) = lock(&slots[i]).take() {
                 t(&s);
