@@ -5,11 +5,13 @@
 //! measured flop rates also calibrate γ and ν of the cost model.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pp_tensor::gemm::{gemm_slice, Trans};
 use pp_tensor::kernels::krp::khatri_rao;
 use pp_tensor::kernels::mttv::mttv;
 use pp_tensor::kernels::ttm::{ttm, ttm_last};
 use pp_tensor::rng::{seeded, uniform_matrix, uniform_tensor};
 use pp_tensor::transpose::move_mode_last;
+use pp_tensor::Matrix;
 use std::hint::black_box;
 
 fn bench_kernels(c: &mut Criterion) {
@@ -43,6 +45,35 @@ fn bench_kernels(c: &mut Criterion) {
     });
 
     g.bench_function("gram", |b| b.iter(|| black_box(b1.gram())));
+
+    // Tall-skinny rank-shaped GEMMs (the packed micro-kernel's acceptance
+    // shapes: m ≥ 4096, n ∈ {16, 32}): the matmul every first-level TTM
+    // reduces to, with the fixed-n micro-kernel dispatch hit directly.
+    for n in [16usize, 32] {
+        let (m, k) = (4096usize, 96usize);
+        let ga = uniform_matrix(m, k, &mut rng);
+        let gb = uniform_matrix(k, n, &mut rng);
+        let mut gc = Matrix::zeros(m, n);
+        g.bench_function(format!("gemm_tall_skinny_n{n}"), |b| {
+            b.iter(|| {
+                gemm_slice(
+                    Trans::No,
+                    Trans::No,
+                    1.0,
+                    ga.data(),
+                    m,
+                    k,
+                    gb.data(),
+                    k,
+                    n,
+                    0.0,
+                    black_box(gc.data_mut()),
+                    m,
+                    n,
+                );
+            })
+        });
+    }
     g.finish();
 }
 

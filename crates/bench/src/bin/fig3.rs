@@ -94,7 +94,7 @@ fn breakdown(
         let five = meas.stats.five_way();
         let total: f64 = five.iter().map(|(_, s)| s).sum();
         println!(
-            "{:12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} (spec {}/{} hit/wasted)",
+            "{:12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} (spec {}/{} hit/wasted; packed GEMM {:.2} Gflop, {}/{} fixed-n/generic)",
             m.label(),
             fmt_secs(five[0].1),
             fmt_secs(five[1].1),
@@ -104,6 +104,9 @@ fn breakdown(
             fmt_secs(total),
             meas.stats.spec_hits,
             meas.stats.spec_wasted,
+            meas.stats.gemm_packed_flops as f64 / 1e9,
+            meas.stats.gemm_fixed_n_calls,
+            meas.stats.gemm_generic_calls,
         );
     }
     // PP kernels timed as whole steps (their internals are mTTV-dominated).

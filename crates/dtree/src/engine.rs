@@ -145,7 +145,8 @@ impl DimTreeEngine {
     /// MSDT's fresh TTM always does).
     ///
     /// The speculation is keyed by the factor version vector at launch;
-    /// consumption ([`Self::first_level`]) re-checks validity and discards
+    /// consumption (the engine's internal `first_level` step) re-checks
+    /// validity and discards
     /// a stale speculation rather than ever using it, so results stay
     /// bit-identical with lookahead on or off.
     pub fn lookahead(
@@ -267,7 +268,10 @@ impl DimTreeEngine {
                 self.stats.spec_wasted += 1;
             }
         }
+        let g0 = pp_tensor::gemm::thread_gemm_counters();
         let fl = input.contract_mode(k, fs.factor(k));
+        self.stats
+            .add_gemm_delta(&pp_tensor::gemm::thread_gemm_counters().since(&g0));
         if fl.transpose_words > 0 {
             self.stats.record(Kernel::Transpose, fl.transpose_time, 0);
         }

@@ -57,6 +57,16 @@ pub struct KernelStats {
     pub spec_hits: u64,
     /// Speculations discarded as stale or superseded (wasted).
     pub spec_wasted: u64,
+    /// Flops issued through the packed GEMM engine by synchronous engine
+    /// kernel calls (sampled from the calling thread's
+    /// `pp_tensor::gemm` counters; speculative TTMs execute on pool
+    /// workers and are accounted via their payload flops instead).
+    pub gemm_packed_flops: u64,
+    /// Packed-GEMM calls that hit a rank-specialized fixed-`n`
+    /// micro-kernel (`n ∈ {8, 16, 32}`).
+    pub gemm_fixed_n_calls: u64,
+    /// Packed-GEMM calls on the generic-width panel path.
+    pub gemm_generic_calls: u64,
 }
 
 impl KernelStats {
@@ -110,6 +120,17 @@ impl KernelStats {
         self.spec_launched += other.spec_launched;
         self.spec_hits += other.spec_hits;
         self.spec_wasted += other.spec_wasted;
+        self.gemm_packed_flops += other.gemm_packed_flops;
+        self.gemm_fixed_n_calls += other.gemm_fixed_n_calls;
+        self.gemm_generic_calls += other.gemm_generic_calls;
+    }
+
+    /// Fold a packed-GEMM counter delta (from
+    /// `pp_tensor::gemm::thread_gemm_counters`) into the ledger.
+    pub fn add_gemm_delta(&mut self, delta: &pp_tensor::gemm::GemmCounters) {
+        self.gemm_packed_flops += delta.flops;
+        self.gemm_fixed_n_calls += delta.fixed_n_calls;
+        self.gemm_generic_calls += delta.generic_calls;
     }
 
     /// Scale all timings (e.g. to average over sweeps).

@@ -1,11 +1,102 @@
 //! Khatri-Rao products and the Γ Hadamard chains of CP-ALS.
 
 use crate::matrix::Matrix;
+use crate::simd::{simd_level, SimdLevel};
 use rayon::prelude::*;
 
 /// Minimum output elements before the row-blocked parallel path pays for
 /// the pool dispatch (an enqueue plus atomic chunk claims).
 const PAR_ELEMS: usize = 1 << 14;
+
+/// Fill rows `[row0, row0 + block.len()/r)` of the Khatri-Rao output, the
+/// odometer initialized by mixed-radix decoding of `row0` (last matrix
+/// fastest). Rank-specialized (`r ∈ {8, 16, 32}` multiply through fully
+/// unrolled monomorphized bodies) and SIMD-multiversioned; every variant
+/// multiplies in the same order, so output is bit-identical for any
+/// thread count and dispatch level.
+fn fill_rows(mats: &[&Matrix], r: usize, row0: usize, block: &mut [f64]) {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `simd_level` probed AVX-512F at runtime.
+        SimdLevel::Avx512 => unsafe { fill_rows_avx512(mats, r, row0, block) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `simd_level` probed AVX2 at runtime.
+        SimdLevel::Avx2 => unsafe { fill_rows_avx2(mats, r, row0, block) },
+        SimdLevel::Scalar => fill_rows_body(mats, r, row0, block),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn fill_rows_avx512(mats: &[&Matrix], r: usize, row0: usize, block: &mut [f64]) {
+    fill_rows_body(mats, r, row0, block)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn fill_rows_avx2(mats: &[&Matrix], r: usize, row0: usize, block: &mut [f64]) {
+    fill_rows_body(mats, r, row0, block)
+}
+
+#[inline(always)]
+fn fill_rows_body(mats: &[&Matrix], r: usize, row0: usize, block: &mut [f64]) {
+    match r {
+        8 => fill_rows_fixed::<8>(mats, row0, block),
+        16 => fill_rows_fixed::<16>(mats, row0, block),
+        32 => fill_rows_fixed::<32>(mats, row0, block),
+        _ => {
+            let mut idx = odometer_init(mats, row0);
+            for orow in block.chunks_exact_mut(r) {
+                for (m, &i) in mats.iter().zip(idx.iter()) {
+                    let mrow = m.row(i);
+                    for (o, v) in orow.iter_mut().zip(mrow.iter()) {
+                        *o *= v;
+                    }
+                }
+                odometer_step(mats, &mut idx);
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn fill_rows_fixed<const R: usize>(mats: &[&Matrix], row0: usize, block: &mut [f64]) {
+    let mut idx = odometer_init(mats, row0);
+    for orow in block.chunks_exact_mut(R) {
+        let orow: &mut [f64; R] = orow.try_into().unwrap();
+        for (m, &i) in mats.iter().zip(idx.iter()) {
+            let mrow: &[f64; R] = m.row(i).try_into().unwrap();
+            for j in 0..R {
+                orow[j] *= mrow[j];
+            }
+        }
+        odometer_step(mats, &mut idx);
+    }
+}
+
+/// Mixed-radix decode of `row0` into per-matrix row indices (last matrix
+/// fastest).
+fn odometer_init(mats: &[&Matrix], row0: usize) -> Vec<usize> {
+    let mut idx = vec![0usize; mats.len()];
+    let mut rem = row0;
+    for k in (0..mats.len()).rev() {
+        idx[k] = rem % mats[k].rows();
+        rem /= mats[k].rows();
+    }
+    idx
+}
+
+/// Odometer increment, last matrix fastest.
+#[inline(always)]
+fn odometer_step(mats: &[&Matrix], idx: &mut [usize]) {
+    for k in (0..mats.len()).rev() {
+        idx[k] += 1;
+        if idx[k] < mats[k].rows() {
+            break;
+        }
+        idx[k] = 0;
+    }
+}
 
 /// Column-wise Khatri-Rao product of a list of matrices sharing a column
 /// count `R`. Row ordering: `mats[0]`'s row index varies *slowest* — matching
@@ -25,42 +116,15 @@ pub fn khatri_rao(mats: &[&Matrix]) -> Matrix {
     let total_rows: usize = mats.iter().map(|m| m.rows()).product();
     let mut out = Matrix::from_fn(total_rows, r, |_, _| 1.0);
 
-    // Fill rows [row0, row0 + block.len()/r) of the output, odometer
-    // initialized by mixed-radix decoding of `row0` (last matrix fastest).
-    let fill = |row0: usize, block: &mut [f64]| {
-        let mut idx = vec![0usize; mats.len()];
-        let mut rem = row0;
-        for k in (0..mats.len()).rev() {
-            idx[k] = rem % mats[k].rows();
-            rem /= mats[k].rows();
-        }
-        for orow in block.chunks_exact_mut(r) {
-            for (m, &i) in mats.iter().zip(idx.iter()) {
-                let mrow = m.row(i);
-                for (o, v) in orow.iter_mut().zip(mrow.iter()) {
-                    *o *= v;
-                }
-            }
-            // Odometer increment, last matrix fastest.
-            for k in (0..mats.len()).rev() {
-                idx[k] += 1;
-                if idx[k] < mats[k].rows() {
-                    break;
-                }
-                idx[k] = 0;
-            }
-        }
-    };
-
     let nthreads = rayon::current_num_threads().max(1);
     if total_rows > 1 && total_rows * r >= PAR_ELEMS && nthreads > 1 {
         let rows_per_chunk = total_rows.div_ceil(nthreads * 4).max(1);
         out.data_mut()
             .par_chunks_mut(rows_per_chunk * r)
             .enumerate()
-            .for_each(|(ci, block)| fill(ci * rows_per_chunk, block));
+            .for_each(|(ci, block)| fill_rows(mats, r, ci * rows_per_chunk, block));
     } else {
-        fill(0, out.data_mut());
+        fill_rows(mats, r, 0, out.data_mut());
     }
     out
 }

@@ -14,7 +14,74 @@
 use crate::dense::DenseTensor;
 use crate::matrix::Matrix;
 use crate::shape::Shape;
+use crate::simd::{simd_level, SimdLevel};
 use rayon::prelude::*;
+
+/// Columnwise accumulate `out[i, :] += in[i, :] ∗ a_row` over row pairs of
+/// width `r` — the inner loop of every mTTV step. Rank-specialized
+/// (`r ∈ {8, 16, 32}` run fully unrolled monomorphized bodies) and
+/// SIMD-multiversioned like the GEMM micro-kernel: the dispatch depends
+/// only on `r` and the CPU, and every variant performs the same
+/// per-element operation order, so outputs stay bit-identical across
+/// thread counts.
+fn slab_axpy(out: &mut [f64], inp: &[f64], a_row: &[f64]) {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `simd_level` probed AVX-512F+FMA at runtime.
+        SimdLevel::Avx512 => unsafe { slab_axpy_avx512(out, inp, a_row) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `simd_level` probed AVX2+FMA at runtime.
+        SimdLevel::Avx2 => unsafe { slab_axpy_avx2(out, inp, a_row) },
+        SimdLevel::Scalar => slab_axpy_body::<false>(out, inp, a_row),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,fma")]
+fn slab_axpy_avx512(out: &mut [f64], inp: &[f64], a_row: &[f64]) {
+    slab_axpy_body::<true>(out, inp, a_row)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn slab_axpy_avx2(out: &mut [f64], inp: &[f64], a_row: &[f64]) {
+    slab_axpy_body::<true>(out, inp, a_row)
+}
+
+#[inline(always)]
+fn slab_axpy_body<const FMA: bool>(out: &mut [f64], inp: &[f64], a_row: &[f64]) {
+    match a_row.len() {
+        8 => slab_axpy_fixed::<8, FMA>(out, inp, a_row),
+        16 => slab_axpy_fixed::<16, FMA>(out, inp, a_row),
+        32 => slab_axpy_fixed::<32, FMA>(out, inp, a_row),
+        r => {
+            for (ob, ib) in out.chunks_exact_mut(r).zip(inp.chunks_exact(r)) {
+                for ((ov, iv), av) in ob.iter_mut().zip(ib.iter()).zip(a_row.iter()) {
+                    if FMA {
+                        *ov = iv.mul_add(*av, *ov);
+                    } else {
+                        *ov += iv * av;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn slab_axpy_fixed<const R: usize, const FMA: bool>(out: &mut [f64], inp: &[f64], a_row: &[f64]) {
+    let a: &[f64; R] = a_row.try_into().unwrap();
+    for (ob, ib) in out.chunks_exact_mut(R).zip(inp.chunks_exact(R)) {
+        let ib: &[f64; R] = ib.try_into().unwrap();
+        for j in 0..R {
+            if FMA {
+                ob[j] = ib[j].mul_add(a[j], ob[j]);
+            } else {
+                ob[j] += ib[j] * a[j];
+            }
+        }
+    }
+}
 
 /// Result of an mTTV with cost bookkeeping.
 pub struct MttvOutput {
@@ -70,11 +137,7 @@ pub fn mttv(inter: &DenseTensor, pos: usize, factor: &Matrix) -> MttvOutput {
             let in_slab = &src[base_in + y * slab..base_in + (y + 1) * slab];
             let a_row = &fac[y * r..(y + 1) * r];
             // out[i, r] += in[i, r] * a[y, r]; r is innermost and unit stride.
-            for (ob, ib) in out_block.chunks_exact_mut(r).zip(in_slab.chunks_exact(r)) {
-                for ((ov, iv), av) in ob.iter_mut().zip(ib.iter()).zip(a_row.iter()) {
-                    *ov += iv * av;
-                }
-            }
+            slab_axpy(out_block, in_slab, a_row);
         }
     };
 
@@ -101,11 +164,7 @@ pub fn mttv(inter: &DenseTensor, pos: usize, factor: &Matrix) -> MttvOutput {
                     let a_row = &fac[y * r..(y + 1) * r];
                     let in_off = y * slab + i0 * r;
                     let in_block = &src[in_off..in_off + rows_here * r];
-                    for (ob, ib) in block.chunks_exact_mut(r).zip(in_block.chunks_exact(r)) {
-                        for ((ov, iv), av) in ob.iter_mut().zip(ib.iter()).zip(a_row.iter()) {
-                            *ov += iv * av;
-                        }
-                    }
+                    slab_axpy(block, in_block, a_row);
                 }
             });
     } else {

@@ -38,6 +38,7 @@ pub mod kernels;
 pub mod matrix;
 pub mod rng;
 pub mod shape;
+pub(crate) mod simd;
 pub mod solve;
 pub mod transpose;
 

@@ -1,0 +1,57 @@
+//! Runtime SIMD capability probe shared by the hot kernels.
+//!
+//! The workspace compiles for baseline x86-64 (no `-C target-cpu`), so the
+//! innermost kernel loops are compiled several times behind
+//! `#[target_feature]` and dispatched on the level probed here — standard
+//! function multiversioning. The probe depends only on the CPU (never on
+//! data or thread count), so kernel determinism across thread counts is
+//! unaffected; levels differ across *machines* only in whether `mul_add`
+//! maps to a hardware FMA.
+
+/// Best vector extension the running CPU supports (with FMA, which every
+/// AVX2/AVX-512 part of interest has — both are required together so the
+/// feature-gated kernel clones may use `f64::mul_add`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum SimdLevel {
+    /// Baseline codegen, separate mul+add.
+    Scalar,
+    /// 256-bit vectors + FMA.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// 512-bit vectors + FMA.
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+/// Probe once (first call), then serve from a relaxed atomic.
+pub(crate) fn simd_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        static LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
+        let mut l = LEVEL.load(Ordering::Relaxed);
+        if l == u8::MAX {
+            l = if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                2
+            } else if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                1
+            } else {
+                0
+            };
+            LEVEL.store(l, Ordering::Relaxed);
+        }
+        match l {
+            2 => SimdLevel::Avx512,
+            1 => SimdLevel::Avx2,
+            _ => SimdLevel::Scalar,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdLevel::Scalar
+    }
+}

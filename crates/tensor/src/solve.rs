@@ -6,6 +6,12 @@
 //! rank-deficient (common at high collinearity) we fall back to the
 //! pseudo-inverse through a cyclic Jacobi symmetric eigendecomposition —
 //! the role ScaLAPACK's SPD solvers play in the paper.
+//!
+//! The matmuls on this path — Gram formation (`Matrix::gram`), the
+//! pseudo-inverse reconstruction `V diag(λ⁺) Vᵀ`, and the `M·Γ⁺` RHS
+//! product — all route through the packed register-tiled GEMM engine
+//! (`crate::gemm`); only the O(R³) triangular factor/solve loops stay
+//! scalar, as `R ≤ ~50` keeps them off the profile.
 
 use crate::gemm::{gemm, Trans};
 use crate::matrix::Matrix;
@@ -277,6 +283,30 @@ mod tests {
         let gp = g.matmul(&p);
         let gpg = gp.matmul(&g);
         assert!(gpg.max_abs_diff(&g) < 1e-8);
+    }
+
+    #[test]
+    fn solve_path_routes_through_packed_gemm() {
+        // Gram formation and the pseudo-inverse fallback must issue their
+        // matmuls through the packed engine, where the flop counters (and
+        // the perf work) live.
+        let a = Matrix::from_fn(40, 16, |i, j| ((i * 7 + j * 3) % 13) as f64 / 6.0 - 1.0);
+        let before = crate::gemm::thread_gemm_counters();
+        let g = a.gram(); // 16×16 via Trans::Yes GEMM (fixed-n width)
+        let d1 = crate::gemm::thread_gemm_counters().since(&before);
+        assert_eq!(d1.calls, 1);
+        assert_eq!(d1.flops, crate::gemm::gemm_flops(16, 16, 40));
+
+        let u: Vec<f64> = (0..3).map(|i| (i + 1) as f64).collect();
+        let sing = Matrix::from_fn(3, 3, |i, j| u[i] * u[j]);
+        let m = Matrix::from_fn(4, 3, |i, j| (i + j) as f64);
+        let before = crate::gemm::thread_gemm_counters();
+        let (_, method) = solve_gram(&sing, &m);
+        assert_eq!(method, SolveMethod::PseudoInverse);
+        let d2 = crate::gemm::thread_gemm_counters().since(&before);
+        // pinv_sym's V·diag·Vᵀ plus the M·Γ⁺ product.
+        assert!(d2.calls >= 2, "pinv path must go through gemm ({d2:?})");
+        let _ = g;
     }
 
     #[test]

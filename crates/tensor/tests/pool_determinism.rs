@@ -49,6 +49,43 @@ fn gemm_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn gemm_packed_tall_skinny_bit_identical_1_vs_4_threads() {
+    // The acceptance shape of the packed micro-kernel: tall-skinny with
+    // n = rank. m is prime, so thread-count-dependent chunk boundaries
+    // shift every MR-tile alignment and force different zero-padded edge
+    // tiles per thread count — the determinism argument (one accumulator
+    // per element, global k-panel order) must make the outputs bitwise
+    // equal anyway. Covers a fixed-n width (16), a generic width (24),
+    // and a transposed-A operand feeding the packed path.
+    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = seeded(99);
+    let m = 1031; // prime, ≫ MC
+    let k = 96;
+    for &(ta, n) in &[(Trans::No, 16usize), (Trans::No, 24), (Trans::Yes, 32)] {
+        let (ar, ac) = match ta {
+            Trans::No => (m, k),
+            Trans::Yes => (k, m),
+        };
+        let a = uniform_matrix(ar, ac, &mut rng);
+        let b = uniform_matrix(k, n, &mut rng);
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut c = Matrix::zeros(m, n);
+                gemm(ta, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+                c
+            })
+        };
+        let serial = run(1);
+        let par = run(4);
+        assert_eq!(
+            serial.data(),
+            par.data(),
+            "packed gemm {ta:?} n={n} differs between 1 and 4 threads"
+        );
+    }
+}
+
+#[test]
 fn khatri_rao_bit_identical_across_thread_counts() {
     let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut rng = seeded(7);
@@ -84,5 +121,18 @@ fn mttv_bit_identical_across_thread_counts() {
                 "mttv pos {pos} differs at {threads} threads"
             );
         }
+    }
+
+    // Rank-specialized width (r = 32 hits the monomorphized inner loop).
+    let inter32 = uniform_tensor(&[64, 48, 32], &mut rng);
+    let fac32 = uniform_matrix(48, 32, &mut rng);
+    let serial = with_threads(1, || mttv(&inter32, 1, &fac32).tensor);
+    for threads in [2, 4] {
+        let par = with_threads(threads, || mttv(&inter32, 1, &fac32).tensor);
+        assert_eq!(
+            serial.data(),
+            par.data(),
+            "fixed-r mttv differs at {threads} threads"
+        );
     }
 }

@@ -1,7 +1,8 @@
 //! `ppcp` — command-line CP decomposition driver.
 //!
 //! ```text
-//! ppcp --dataset <lowrank|collinearity|chemistry|coil|timelapse>
+//! ppcp [--version] [--help]
+//!      --dataset <lowrank|collinearity|chemistry|coil|timelapse>
 //!      --method  <dt|msdt|pp|nncp>          (default msdt)
 //!      --rank    <R>                        (default 16)
 //!      --sweeps  <max>                      (default 100)
@@ -21,6 +22,9 @@
 //!      --seed    <u64>                      (default 42)
 //!      --trace                              (print the fitness trace)
 //! ```
+//!
+//! `--version` prints the crate version and exits 0; like `--help` it
+//! short-circuits all other argument validation.
 //!
 //! Argument errors (unknown flags, unknown `--dataset`/`--method` values,
 //! unparsable numbers) exit with status 2.
@@ -59,6 +63,7 @@ struct Args {
     seed: u64,
     trace: bool,
     help: bool,
+    version: bool,
 }
 
 const DATASETS: &[&str] = &["lowrank", "collinearity", "chemistry", "coil", "timelapse"];
@@ -70,6 +75,7 @@ const METHODS: &[&str] = &["dt", "msdt", "pp", "nncp"];
 fn parse_args_from(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         help: argv.iter().any(|a| a == "--help" || a == "-h"),
+        version: argv.iter().any(|a| a == "--version" || a == "-V"),
         dataset: "lowrank".into(),
         method: "msdt".into(),
         rank: 16,
@@ -82,8 +88,9 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         seed: 42,
         trace: false,
     };
-    // `--help` short-circuits all validation, per CLI convention.
-    if args.help {
+    // `--help`/`--version` short-circuit all validation, per CLI
+    // convention.
+    if args.help || args.version {
         return Ok(args);
     }
     let mut i = 0;
@@ -247,8 +254,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.version {
+        println!("ppcp {}", env!("CARGO_PKG_VERSION"));
+        return;
+    }
     if args.help {
-        println!("see module docs: ppcp --dataset <name> --method <dt|msdt|pp|nncp> ...");
+        println!(
+            "see module docs: ppcp [--version] --dataset <name> --method <dt|msdt|pp|nncp> ..."
+        );
         return;
     }
     // `--threads` routes through `AlsConfig::threads`: the pin is scoped
@@ -331,6 +344,12 @@ fn main() {
             report.stats.spec_launched, report.stats.spec_hits, report.stats.spec_wasted,
         );
     }
+    println!(
+        "packed GEMM (sync engine TTMs): {:.2} Gflop, {} fixed-n / {} generic calls",
+        report.stats.gemm_packed_flops as f64 / 1e9,
+        report.stats.gemm_fixed_n_calls,
+        report.stats.gemm_generic_calls,
+    );
     if args.trace {
         for s in &report.sweeps {
             println!(
@@ -429,6 +448,33 @@ mod tests {
         ] {
             let a = parse_args_from(&argv(&argv_case)).unwrap();
             assert!(a.help, "{argv_case:?}");
+        }
+    }
+
+    #[test]
+    fn version_flag_parses_and_short_circuits() {
+        // `--version` behaves like `--help`: it wins over any other
+        // argument, valid or not, so `ppcp --version` can never exit 2.
+        for argv_case in [
+            vec!["--version"],
+            vec!["-V"],
+            vec!["--version", "--method", "turbo"],
+            vec!["--rank", "abc", "--version"],
+            vec!["--version", "--frobnicate"],
+        ] {
+            let a = parse_args_from(&argv(&argv_case)).unwrap();
+            assert!(a.version, "{argv_case:?}");
+        }
+        assert!(!parse_args_from(&argv(&[])).unwrap().version);
+    }
+
+    #[test]
+    fn version_must_be_exact_flag() {
+        // A typo'd version flag is still an argument error (exit 2), not
+        // a silent fallback into a run.
+        for bad in ["--versio", "--versions", "-v"] {
+            let err = parse_args_from(&argv(&[bad])).unwrap_err();
+            assert!(err.contains("unknown flag"), "{bad}: {err}");
         }
     }
 

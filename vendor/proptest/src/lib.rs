@@ -111,7 +111,7 @@ pub mod collection {
     use crate::strategy::{Strategy, VecStrategy};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait IntoSizeRange {
         fn into_bounds(self) -> (usize, usize);
     }

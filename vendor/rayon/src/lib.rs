@@ -6,7 +6,7 @@
 //! lookahead needs it), and [`current_num_threads`].
 //!
 //! Unlike the original per-call `std::thread::scope` implementation,
-//! parallel work now runs on a **persistent pool** (see [`pool`] module
+//! parallel work now runs on a **persistent pool** (see the `pool` module
 //! docs): worker threads are spawned lazily once and reused; chunks are
 //! claimed dynamically off a shared queue, and the calling thread always
 //! participates, so nested parallel calls cannot deadlock. The pool size
