@@ -1,0 +1,219 @@
+//! `bench_serve` — throughput benchmark of the multi-tenant batch
+//! scheduler against back-to-back sequential execution of the same jobs.
+//!
+//! ```text
+//! bench_serve [--quick] [--out BENCH_serve.json] [--threads T] [--window J]
+//! ```
+//!
+//! * `--quick` — smaller tensors / fewer sweeps (the CI bench-smoke
+//!   preset; still exercises all four methods and both datasets).
+//! * `--out <path>` — where to write the JSON record (default
+//!   `BENCH_serve.json` in the current directory).
+//! * `--threads <T>` — pin the pool width (default: `PP_NUM_THREADS` or
+//!   hardware).
+//! * `--window <J>` — admission window for the batch run (default 4).
+//!
+//! Malformed arguments exit with status 2.
+//!
+//! Two timed passes over one fixed job set:
+//!
+//! 1. **batch** — `run_batch` with window `J`: sweeps round-robin across
+//!    admitted jobs (the serving configuration);
+//! 2. **sequential** — the same jobs back-to-back (window 1), the
+//!    no-interleaving baseline.
+//!
+//! Both passes produce bit-identical per-job results (enforced here), so
+//! the difference is pure scheduling overhead: `interleave_overhead =
+//! batch_secs / sequential_secs`. JSON schema: `{preset, threads, window,
+//! jobs, batch_secs, sequential_secs, batch_jobs_per_sec,
+//! interleave_overhead, rows: [{name, method, sweeps, batch_secs,
+//! sequential_secs}]}`.
+
+use pp_bench::apply_threads_flag;
+use pp_serve::{run_batch, run_sequential, BatchReport, JobMethod, JobSpec, ServeConfig};
+use std::fmt::Write as _;
+
+/// The fixed benchmark job set: all four methods over both manifest
+/// datasets, two tenants per method.
+fn jobs(quick: bool) -> Vec<JobSpec> {
+    let (dim, s, sweeps) = if quick { (18, 16, 8) } else { (56, 48, 20) };
+    let mut out = Vec::new();
+    for (i, method) in [
+        JobMethod::Dt,
+        JobMethod::Msdt,
+        JobMethod::Pp,
+        JobMethod::Nncp,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut a = JobSpec::new(format!("{}-low", method.label()));
+        a.method = method;
+        a.rank = 8;
+        a.max_sweeps = sweeps;
+        a.tol = 0.0;
+        a.pp_tol = 0.3;
+        a.dataset = pp_serve::DatasetSpec::Lowrank {
+            dims: vec![dim, dim - 1, dim + 1],
+            gen_rank: 8,
+            noise: 0.05,
+            seed: 11 + i as u64,
+        };
+        out.push(a);
+
+        let mut b = JobSpec::new(format!("{}-col", method.label()));
+        b.method = method;
+        b.rank = 6;
+        b.max_sweeps = sweeps;
+        b.tol = 0.0;
+        b.pp_tol = 0.3;
+        b.dataset = pp_serve::DatasetSpec::Collinearity {
+            s,
+            r: 6,
+            order: 3,
+            lo: 0.5,
+            hi: 0.7,
+            seed: 23 + i as u64,
+        };
+        out.push(b);
+    }
+    out
+}
+
+/// Assert both passes produced identical traces (no silent drift in the
+/// numbers being timed).
+fn assert_parity(batch: &BatchReport, seq: &BatchReport) {
+    for (a, b) in batch.jobs.iter().zip(seq.jobs.iter()) {
+        let (oa, ob) = (a.output.as_ref().unwrap(), b.output.as_ref().unwrap());
+        assert_eq!(oa.report.sweeps.len(), ob.report.sweeps.len(), "{}", a.name);
+        for (x, y) in oa.report.sweeps.iter().zip(ob.report.sweeps.iter()) {
+            assert_eq!(x.fitness.to_bits(), y.fitness.to_bits(), "{}", a.name);
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut window = 4usize;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => out_path = p.clone(),
+                    None => {
+                        eprintln!("error: --out expects a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--window" => {
+                i += 1;
+                window = match argv.get(i).and_then(|v| v.parse().ok()) {
+                    Some(w) if w > 0 => w,
+                    _ => {
+                        eprintln!("error: --window expects a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            // Consumed by apply_threads_flag below.
+            "--threads" => i += 1,
+            other => {
+                eprintln!(
+                    "error: unknown flag {other} \
+                     (bench_serve [--quick] [--out PATH] [--threads T] [--window J])"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let threads = apply_threads_flag();
+    let specs = jobs(quick);
+
+    println!(
+        "serve benchmark ({} preset, {} jobs, window {window}, {threads} thread{}):",
+        if quick { "quick" } else { "full" },
+        specs.len(),
+        if threads == 1 { "" } else { "s" },
+    );
+
+    // Warm-up: spin up the pool and fault in the allocators.
+    let _ = run_batch(&specs[..2.min(specs.len())], &ServeConfig::new(window));
+
+    let batch = run_batch(&specs, &ServeConfig::new(window));
+    let seq = run_sequential(&specs);
+    assert_eq!(batch.failed(), 0, "benchmark jobs must not fail");
+    assert_eq!(seq.failed(), 0);
+    assert_parity(&batch, &seq);
+
+    println!(
+        "{:<10} {:>6} {:>12} {:>12}",
+        "job", "sweeps", "batch s", "solo s"
+    );
+    for (a, b) in batch.jobs.iter().zip(seq.jobs.iter()) {
+        println!(
+            "{:<10} {:>6} {:>12.4} {:>12.4}",
+            a.name,
+            a.output.as_ref().unwrap().report.sweeps.len(),
+            a.secs,
+            b.secs,
+        );
+    }
+    let overhead = batch.total_secs / seq.total_secs.max(1e-12);
+    println!(
+        "batch {:.3}s vs sequential {:.3}s → {:.2} jobs/s, interleaving overhead {:.3}x",
+        batch.total_secs,
+        seq.total_secs,
+        batch.jobs_per_sec(),
+        overhead,
+    );
+
+    // Hand-rolled JSON (no serde in the vendored dependency set).
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"preset\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"window\": {window},");
+    let _ = writeln!(json, "  \"jobs\": {},", specs.len());
+    let _ = writeln!(json, "  \"batch_secs\": {:.6},", batch.total_secs);
+    let _ = writeln!(json, "  \"sequential_secs\": {:.6},", seq.total_secs);
+    let _ = writeln!(
+        json,
+        "  \"batch_jobs_per_sec\": {:.4},",
+        batch.jobs_per_sec()
+    );
+    let _ = writeln!(json, "  \"interleave_overhead\": {overhead:.4},");
+    json.push_str("  \"rows\": [\n");
+    for (idx, (a, b)) in batch.jobs.iter().zip(seq.jobs.iter()).enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"method\": \"{}\", \"sweeps\": {}, \
+             \"batch_secs\": {:.6}, \"sequential_secs\": {:.6}}}",
+            a.name,
+            specs[idx].method.label(),
+            a.output.as_ref().unwrap().report.sweeps.len(),
+            a.secs,
+            b.secs,
+        );
+        json.push_str(if idx + 1 < batch.jobs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+}

@@ -3,14 +3,10 @@
 //! baseline every parallel variant is validated against.
 
 use crate::config::AlsConfig;
-use crate::fitness::{fitness_from_residual, relative_residual};
-use crate::result::{AlsOutput, AlsReport, SweepKind, SweepRecord};
-use pp_dtree::{DimTreeEngine, FactorState, InputTensor, Kernel, TreePolicy};
-use pp_tensor::matrix::hadamard_chain_skip;
+use crate::result::AlsOutput;
+use crate::session::{AlsSession, SessionKind};
 use pp_tensor::rng::{seeded, uniform_matrix};
-use pp_tensor::solve::solve_gram;
 use pp_tensor::{DenseTensor, Matrix};
-use std::time::Instant;
 
 /// Initialize factor matrices as uniform `[0,1)` random (Alg. 1 line 2).
 pub fn init_factors(dims: &[usize], rank: usize, seed: u64) -> Vec<Matrix> {
@@ -27,109 +23,19 @@ pub fn cp_als(t: &DenseTensor, cfg: &AlsConfig) -> AlsOutput {
     cp_als_with_init(t, cfg, factors)
 }
 
-/// CP-ALS from caller-provided initial factors.
+/// CP-ALS from caller-provided initial factors: a straight step-loop over
+/// an [`AlsSession`] (which owns all sweep-to-sweep state — see
+/// `crate::session`).
 pub fn cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) -> AlsOutput {
-    let n_modes = t.order();
-    assert!(n_modes >= 2);
-    assert_eq!(init.len(), n_modes);
     let _threads = cfg.thread_guard();
-
-    let mut input = match cfg.policy {
-        TreePolicy::Standard => InputTensor::new(t.clone()),
-        TreePolicy::MultiSweep => InputTensor::with_msdt_copies(t.clone()),
-    };
-    let mut engine = DimTreeEngine::new(cfg.policy, n_modes);
-    let mut fs = FactorState::new(init);
-    let mut grams: Vec<Matrix> = fs.factors().iter().map(|a| a.gram()).collect();
-    let t_norm_sq = t.norm_sq();
-
-    let mut report = AlsReport::default();
-    let mut fitness_old = f64::NEG_INFINITY;
-    let mut cumulative = 0.0f64;
-    let mut converged = false;
-
-    for sweep in 0..cfg.max_sweeps {
-        let sweep_t0 = Instant::now();
-        let mut last_gamma: Option<Matrix> = None;
-        let mut last_m: Option<Matrix> = None;
-        for n in 0..n_modes {
-            let h0 = Instant::now();
-            let gamma = hadamard_chain_skip(&grams, n);
-            engine.stats.record(Kernel::Hadamard, h0.elapsed(), 0);
-
-            let m = engine.mttkrp(&mut input, &fs, n);
-
-            // Cross-mode lookahead: start the next MTTKRP's first-level
-            // contraction on the pool while this mode's solve runs. The
-            // final mode of the final sweep speculates for a sweep that
-            // cannot run, so skip it there.
-            let next = (n + 1) % n_modes;
-            let spec = cfg.lookahead && !(n == n_modes - 1 && sweep == cfg.max_sweeps - 1);
-            if spec {
-                engine.lookahead(&input, &fs, next, Some(n));
-            }
-
-            let s0 = Instant::now();
-            let (a_new, _method) = solve_gram(&gamma, &m);
-            engine.stats.record(Kernel::Solve, s0.elapsed(), 0);
-
-            let g0 = Instant::now();
-            grams[n] = a_new.gram();
-            engine.stats.record(Kernel::Other, g0.elapsed(), 0);
-            fs.update(n, a_new);
-            if spec {
-                // Post-commit pass: contractions that need the factor just
-                // updated (MSDT's fresh TTM always does) launch here.
-                engine.lookahead(&input, &fs, next, None);
-            }
-            if n == n_modes - 1 {
-                last_gamma = Some(gamma);
-                last_m = Some(m);
-            }
-        }
-        let secs = sweep_t0.elapsed().as_secs_f64();
-        cumulative += secs;
-
-        let fitness = if cfg.track_fitness {
-            let r = relative_residual(
-                t_norm_sq,
-                last_gamma.as_ref().unwrap(),
-                &grams[n_modes - 1],
-                last_m.as_ref().unwrap(),
-                fs.factor(n_modes - 1),
-            );
-            fitness_from_residual(r)
-        } else {
-            f64::NAN
-        };
-        report.sweeps.push(SweepRecord {
-            kind: SweepKind::Exact,
-            secs,
-            fitness,
-            cumulative_secs: cumulative,
-        });
-
-        if cfg.track_fitness && (fitness - fitness_old).abs() < cfg.tol {
-            converged = true;
-            break;
-        }
-        fitness_old = fitness;
-    }
-
-    engine.drain_lookahead(); // settle any final-mode speculation
-    report.stats = engine.take_stats();
-    report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
-    report.converged = converged;
-    AlsOutput {
-        factors: fs.factors().to_vec(),
-        report,
-    }
+    AlsSession::with_init(t, cfg, SessionKind::Exact, init).run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pp_datagen::lowrank::{exact_rank, noisy_rank};
+    use pp_dtree::TreePolicy;
     use pp_tensor::kernels::naive::dense_relative_residual;
 
     #[test]

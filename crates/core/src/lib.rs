@@ -13,6 +13,10 @@
 //!   compares against in Table II (per-contraction tensor redistribution,
 //!   fully replicated correction collectives);
 //! * [`planc`] — the PLANC-style baseline (standard DT + replicated solve);
+//! * [`session`] / [`par_session`] — the resumable sweep-granular state
+//!   machines every driver above is a thin step-loop over: explicit owned
+//!   state, `step()` advances one sweep, `finish()` drains speculation.
+//!   Sessions are the scheduling unit of the `pp-serve` batch driver;
 //! * [`fitness`] — the amortized residual formula (Eq. 3);
 //! * [`nonneg`] — nonnegative CP (HALS) on the same dimension trees;
 //! * [`init`] — factor initialization strategies;
@@ -48,10 +52,12 @@ pub mod nonneg;
 pub mod par_als;
 pub mod par_common;
 pub mod par_pp;
+pub mod par_session;
 pub mod planc;
 pub mod pp_als;
 pub mod ref_pp;
 pub mod result;
+pub mod session;
 
 pub use als::{cp_als, cp_als_with_init, init_factors};
 pub use config::{AlsConfig, SolveStrategy};
@@ -59,5 +65,7 @@ pub use init::{init_factors_with, InitStrategy};
 pub use nonneg::nn_cp_als;
 pub use par_als::{par_cp_als, ParAlsOutput};
 pub use par_pp::par_pp_cp_als;
+pub use par_session::{ParKind, ParSession};
 pub use pp_als::{pp_cp_als, pp_cp_als_with_init};
 pub use result::{AlsOutput, AlsReport, SweepKind, SweepRecord};
+pub use session::{AlsSession, SessionKind, Step, StopReason};

@@ -14,13 +14,9 @@
 //! cost advantage and PP's approximated `˜M` carry over unchanged.
 
 use crate::config::AlsConfig;
-use crate::fitness::{fitness_from_residual, relative_residual};
-use crate::result::{AlsOutput, AlsReport, SweepKind, SweepRecord};
-use pp_dtree::{DimTreeEngine, FactorState, InputTensor, Kernel, TreePolicy};
-use pp_tensor::matrix::hadamard_chain_skip;
-use pp_tensor::rng::{seeded, uniform_matrix};
+use crate::result::AlsOutput;
+use crate::session::{AlsSession, SessionKind};
 use pp_tensor::{DenseTensor, Matrix};
-use std::time::Instant;
 
 /// One full HALS pass over the columns of `A^(n)` given `M^(n)` and
 /// `Γ^(n)`. Repeated `inner_iters` times (2 is the PLANC default).
@@ -54,105 +50,21 @@ pub fn hals_update(a: &Matrix, m: &Matrix, gamma: &Matrix, inner_iters: usize) -
 
 /// Nonnegative CP-ALS: Algorithm 1 with HALS updates in place of the
 /// unconstrained normal-equation solve. Initial factors are uniform
-/// `[0,1)` (already nonnegative).
+/// `[0,1)` (already nonnegative). A step-loop over an [`AlsSession`] in
+/// [`SessionKind::NonNeg`].
 pub fn nn_cp_als(t: &DenseTensor, cfg: &AlsConfig) -> AlsOutput {
     let _threads = cfg.thread_guard();
-    let n_modes = t.order();
     let dims: Vec<usize> = t.shape().dims().to_vec();
-    let mut rng = seeded(cfg.seed);
-    let init: Vec<Matrix> = dims
-        .iter()
-        .map(|&d| uniform_matrix(d, cfg.rank, &mut rng))
-        .collect();
-
-    let mut input = match cfg.policy {
-        TreePolicy::Standard => InputTensor::new(t.clone()),
-        TreePolicy::MultiSweep => InputTensor::with_msdt_copies(t.clone()),
-    };
-    let mut engine = DimTreeEngine::new(cfg.policy, n_modes);
-    let mut fs = FactorState::new(init);
-    let mut grams: Vec<Matrix> = fs.factors().iter().map(|a| a.gram()).collect();
-    let t_norm_sq = t.norm_sq();
-
-    let mut report = AlsReport::default();
-    let mut fitness_old = f64::NEG_INFINITY;
-    let mut cumulative = 0.0;
-    let mut converged = false;
-
-    for sweep in 0..cfg.max_sweeps {
-        let t0 = Instant::now();
-        let mut last_gamma: Option<Matrix> = None;
-        let mut last_m: Option<Matrix> = None;
-        for n in 0..n_modes {
-            let h0 = Instant::now();
-            let gamma = hadamard_chain_skip(&grams, n);
-            engine.stats.record(Kernel::Hadamard, h0.elapsed(), 0);
-
-            let m = engine.mttkrp(&mut input, &fs, n);
-
-            // Skip the speculation on the final mode of the final sweep —
-            // its consumer can never run.
-            let next = (n + 1) % n_modes;
-            let spec = cfg.lookahead && !(n == n_modes - 1 && sweep == cfg.max_sweeps - 1);
-            if spec {
-                engine.lookahead(&input, &fs, next, Some(n));
-            }
-
-            let s0 = Instant::now();
-            let a_new = hals_update(fs.factor(n), &m, &gamma, 2);
-            engine.stats.record(Kernel::Solve, s0.elapsed(), 0);
-
-            grams[n] = a_new.gram();
-            fs.update(n, a_new);
-            if spec {
-                engine.lookahead(&input, &fs, next, None);
-            }
-            if n == n_modes - 1 {
-                last_gamma = Some(gamma);
-                last_m = Some(m);
-            }
-        }
-        let secs = t0.elapsed().as_secs_f64();
-        cumulative += secs;
-        let fitness = if cfg.track_fitness {
-            let r = relative_residual(
-                t_norm_sq,
-                last_gamma.as_ref().unwrap(),
-                &grams[n_modes - 1],
-                last_m.as_ref().unwrap(),
-                fs.factor(n_modes - 1),
-            );
-            fitness_from_residual(r)
-        } else {
-            f64::NAN
-        };
-        report.sweeps.push(SweepRecord {
-            kind: SweepKind::Exact,
-            secs,
-            fitness,
-            cumulative_secs: cumulative,
-        });
-        if cfg.track_fitness && (fitness - fitness_old).abs() < cfg.tol {
-            converged = true;
-            break;
-        }
-        fitness_old = fitness;
-    }
-
-    engine.drain_lookahead(); // settle any final-mode speculation
-    report.stats = engine.take_stats();
-    report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
-    report.converged = converged;
-    AlsOutput {
-        factors: fs.factors().to_vec(),
-        report,
-    }
+    let init = crate::als::init_factors(&dims, cfg.rank, cfg.seed);
+    AlsSession::with_init(t, cfg, SessionKind::NonNeg, init).run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pp_dtree::TreePolicy;
     use pp_tensor::kernels::naive::reconstruct;
+    use pp_tensor::rng::{seeded, uniform_matrix};
 
     fn nonneg_tensor(dims: &[usize], r: usize, seed: u64) -> DenseTensor {
         // Product of nonnegative factors is nonnegative.

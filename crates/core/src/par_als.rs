@@ -9,12 +9,11 @@
 //! changes no communication (§IV).
 
 use crate::config::AlsConfig;
-use crate::par_common::ParState;
-use crate::result::{AlsReport, SweepKind, SweepRecord};
+use crate::par_session::{ParKind, ParSession};
+use crate::result::AlsReport;
 use pp_comm::RankCtx;
 use pp_grid::{DistTensor, ProcGrid};
 use pp_tensor::Matrix;
-use std::time::Instant;
 
 /// Output of a parallel run (per rank; factor gathers are replicated).
 pub struct ParAlsOutput {
@@ -25,7 +24,8 @@ pub struct ParAlsOutput {
     pub report: AlsReport,
 }
 
-/// Run Algorithm 3 inside a rank context. All ranks must call with the
+/// Run Algorithm 3 inside a rank context: a step-loop over a
+/// [`ParSession`] in [`ParKind::Exact`]. All ranks must call with the
 /// same `grid` and `cfg`, and with their own block of the same tensor.
 pub fn par_cp_als(
     ctx: &mut RankCtx,
@@ -35,58 +35,7 @@ pub fn par_cp_als(
 ) -> ParAlsOutput {
     // Every rank pins the same pool width, so the guard churn is idempotent.
     let _threads = cfg.thread_guard();
-    let mut st = ParState::init(ctx, grid, local, cfg);
-    let n_modes = st.n_modes();
-
-    let mut report = AlsReport::default();
-    let mut fitness_old = f64::NEG_INFINITY;
-    let mut cumulative = 0.0;
-    let mut converged = false;
-
-    // The final mode of the final sweep must not speculate — its consumer
-    // can never run and drain_lookahead would have to join the wasted TTM.
-    let cfg_last = cfg.clone().with_lookahead(false);
-    for sweep in 0..cfg.max_sweeps {
-        let t0 = Instant::now();
-        let mut last: Option<(Matrix, Matrix)> = None;
-        for n in 0..n_modes {
-            let c = if sweep == cfg.max_sweeps - 1 && n == n_modes - 1 {
-                &cfg_last
-            } else {
-                cfg
-            };
-            let out = st.update_mode_exact(ctx, c, n);
-            if n == n_modes - 1 {
-                last = Some(out);
-            }
-        }
-        let (gamma_last, m_q_last) = last.unwrap();
-        let fitness = if cfg.track_fitness {
-            st.fitness(ctx, &gamma_last, &m_q_last)
-        } else {
-            f64::NAN
-        };
-        let secs = t0.elapsed().as_secs_f64();
-        cumulative += secs;
-        report.sweeps.push(SweepRecord {
-            kind: SweepKind::Exact,
-            secs,
-            fitness,
-            cumulative_secs: cumulative,
-        });
-        if cfg.track_fitness && (fitness - fitness_old).abs() < cfg.tol {
-            converged = true;
-            break;
-        }
-        fitness_old = fitness;
-    }
-
-    st.engine.drain_lookahead(); // settle any final-mode speculation
-    let factors = st.gather_factors(ctx);
-    report.stats = st.engine.take_stats();
-    report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
-    report.converged = converged;
-    ParAlsOutput { factors, report }
+    ParSession::new(ctx, grid, local, cfg, ParKind::Exact).run(ctx)
 }
 
 #[cfg(test)]

@@ -12,52 +12,14 @@
 
 use crate::config::AlsConfig;
 use crate::par_als::ParAlsOutput;
-use crate::par_common::ParState;
-use crate::result::{AlsReport, SweepKind, SweepRecord};
+use crate::par_session::{ParKind, ParSession};
 use pp_comm::RankCtx;
-use pp_dtree::correct::first_order_correction;
-use pp_dtree::pp_tree::{build_pp_operators, PpOperators};
-use pp_dtree::Kernel;
 use pp_grid::{DistTensor, ProcGrid};
-use pp_tensor::Matrix;
-use std::time::Instant;
 
-/// Snapshot of the factors at PP initialization (the `A_p` reference).
-struct PpSnapshot {
-    /// Reference P blocks (for local first-order corrections).
-    p_p: Vec<Matrix>,
-    /// Reference Q blocks (for dA bookkeeping and norms).
-    q_p: Vec<Matrix>,
-    /// The local PP operators.
-    ops: PpOperators,
-}
-
-/// `dS^(i) = A^(i)ᵀ dA^(i)` from Q blocks, All-Reduced to global (Eq. 8).
-fn d_grams_global(ctx: &mut RankCtx, st: &ParState, snap: &PpSnapshot) -> Vec<Matrix> {
-    (0..st.n_modes())
-        .map(|i| {
-            let dq = st.dist_factors[i].q().sub(&snap.q_p[i]);
-            let local = st.dist_factors[i].q().t_matmul(&dq);
-            let summed = ctx.comm.all_reduce_sum(local.data());
-            Matrix::from_vec(local.rows(), local.cols(), summed)
-        })
-        .collect()
-}
-
-/// Relative factor drift `‖dA^(i)‖F / ‖A^(i)‖F` for every mode.
-fn drift(ctx: &mut RankCtx, st: &ParState, q_p: &[Matrix]) -> Vec<f64> {
-    (0..st.n_modes())
-        .map(|i| {
-            let dq = st.dist_factors[i].q().sub(&q_p[i]);
-            let num_den = ctx
-                .comm
-                .all_reduce_sum(&[dq.norm_sq(), st.dist_factors[i].q().norm_sq()]);
-            (num_den[0].sqrt()) / num_den[1].sqrt().max(1e-300)
-        })
-        .collect()
-}
-
-/// Run parallel PP-CP-ALS (Algorithm 2 with the Algorithm 4 subroutine).
+/// Run parallel PP-CP-ALS (Algorithm 2 with the Algorithm 4 subroutine):
+/// a step-loop over a [`ParSession`] in [`ParKind::Pp`], which owns the
+/// regime state (the `A_p` snapshot, local PP operators, drift gate)
+/// between sweeps.
 pub fn par_pp_cp_als(
     ctx: &mut RankCtx,
     grid: &ProcGrid,
@@ -66,169 +28,7 @@ pub fn par_pp_cp_als(
 ) -> ParAlsOutput {
     // Every rank pins the same pool width, so the guard churn is idempotent.
     let _threads = cfg.thread_guard();
-    let mut st = ParState::init(ctx, grid, local, cfg);
-    let n_modes = st.n_modes();
-
-    let mut report = AlsReport::default();
-    let mut fitness_old = f64::NEG_INFINITY;
-    let mut cumulative = 0.0;
-    let mut converged = false;
-    let mut sweeps_done = 0usize;
-    // dA over the last sweep; initialized to A (Alg. 2 line 2) so PP never
-    // fires before the first exact sweep.
-    let mut last_drift: Vec<f64> = vec![1.0; n_modes];
-
-    'outer: while sweeps_done < cfg.max_sweeps {
-        let pp_ready = last_drift.iter().all(|&d| d < cfg.pp_tol);
-
-        if pp_ready {
-            // ---- PP initialization (Alg. 4 line 2) ----
-            let t0 = Instant::now();
-            let snap = PpSnapshot {
-                p_p: st.dist_factors.iter().map(|f| f.p().clone()).collect(),
-                q_p: st.dist_factors.iter().map(|f| f.q().clone()).collect(),
-                ops: build_pp_operators(&mut st.input, &st.fs_local, &mut st.engine),
-            };
-            ctx.comm.barrier();
-            let secs = t0.elapsed().as_secs_f64();
-            cumulative += secs;
-            report.sweeps.push(SweepRecord {
-                kind: SweepKind::PpInit,
-                secs,
-                fitness: report.sweeps.last().map_or(f64::NAN, |s| s.fitness),
-                cumulative_secs: cumulative,
-            });
-            sweeps_done += 1;
-
-            // ---- PP approximated sweeps (Alg. 4 lines 3-17) ----
-            loop {
-                if sweeps_done >= cfg.max_sweeps {
-                    break 'outer;
-                }
-                let sweep_t0 = Instant::now();
-                let mut last: Option<(Matrix, Matrix)> = None;
-                for n in 0..n_modes {
-                    let h0 = Instant::now();
-                    let gamma = pp_tensor::matrix::hadamard_chain_skip(&st.grams, n);
-                    st.engine.stats.record(Kernel::Hadamard, h0.elapsed(), 0);
-
-                    // Local first-order corrections (line 6) + anchor.
-                    let c0 = Instant::now();
-                    let mut m_local = snap.ops.firsts[n].clone();
-                    for i in 0..n_modes {
-                        if i == n {
-                            continue;
-                        }
-                        let d_p = st.dist_factors[i].p().sub(&snap.p_p[i]);
-                        let u = first_order_correction(&snap.ops, n, i, &d_p);
-                        m_local.axpy(1.0, &u);
-                    }
-                    st.engine.stats.record(Kernel::Mttv, c0.elapsed(), 0);
-
-                    // Reduce-Scatter the corrected MTTKRP (line 9).
-                    let r0 = Instant::now();
-                    let mut m_q = st.dist_factors[n].reduce_scatter_rows(&m_local, &st.slices[n]);
-                    st.engine.stats.record(Kernel::Other, r0.elapsed(), 0);
-
-                    // Second-order correction (lines 10-11) on Q rows.
-                    let v0 = Instant::now();
-                    let d_grams = d_grams_global(ctx, &st, &snap);
-                    let v_q = pp_dtree::correct::second_order_correction(
-                        st.dist_factors[n].q(),
-                        &st.grams,
-                        &d_grams,
-                        n,
-                    );
-                    m_q.axpy(1.0, &v_q);
-                    st.engine.stats.record(Kernel::Hadamard, v0.elapsed(), 0);
-
-                    let q_new = st.solve(ctx, cfg, &gamma, &m_q);
-                    st.commit_update(ctx, n, q_new);
-                    if n == n_modes - 1 {
-                        last = Some((gamma, m_q));
-                    }
-                }
-                let (gamma_last, m_q_last) = last.unwrap();
-                let fitness = if cfg.track_fitness {
-                    st.fitness(ctx, &gamma_last, &m_q_last)
-                } else {
-                    f64::NAN
-                };
-                let secs = sweep_t0.elapsed().as_secs_f64();
-                cumulative += secs;
-                report.sweeps.push(SweepRecord {
-                    kind: SweepKind::PpApprox,
-                    secs,
-                    fitness,
-                    cumulative_secs: cumulative,
-                });
-                sweeps_done += 1;
-
-                if cfg.track_fitness && (fitness - fitness_old).abs() < cfg.tol {
-                    converged = true;
-                    break 'outer;
-                }
-                fitness_old = fitness;
-
-                last_drift = drift(ctx, &st, &snap.q_p);
-                if !last_drift.iter().all(|&d| d < cfg.pp_tol) {
-                    break;
-                }
-            }
-        }
-
-        if sweeps_done >= cfg.max_sweeps {
-            break;
-        }
-
-        // ---- Regular exact sweep (Alg. 2 line 19) ----
-        let q_before: Vec<Matrix> = st.dist_factors.iter().map(|f| f.q().clone()).collect();
-        let sweep_t0 = Instant::now();
-        let mut last: Option<(Matrix, Matrix)> = None;
-        // Skip the final-sweep/final-mode speculation: its consumer can
-        // never run.
-        let cfg_last = cfg.clone().with_lookahead(false);
-        for n in 0..n_modes {
-            let c = if sweeps_done + 1 >= cfg.max_sweeps && n == n_modes - 1 {
-                &cfg_last
-            } else {
-                cfg
-            };
-            let out = st.update_mode_exact(ctx, c, n);
-            if n == n_modes - 1 {
-                last = Some(out);
-            }
-        }
-        let (gamma_last, m_q_last) = last.unwrap();
-        let fitness = if cfg.track_fitness {
-            st.fitness(ctx, &gamma_last, &m_q_last)
-        } else {
-            f64::NAN
-        };
-        let secs = sweep_t0.elapsed().as_secs_f64();
-        cumulative += secs;
-        report.sweeps.push(SweepRecord {
-            kind: SweepKind::Exact,
-            secs,
-            fitness,
-            cumulative_secs: cumulative,
-        });
-        sweeps_done += 1;
-        last_drift = drift(ctx, &st, &q_before);
-
-        if cfg.track_fitness && (fitness - fitness_old).abs() < cfg.tol {
-            converged = true;
-            break;
-        }
-        fitness_old = fitness;
-    }
-
-    st.engine.drain_lookahead(); // settle any final-mode speculation
-    let factors = st.gather_factors(ctx);
-    report.stats = st.engine.take_stats();
-    report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
-    report.converged = converged;
-    ParAlsOutput { factors, report }
+    ParSession::new(ctx, grid, local, cfg, ParKind::Pp).run(ctx)
 }
 
 #[cfg(test)]

@@ -13,15 +13,9 @@
 //!   which point control returns to exact sweeps.
 
 use crate::config::AlsConfig;
-use crate::fitness::{fitness_from_residual, relative_residual};
-use crate::result::{AlsOutput, AlsReport, SweepKind, SweepRecord};
-use pp_dtree::correct::{approx_mttkrp, d_gram};
-use pp_dtree::pp_tree::build_pp_operators;
-use pp_dtree::{DimTreeEngine, FactorState, InputTensor, Kernel, TreePolicy};
-use pp_tensor::matrix::hadamard_chain_skip;
-use pp_tensor::solve::solve_gram;
+use crate::result::AlsOutput;
+use crate::session::{AlsSession, SessionKind};
 use pp_tensor::{DenseTensor, Matrix};
-use std::time::Instant;
 
 /// Run PP-CP-ALS on a dense tensor.
 pub fn pp_cp_als(t: &DenseTensor, cfg: &AlsConfig) -> AlsOutput {
@@ -30,203 +24,12 @@ pub fn pp_cp_als(t: &DenseTensor, cfg: &AlsConfig) -> AlsOutput {
     pp_cp_als_with_init(t, cfg, init)
 }
 
-/// PP-CP-ALS from caller-provided initial factors.
+/// PP-CP-ALS from caller-provided initial factors: a step-loop over an
+/// [`AlsSession`] in [`SessionKind::Pp`], whose state machine realizes
+/// Alg. 2's regime alternation one sweep at a time (see `crate::session`).
 pub fn pp_cp_als_with_init(t: &DenseTensor, cfg: &AlsConfig, init: Vec<Matrix>) -> AlsOutput {
-    let n_modes = t.order();
-    assert!(n_modes >= 3, "pairwise perturbation needs order ≥ 3");
     let _threads = cfg.thread_guard();
-
-    let mut input = match cfg.policy {
-        TreePolicy::Standard => InputTensor::new(t.clone()),
-        TreePolicy::MultiSweep => InputTensor::with_msdt_copies(t.clone()),
-    };
-    let mut engine = DimTreeEngine::new(cfg.policy, n_modes);
-    let mut fs = FactorState::new(init);
-    let mut grams: Vec<Matrix> = fs.factors().iter().map(|a| a.gram()).collect();
-    let t_norm_sq = t.norm_sq();
-
-    // dA over the most recent sweep (exact or approximated). Alg. 2
-    // line 2 initializes dA ← A, so PP never triggers before the first
-    // exact sweep.
-    let mut d_factors: Vec<Matrix> = fs.factors().to_vec();
-
-    let mut report = AlsReport::default();
-    let mut fitness_old = f64::NEG_INFINITY;
-    let mut cumulative = 0.0f64;
-    let mut converged = false;
-    let mut sweeps_done = 0usize;
-
-    'outer: while sweeps_done < cfg.max_sweeps {
-        let pp_ready = (0..n_modes).all(|i| d_factors[i].norm() < cfg.pp_tol * fs.factor(i).norm());
-
-        if pp_ready {
-            // ---- PP initialization (Alg. 2 lines 6-9) ----
-            let t0 = Instant::now();
-            let factors_p: Vec<Matrix> = fs.factors().to_vec();
-            for d in d_factors.iter_mut() {
-                d.fill_zero();
-            }
-            let ops = build_pp_operators(&mut input, &fs, &mut engine);
-            let secs = t0.elapsed().as_secs_f64();
-            cumulative += secs;
-            report.sweeps.push(SweepRecord {
-                kind: SweepKind::PpInit,
-                secs,
-                fitness: report.sweeps.last().map_or(f64::NAN, |s| s.fitness),
-                cumulative_secs: cumulative,
-            });
-            sweeps_done += 1;
-
-            // ---- PP approximated sweeps (lines 10-17) ----
-            loop {
-                if sweeps_done >= cfg.max_sweeps {
-                    break 'outer;
-                }
-                let sweep_t0 = Instant::now();
-                let mut last_gamma: Option<Matrix> = None;
-                let mut last_m: Option<Matrix> = None;
-                for n in 0..n_modes {
-                    let h0 = Instant::now();
-                    let gamma = hadamard_chain_skip(&grams, n);
-                    let d_grams: Vec<Matrix> = fs
-                        .factors()
-                        .iter()
-                        .zip(d_factors.iter())
-                        .map(|(a, d)| d_gram(a, d))
-                        .collect();
-                    engine.stats.record(Kernel::Hadamard, h0.elapsed(), 0);
-
-                    let c0 = Instant::now();
-                    let m = approx_mttkrp(&ops, &d_factors, fs.factors(), &grams, &d_grams, n);
-                    engine.stats.record(Kernel::Mttv, c0.elapsed(), 0);
-
-                    let s0 = Instant::now();
-                    let (a_new, _) = solve_gram(&gamma, &m);
-                    engine.stats.record(Kernel::Solve, s0.elapsed(), 0);
-
-                    d_factors[n] = a_new.sub(&factors_p[n]);
-                    grams[n] = a_new.gram();
-                    fs.update(n, a_new);
-                    if n == n_modes - 1 {
-                        last_gamma = Some(gamma);
-                        last_m = Some(m);
-                    }
-                }
-                let secs = sweep_t0.elapsed().as_secs_f64();
-                cumulative += secs;
-                let fitness = if cfg.track_fitness {
-                    let r = relative_residual(
-                        t_norm_sq,
-                        last_gamma.as_ref().unwrap(),
-                        &grams[n_modes - 1],
-                        last_m.as_ref().unwrap(),
-                        fs.factor(n_modes - 1),
-                    );
-                    fitness_from_residual(r)
-                } else {
-                    f64::NAN
-                };
-                report.sweeps.push(SweepRecord {
-                    kind: SweepKind::PpApprox,
-                    secs,
-                    fitness,
-                    cumulative_secs: cumulative,
-                });
-                sweeps_done += 1;
-
-                if cfg.track_fitness && (fitness - fitness_old).abs() < cfg.tol {
-                    converged = true;
-                    break 'outer;
-                }
-                fitness_old = fitness;
-
-                let still_ok =
-                    (0..n_modes).all(|i| d_factors[i].norm() < cfg.pp_tol * fs.factor(i).norm());
-                if !still_ok {
-                    break;
-                }
-            }
-            // Fall through to a regular sweep (Alg. 2 line 19).
-        }
-
-        if sweeps_done >= cfg.max_sweeps {
-            break;
-        }
-
-        // ---- Regular exact sweep (Alg. 2 line 19 / Alg. 1 lines 5-10) ----
-        let sweep_t0 = Instant::now();
-        let before: Vec<Matrix> = fs.factors().to_vec();
-        let mut last_gamma: Option<Matrix> = None;
-        let mut last_m: Option<Matrix> = None;
-        for n in 0..n_modes {
-            let h0 = Instant::now();
-            let gamma = hadamard_chain_skip(&grams, n);
-            engine.stats.record(Kernel::Hadamard, h0.elapsed(), 0);
-
-            let m = engine.mttkrp(&mut input, &fs, n);
-
-            // Skip the speculation when this is the final mode of the
-            // final permitted sweep — its consumer can never run.
-            let next = (n + 1) % n_modes;
-            let spec = cfg.lookahead && !(n == n_modes - 1 && sweeps_done + 1 >= cfg.max_sweeps);
-            if spec {
-                engine.lookahead(&input, &fs, next, Some(n));
-            }
-
-            let s0 = Instant::now();
-            let (a_new, _) = solve_gram(&gamma, &m);
-            engine.stats.record(Kernel::Solve, s0.elapsed(), 0);
-
-            grams[n] = a_new.gram();
-            fs.update(n, a_new);
-            if spec {
-                engine.lookahead(&input, &fs, next, None);
-            }
-            if n == n_modes - 1 {
-                last_gamma = Some(gamma);
-                last_m = Some(m);
-            }
-        }
-        for n in 0..n_modes {
-            d_factors[n] = fs.factor(n).sub(&before[n]);
-        }
-        let secs = sweep_t0.elapsed().as_secs_f64();
-        cumulative += secs;
-        let fitness = if cfg.track_fitness {
-            let r = relative_residual(
-                t_norm_sq,
-                last_gamma.as_ref().unwrap(),
-                &grams[n_modes - 1],
-                last_m.as_ref().unwrap(),
-                fs.factor(n_modes - 1),
-            );
-            fitness_from_residual(r)
-        } else {
-            f64::NAN
-        };
-        report.sweeps.push(SweepRecord {
-            kind: SweepKind::Exact,
-            secs,
-            fitness,
-            cumulative_secs: cumulative,
-        });
-        sweeps_done += 1;
-
-        if cfg.track_fitness && (fitness - fitness_old).abs() < cfg.tol {
-            converged = true;
-            break;
-        }
-        fitness_old = fitness;
-    }
-
-    engine.drain_lookahead(); // settle any final-mode speculation
-    report.stats = engine.take_stats();
-    report.final_fitness = report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
-    report.converged = converged;
-    AlsOutput {
-        factors: fs.factors().to_vec(),
-        report,
-    }
+    AlsSession::with_init(t, cfg, SessionKind::Pp, init).run()
 }
 
 #[cfg(test)]
@@ -236,6 +39,7 @@ mod tests {
     use crate::result::SweepKind;
     use pp_datagen::collinearity::{collinearity_tensor, CollinearityConfig};
     use pp_datagen::lowrank::noisy_rank;
+    use pp_dtree::TreePolicy;
 
     fn pp_cfg(rank: usize) -> AlsConfig {
         AlsConfig::new(rank)

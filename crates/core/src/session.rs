@@ -1,0 +1,583 @@
+//! Resumable ALS sessions: the sweep-granular state machine behind every
+//! sequential driver.
+//!
+//! An [`AlsSession`] owns *all* state a CP decomposition needs between
+//! sweeps — the input tensor (with MSDT layout copies), the dimension-tree
+//! engine with its intermediate cache and in-flight lookahead slot, the
+//! versioned factors, the replicated Gram matrices, the PP regime state
+//! (`A_p` reference, `dA` drifts, pair operators), and the fitness trace.
+//! [`AlsSession::step`] advances **exactly one sweep** (an exact ALS
+//! sweep, a PP initialization, or a PP approximated sweep — the same
+//! categories as [`crate::result::SweepKind`]) and [`AlsSession::finish`]
+//! drains any pending speculation and produces the [`AlsOutput`].
+//!
+//! Repeatedly stepping a session is **bit-identical** to the historical
+//! monolithic drivers (`cp_als`, `pp_cp_als`, `nn_cp_als`), which are now
+//! thin step-loops over this type; `tests/golden_traces.rs` pins the
+//! pre-session traces and `tests/session_parity.rs` checks the step-loop
+//! against arbitrary pause/resume schedules.
+//!
+//! Sessions are what make decompositions *schedulable*: a suspended
+//! session holds no pool resources after [`AlsSession::park`], so a batch
+//! scheduler (`crates/serve`) can interleave sweeps from many tenants over
+//! the one persistent worker pool with per-job fairness and failure
+//! isolation.
+
+use crate::config::AlsConfig;
+use crate::fitness::{fitness_from_residual, relative_residual};
+use crate::nonneg::hals_update;
+use crate::result::{AlsOutput, AlsReport, SweepKind, SweepRecord};
+use pp_dtree::correct::{approx_mttkrp, d_gram};
+use pp_dtree::pp_tree::{build_pp_operators, PpOperators};
+use pp_dtree::{DimTreeEngine, FactorState, InputTensor, Kernel, TreePolicy};
+use pp_tensor::matrix::hadamard_chain_skip;
+use pp_tensor::solve::solve_gram;
+use pp_tensor::{DenseTensor, Matrix};
+use std::time::Instant;
+
+/// Which update rule the session runs each sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionKind {
+    /// Exact CP-ALS (Alg. 1) — unconstrained normal-equation solves.
+    Exact,
+    /// Pairwise-perturbation CP-ALS (Alg. 2) — alternates exact sweeps,
+    /// PP initializations, and PP approximated sweeps.
+    Pp,
+    /// Nonnegative CP — HALS column updates in place of the solve.
+    NonNeg,
+}
+
+/// Why a session stopped stepping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The Δ stopping criterion was met.
+    Converged,
+    /// The `max_sweeps` budget is exhausted.
+    SweepLimit,
+}
+
+/// Result of one [`AlsSession::step`] call.
+#[derive(Clone, Copy, Debug)]
+pub enum Step {
+    /// One sweep was performed and appended to the trace.
+    Swept(SweepRecord),
+    /// No sweep ran: the session is finished (idempotent).
+    Done(StopReason),
+}
+
+/// Phase of the PP regime between steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PpPhase {
+    /// Top of Alg. 2's outer loop: evaluate the dA gate; a step either
+    /// performs the PP initialization (gate open) or an exact sweep.
+    Gate,
+    /// Inside the approximated regime: a step performs one PP sweep.
+    Approx,
+}
+
+/// A resumable CP-ALS / PP-CP-ALS / NNCP run. See the module docs.
+pub struct AlsSession {
+    cfg: AlsConfig,
+    kind: SessionKind,
+    input: InputTensor,
+    engine: DimTreeEngine,
+    fs: FactorState,
+    grams: Vec<Matrix>,
+    t_norm_sq: f64,
+    /// `dA^(i)` over the most recent sweep (PP only; Alg. 2 line 2
+    /// initializes it to `A` so PP never fires before the first sweep).
+    d_factors: Vec<Matrix>,
+    /// The frozen `A_p` reference of the current PP regime.
+    factors_p: Vec<Matrix>,
+    /// Pair operators `𝓜p^(i,j)` of the current PP regime.
+    ops: Option<PpOperators>,
+    phase: PpPhase,
+    report: AlsReport,
+    fitness_old: f64,
+    cumulative: f64,
+    converged: bool,
+    sweeps_done: usize,
+    finished: bool,
+}
+
+impl AlsSession {
+    /// New session with the default seeded uniform factor initialization.
+    pub fn new(t: &DenseTensor, cfg: &AlsConfig, kind: SessionKind) -> Self {
+        let dims: Vec<usize> = t.shape().dims().to_vec();
+        let init = crate::als::init_factors(&dims, cfg.rank, cfg.seed);
+        Self::with_init(t, cfg, kind, init)
+    }
+
+    /// New session from caller-provided initial factors.
+    pub fn with_init(
+        t: &DenseTensor,
+        cfg: &AlsConfig,
+        kind: SessionKind,
+        init: Vec<Matrix>,
+    ) -> Self {
+        let n_modes = t.order();
+        assert!(n_modes >= 2);
+        if kind == SessionKind::Pp {
+            assert!(n_modes >= 3, "pairwise perturbation needs order ≥ 3");
+        }
+        assert_eq!(init.len(), n_modes);
+        let _threads = cfg.thread_guard();
+
+        let input = match cfg.policy {
+            TreePolicy::Standard => InputTensor::new(t.clone()),
+            TreePolicy::MultiSweep => InputTensor::with_msdt_copies(t.clone()),
+        };
+        let engine = DimTreeEngine::new(cfg.policy, n_modes);
+        let fs = FactorState::new(init);
+        let grams: Vec<Matrix> = fs.factors().iter().map(|a| a.gram()).collect();
+        let t_norm_sq = t.norm_sq();
+        let d_factors = if kind == SessionKind::Pp {
+            fs.factors().to_vec()
+        } else {
+            Vec::new()
+        };
+
+        AlsSession {
+            cfg: cfg.clone(),
+            kind,
+            input,
+            engine,
+            fs,
+            grams,
+            t_norm_sq,
+            d_factors,
+            factors_p: Vec::new(),
+            ops: None,
+            phase: PpPhase::Gate,
+            report: AlsReport::default(),
+            fitness_old: f64::NEG_INFINITY,
+            cumulative: 0.0,
+            converged: false,
+            sweeps_done: 0,
+            finished: false,
+        }
+    }
+
+    /// The session's update rule.
+    pub fn kind(&self) -> SessionKind {
+        self.kind
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &AlsConfig {
+        &self.cfg
+    }
+
+    /// Sweeps performed so far (PP initializations count, as in Alg. 2).
+    pub fn sweeps_done(&self) -> usize {
+        self.sweeps_done
+    }
+
+    /// Whether stepping has stopped (converged or out of budget).
+    pub fn is_finished(&self) -> bool {
+        self.finished || self.sweeps_done >= self.cfg.max_sweeps
+    }
+
+    /// Whether the Δ criterion has been met.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Fitness after the most recent sweep (NaN before the first).
+    pub fn last_fitness(&self) -> f64 {
+        self.report.sweeps.last().map_or(f64::NAN, |s| s.fitness)
+    }
+
+    /// The trace accumulated so far.
+    pub fn report(&self) -> &AlsReport {
+        &self.report
+    }
+
+    /// Current factor matrices.
+    pub fn factors(&self) -> &[Matrix] {
+        self.fs.factors()
+    }
+
+    /// Whether a speculative lookahead contraction is still in flight.
+    pub fn spec_pending(&self) -> bool {
+        self.engine.spec_pending()
+    }
+
+    /// Suspend-point hygiene: settle any in-flight lookahead speculation so
+    /// a parked session occupies no pool slot while other tenants run.
+    /// Results are unaffected — a discarded speculation is recomputed
+    /// synchronously by the next step (bit-identical by construction).
+    pub fn park(&mut self) {
+        let _threads = self.cfg.thread_guard();
+        self.engine.drain_lookahead();
+    }
+
+    /// Advance exactly one sweep. Idempotent once the session is finished.
+    pub fn step(&mut self) -> Step {
+        if self.finished {
+            return Step::Done(if self.converged {
+                StopReason::Converged
+            } else {
+                StopReason::SweepLimit
+            });
+        }
+        if self.sweeps_done >= self.cfg.max_sweeps {
+            self.finished = true;
+            return Step::Done(StopReason::SweepLimit);
+        }
+        let _threads = self.cfg.thread_guard();
+
+        let rec = match (self.kind, self.phase) {
+            (SessionKind::Pp, PpPhase::Approx) => self.pp_approx_sweep(),
+            (SessionKind::Pp, PpPhase::Gate) => {
+                if self.pp_gate_open() {
+                    self.pp_init()
+                } else {
+                    self.exact_sweep()
+                }
+            }
+            _ => self.exact_sweep(),
+        };
+        self.report.sweeps.push(rec);
+        self.sweeps_done += 1;
+
+        // Convergence bookkeeping (Alg. 1 line 11 / Alg. 2 lines 15 and
+        // 21): a PP initialization carries no fresh fitness, so it neither
+        // checks the criterion nor shifts `fitness_old`.
+        if rec.kind != SweepKind::PpInit {
+            if self.cfg.track_fitness && (rec.fitness - self.fitness_old).abs() < self.cfg.tol {
+                self.converged = true;
+                self.finished = true;
+                return Step::Swept(rec);
+            }
+            self.fitness_old = rec.fitness;
+        }
+        // Drift gate after an approximated sweep (Alg. 2 line 16): leaving
+        // the regime falls through to an exact sweep, which is exactly what
+        // `PpPhase::Gate` does next step (the gate re-evaluates the same
+        // condition that just failed).
+        if rec.kind == SweepKind::PpApprox && !self.pp_gate_open() {
+            self.phase = PpPhase::Gate;
+        }
+        Step::Swept(rec)
+    }
+
+    /// Run the session to completion and produce the output — the
+    /// monolithic driver, expressed as a step loop.
+    pub fn run(mut self) -> AlsOutput {
+        while let Step::Swept(_) = self.step() {}
+        self.finish()
+    }
+
+    /// Drain speculation, seal the report, and return the output.
+    pub fn finish(mut self) -> AlsOutput {
+        let _threads = self.cfg.thread_guard();
+        self.engine.drain_lookahead(); // settle any final-mode speculation
+        self.report.stats = self.engine.take_stats();
+        self.report.final_fitness = self.report.sweeps.last().map_or(f64::NAN, |s| s.fitness);
+        self.report.converged = self.converged;
+        AlsOutput {
+            factors: self.fs.factors().to_vec(),
+            report: self.report,
+        }
+    }
+
+    /// The PP activation gate: `‖dA^(i)‖F < ε‖A^(i)‖F` for every mode.
+    fn pp_gate_open(&self) -> bool {
+        (0..self.fs.order())
+            .all(|i| self.d_factors[i].norm() < self.cfg.pp_tol * self.fs.factor(i).norm())
+    }
+
+    /// Eq. (3) fitness from the last mode's `Γ` and `M`.
+    fn trace_fitness(&self, gamma_last: &Matrix, m_last: &Matrix) -> f64 {
+        if !self.cfg.track_fitness {
+            return f64::NAN;
+        }
+        let n = self.fs.order() - 1;
+        let r = relative_residual(
+            self.t_norm_sq,
+            gamma_last,
+            &self.grams[n],
+            m_last,
+            self.fs.factor(n),
+        );
+        fitness_from_residual(r)
+    }
+
+    /// One exact sweep (Alg. 1 lines 5-10), shared by every kind. For PP
+    /// sessions it additionally refreshes `dA` against the pre-sweep
+    /// factors (Alg. 2 line 20).
+    fn exact_sweep(&mut self) -> SweepRecord {
+        let n_modes = self.fs.order();
+        let sweep_t0 = Instant::now();
+        let before: Option<Vec<Matrix>> = if self.kind == SessionKind::Pp {
+            Some(self.fs.factors().to_vec())
+        } else {
+            None
+        };
+        let mut last_gamma: Option<Matrix> = None;
+        let mut last_m: Option<Matrix> = None;
+        for n in 0..n_modes {
+            let h0 = Instant::now();
+            let gamma = hadamard_chain_skip(&self.grams, n);
+            self.engine.stats.record(Kernel::Hadamard, h0.elapsed(), 0);
+
+            let m = self.engine.mttkrp(&mut self.input, &self.fs, n);
+
+            // Cross-mode lookahead: start the next MTTKRP's first-level
+            // contraction on the pool while this mode's solve runs. The
+            // final mode of the final permitted sweep speculates for a
+            // sweep that cannot run, so skip it there.
+            let next = (n + 1) % n_modes;
+            let spec = self.cfg.lookahead
+                && !(n == n_modes - 1 && self.sweeps_done + 1 >= self.cfg.max_sweeps);
+            if spec {
+                self.engine.lookahead(&self.input, &self.fs, next, Some(n));
+            }
+
+            let s0 = Instant::now();
+            let a_new = match self.kind {
+                SessionKind::NonNeg => hals_update(self.fs.factor(n), &m, &gamma, 2),
+                _ => solve_gram(&gamma, &m).0,
+            };
+            self.engine.stats.record(Kernel::Solve, s0.elapsed(), 0);
+
+            let g0 = Instant::now();
+            self.grams[n] = a_new.gram();
+            self.engine.stats.record(Kernel::Other, g0.elapsed(), 0);
+            self.fs.update(n, a_new);
+            if spec {
+                // Post-commit pass: contractions that need the factor just
+                // updated (MSDT's fresh TTM always does) launch here.
+                self.engine.lookahead(&self.input, &self.fs, next, None);
+            }
+            if n == n_modes - 1 {
+                last_gamma = Some(gamma);
+                last_m = Some(m);
+            }
+        }
+        if let Some(before) = before {
+            for (n, b) in before.iter().enumerate() {
+                self.d_factors[n] = self.fs.factor(n).sub(b);
+            }
+        }
+        let secs = sweep_t0.elapsed().as_secs_f64();
+        self.cumulative += secs;
+        let fitness = self.trace_fitness(last_gamma.as_ref().unwrap(), last_m.as_ref().unwrap());
+        SweepRecord {
+            kind: SweepKind::Exact,
+            secs,
+            fitness,
+            cumulative_secs: self.cumulative,
+        }
+    }
+
+    /// PP initialization (Alg. 2 lines 6-9): freeze `A_p`, zero `dA`,
+    /// build the pair operators, and enter the approximated regime.
+    fn pp_init(&mut self) -> SweepRecord {
+        let t0 = Instant::now();
+        self.factors_p = self.fs.factors().to_vec();
+        for d in self.d_factors.iter_mut() {
+            d.fill_zero();
+        }
+        self.ops = Some(build_pp_operators(
+            &mut self.input,
+            &self.fs,
+            &mut self.engine,
+        ));
+        let secs = t0.elapsed().as_secs_f64();
+        self.cumulative += secs;
+        self.phase = PpPhase::Approx;
+        SweepRecord {
+            kind: SweepKind::PpInit,
+            secs,
+            fitness: self.last_fitness(),
+            cumulative_secs: self.cumulative,
+        }
+    }
+
+    /// One PP approximated sweep (Alg. 2 lines 10-17): Eq. (5) first- plus
+    /// second-order corrections in place of tensor contractions.
+    fn pp_approx_sweep(&mut self) -> SweepRecord {
+        let n_modes = self.fs.order();
+        // Taken out for the duration so the borrow checker sees the reads
+        // of `ops` as disjoint from the factor/Gram updates.
+        let ops = self.ops.take().expect("PP regime requires operators");
+        let sweep_t0 = Instant::now();
+        let mut last_gamma: Option<Matrix> = None;
+        let mut last_m: Option<Matrix> = None;
+        for n in 0..n_modes {
+            let h0 = Instant::now();
+            let gamma = hadamard_chain_skip(&self.grams, n);
+            let d_grams: Vec<Matrix> = self
+                .fs
+                .factors()
+                .iter()
+                .zip(self.d_factors.iter())
+                .map(|(a, d)| d_gram(a, d))
+                .collect();
+            self.engine.stats.record(Kernel::Hadamard, h0.elapsed(), 0);
+
+            let c0 = Instant::now();
+            let m = approx_mttkrp(
+                &ops,
+                &self.d_factors,
+                self.fs.factors(),
+                &self.grams,
+                &d_grams,
+                n,
+            );
+            self.engine.stats.record(Kernel::Mttv, c0.elapsed(), 0);
+
+            let s0 = Instant::now();
+            let a_new = match self.kind {
+                SessionKind::NonNeg => hals_update(self.fs.factor(n), &m, &gamma, 2),
+                _ => solve_gram(&gamma, &m).0,
+            };
+            self.engine.stats.record(Kernel::Solve, s0.elapsed(), 0);
+
+            self.d_factors[n] = a_new.sub(&self.factors_p[n]);
+            self.grams[n] = a_new.gram();
+            self.fs.update(n, a_new);
+            if n == n_modes - 1 {
+                last_gamma = Some(gamma);
+                last_m = Some(m);
+            }
+        }
+        self.ops = Some(ops);
+        let secs = sweep_t0.elapsed().as_secs_f64();
+        self.cumulative += secs;
+        let fitness = self.trace_fitness(last_gamma.as_ref().unwrap(), last_m.as_ref().unwrap());
+        SweepRecord {
+            kind: SweepKind::PpApprox,
+            secs,
+            fitness,
+            cumulative_secs: self.cumulative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::als::cp_als;
+    use crate::nonneg::nn_cp_als;
+    use crate::pp_als::pp_cp_als;
+    use pp_datagen::collinearity::{collinearity_tensor, CollinearityConfig};
+    use pp_datagen::lowrank::noisy_rank;
+
+    fn assert_bitwise(a: &AlsOutput, b: &AlsOutput) {
+        assert_eq!(a.report.sweeps.len(), b.report.sweeps.len());
+        for (x, y) in a.report.sweeps.iter().zip(b.report.sweeps.iter()) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.fitness.to_bits(), y.fitness.to_bits());
+        }
+        assert_eq!(a.report.converged, b.report.converged);
+        for (fa, fb) in a.factors.iter().zip(b.factors.iter()) {
+            assert_eq!(fa.data(), fb.data());
+        }
+    }
+
+    #[test]
+    fn exact_session_matches_driver_bitwise() {
+        let t = noisy_rank(&[8, 7, 6], 3, 0.05, 11);
+        let cfg = AlsConfig::new(3).with_max_sweeps(10).with_tol(0.0);
+        let a = cp_als(&t, &cfg);
+        let b = AlsSession::new(&t, &cfg, SessionKind::Exact).run();
+        assert_bitwise(&a, &b);
+    }
+
+    #[test]
+    fn pp_session_matches_driver_bitwise() {
+        let ccfg = CollinearityConfig {
+            s: 12,
+            r: 3,
+            order: 3,
+            lo: 0.5,
+            hi: 0.7,
+        };
+        let (t, _, _) = collinearity_tensor(&ccfg, 3);
+        let cfg = AlsConfig::new(3)
+            .with_policy(TreePolicy::MultiSweep)
+            .with_pp_tol(0.3)
+            .with_max_sweeps(30)
+            .with_tol(1e-9);
+        let a = pp_cp_als(&t, &cfg);
+        let b = AlsSession::new(&t, &cfg, SessionKind::Pp).run();
+        assert_bitwise(&a, &b);
+        assert!(b.report.count(SweepKind::PpApprox) >= 1);
+    }
+
+    #[test]
+    fn nonneg_session_matches_driver_bitwise() {
+        let t = noisy_rank(&[7, 6, 8], 2, 0.05, 5);
+        let cfg = AlsConfig::new(2).with_max_sweeps(8).with_tol(0.0);
+        let a = nn_cp_als(&t, &cfg);
+        let b = AlsSession::new(&t, &cfg, SessionKind::NonNeg).run();
+        assert_bitwise(&a, &b);
+    }
+
+    #[test]
+    fn park_between_steps_is_bit_identical() {
+        // Parking cancels/settles the in-flight speculation; stepping must
+        // recontract synchronously with no numeric difference.
+        let t = noisy_rank(&[8, 6, 7], 3, 0.05, 13);
+        let cfg = AlsConfig::new(3)
+            .with_policy(TreePolicy::MultiSweep)
+            .with_max_sweeps(8)
+            .with_tol(0.0);
+        let a = cp_als(&t, &cfg);
+        let mut s = AlsSession::new(&t, &cfg, SessionKind::Exact);
+        while let Step::Swept(_) = s.step() {
+            s.park();
+            assert!(!s.spec_pending(), "park must settle the speculation");
+        }
+        let b = s.finish();
+        assert_bitwise(&a, &b);
+    }
+
+    #[test]
+    fn step_is_idempotent_after_finish() {
+        let (t, _) = pp_datagen::lowrank::exact_rank(&[6, 6, 6], 2, 3);
+        let cfg = AlsConfig::new(2).with_max_sweeps(300).with_tol(1e-5);
+        let mut s = AlsSession::new(&t, &cfg, SessionKind::Exact);
+        while let Step::Swept(_) = s.step() {}
+        assert!(s.is_finished());
+        let sweeps = s.sweeps_done();
+        for _ in 0..3 {
+            match s.step() {
+                Step::Done(StopReason::Converged) => {}
+                other => panic!("expected Done(Converged), got {other:?}"),
+            }
+        }
+        assert_eq!(s.sweeps_done(), sweeps, "no extra sweeps after finish");
+        let out = s.finish();
+        assert!(out.report.converged);
+    }
+
+    #[test]
+    fn zero_sweep_budget_is_empty_run() {
+        let t = noisy_rank(&[5, 5, 5], 2, 0.05, 3);
+        let cfg = AlsConfig::new(2).with_max_sweeps(0);
+        let mut s = AlsSession::new(&t, &cfg, SessionKind::Exact);
+        assert!(matches!(s.step(), Step::Done(StopReason::SweepLimit)));
+        let out = s.finish();
+        assert!(out.report.sweeps.is_empty());
+        assert!(out.report.final_fitness.is_nan());
+        assert!(!out.report.converged);
+    }
+
+    #[test]
+    fn sweep_records_expose_progress() {
+        let t = noisy_rank(&[6, 5, 7], 2, 0.05, 9);
+        let cfg = AlsConfig::new(2).with_max_sweeps(5).with_tol(0.0);
+        let mut s = AlsSession::new(&t, &cfg, SessionKind::Exact);
+        let mut n = 0;
+        while let Step::Swept(rec) = s.step() {
+            n += 1;
+            assert_eq!(s.sweeps_done(), n);
+            assert_eq!(rec.fitness.to_bits(), s.last_fitness().to_bits());
+        }
+        assert_eq!(n, 5);
+    }
+}

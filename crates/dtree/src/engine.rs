@@ -40,6 +40,13 @@ pub enum TreePolicy {
 }
 
 /// MTTKRP engine with a persistent intermediate cache.
+///
+/// The engine (and therefore the cache and the lookahead slot inside it)
+/// is plain owned state with no call-local lifetime: a driver — or a
+/// resumable session that suspends between sweeps — owns one engine per
+/// decomposition and may park it indefinitely. The only live resource an
+/// engine can hold is the in-flight speculation; see
+/// [`DimTreeEngine::drain_lookahead`].
 pub struct DimTreeEngine {
     policy: TreePolicy,
     n_modes: usize,
@@ -90,11 +97,20 @@ impl DimTreeEngine {
         self.cache.clear();
     }
 
+    /// Whether a speculative first-level contraction is still in flight.
+    /// Sessions use this at suspend points: a parked tenant must not keep
+    /// a detached TTM queued on the shared pool while other tenants run.
+    pub fn spec_pending(&self) -> bool {
+        self.cache.spec().is_some()
+    }
+
     /// Settle any pending speculation: cancel it if unclaimed, else wait
     /// for it to finish. Drivers call this before returning (and timing
     /// harnesses between warm-up and timed sections) so no speculative
     /// TTM keeps burning a core after the run — a handle merely dropped
-    /// cannot stop a batch a worker has already claimed.
+    /// cannot stop a batch a worker has already claimed. Resumable
+    /// sessions call it whenever they are parked between sweeps; the next
+    /// `mttkrp` recontracts synchronously, bit-identically.
     pub fn drain_lookahead(&mut self) {
         if let Some(slot) = self.cache.take_spec() {
             let mut handle = slot.handle;

@@ -1,0 +1,388 @@
+//! Job specifications and the plain-text jobs manifest.
+//!
+//! A manifest is line-oriented: blank lines and `#` comments are ignored,
+//! and every remaining line declares one job as `job` followed by
+//! space-separated `key=value` tokens:
+//!
+//! ```text
+//! # name      dataset                         method/config
+//! job name=chem  dataset=lowrank dims=16x14x15 gen-rank=4 noise=0.05 data-seed=3 \
+//!     method=pp rank=4 sweeps=40 tol=1e-7 pp-tol=0.3 seed=42
+//! job name=imgs  dataset=collinearity s=14 r=4 lo=0.5 hi=0.7 data-seed=5 method=msdt rank=4
+//! ```
+//!
+//! (No line continuations — the `\` above is for readability only.)
+//! Unknown keys, unknown dataset/method values, and unparsable numbers are
+//! hard errors naming the offending line, mirroring the `ppcp` CLI's
+//! no-silent-fallback policy.
+
+use pp_core::{AlsConfig, SessionKind};
+use pp_dtree::TreePolicy;
+use pp_tensor::DenseTensor;
+
+/// Which driver method a job runs (the `ppcp --method` vocabulary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobMethod {
+    /// Exact ALS, standard dimension tree.
+    Dt,
+    /// Exact ALS, multi-sweep dimension tree.
+    Msdt,
+    /// Pairwise-perturbation ALS (MSDT exact sweeps).
+    Pp,
+    /// Nonnegative CP (HALS), MSDT.
+    Nncp,
+}
+
+impl JobMethod {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "dt" => Ok(JobMethod::Dt),
+            "msdt" => Ok(JobMethod::Msdt),
+            "pp" => Ok(JobMethod::Pp),
+            "nncp" => Ok(JobMethod::Nncp),
+            other => Err(format!("unknown method '{other}' (dt|msdt|pp|nncp)")),
+        }
+    }
+
+    /// The session update rule this method maps to.
+    pub fn session_kind(&self) -> SessionKind {
+        match self {
+            JobMethod::Dt | JobMethod::Msdt => SessionKind::Exact,
+            JobMethod::Pp => SessionKind::Pp,
+            JobMethod::Nncp => SessionKind::NonNeg,
+        }
+    }
+
+    /// The dimension-tree policy this method maps to.
+    pub fn policy(&self) -> TreePolicy {
+        match self {
+            JobMethod::Dt => TreePolicy::Standard,
+            _ => TreePolicy::MultiSweep,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobMethod::Dt => "dt",
+            JobMethod::Msdt => "msdt",
+            JobMethod::Pp => "pp",
+            JobMethod::Nncp => "nncp",
+        }
+    }
+}
+
+/// How a job's input tensor is produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DatasetSpec {
+    /// `noisy_rank(dims, gen_rank, noise, seed)`.
+    Lowrank {
+        dims: Vec<usize>,
+        gen_rank: usize,
+        noise: f64,
+        seed: u64,
+    },
+    /// Collinearity tensor (paper §V-A).
+    Collinearity {
+        s: usize,
+        r: usize,
+        order: usize,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    },
+}
+
+impl DatasetSpec {
+    /// Materialize the tensor. May panic on degenerate parameters — the
+    /// scheduler isolates that per job.
+    pub fn build(&self) -> DenseTensor {
+        match self {
+            DatasetSpec::Lowrank {
+                dims,
+                gen_rank,
+                noise,
+                seed,
+            } => pp_datagen::lowrank::noisy_rank(dims, *gen_rank, *noise, *seed),
+            DatasetSpec::Collinearity {
+                s,
+                r,
+                order,
+                lo,
+                hi,
+                seed,
+            } => {
+                let cfg = pp_datagen::collinearity::CollinearityConfig {
+                    s: *s,
+                    r: *r,
+                    order: *order,
+                    lo: *lo,
+                    hi: *hi,
+                };
+                pp_datagen::collinearity::collinearity_tensor(&cfg, *seed).0
+            }
+        }
+    }
+}
+
+/// One tenant's decomposition request.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Human-readable identifier (reported in traces and results).
+    pub name: String,
+    pub method: JobMethod,
+    pub dataset: DatasetSpec,
+    /// CP rank `R`.
+    pub rank: usize,
+    pub max_sweeps: usize,
+    pub tol: f64,
+    pub pp_tol: f64,
+    /// Factor-initialization seed.
+    pub seed: u64,
+    /// Per-job pool-width pin (None follows the process default).
+    pub threads: Option<usize>,
+    pub lookahead: bool,
+}
+
+impl JobSpec {
+    /// Reasonable defaults matching the `ppcp` CLI.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobSpec {
+            name: name.into(),
+            method: JobMethod::Msdt,
+            dataset: DatasetSpec::Lowrank {
+                dims: vec![16, 14, 15],
+                gen_rank: 4,
+                noise: 0.05,
+                seed: 7,
+            },
+            rank: 8,
+            max_sweeps: 50,
+            tol: 1e-5,
+            pp_tol: 0.1,
+            seed: 42,
+            threads: None,
+            lookahead: true,
+        }
+    }
+
+    /// The `AlsConfig` this job runs under.
+    pub fn als_config(&self) -> AlsConfig {
+        let mut cfg = AlsConfig::new(self.rank)
+            .with_policy(self.method.policy())
+            .with_max_sweeps(self.max_sweeps)
+            .with_tol(self.tol)
+            .with_pp_tol(self.pp_tol)
+            .with_seed(self.seed)
+            .with_lookahead(self.lookahead);
+        if let Some(t) = self.threads {
+            cfg = cfg.with_threads(t);
+        }
+        cfg
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, v: &str, line_no: usize) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse()
+        .map_err(|e| format!("line {line_no}: invalid value for {key}: {e}"))
+}
+
+/// Parse `AxBxC` dims.
+fn parse_dims(v: &str, line_no: usize) -> Result<Vec<usize>, String> {
+    let dims: Result<Vec<usize>, _> = v.split('x').map(|d| d.parse::<usize>()).collect();
+    match dims {
+        Ok(d) if d.len() >= 2 => Ok(d),
+        _ => Err(format!(
+            "line {line_no}: invalid dims '{v}' (expected e.g. 16x14x15)"
+        )),
+    }
+}
+
+/// Parse a jobs manifest. See the module docs for the format.
+pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, String> {
+    let mut jobs = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("job") => {}
+            Some(other) => {
+                return Err(format!(
+                    "line {line_no}: expected a 'job' declaration, found '{other}'"
+                ))
+            }
+            None => continue,
+        }
+        let mut job = JobSpec::new(format!("job{}", jobs.len()));
+        // Dataset keys are collected first and assembled once the dataset
+        // kind is known, so key order within the line does not matter.
+        let mut dataset = String::from("lowrank");
+        let mut dims: Vec<usize> = vec![16, 14, 15];
+        let mut gen_rank = 4usize;
+        let mut noise = 0.05f64;
+        let mut data_seed = 7u64;
+        let (mut s, mut r, mut order) = (14usize, 4usize, 3usize);
+        let (mut lo, mut hi) = (0.5f64, 0.7f64);
+        for tok in tokens {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("line {line_no}: expected key=value, found '{tok}'"))?;
+            match key {
+                "name" => job.name = value.to_string(),
+                "method" => {
+                    job.method =
+                        JobMethod::parse(value).map_err(|e| format!("line {line_no}: {e}"))?
+                }
+                "dataset" => match value {
+                    "lowrank" | "collinearity" => dataset = value.to_string(),
+                    other => {
+                        return Err(format!(
+                            "line {line_no}: unknown dataset '{other}' (lowrank|collinearity)"
+                        ))
+                    }
+                },
+                "dims" => dims = parse_dims(value, line_no)?,
+                "gen-rank" => gen_rank = parse_num(key, value, line_no)?,
+                "noise" => noise = parse_num(key, value, line_no)?,
+                "data-seed" => data_seed = parse_num(key, value, line_no)?,
+                "s" => s = parse_num(key, value, line_no)?,
+                "r" => r = parse_num(key, value, line_no)?,
+                "order" => order = parse_num(key, value, line_no)?,
+                "lo" => lo = parse_num(key, value, line_no)?,
+                "hi" => hi = parse_num(key, value, line_no)?,
+                "rank" => job.rank = parse_num(key, value, line_no)?,
+                "sweeps" => job.max_sweeps = parse_num(key, value, line_no)?,
+                "tol" => job.tol = parse_num(key, value, line_no)?,
+                "pp-tol" => job.pp_tol = parse_num(key, value, line_no)?,
+                "seed" => job.seed = parse_num(key, value, line_no)?,
+                "threads" => {
+                    let t: usize = parse_num(key, value, line_no)?;
+                    if t == 0 {
+                        return Err(format!("line {line_no}: threads must be at least 1"));
+                    }
+                    job.threads = Some(t);
+                }
+                "lookahead" => {
+                    job.lookahead = match value {
+                        "on" | "true" | "1" => true,
+                        "off" | "false" | "0" => false,
+                        other => {
+                            return Err(format!(
+                                "line {line_no}: invalid lookahead '{other}' (on|off)"
+                            ))
+                        }
+                    }
+                }
+                other => return Err(format!("line {line_no}: unknown key '{other}'")),
+            }
+        }
+        job.dataset = match dataset.as_str() {
+            "lowrank" => DatasetSpec::Lowrank {
+                dims,
+                gen_rank,
+                noise,
+                seed: data_seed,
+            },
+            _ => DatasetSpec::Collinearity {
+                s,
+                r,
+                order,
+                lo,
+                hi,
+                seed: data_seed,
+            },
+        };
+        jobs.push(job);
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_defaults_and_overrides() {
+        let jobs = parse_manifest(
+            "# comment\n\n\
+             job name=a method=pp rank=4 sweeps=30 tol=1e-7 pp-tol=0.3 seed=5\n\
+             job dataset=collinearity s=12 r=3 lo=0.4 hi=0.6 data-seed=9 method=nncp\n",
+        )
+        .unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].name, "a");
+        assert_eq!(jobs[0].method, JobMethod::Pp);
+        assert_eq!(jobs[0].rank, 4);
+        assert_eq!(jobs[0].seed, 5);
+        assert!((jobs[0].pp_tol - 0.3).abs() < 1e-15);
+        assert_eq!(jobs[1].name, "job1", "default name is positional");
+        assert_eq!(jobs[1].method, JobMethod::Nncp);
+        assert_eq!(
+            jobs[1].dataset,
+            DatasetSpec::Collinearity {
+                s: 12,
+                r: 3,
+                order: 3,
+                lo: 0.4,
+                hi: 0.6,
+                seed: 9
+            }
+        );
+    }
+
+    #[test]
+    fn dims_parse() {
+        let jobs = parse_manifest("job dims=8x9x10x11\n").unwrap();
+        match &jobs[0].dataset {
+            DatasetSpec::Lowrank { dims, .. } => assert_eq!(dims, &[8, 9, 10, 11]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        for (text, needle) in [
+            ("job method=turbo", "unknown method 'turbo'"),
+            ("job dataset=netflix", "unknown dataset 'netflix'"),
+            ("job rank=abc", "invalid value for rank"),
+            ("job frobnicate=1", "unknown key 'frobnicate'"),
+            ("job rank", "expected key=value"),
+            ("run name=a", "expected a 'job' declaration"),
+            ("job threads=0", "threads must be at least 1"),
+            ("job dims=7", "invalid dims"),
+            ("job lookahead=maybe", "invalid lookahead"),
+        ] {
+            let err = parse_manifest(text).unwrap_err();
+            assert!(err.contains(needle), "{text}: {err}");
+            assert!(err.contains("line 1"), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn method_mapping() {
+        assert_eq!(JobMethod::Dt.policy(), TreePolicy::Standard);
+        assert_eq!(JobMethod::Msdt.policy(), TreePolicy::MultiSweep);
+        assert_eq!(JobMethod::Pp.session_kind(), SessionKind::Pp);
+        assert_eq!(JobMethod::Nncp.session_kind(), SessionKind::NonNeg);
+    }
+
+    #[test]
+    fn als_config_reflects_spec() {
+        let mut job = JobSpec::new("x");
+        job.method = JobMethod::Dt;
+        job.rank = 6;
+        job.threads = Some(2);
+        job.lookahead = false;
+        let cfg = job.als_config();
+        assert_eq!(cfg.rank, 6);
+        assert_eq!(cfg.policy, TreePolicy::Standard);
+        assert_eq!(cfg.threads, Some(2));
+        assert!(!cfg.lookahead);
+    }
+}

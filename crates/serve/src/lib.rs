@@ -1,0 +1,32 @@
+//! # pp-serve — multi-tenant batch serving of CP decompositions
+//!
+//! The drivers in `pp-core` decompose **one** tensor per call. Real dense-CP
+//! workloads (PLANC's serving scenario: many image/chemistry tensors, many
+//! tenants) need many decompositions to make progress *concurrently* without
+//! over-subscribing the machine. This crate schedules **resumable sessions**
+//! ([`pp_core::AlsSession`]) instead of monolithic runs:
+//!
+//! * the batch scheduler ([`scheduler::run_batch`]) admits up to `J` jobs
+//!   at a time and round-robins **one sweep per turn** across the admitted
+//!   jobs, all over the one shared persistent kernel pool;
+//! * the sweep boundary is the natural preemption point of the paper's
+//!   algorithms (MSDT's cache and PP's operators survive suspension inside
+//!   the session), so interleaving changes **nothing numerically** — each
+//!   job's trace is bit-identical to running it alone;
+//! * jobs that converge exit early and free their admission slot for the
+//!   next pending job; a job that panics (bad manifest entry, degenerate
+//!   tensor) is isolated and reported without killing the batch;
+//! * the schedule trace is deterministic: job admission order and per-job
+//!   sweep counts depend only on the job specs.
+//!
+//! Job batches are described by a plain-text manifest ([`job`]) consumed by
+//! the `ppcp batch` subcommand, and `bench_serve` measures batch throughput
+//! against back-to-back sequential execution.
+
+pub mod job;
+pub mod scheduler;
+
+pub use job::{parse_manifest, DatasetSpec, JobMethod, JobSpec};
+pub use scheduler::{
+    run_batch, run_sequential, BatchReport, JobResult, JobStatus, ScheduleEvent, ServeConfig,
+};

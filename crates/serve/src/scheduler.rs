@@ -1,0 +1,482 @@
+//! The multi-tenant batch scheduler.
+//!
+//! **Scheduling model.** One driver thread owns every session; kernels fan
+//! out to the shared persistent pool from inside each sweep. The scheduler
+//! admits up to `J = max_concurrent` jobs, then repeatedly steps the
+//! active jobs **round-robin, one sweep per turn**. A finished job
+//! (converged or out of budget) is sealed and its slot is re-filled from
+//! the pending queue. Construction, stepping, and sealing all run under
+//! `catch_unwind`, so one tenant's panic becomes a `Failed` result instead
+//! of killing the batch.
+//!
+//! **Determinism.** Sweep counts depend only on the job specs (kernel
+//! results are bit-identical for any pool width), so the admission order,
+//! the schedule trace, and every job's fitness trace are reproducible —
+//! and each job's trace is bit-identical to running that job alone (the
+//! session owns all sweep-to-sweep state; see `pp_core::session`).
+//!
+//! **Fairness.** Between turns the outgoing job is parked
+//! ([`pp_core::AlsSession::park`]): its speculative lookahead TTM is
+//! cancelled (or joined if already claimed) so a suspended tenant holds no
+//! pool slot while others run. Parking is numerically free — a discarded
+//! speculation is recomputed synchronously by the job's next sweep. Set
+//! [`ServeConfig::park_between_steps`] to `false` to let speculation ride
+//! across turns (maximal overlap, single-tenant-biased).
+
+use crate::job::JobSpec;
+use pp_core::{AlsOutput, AlsSession, Step, SweepKind};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, Once};
+use std::time::Instant;
+
+/// Threads currently driving a batch. A panic **on one of these threads**
+/// is an isolated job failure the scheduler will catch and report through
+/// [`JobStatus::Failed`], so the default hook's crash printout is muted
+/// for them — and only for them: panics on unrelated threads of the
+/// embedding process keep their full diagnostics.
+static BATCH_THREADS: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
+static HOOK_INSTALL: Once = Once::new();
+
+fn batch_threads() -> std::sync::MutexGuard<'static, Vec<std::thread::ThreadId>> {
+    BATCH_THREADS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII guard muting the default panic hook on this thread for the
+/// batch's duration.
+struct HookSilence(std::thread::ThreadId);
+
+fn silence_panic_hook() -> HookSilence {
+    HOOK_INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !batch_threads().contains(&std::thread::current().id()) {
+                prev(info);
+            }
+        }));
+    });
+    let id = std::thread::current().id();
+    batch_threads().push(id);
+    HookSilence(id)
+}
+
+impl Drop for HookSilence {
+    fn drop(&mut self) {
+        let mut g = batch_threads();
+        if let Some(pos) = g.iter().position(|&t| t == self.0) {
+            g.remove(pos);
+        }
+    }
+}
+
+/// Batch-level scheduling knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Admission window `J`: how many jobs hold sessions at once.
+    pub max_concurrent: usize,
+    /// Park each job's lookahead speculation when its turn ends.
+    pub park_between_steps: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_concurrent: 4,
+            park_between_steps: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    pub fn new(max_concurrent: usize) -> Self {
+        assert!(max_concurrent > 0, "admission window must be non-empty");
+        ServeConfig {
+            max_concurrent,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_park(mut self, park: bool) -> Self {
+        self.park_between_steps = park;
+        self
+    }
+}
+
+/// One entry of the deterministic schedule trace: which job swept when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleEvent {
+    /// Global turn counter (0-based, one per performed sweep).
+    pub turn: usize,
+    /// Job index in submission order.
+    pub job: usize,
+    /// Job-local sweep index (0-based).
+    pub sweep: usize,
+    /// What kind of sweep ran.
+    pub kind: SweepKind,
+}
+
+/// Terminal status of one job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran to completion (`converged` distinguishes Δ-stop from budget).
+    Completed { converged: bool },
+    /// Panicked during construction, stepping, or sealing.
+    Failed { error: String },
+}
+
+/// One job's outcome.
+pub struct JobResult {
+    /// `JobSpec::name`.
+    pub name: String,
+    pub status: JobStatus,
+    /// Factors and trace (None for failed jobs).
+    pub output: Option<AlsOutput>,
+    /// Wall-clock seconds spent inside this job's turns (construction +
+    /// sweeps + sealing), excluding other tenants' turns.
+    pub secs: f64,
+}
+
+impl JobResult {
+    pub fn failed(&self) -> bool {
+        matches!(self.status, JobStatus::Failed { .. })
+    }
+}
+
+/// Outcome of a whole batch.
+pub struct BatchReport {
+    /// Per-job results, in submission order.
+    pub jobs: Vec<JobResult>,
+    /// The deterministic schedule trace.
+    pub schedule: Vec<ScheduleEvent>,
+    /// Wall-clock seconds for the whole batch.
+    pub total_secs: f64,
+}
+
+impl BatchReport {
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.failed()).count()
+    }
+
+    pub fn failed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.failed()).count()
+    }
+
+    /// Completed jobs per second of batch wall time.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.completed() as f64 / self.total_secs.max(1e-12)
+    }
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+/// An admitted job holding a live session.
+struct Active {
+    idx: usize,
+    session: AlsSession,
+    secs: f64,
+}
+
+/// Admit job `idx`: build its tensor and session under `catch_unwind`.
+fn admit(specs: &[JobSpec], idx: usize) -> Result<Active, (usize, String, f64)> {
+    let t0 = Instant::now();
+    let spec = &specs[idx];
+    let built = catch_unwind(AssertUnwindSafe(|| {
+        let tensor = spec.dataset.build();
+        AlsSession::new(&tensor, &spec.als_config(), spec.method.session_kind())
+    }));
+    match built {
+        Ok(session) => Ok(Active {
+            idx,
+            session,
+            secs: t0.elapsed().as_secs_f64(),
+        }),
+        Err(p) => Err((idx, panic_message(p), t0.elapsed().as_secs_f64())),
+    }
+}
+
+/// Run a batch of jobs to completion. See the module docs for the
+/// scheduling, determinism, and fairness contracts.
+pub fn run_batch(specs: &[JobSpec], cfg: &ServeConfig) -> BatchReport {
+    let batch_t0 = Instant::now();
+    let _quiet = silence_panic_hook();
+    let mut results: Vec<Option<JobResult>> = (0..specs.len()).map(|_| None).collect();
+    let mut schedule = Vec::new();
+    let mut next_pending = 0usize;
+    let mut active: Vec<Active> = Vec::new();
+
+    let fill_slots = |active: &mut Vec<Active>,
+                      next_pending: &mut usize,
+                      results: &mut Vec<Option<JobResult>>| {
+        while active.len() < cfg.max_concurrent && *next_pending < specs.len() {
+            let idx = *next_pending;
+            *next_pending += 1;
+            match admit(specs, idx) {
+                Ok(a) => active.push(a),
+                Err((idx, error, secs)) => {
+                    results[idx] = Some(JobResult {
+                        name: specs[idx].name.clone(),
+                        status: JobStatus::Failed { error },
+                        output: None,
+                        secs,
+                    });
+                }
+            }
+        }
+    };
+
+    fill_slots(&mut active, &mut next_pending, &mut results);
+    let mut turn = 0usize;
+    let mut cursor = 0usize;
+    while !active.is_empty() {
+        cursor %= active.len();
+        // Parking exists to keep one tenant's speculation from occupying
+        // workers during *other* tenants' turns — with a single active
+        // job there is no such tenant, and parking would only cancel a
+        // useful lookahead, so it is skipped (this also keeps the J=1
+        // `run_sequential` baseline a faithful monolithic-driver run).
+        let park = cfg.park_between_steps && active.len() > 1;
+        let a = &mut active[cursor];
+        let t0 = Instant::now();
+        let stepped = catch_unwind(AssertUnwindSafe(|| {
+            let step = a.session.step();
+            if park {
+                a.session.park();
+            }
+            step
+        }));
+        let step_secs = t0.elapsed().as_secs_f64();
+        match stepped {
+            Ok(Step::Swept(rec)) => {
+                let a = &mut active[cursor];
+                a.secs += step_secs;
+                schedule.push(ScheduleEvent {
+                    turn,
+                    job: a.idx,
+                    sweep: a.session.sweeps_done() - 1,
+                    kind: rec.kind,
+                });
+                turn += 1;
+                cursor += 1;
+            }
+            Ok(Step::Done(_)) => {
+                let a = active.remove(cursor);
+                let idx = a.idx;
+                let mut secs = a.secs + step_secs;
+                let t0 = Instant::now();
+                let sealed = catch_unwind(AssertUnwindSafe(|| a.session.finish()));
+                secs += t0.elapsed().as_secs_f64();
+                results[idx] = Some(match sealed {
+                    Ok(output) => JobResult {
+                        name: specs[idx].name.clone(),
+                        status: JobStatus::Completed {
+                            converged: output.report.converged,
+                        },
+                        output: Some(output),
+                        secs,
+                    },
+                    Err(p) => JobResult {
+                        name: specs[idx].name.clone(),
+                        status: JobStatus::Failed {
+                            error: panic_message(p),
+                        },
+                        output: None,
+                        secs,
+                    },
+                });
+                fill_slots(&mut active, &mut next_pending, &mut results);
+                // `cursor` now points at the element after the removed one
+                // (or wraps); admission appends at the tail, so round-robin
+                // order is preserved.
+            }
+            Err(p) => {
+                let a = active.remove(cursor);
+                results[a.idx] = Some(JobResult {
+                    name: specs[a.idx].name.clone(),
+                    status: JobStatus::Failed {
+                        error: panic_message(p),
+                    },
+                    output: None,
+                    secs: a.secs + step_secs,
+                });
+                fill_slots(&mut active, &mut next_pending, &mut results);
+            }
+        }
+    }
+
+    BatchReport {
+        jobs: results.into_iter().map(Option::unwrap).collect(),
+        schedule,
+        total_secs: batch_t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run the same jobs back-to-back (J = 1, no interleaving): the baseline
+/// `bench_serve` compares batch throughput against.
+pub fn run_sequential(specs: &[JobSpec]) -> BatchReport {
+    run_batch(specs, &ServeConfig::new(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{DatasetSpec, JobMethod};
+
+    fn quick_job(name: &str, method: JobMethod, sweeps: usize) -> JobSpec {
+        let mut j = JobSpec::new(name);
+        j.method = method;
+        j.rank = 3;
+        j.max_sweeps = sweeps;
+        j.tol = 0.0;
+        j.dataset = DatasetSpec::Lowrank {
+            dims: vec![10, 9, 8],
+            gen_rank: 3,
+            noise: 0.05,
+            seed: 11,
+        };
+        j
+    }
+
+    #[test]
+    fn round_robin_schedule_is_deterministic() {
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|i| quick_job(&format!("j{i}"), JobMethod::Msdt, 3))
+            .collect();
+        let report = run_batch(&jobs, &ServeConfig::new(3));
+        let order: Vec<(usize, usize)> = report.schedule.iter().map(|e| (e.job, e.sweep)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (0, 1),
+                (1, 1),
+                (2, 1),
+                (0, 2),
+                (1, 2),
+                (2, 2)
+            ]
+        );
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.failed(), 0);
+        for (i, e) in report.schedule.iter().enumerate() {
+            assert_eq!(e.turn, i);
+        }
+    }
+
+    #[test]
+    fn admission_window_limits_concurrency() {
+        // J=2 over 3 jobs: job 2 must not appear before a slot frees.
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|i| quick_job(&format!("j{i}"), JobMethod::Msdt, 2))
+            .collect();
+        let report = run_batch(&jobs, &ServeConfig::new(2));
+        let first_j2 = report.schedule.iter().position(|e| e.job == 2).unwrap();
+        let last_j0 = report.schedule.iter().rposition(|e| e.job == 0).unwrap();
+        assert!(
+            first_j2 > last_j0,
+            "job 2 admitted before job 0 finished: {:?}",
+            report.schedule
+        );
+        assert_eq!(report.completed(), 3);
+    }
+
+    #[test]
+    fn failed_construction_is_isolated() {
+        // PP on an order-2 tensor panics at session construction.
+        let mut bad = quick_job("bad", JobMethod::Pp, 5);
+        bad.dataset = DatasetSpec::Lowrank {
+            dims: vec![8, 8],
+            gen_rank: 2,
+            noise: 0.0,
+            seed: 1,
+        };
+        let jobs = vec![
+            quick_job("a", JobMethod::Msdt, 3),
+            bad,
+            quick_job("c", JobMethod::Dt, 3),
+        ];
+        let report = run_batch(&jobs, &ServeConfig::new(2));
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.completed(), 2);
+        assert!(report.jobs[1].failed());
+        match &report.jobs[1].status {
+            JobStatus::Failed { error } => {
+                assert!(error.contains("order"), "unexpected error: {error}")
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert!(report.jobs[0].output.is_some());
+        assert!(report.jobs[2].output.is_some());
+        assert_eq!(
+            report.jobs[0].output.as_ref().unwrap().report.sweeps.len(),
+            3
+        );
+    }
+
+    #[test]
+    fn early_convergence_frees_the_slot() {
+        // An exactly-representable tensor converges almost immediately,
+        // freeing its slot for the queued third job.
+        // A very loose Δ makes the fast job converge within a few sweeps.
+        let mut fast = quick_job("fast", JobMethod::Msdt, 50);
+        fast.tol = 0.2;
+        fast.dataset = DatasetSpec::Lowrank {
+            dims: vec![8, 8, 8],
+            gen_rank: 2,
+            noise: 0.0,
+            seed: 5,
+        };
+        fast.rank = 2;
+        let jobs = vec![
+            fast,
+            quick_job("slow", JobMethod::Msdt, 12),
+            quick_job("queued", JobMethod::Msdt, 3),
+        ];
+        let report = run_batch(&jobs, &ServeConfig::new(2));
+        assert_eq!(report.completed(), 3);
+        assert!(matches!(
+            report.jobs[0].status,
+            JobStatus::Completed { converged: true }
+        ));
+        let fast_sweeps = report.jobs[0].output.as_ref().unwrap().report.sweeps.len();
+        assert!(fast_sweeps < 12, "fast job should converge early");
+        // The queued job is admitted only once some slot frees: its first
+        // event must come after the earliest job completion.
+        let first_queued = report.schedule.iter().position(|e| e.job == 2).unwrap();
+        let earliest_done = (0..2)
+            .map(|j| report.schedule.iter().rposition(|e| e.job == j).unwrap())
+            .min()
+            .unwrap();
+        assert!(first_queued > earliest_done, "{:?}", report.schedule);
+        // And the fast convergence is what freed it.
+        let last_fast = report.schedule.iter().rposition(|e| e.job == 0).unwrap();
+        assert!(first_queued > last_fast, "{:?}", report.schedule);
+    }
+
+    #[test]
+    fn jobs_per_sec_counts_completed_only() {
+        let mut bad = quick_job("bad", JobMethod::Pp, 5);
+        bad.dataset = DatasetSpec::Lowrank {
+            dims: vec![6, 6],
+            gen_rank: 2,
+            noise: 0.0,
+            seed: 1,
+        };
+        let report = run_batch(
+            &[quick_job("a", JobMethod::Msdt, 2), bad],
+            &ServeConfig::new(2),
+        );
+        assert_eq!(report.completed(), 1);
+        assert!(report.jobs_per_sec() > 0.0);
+        assert!(report.total_secs > 0.0);
+    }
+}

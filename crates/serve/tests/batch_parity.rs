@@ -1,0 +1,99 @@
+//! The serving correctness contract: a job's trace inside a J-way
+//! interleaved batch is **bit-identical** to running that job alone with
+//! the monolithic driver (acceptance criterion of the session refactor).
+
+use pp_core::{cp_als, nn_cp_als, pp_cp_als, AlsOutput};
+use pp_serve::{parse_manifest, run_batch, JobMethod, JobSpec, ServeConfig};
+
+/// Run `spec` alone through the matching monolithic driver.
+fn solo(spec: &JobSpec) -> AlsOutput {
+    let t = spec.dataset.build();
+    let cfg = spec.als_config();
+    match spec.method {
+        JobMethod::Dt | JobMethod::Msdt => cp_als(&t, &cfg),
+        JobMethod::Pp => pp_cp_als(&t, &cfg),
+        JobMethod::Nncp => nn_cp_als(&t, &cfg),
+    }
+}
+
+fn assert_bitwise(name: &str, a: &AlsOutput, b: &AlsOutput) {
+    assert_eq!(
+        a.report.sweeps.len(),
+        b.report.sweeps.len(),
+        "{name}: sweep count"
+    );
+    for (i, (x, y)) in a
+        .report
+        .sweeps
+        .iter()
+        .zip(b.report.sweeps.iter())
+        .enumerate()
+    {
+        assert_eq!(x.kind, y.kind, "{name}: kind at sweep {i}");
+        assert_eq!(
+            x.fitness.to_bits(),
+            y.fitness.to_bits(),
+            "{name}: fitness at sweep {i}: {} vs {}",
+            x.fitness,
+            y.fitness
+        );
+    }
+    assert_eq!(a.report.converged, b.report.converged, "{name}");
+    for (n, (fa, fb)) in a.factors.iter().zip(b.factors.iter()).enumerate() {
+        assert_eq!(fa.data(), fb.data(), "{name}: factor {n}");
+    }
+}
+
+/// A four-method manifest exercising all sequential session kinds.
+const MANIFEST: &str = "\
+# batch-parity manifest: one job per method
+job name=exact-dt   method=dt   rank=3 sweeps=6 tol=0.0 dims=10x9x8  gen-rank=3 noise=0.05 data-seed=11
+job name=exact-msdt method=msdt rank=3 sweeps=8 tol=0.0 dims=9x10x8  gen-rank=3 noise=0.05 data-seed=13
+job name=pp         method=pp   rank=3 sweeps=25 tol=1e-9 pp-tol=0.3 dataset=collinearity s=12 r=3 lo=0.5 hi=0.7 data-seed=3
+job name=nncp       method=nncp rank=3 sweeps=7 tol=0.0 dims=8x9x10 gen-rank=3 noise=0.05 data-seed=17
+";
+
+#[test]
+fn batch_of_four_matches_solo_runs_bitwise() {
+    let jobs = parse_manifest(MANIFEST).unwrap();
+    assert_eq!(jobs.len(), 4);
+    let report = run_batch(&jobs, &ServeConfig::new(4));
+    assert_eq!(report.failed(), 0, "no job may fail");
+    for (spec, result) in jobs.iter().zip(report.jobs.iter()) {
+        let alone = solo(spec);
+        let batched = result.output.as_ref().expect("completed job has output");
+        assert_bitwise(&spec.name, &alone, batched);
+    }
+    // The schedule interleaves: some turn of a later job precedes some
+    // turn of an earlier job (round-robin, not back-to-back).
+    let first_j3 = report.schedule.iter().position(|e| e.job == 3).unwrap();
+    let last_j0 = report.schedule.iter().rposition(|e| e.job == 0).unwrap();
+    assert!(
+        first_j3 < last_j0,
+        "expected interleaving, got {:?}",
+        report.schedule
+    );
+}
+
+#[test]
+fn parity_holds_without_parking() {
+    // Letting each tenant's speculation ride across other tenants' turns
+    // must still be bit-identical (stale speculations are discarded).
+    let jobs = parse_manifest(MANIFEST).unwrap();
+    let report = run_batch(&jobs, &ServeConfig::new(4).with_park(false));
+    assert_eq!(report.failed(), 0);
+    for (spec, result) in jobs.iter().zip(report.jobs.iter()) {
+        assert_bitwise(&spec.name, &solo(spec), result.output.as_ref().unwrap());
+    }
+}
+
+#[test]
+fn narrow_window_matches_too() {
+    // J=2 over the same four jobs: different interleaving, same traces.
+    let jobs = parse_manifest(MANIFEST).unwrap();
+    let report = run_batch(&jobs, &ServeConfig::new(2));
+    assert_eq!(report.failed(), 0);
+    for (spec, result) in jobs.iter().zip(report.jobs.iter()) {
+        assert_bitwise(&spec.name, &solo(spec), result.output.as_ref().unwrap());
+    }
+}

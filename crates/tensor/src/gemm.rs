@@ -46,11 +46,56 @@ pub enum Trans {
 const MR: usize = 8;
 /// Generic panel width (the fixed-`n` paths use `n` itself).
 const NR: usize = 8;
-/// Rows per packed-A block (multiple of `MR`); with `KC` chosen so an
-/// `MC×KC` A block (128 KiB) stays L2-resident while B panels stay in L1.
-const MC: usize = 64;
-/// Depth of one k panel.
-const KC: usize = 256;
+/// Default rows per packed-A block (multiple of `MR`); with `KC` chosen so
+/// an `MC×KC` A block (128 KiB) stays L2-resident while B panels stay in
+/// L1. Tuned for this container's cache ladder.
+const MC_DEFAULT: usize = 64;
+/// Default depth of one k panel.
+const KC_DEFAULT: usize = 256;
+
+/// Resolved `(MC, KC)` panel constants. Fleet hardware with a different
+/// cache ladder retunes **without a rebuild** via the `PP_GEMM_MC` /
+/// `PP_GEMM_KC` environment variables, read once at first use. Overrides
+/// are validated by [`resolve_panel`]; a malformed value warns on stderr
+/// and falls back to the default (same policy as `PP_NUM_THREADS`).
+static PANELS: std::sync::OnceLock<(usize, usize)> = std::sync::OnceLock::new();
+
+fn panel_constants() -> (usize, usize) {
+    *PANELS.get_or_init(|| {
+        (
+            resolve_panel(
+                "PP_GEMM_MC",
+                std::env::var("PP_GEMM_MC").ok().as_deref(),
+                MC_DEFAULT,
+                MR,
+            ),
+            resolve_panel(
+                "PP_GEMM_KC",
+                std::env::var("PP_GEMM_KC").ok().as_deref(),
+                KC_DEFAULT,
+                1,
+            ),
+        )
+    })
+}
+
+/// Validate one panel override: positive integers are clamped to
+/// `[round_to, 4096]` and rounded **up** to a multiple of `round_to` (MC
+/// must cover whole `MR`-row micro-panels); anything else keeps the
+/// default with a warning. Pure, so the policy is unit-testable without
+/// touching process environment.
+fn resolve_panel(name: &str, raw: Option<&str>, default: usize, round_to: usize) -> usize {
+    let Some(raw) = raw else {
+        return default;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(v) if v > 0 => v.clamp(1, 4096).div_ceil(round_to) * round_to,
+        _ => {
+            eprintln!("warning: ignoring invalid {name}={raw:?} (want a positive integer)");
+            default
+        }
+    }
+}
 
 /// Below this many multiply-adds the packing overhead is not worth it and
 /// a plain serial triple loop runs instead (size-based, so the choice is
@@ -246,6 +291,40 @@ pub fn gemm_slice(
     c_rows: usize,
     c_cols: usize,
 ) {
+    let (mc_c, kc_c) = panel_constants();
+    gemm_slice_with_panels(
+        ta, tb, alpha, a, a_rows, a_cols, b, b_rows, b_cols, beta, c, c_rows, c_cols, mc_c, kc_c,
+    )
+}
+
+/// [`gemm_slice`] with explicit `(MC, KC)` panel constants — the body
+/// behind the `PP_GEMM_MC`/`PP_GEMM_KC` override, exposed so tests can
+/// exercise arbitrary (including pathological) panel geometries against
+/// the reference kernel without mutating process environment.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slice_with_panels(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: &[f64],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[f64],
+    b_rows: usize,
+    b_cols: usize,
+    beta: f64,
+    c: &mut [f64],
+    c_rows: usize,
+    c_cols: usize,
+    mc_c: usize,
+    kc_c: usize,
+) {
+    assert!(
+        mc_c >= MR && mc_c.is_multiple_of(MR),
+        "MC must cover micro-panels"
+    );
+    assert!(kc_c >= 1, "KC must be positive");
     let (m, n, k) = check_shapes(
         ta, tb, a, a_rows, a_cols, b, b_rows, b_cols, c, c_rows, c_cols,
     );
@@ -280,15 +359,19 @@ pub fn gemm_slice(
         let body = |row_start: usize, c_chunk: &mut [f64]| {
             let rows_here = c_chunk.len() / n;
             beta_scale(c_chunk, beta);
-            let a_buf_len = MC.div_ceil(MR) * MR * KC;
+            // Scratch covers one MC×KC block, clamped to what this call
+            // can actually fill — a large PP_GEMM_MC/KC override must not
+            // pin panel-sized thread-local buffers under small matrices.
+            let mc_eff = mc_c.min(rows_here.div_ceil(MR) * MR);
+            let a_buf_len = mc_eff.div_ceil(MR) * MR * kc_c.min(k);
             with_scratch(&PACK_A, a_buf_len, |ap_buf| {
                 let mut kp = 0;
                 while kp < k {
-                    let kc = KC.min(k - kp);
+                    let kc = kc_c.min(k - kp);
                     let bp = &b_packed[kp * npad..kp * npad + kc * npad];
                     let mut ip = 0;
                     while ip < rows_here {
-                        let mc = MC.min(rows_here - ip);
+                        let mc = mc_c.min(rows_here - ip);
                         let ap = &mut ap_buf[..mc.div_ceil(MR) * MR * kc];
                         pack_a(ta, a, a_cols, row_start + ip, mc, kp, kc, ap);
                         match n {
@@ -324,7 +407,7 @@ pub fn gemm_slice(
         with_scratch(&PACK_B, k * npad, |pb| {
             let mut kp = 0;
             while kp < k {
-                let kc = KC.min(k - kp);
+                let kc = kc_c.min(k - kp);
                 pack_b(
                     tb,
                     b,
@@ -933,5 +1016,119 @@ mod tests {
         assert_eq!(d.fixed_n_calls, 1);
         assert_eq!(d.generic_calls, 1);
         assert_eq!(d.flops, gemm_flops(40, 16, 64) + gemm_flops(40, 24, 64));
+    }
+
+    #[test]
+    fn resolve_panel_policy() {
+        // Absent → default, untouched.
+        assert_eq!(resolve_panel("PP_GEMM_MC", None, MC_DEFAULT, MR), 64);
+        assert_eq!(resolve_panel("PP_GEMM_KC", None, KC_DEFAULT, 1), 256);
+        // Valid values pass through.
+        assert_eq!(resolve_panel("PP_GEMM_KC", Some("128"), KC_DEFAULT, 1), 128);
+        assert_eq!(
+            resolve_panel("PP_GEMM_MC", Some(" 96 "), MC_DEFAULT, MR),
+            96
+        );
+        // MC is rounded *up* to whole MR-row micro-panels.
+        assert_eq!(resolve_panel("PP_GEMM_MC", Some("20"), MC_DEFAULT, MR), 24);
+        assert_eq!(resolve_panel("PP_GEMM_MC", Some("1"), MC_DEFAULT, MR), MR);
+        // Oversized values are clamped (then rounded).
+        assert_eq!(
+            resolve_panel("PP_GEMM_KC", Some("999999"), KC_DEFAULT, 1),
+            4096
+        );
+        // Garbage and zero keep the default.
+        assert_eq!(resolve_panel("PP_GEMM_MC", Some("abc"), MC_DEFAULT, MR), 64);
+        assert_eq!(resolve_panel("PP_GEMM_KC", Some("0"), KC_DEFAULT, 1), 256);
+        assert_eq!(resolve_panel("PP_GEMM_KC", Some("-4"), KC_DEFAULT, 1), 256);
+    }
+
+    /// Any validated (MC, KC) geometry must produce the same numbers as
+    /// the blocked reference kernel — the override can mistune
+    /// performance, never correctness.
+    #[test]
+    fn overridden_panels_match_reference() {
+        let mut rng = crate::rng::seeded(77);
+        // Odd shapes crossing every panel boundary for the small overrides.
+        let (m, n, k) = (61, 13, 67);
+        for (mc, kc) in [(8usize, 1usize), (8, 16), (24, 7), (64, 256), (4096, 4096)] {
+            for ta in [Trans::No, Trans::Yes] {
+                for tb in [Trans::No, Trans::Yes] {
+                    let (ar, ac) = match ta {
+                        Trans::No => (m, k),
+                        Trans::Yes => (k, m),
+                    };
+                    let (br, bc) = match tb {
+                        Trans::No => (k, n),
+                        Trans::Yes => (n, k),
+                    };
+                    let a = crate::rng::uniform_matrix(ar, ac, &mut rng);
+                    let b = crate::rng::uniform_matrix(br, bc, &mut rng);
+                    let mut c1 = crate::rng::uniform_matrix(m, n, &mut rng);
+                    let mut c2 = c1.clone();
+                    gemm_slice_with_panels(
+                        ta,
+                        tb,
+                        1.25,
+                        a.data(),
+                        ar,
+                        ac,
+                        b.data(),
+                        br,
+                        bc,
+                        0.5,
+                        c1.data_mut(),
+                        m,
+                        n,
+                        mc,
+                        kc,
+                    );
+                    gemm_slice_ref(
+                        ta,
+                        tb,
+                        1.25,
+                        a.data(),
+                        ar,
+                        ac,
+                        b.data(),
+                        br,
+                        bc,
+                        0.5,
+                        c2.data_mut(),
+                        m,
+                        n,
+                    );
+                    assert!(
+                        c1.max_abs_diff(&c2) < 1e-10,
+                        "MC={mc} KC={kc} {ta:?}{tb:?} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MC must cover micro-panels")]
+    fn unvalidated_mc_is_rejected() {
+        let a = [0.0; 4];
+        let b = [0.0; 4];
+        let mut c = [0.0; 4];
+        gemm_slice_with_panels(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a,
+            2,
+            2,
+            &b,
+            2,
+            2,
+            0.0,
+            &mut c,
+            2,
+            2,
+            3, // not a multiple of MR
+            16,
+        );
     }
 }

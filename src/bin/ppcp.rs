@@ -1,6 +1,13 @@
 //! `ppcp` — command-line CP decomposition driver.
 //!
 //! ```text
+//! ppcp batch --manifest <path>             (multi-tenant batch mode;
+//!      [--jobs <J>]                         J concurrent jobs, default 4)
+//!      [--no-park]                         (let lookahead speculation ride
+//!                                           across tenant turns)
+//!      [--trace]                           (print the schedule trace)
+//!      [--threads <T>]
+//!
 //! ppcp [--version] [--help]
 //!      --dataset <lowrank|collinearity|chemistry|coil|timelapse>
 //!      --method  <dt|msdt|pp|nncp>          (default msdt)
@@ -27,13 +34,17 @@
 //! short-circuits all other argument validation.
 //!
 //! Argument errors (unknown flags, unknown `--dataset`/`--method` values,
-//! unparsable numbers) exit with status 2.
+//! unparsable numbers, malformed manifests) exit with status 2. In batch
+//! mode a failed *job* does not abort the batch; the exit status is 1 when
+//! any job failed, 0 otherwise.
 //!
 //! Examples:
 //! ```text
 //! cargo run --release --bin ppcp -- --dataset chemistry --method pp --rank 24
 //! cargo run --release --bin ppcp -- --dataset collinearity --method msdt --ranks 8
+//! cargo run --release --bin ppcp -- batch --manifest jobs.txt --jobs 4 --trace
 //! ```
+//! See the README's "Serving" section for the manifest format.
 
 use parallel_pp::comm::Runtime;
 use parallel_pp::core::par_als::par_cp_als;
@@ -172,6 +183,160 @@ fn parse_args() -> Result<Args, String> {
     parse_args_from(&argv)
 }
 
+/// Arguments of the `batch` subcommand.
+#[derive(Debug)]
+struct BatchArgs {
+    manifest: String,
+    jobs: usize,
+    park: bool,
+    trace: bool,
+    threads: Option<usize>,
+    help: bool,
+    version: bool,
+}
+
+/// Parse `ppcp batch ...` arguments (everything after the subcommand).
+/// Like the main mode, `--help`/`--version` short-circuit all other
+/// validation.
+fn parse_batch_args_from(argv: &[String]) -> Result<BatchArgs, String> {
+    let mut args = BatchArgs {
+        manifest: String::new(),
+        jobs: 4,
+        park: true,
+        trace: false,
+        threads: None,
+        help: argv.iter().any(|a| a == "--help" || a == "-h"),
+        version: argv.iter().any(|a| a == "--version" || a == "-V"),
+    };
+    if args.help || args.version {
+        return Ok(args);
+    }
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        match key {
+            "--manifest" => args.manifest = take(&mut i)?,
+            "--jobs" => {
+                args.jobs = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--threads" => {
+                let t: usize = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(t);
+            }
+            "--no-park" => args.park = false,
+            "--trace" => args.trace = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if args.manifest.is_empty() {
+        return Err("batch mode requires --manifest <path>".into());
+    }
+    Ok(args)
+}
+
+/// Run `ppcp batch`: parse the manifest, schedule the jobs, report.
+/// Returns the process exit code.
+fn run_batch_mode(args: &BatchArgs) -> i32 {
+    let text = match std::fs::read_to_string(&args.manifest) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read manifest {}: {e}", args.manifest);
+            return 2;
+        }
+    };
+    let jobs = match parallel_pp::serve::parse_manifest(&text) {
+        Ok(j) if !j.is_empty() => j,
+        Ok(_) => {
+            eprintln!("error: manifest {} declares no jobs", args.manifest);
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("error: {}: {e}", args.manifest);
+            return 2;
+        }
+    };
+    // Batch-wide width pin; per-job `threads=` pins nest inside per turn.
+    let _threads = args.threads.map(rayon::scoped_num_threads);
+    println!(
+        "batch: {} jobs, window {}, park={}, threads={}",
+        jobs.len(),
+        args.jobs,
+        args.park,
+        args.threads.unwrap_or_else(rayon::current_num_threads),
+    );
+    let cfg = parallel_pp::serve::ServeConfig::new(args.jobs).with_park(args.park);
+    let report = parallel_pp::serve::run_batch(&jobs, &cfg);
+
+    for (spec, res) in jobs.iter().zip(report.jobs.iter()) {
+        match &res.status {
+            parallel_pp::serve::JobStatus::Completed { converged } => {
+                let out = res.output.as_ref().unwrap();
+                println!(
+                    "  {:<12} {:<5} ok: {} sweeps ({} exact, {} PP-init, {} PP-approx), \
+                     fitness {:.5}, {:.3}s{}",
+                    res.name,
+                    spec.method.label(),
+                    out.report.sweeps.len(),
+                    out.report.count(SweepKind::Exact),
+                    out.report.count(SweepKind::PpInit),
+                    out.report.count(SweepKind::PpApprox),
+                    out.report.final_fitness,
+                    res.secs,
+                    if *converged {
+                        " (converged)"
+                    } else {
+                        " (sweep limit)"
+                    },
+                );
+            }
+            parallel_pp::serve::JobStatus::Failed { error } => {
+                println!(
+                    "  {:<12} {:<5} FAILED: {error}",
+                    res.name,
+                    spec.method.label()
+                );
+            }
+        }
+    }
+    println!(
+        "batch finished: {} completed, {} failed, {:.3}s total ({:.2} jobs/s)",
+        report.completed(),
+        report.failed(),
+        report.total_secs,
+        report.jobs_per_sec(),
+    );
+    if args.trace {
+        for e in &report.schedule {
+            println!(
+                "  turn {:4}  job {} ({})  sweep {:3}  {}",
+                e.turn,
+                e.job,
+                report.jobs[e.job].name,
+                e.sweep,
+                e.kind.label()
+            );
+        }
+    }
+    i32::from(report.failed() > 0)
+}
+
 fn make_tensor(args: &Args) -> DenseTensor {
     match args.dataset.as_str() {
         "lowrank" => noisy_rank(&[60, 60, 60], args.rank.max(4), 0.05, args.seed),
@@ -247,6 +412,28 @@ fn grid_for(t: &DenseTensor, p: usize) -> ProcGrid {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().is_some_and(|a| a == "batch") {
+        let bargs = match parse_batch_args_from(&argv[1..]) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        if bargs.version {
+            println!("ppcp {}", env!("CARGO_PKG_VERSION"));
+            return;
+        }
+        if bargs.help {
+            println!(
+                "ppcp batch --manifest <path> [--jobs J] [--no-park] [--trace] [--threads T]\n\
+                 see the pp-serve::job module docs for the manifest format"
+            );
+            return;
+        }
+        std::process::exit(run_batch_mode(&bargs));
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -260,7 +447,8 @@ fn main() {
     }
     if args.help {
         println!(
-            "see module docs: ppcp [--version] --dataset <name> --method <dt|msdt|pp|nncp> ..."
+            "see module docs: ppcp [--version] --dataset <name> --method <dt|msdt|pp|nncp> ...\n\
+             \x20                 ppcp batch --manifest <path> [--jobs J] [--no-park] [--trace]"
         );
         return;
     }
@@ -368,6 +556,67 @@ mod tests {
 
     fn argv(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn batch_args_parse() {
+        let a = parse_batch_args_from(&argv(&["--manifest", "jobs.txt"])).unwrap();
+        assert_eq!(a.manifest, "jobs.txt");
+        assert_eq!(a.jobs, 4, "default window");
+        assert!(a.park);
+        assert!(!a.trace);
+        let a = parse_batch_args_from(&argv(&[
+            "--manifest",
+            "m.txt",
+            "--jobs",
+            "2",
+            "--no-park",
+            "--trace",
+            "--threads",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(a.jobs, 2);
+        assert!(!a.park);
+        assert!(a.trace);
+        assert_eq!(a.threads, Some(3));
+    }
+
+    #[test]
+    fn batch_help_and_version_short_circuit() {
+        // Like the main mode: `--help`/`--version` win over anything else,
+        // including a missing manifest and invalid flags.
+        for argv_case in [
+            vec!["--help"],
+            vec!["-h"],
+            vec!["--version"],
+            vec!["-V"],
+            vec!["--help", "--frobnicate"],
+            vec!["--version", "--jobs", "abc"],
+        ] {
+            let a = parse_batch_args_from(&argv(&argv_case)).unwrap();
+            assert!(a.help || a.version, "{argv_case:?}");
+        }
+    }
+
+    #[test]
+    fn batch_args_rejected() {
+        assert!(parse_batch_args_from(&argv(&[]))
+            .unwrap_err()
+            .contains("requires --manifest"));
+        assert!(
+            parse_batch_args_from(&argv(&["--manifest", "m", "--jobs", "0"]))
+                .unwrap_err()
+                .contains("--jobs must be at least 1")
+        );
+        assert!(
+            parse_batch_args_from(&argv(&["--manifest", "m", "--frobnicate"]))
+                .unwrap_err()
+                .contains("unknown flag")
+        );
+        assert!(parse_batch_args_from(&argv(&["--manifest"]))
+            .unwrap_err()
+            .contains("missing value"));
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //!   PLANC-style and Cyclops-style reference baselines;
 //! * [`datagen`] — the paper's workloads: collinearity tensors, a
 //!   quantum-chemistry density-fitting surrogate, COIL-like and
-//!   time-lapse-like image tensors.
+//!   time-lapse-like image tensors;
+//! * [`serve`] — the multi-tenant batch scheduler: many concurrent
+//!   decompositions as resumable sessions, interleaved sweep-by-sweep over
+//!   the shared kernel pool (`ppcp batch`).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -29,6 +32,7 @@ pub use pp_core as core;
 pub use pp_datagen as datagen;
 pub use pp_dtree as dtree;
 pub use pp_grid as grid;
+pub use pp_serve as serve;
 pub use pp_tensor as tensor;
 
 /// Convenient glob import for examples and downstream users.

@@ -1,0 +1,321 @@
+//! Golden fitness-trace regression suite.
+//!
+//! Every (method × dataset) case runs a small seeded decomposition and
+//! compares its sweep trace **bitwise** — sweep-kind schedule, per-sweep
+//! fitness bit patterns, convergence flag, and an FNV-1a digest of the
+//! final factor matrices — against a committed JSON trace under
+//! `tests/golden/`. The committed traces were generated from the
+//! pre-session monolithic drivers, so any kernel, driver, or session
+//! refactor that drifts numerics by even one ulp fails loudly here.
+//!
+//! Kernel results are bit-identical across pool widths (see
+//! `tests/thread_parity.rs`), so these traces hold under the CI
+//! `PP_NUM_THREADS` matrix.
+//!
+//! To regenerate after an *intentional* numeric change:
+//!
+//! ```text
+//! PP_UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! ```
+
+use parallel_pp::comm::Runtime;
+use parallel_pp::core::par_pp::par_pp_cp_als;
+use parallel_pp::core::{cp_als, nn_cp_als, pp_cp_als, AlsConfig, AlsReport};
+use parallel_pp::datagen::collinearity::{collinearity_tensor, CollinearityConfig};
+use parallel_pp::datagen::lowrank::noisy_rank;
+use parallel_pp::dtree::TreePolicy;
+use parallel_pp::grid::{DistTensor, ProcGrid};
+use parallel_pp::tensor::{DenseTensor, Matrix};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The five driver methods the golden suite pins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Method {
+    /// Exact CP-ALS through the standard dimension tree.
+    Dt,
+    /// Exact CP-ALS through the multi-sweep dimension tree.
+    Msdt,
+    /// Pairwise-perturbation CP-ALS (MSDT exact sweeps).
+    Pp,
+    /// Nonnegative CP (HALS) on MSDT.
+    Nncp,
+    /// The parallel BSP wrapper: Algorithm 4 on a 2×2×1 grid, 4 ranks.
+    Par,
+}
+
+impl Method {
+    fn tag(&self) -> &'static str {
+        match self {
+            Method::Dt => "dt",
+            Method::Msdt => "msdt",
+            Method::Pp => "pp",
+            Method::Nncp => "nncp",
+            Method::Par => "par",
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dataset {
+    /// `noisy_rank(&[12, 10, 11], 4, 0.05, 7)`.
+    Lowrank,
+    /// Collinearity tensor, s=12, r=3, [0.5, 0.7], seed 3.
+    Collin,
+}
+
+impl Dataset {
+    fn tag(&self) -> &'static str {
+        match self {
+            Dataset::Lowrank => "lowrank",
+            Dataset::Collin => "collin",
+        }
+    }
+
+    fn tensor(&self) -> DenseTensor {
+        match self {
+            Dataset::Lowrank => noisy_rank(&[12, 10, 11], 4, 0.05, 7),
+            Dataset::Collin => {
+                let cfg = CollinearityConfig {
+                    s: 12,
+                    r: 3,
+                    order: 3,
+                    lo: 0.5,
+                    hi: 0.7,
+                };
+                collinearity_tensor(&cfg, 3).0
+            }
+        }
+    }
+
+    /// CP rank used for this dataset's runs.
+    fn rank(&self) -> usize {
+        match self {
+            Dataset::Lowrank => 4,
+            Dataset::Collin => 3,
+        }
+    }
+}
+
+/// Run one golden case, returning the report and the final factors.
+fn run_case(method: Method, dataset: Dataset) -> (AlsReport, Vec<Matrix>) {
+    let t = dataset.tensor();
+    let exact_cfg = AlsConfig::new(dataset.rank())
+        .with_max_sweeps(15)
+        .with_tol(0.0);
+    let pp_cfg = AlsConfig::new(dataset.rank())
+        .with_policy(TreePolicy::MultiSweep)
+        .with_pp_tol(0.3)
+        .with_max_sweeps(30)
+        .with_tol(1e-9);
+    match method {
+        Method::Dt => {
+            let out = cp_als(&t, &exact_cfg);
+            (out.report, out.factors)
+        }
+        Method::Msdt => {
+            let out = cp_als(&t, &exact_cfg.with_policy(TreePolicy::MultiSweep));
+            (out.report, out.factors)
+        }
+        Method::Pp => {
+            let out = pp_cp_als(&t, &pp_cfg);
+            (out.report, out.factors)
+        }
+        Method::Nncp => {
+            let out = nn_cp_als(&t, &exact_cfg.with_policy(TreePolicy::MultiSweep));
+            (out.report, out.factors)
+        }
+        Method::Par => {
+            let t = Arc::new(t);
+            let grid = ProcGrid::new(vec![2, 2, 1]);
+            let (t2, g2, c2) = (t.clone(), grid.clone(), pp_cfg.clone());
+            let out = Runtime::new(4).run(move |ctx| {
+                let local = DistTensor::from_global(&t2, &g2, ctx.rank());
+                par_pp_cp_als(ctx, &g2, &local, &c2)
+            });
+            let r = out.results.into_iter().next().unwrap();
+            (r.report, r.factors)
+        }
+    }
+}
+
+/// FNV-1a 64 over the bit patterns of every factor entry, mode order.
+fn factors_digest(factors: &[Matrix]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for f in factors {
+        for &x in f.data() {
+            for b in x.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// Serialize a run into the golden JSON format.
+fn to_json(method: Method, dataset: Dataset, report: &AlsReport, factors: &[Matrix]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"method\": \"{}\",", method.tag());
+    let _ = writeln!(s, "  \"dataset\": \"{}\",", dataset.tag());
+    let _ = writeln!(s, "  \"converged\": {},", report.converged);
+    let _ = writeln!(
+        s,
+        "  \"final_fitness_bits\": \"{:016X}\",",
+        report.final_fitness.to_bits()
+    );
+    let _ = writeln!(
+        s,
+        "  \"factors_fnv\": \"{:016X}\",",
+        factors_digest(factors)
+    );
+    s.push_str("  \"sweeps\": [\n");
+    for (i, rec) in report.sweeps.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kind\": \"{}\", \"fitness_bits\": \"{:016X}\", \"fitness\": {:.12}}}",
+            rec.kind.label(),
+            rec.fitness.to_bits(),
+            rec.fitness
+        );
+        s.push_str(if i + 1 < report.sweeps.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extract the first `"key": "value"` occurrence after `from` in `json`.
+fn quoted_value<'a>(json: &'a str, key: &str, from: usize) -> Option<(&'a str, usize)> {
+    let pat = format!("\"{key}\": \"");
+    let start = json[from..].find(&pat)? + from + pat.len();
+    let end = json[start..].find('"')? + start;
+    Some((&json[start..end], end))
+}
+
+/// Parsed golden trace: (kind, fitness bits) pairs plus trailer fields.
+struct Golden {
+    sweeps: Vec<(String, u64)>,
+    converged: bool,
+    final_fitness_bits: u64,
+    factors_fnv: u64,
+}
+
+fn parse_golden(json: &str) -> Golden {
+    let (conv, _) = {
+        let pat = "\"converged\": ";
+        let start = json.find(pat).expect("converged field") + pat.len();
+        let end = json[start..].find(',').unwrap() + start;
+        (json[start..end].trim() == "true", end)
+    };
+    let (ffb, _) = quoted_value(json, "final_fitness_bits", 0).expect("final_fitness_bits");
+    let (fnv, _) = quoted_value(json, "factors_fnv", 0).expect("factors_fnv");
+    let mut sweeps = Vec::new();
+    let mut pos = json.find("\"sweeps\"").expect("sweeps array");
+    while let Some((kind, after_kind)) = quoted_value(json, "kind", pos) {
+        let (bits, after_bits) =
+            quoted_value(json, "fitness_bits", after_kind).expect("fitness_bits after kind");
+        sweeps.push((kind.to_string(), u64::from_str_radix(bits, 16).unwrap()));
+        pos = after_bits;
+    }
+    Golden {
+        sweeps,
+        converged: conv,
+        final_fitness_bits: u64::from_str_radix(ffb, 16).unwrap(),
+        factors_fnv: u64::from_str_radix(fnv, 16).unwrap(),
+    }
+}
+
+fn golden_path(method: Method, dataset: Dataset) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}_{}.json", method.tag(), dataset.tag()))
+}
+
+fn check_case(method: Method, dataset: Dataset) {
+    let (report, factors) = run_case(method, dataset);
+    let path = golden_path(method, dataset);
+    if std::env::var("PP_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, to_json(method, dataset, &report, &factors)).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace {} ({e}); regenerate with PP_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    let golden = parse_golden(&json);
+    assert_eq!(
+        golden.sweeps.len(),
+        report.sweeps.len(),
+        "{method:?}/{dataset:?}: sweep count drifted"
+    );
+    for (i, (rec, (kind, bits))) in report.sweeps.iter().zip(golden.sweeps.iter()).enumerate() {
+        assert_eq!(
+            rec.kind.label(),
+            kind,
+            "{method:?}/{dataset:?}: sweep-kind schedule drifted at sweep {i}"
+        );
+        assert_eq!(
+            rec.fitness.to_bits(),
+            *bits,
+            "{method:?}/{dataset:?}: fitness drifted at sweep {i}: {} vs golden {}",
+            rec.fitness,
+            f64::from_bits(*bits)
+        );
+    }
+    assert_eq!(report.converged, golden.converged, "{method:?}/{dataset:?}");
+    assert_eq!(
+        report.final_fitness.to_bits(),
+        golden.final_fitness_bits,
+        "{method:?}/{dataset:?}: final fitness drifted"
+    );
+    assert_eq!(
+        factors_digest(&factors),
+        golden.factors_fnv,
+        "{method:?}/{dataset:?}: final factors drifted"
+    );
+}
+
+macro_rules! golden_case {
+    ($name:ident, $method:expr, $dataset:expr) => {
+        #[test]
+        fn $name() {
+            check_case($method, $dataset);
+        }
+    };
+}
+
+golden_case!(dt_lowrank, Method::Dt, Dataset::Lowrank);
+golden_case!(dt_collin, Method::Dt, Dataset::Collin);
+golden_case!(msdt_lowrank, Method::Msdt, Dataset::Lowrank);
+golden_case!(msdt_collin, Method::Msdt, Dataset::Collin);
+golden_case!(pp_lowrank, Method::Pp, Dataset::Lowrank);
+golden_case!(pp_collin, Method::Pp, Dataset::Collin);
+golden_case!(nncp_lowrank, Method::Nncp, Dataset::Lowrank);
+golden_case!(nncp_collin, Method::Nncp, Dataset::Collin);
+golden_case!(par_lowrank, Method::Par, Dataset::Lowrank);
+golden_case!(par_collin, Method::Par, Dataset::Collin);
+
+/// The PP cases must actually exercise the PP regime, otherwise the golden
+/// trace pins nothing interesting — guard against silently losing coverage
+/// to a future config tweak.
+#[test]
+fn pp_cases_reach_pp_regime() {
+    for dataset in [Dataset::Lowrank, Dataset::Collin] {
+        let (report, _) = run_case(Method::Pp, dataset);
+        let has_init = report.sweeps.iter().any(|s| s.kind.label() == "PP-init");
+        let has_approx = report.sweeps.iter().any(|s| s.kind.label() == "PP-approx");
+        assert!(
+            has_init && has_approx,
+            "{dataset:?}: PP regime never activated (init={has_init}, approx={has_approx})"
+        );
+    }
+}

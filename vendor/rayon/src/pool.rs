@@ -12,10 +12,13 @@
 //!   the same load-balancing behavior as work-stealing a chunk deque for
 //!   the uniform row-block workloads in this workspace, without per-call
 //!   channel or thread setup.
-//! * Batches sit in a FIFO injector queue. Every idle worker scans the
-//!   queue for the first batch that still has unclaimed indices and a free
-//!   concurrency slot (`active < limit`), then claims indices until the
-//!   batch is drained.
+//! * Batches sit in an injector queue (FIFO arrival order). An idle
+//!   worker scans for a batch that still has unclaimed indices and a free
+//!   concurrency slot (`active < limit`), starting from a **rotating**
+//!   position so that concurrent batches from different submitters (many
+//!   serving tenants, detached lookahead TTMs) share the workers
+//!   round-robin instead of head-of-queue-first; it then claims indices
+//!   until the batch is drained.
 //! * The **submitter always participates**: after enqueueing, it claims
 //!   indices like a worker and only then blocks waiting for stragglers.
 //!   A task that submits a nested batch therefore always has at least one
@@ -205,6 +208,12 @@ pub(crate) struct Pool {
     work_cv: Condvar,
     spawned: AtomicUsize,
     spawn_lock: Mutex<()>,
+    /// Rotating scan start for batch selection: successive pickups start
+    /// at successive queue positions, so when several batches are
+    /// claimable (multiple submitters — e.g. many serving tenants with
+    /// detached lookahead TTMs) workers spread across them round-robin
+    /// instead of piling onto the queue head until it drains.
+    rr: AtomicUsize,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -218,6 +227,7 @@ pub(crate) fn pool() -> &'static Pool {
         work_cv: Condvar::new(),
         spawned: AtomicUsize::new(0),
         spawn_lock: Mutex::new(()),
+        rr: AtomicUsize::new(0),
     })
 }
 
@@ -255,14 +265,30 @@ impl Pool {
     }
 }
 
+/// First claimable batch (unclaimed units and a free concurrency slot)
+/// scanning from `start`, wrapping around the queue. Returns its index.
+fn pick_claimable(q: &VecDeque<Arc<Batch>>, start: usize) -> Option<usize> {
+    let len = q.len();
+    (0..len).map(|off| (start + off) % len).find(|&i| {
+        let b = &q[i];
+        !b.drained() && b.active.load(Ordering::Acquire) < b.limit
+    })
+}
+
 fn worker_loop(pool: &'static Pool) {
     let mut q = lock(&pool.queue);
     loop {
         q.retain(|b| !b.drained());
-        let picked = q
-            .iter()
-            .find(|b| !b.drained() && b.active.load(Ordering::Acquire) < b.limit)
-            .cloned();
+        // Fair interleaving across submitters: rotate the scan start so
+        // concurrent claimable batches share workers round-robin. Which
+        // batch a worker joins never affects any batch's result — only
+        // who makes progress first.
+        let picked = if q.is_empty() {
+            None
+        } else {
+            let start = pool.rr.fetch_add(1, Ordering::Relaxed) % q.len();
+            pick_claimable(&q, start).map(|i| q[i].clone())
+        };
         match picked {
             Some(b) => {
                 b.active.fetch_add(1, Ordering::AcqRel);
@@ -635,4 +661,63 @@ where
         });
     }
     r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    unsafe fn noop(_: *const (), _: usize) {}
+
+    /// Synthetic batch: `claimed` of `total` units claimed, `active`
+    /// executors against a limit of 4.
+    fn batch(total: usize, claimed: usize, active: usize) -> Arc<Batch> {
+        Arc::new(Batch {
+            run: noop,
+            ctx: std::ptr::null(),
+            _owner: None,
+            total,
+            limit: 4,
+            next: AtomicUsize::new(claimed),
+            active: AtomicUsize::new(active),
+            finished: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            payload: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    #[test]
+    fn pick_rotates_across_claimable_batches() {
+        let q: VecDeque<Arc<Batch>> = [batch(8, 0, 0), batch(8, 0, 0), batch(8, 0, 0)]
+            .into_iter()
+            .collect();
+        assert_eq!(pick_claimable(&q, 0), Some(0));
+        assert_eq!(pick_claimable(&q, 1), Some(1));
+        assert_eq!(pick_claimable(&q, 2), Some(2));
+        // Wrap-around.
+        assert_eq!(pick_claimable(&q, 5), Some(2));
+    }
+
+    #[test]
+    fn pick_skips_drained_and_saturated() {
+        let q: VecDeque<Arc<Batch>> = [
+            batch(8, 8, 0), // drained
+            batch(8, 0, 4), // at its concurrency limit
+            batch(8, 3, 1), // claimable
+        ]
+        .into_iter()
+        .collect();
+        for start in 0..3 {
+            assert_eq!(pick_claimable(&q, start), Some(2), "start {start}");
+        }
+    }
+
+    #[test]
+    fn pick_none_when_nothing_claimable() {
+        let q: VecDeque<Arc<Batch>> = [batch(4, 4, 0), batch(2, 2, 4)].into_iter().collect();
+        assert_eq!(pick_claimable(&q, 0), None);
+        assert_eq!(pick_claimable(&VecDeque::new(), 0), None);
+    }
 }
