@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_serve [--quick] [--out BENCH_serve.json] [--threads T] [--window J]
+//!             [--drivers D1,D2,...]
 //! ```
 //!
 //! * `--quick` — smaller tensors / fewer sweeps (the CI bench-smoke
@@ -12,21 +13,28 @@
 //! * `--threads <T>` — pin the pool width (default: `PP_NUM_THREADS` or
 //!   hardware).
 //! * `--window <J>` — admission window for the batch run (default 4).
+//! * `--drivers <list>` — comma-separated driver counts to time (default
+//!   `1`). The first entry is the headline batch run; every entry gets a
+//!   timed pass recorded in the `scaling` array, each parity-checked
+//!   bitwise against the sequential baseline.
 //!
 //! Malformed arguments exit with status 2.
 //!
-//! Two timed passes over one fixed job set:
+//! Timed passes over one fixed job set:
 //!
-//! 1. **batch** — `run_batch` with window `J`: sweeps round-robin across
-//!    admitted jobs (the serving configuration);
-//! 2. **sequential** — the same jobs back-to-back (window 1), the
-//!    no-interleaving baseline.
+//! 1. **batch** — `run_batch` with window `J` and each requested driver
+//!    count: sweeps interleave across admitted jobs, stepped by that many
+//!    concurrent driver threads (the serving configuration);
+//! 2. **sequential** — the same jobs back-to-back (window 1, one driver),
+//!    the no-interleaving baseline.
 //!
-//! Both passes produce bit-identical per-job results (enforced here), so
-//! the difference is pure scheduling overhead: `interleave_overhead =
-//! batch_secs / sequential_secs`. JSON schema: `{preset, threads, window,
-//! jobs, batch_secs, sequential_secs, batch_jobs_per_sec,
-//! interleave_overhead, rows: [{name, method, sweeps, batch_secs,
+//! All passes produce bit-identical per-job results (enforced here), so
+//! the differences are pure scheduling: `interleave_overhead =
+//! batch_secs / sequential_secs` for the headline run, and the `scaling`
+//! rows show throughput versus driver count. JSON schema: `{preset,
+//! threads, window, drivers, jobs, batch_secs, sequential_secs,
+//! batch_jobs_per_sec, interleave_overhead, scaling: [{drivers,
+//! batch_secs, jobs_per_sec}], rows: [{name, method, sweeps, batch_secs,
 //! sequential_secs}]}`.
 
 use pp_bench::apply_threads_flag;
@@ -97,6 +105,7 @@ fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_serve.json");
     let mut window = 4usize;
+    let mut drivers = vec![1usize];
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -121,12 +130,29 @@ fn main() {
                     }
                 };
             }
+            "--drivers" => {
+                i += 1;
+                let parsed: Option<Vec<usize>> = argv
+                    .get(i)
+                    .map(|v| v.split(',').map(|d| d.parse().ok()).collect())
+                    .unwrap_or(None);
+                drivers = match parsed {
+                    Some(d) if !d.is_empty() && d.iter().all(|&n| n > 0) => d,
+                    _ => {
+                        eprintln!(
+                            "error: --drivers expects a comma-separated list of positive integers"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
             // Consumed by apply_threads_flag below.
             "--threads" => i += 1,
             other => {
                 eprintln!(
                     "error: unknown flag {other} \
-                     (bench_serve [--quick] [--out PATH] [--threads T] [--window J])"
+                     (bench_serve [--quick] [--out PATH] [--threads T] [--window J] \
+                     [--drivers D1,D2,...])"
                 );
                 std::process::exit(2);
             }
@@ -137,7 +163,8 @@ fn main() {
     let specs = jobs(quick);
 
     println!(
-        "serve benchmark ({} preset, {} jobs, window {window}, {threads} thread{}):",
+        "serve benchmark ({} preset, {} jobs, window {window}, drivers {drivers:?}, \
+         {threads} thread{}):",
         if quick { "quick" } else { "full" },
         specs.len(),
         if threads == 1 { "" } else { "s" },
@@ -146,11 +173,24 @@ fn main() {
     // Warm-up: spin up the pool and fault in the allocators.
     let _ = run_batch(&specs[..2.min(specs.len())], &ServeConfig::new(window));
 
-    let batch = run_batch(&specs, &ServeConfig::new(window));
+    // One timed pass per requested driver count; each is parity-checked
+    // against the sequential baseline (bit-identical at any driver count).
     let seq = run_sequential(&specs);
-    assert_eq!(batch.failed(), 0, "benchmark jobs must not fail");
     assert_eq!(seq.failed(), 0);
-    assert_parity(&batch, &seq);
+    let mut scaling: Vec<(usize, BatchReport)> = Vec::new();
+    for &d in &drivers {
+        let cfg = ServeConfig::new(window).with_drivers(d);
+        let run = run_batch(&specs, &cfg).expect("valid bench config");
+        assert_eq!(run.failed(), 0, "benchmark jobs must not fail");
+        assert_parity(&run, &seq);
+        println!(
+            "  drivers {d}: {:.3}s, {:.2} jobs/s",
+            run.total_secs,
+            run.jobs_per_sec()
+        );
+        scaling.push((d, run));
+    }
+    let batch = &scaling[0].1;
 
     println!(
         "{:<10} {:>6} {:>12} {:>12}",
@@ -183,6 +223,15 @@ fn main() {
     );
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"window\": {window},");
+    let _ = writeln!(
+        json,
+        "  \"drivers\": [{}],",
+        drivers
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let _ = writeln!(json, "  \"jobs\": {},", specs.len());
     let _ = writeln!(json, "  \"batch_secs\": {:.6},", batch.total_secs);
     let _ = writeln!(json, "  \"sequential_secs\": {:.6},", seq.total_secs);
@@ -192,6 +241,17 @@ fn main() {
         batch.jobs_per_sec()
     );
     let _ = writeln!(json, "  \"interleave_overhead\": {overhead:.4},");
+    json.push_str("  \"scaling\": [\n");
+    for (idx, (d, run)) in scaling.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"drivers\": {d}, \"batch_secs\": {:.6}, \"jobs_per_sec\": {:.4}}}",
+            run.total_secs,
+            run.jobs_per_sec(),
+        );
+        json.push_str(if idx + 1 < scaling.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"rows\": [\n");
     for (idx, (a, b)) in batch.jobs.iter().zip(seq.jobs.iter()).enumerate() {
         let _ = write!(

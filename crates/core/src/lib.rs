@@ -45,6 +45,7 @@
 //! ```
 
 pub mod als;
+pub mod checkpoint;
 pub mod config;
 pub mod fitness;
 pub mod init;

@@ -23,7 +23,8 @@
 //! the one persistent worker pool with per-job fairness and failure
 //! isolation.
 
-use crate::config::AlsConfig;
+use crate::checkpoint::{tensor_fingerprint, Reader, Writer};
+use crate::config::{AlsConfig, SolveStrategy};
 use crate::fitness::{fitness_from_residual, relative_residual};
 use crate::nonneg::hals_update;
 use crate::result::{AlsOutput, AlsReport, SweepKind, SweepRecord};
@@ -210,6 +211,272 @@ impl AlsSession {
     pub fn park(&mut self) {
         let _threads = self.cfg.thread_guard();
         self.engine.drain_lookahead();
+    }
+
+    /// Auxiliary memory this session currently holds, in f64 elements:
+    /// the engine's intermediate cache plus any PP pair operators. This is
+    /// the Table I cache-memory metric the batch scheduler's admission
+    /// control budgets against.
+    pub fn cache_memory_elems(&self) -> usize {
+        self.engine.cache_memory_elems() + self.ops.as_ref().map_or(0, |o| o.memory_elems())
+    }
+
+    /// Park, then write a `PPCK` checkpoint (versioned binary format with
+    /// an FNV-1a integrity check — see [`crate::checkpoint`]) via a
+    /// temp-file rename, so a torn write cannot shadow a good checkpoint.
+    /// `tag` is an opaque caller fingerprint (e.g. of the job spec)
+    /// returned verbatim by [`AlsSession::resume_from_disk`].
+    pub fn park_to_disk(&mut self, path: &std::path::Path, tag: u64) -> std::io::Result<()> {
+        self.park();
+        let bytes = self.checkpoint_bytes(tag);
+        let tmp = path.with_extension("ppck.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Serialize the complete sweep-to-sweep state. The session must be
+    /// parked (no speculation in flight — a pool handle cannot be
+    /// serialized).
+    pub fn checkpoint_bytes(&self, tag: u64) -> Vec<u8> {
+        assert!(
+            !self.engine.spec_pending(),
+            "checkpoint requires a parked session"
+        );
+        let mut w = Writer::new();
+        w.u64_(tag);
+        // Config.
+        w.usize_(self.cfg.rank);
+        w.f64_(self.cfg.tol);
+        w.usize_(self.cfg.max_sweeps);
+        w.u8_(match self.cfg.policy {
+            TreePolicy::Standard => 0,
+            TreePolicy::MultiSweep => 1,
+        });
+        w.u8_(match self.cfg.solve {
+            SolveStrategy::Distributed => 0,
+            SolveStrategy::Replicated => 1,
+        });
+        w.f64_(self.cfg.pp_tol);
+        w.u64_(self.cfg.seed);
+        w.bool_(self.cfg.track_fitness);
+        w.u64_(self.cfg.threads.map_or(0, |t| t as u64));
+        w.bool_(self.cfg.lookahead);
+        // Kind and phase.
+        w.u8_(match self.kind {
+            SessionKind::Exact => 0,
+            SessionKind::Pp => 1,
+            SessionKind::NonNeg => 2,
+        });
+        w.u8_(match self.phase {
+            PpPhase::Gate => 0,
+            PpPhase::Approx => 1,
+        });
+        // Input binding: the tensor itself is rebuilt from its dataset
+        // spec at resume; only its fingerprint travels.
+        w.u64_(tensor_fingerprint(self.input.base()));
+        w.f64_(self.t_norm_sq);
+        // Factors with versions, Grams, PP regime state.
+        w.matrices(self.fs.factors());
+        w.u64s(self.fs.versions());
+        w.matrices(&self.grams);
+        w.matrices(&self.d_factors);
+        w.matrices(&self.factors_p);
+        match &self.ops {
+            None => w.bool_(false),
+            Some(ops) => {
+                w.bool_(true);
+                let mut keys: Vec<(usize, usize)> = ops.pairs.keys().copied().collect();
+                keys.sort_unstable();
+                w.usize_(keys.len());
+                for (i, j) in keys {
+                    w.usize_(i);
+                    w.usize_(j);
+                    w.intermediate(&ops.pairs[&(i, j)]);
+                }
+                w.matrices(&ops.firsts);
+                w.usize_(ops.fresh_ttms);
+            }
+        }
+        // The engine's intermediate cache: restoring it is what keeps the
+        // resumed run's contraction schedule (and hence its flop trace)
+        // identical to the uninterrupted one.
+        let entries = self.engine.cache().entries_sorted();
+        w.usize_(entries.len());
+        for e in entries {
+            w.intermediate(e);
+        }
+        w.stats(&self.engine.stats);
+        // Trace and convergence bookkeeping.
+        w.usize_(self.report.sweeps.len());
+        for rec in &self.report.sweeps {
+            w.sweep(rec);
+        }
+        w.stats(&self.report.stats);
+        w.f64_(self.report.final_fitness);
+        w.bool_(self.report.converged);
+        w.f64_(self.fitness_old);
+        w.f64_(self.cumulative);
+        w.bool_(self.converged);
+        w.usize_(self.sweeps_done);
+        w.bool_(self.finished);
+        w.frame()
+    }
+
+    /// Read a `PPCK` checkpoint and continue the run it captured.
+    /// `t` must be the same input tensor the checkpointed session ran on
+    /// (rebuilt deterministically from its dataset spec); its fingerprint
+    /// is verified. Returns the session and the caller `tag` stored by
+    /// [`AlsSession::park_to_disk`].
+    pub fn resume_from_disk(
+        path: &std::path::Path,
+        t: &DenseTensor,
+    ) -> Result<(AlsSession, u64), String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::resume_from_bytes(&bytes, t)
+    }
+
+    /// [`AlsSession::resume_from_disk`] on in-memory bytes.
+    pub fn resume_from_bytes(bytes: &[u8], t: &DenseTensor) -> Result<(AlsSession, u64), String> {
+        let mut r = Reader::open(bytes)?;
+        let tag = r.u64_()?;
+        let rank = r.usize_()?;
+        let tol = r.f64_()?;
+        let max_sweeps = r.usize_()?;
+        let policy = match r.u8_()? {
+            0 => TreePolicy::Standard,
+            1 => TreePolicy::MultiSweep,
+            v => return Err(format!("invalid tree policy {v}")),
+        };
+        let solve = match r.u8_()? {
+            0 => SolveStrategy::Distributed,
+            1 => SolveStrategy::Replicated,
+            v => return Err(format!("invalid solve strategy {v}")),
+        };
+        let pp_tol = r.f64_()?;
+        let seed = r.u64_()?;
+        let track_fitness = r.bool_()?;
+        let threads = match r.u64_()? {
+            0 => None,
+            n => Some(n as usize),
+        };
+        let lookahead = r.bool_()?;
+        let cfg = AlsConfig {
+            rank,
+            tol,
+            max_sweeps,
+            policy,
+            solve,
+            pp_tol,
+            seed,
+            track_fitness,
+            threads,
+            lookahead,
+        };
+        let kind = match r.u8_()? {
+            0 => SessionKind::Exact,
+            1 => SessionKind::Pp,
+            2 => SessionKind::NonNeg,
+            v => return Err(format!("invalid session kind {v}")),
+        };
+        let phase = match r.u8_()? {
+            0 => PpPhase::Gate,
+            1 => PpPhase::Approx,
+            v => return Err(format!("invalid PP phase {v}")),
+        };
+        let fp = r.u64_()?;
+        if fp != tensor_fingerprint(t) {
+            return Err("input tensor does not match the checkpoint (fingerprint mismatch)".into());
+        }
+        let t_norm_sq = r.f64_()?;
+        let factors = r.matrices()?;
+        let versions = r.u64s()?;
+        let n_modes = factors.len();
+        if n_modes != t.order() || n_modes != versions.len() {
+            return Err("checkpoint factor count does not match the tensor order".into());
+        }
+        let fs = FactorState::from_parts(factors, versions);
+        let grams = r.matrices()?;
+        let d_factors = r.matrices()?;
+        let factors_p = r.matrices()?;
+        let ops = if r.bool_()? {
+            let n_pairs = r.usize_()?;
+            let mut pairs = std::collections::HashMap::with_capacity(n_pairs);
+            for _ in 0..n_pairs {
+                let i = r.usize_()?;
+                let j = r.usize_()?;
+                pairs.insert((i, j), r.intermediate()?);
+            }
+            let firsts = r.matrices()?;
+            let fresh_ttms = r.usize_()?;
+            Some(PpOperators {
+                pairs,
+                firsts,
+                fresh_ttms,
+            })
+        } else {
+            None
+        };
+        let n_cached = r.usize_()?;
+        let mut cached = Vec::with_capacity(n_cached);
+        for _ in 0..n_cached {
+            cached.push(r.intermediate()?);
+        }
+        let engine_stats = r.stats()?;
+        let n_sweeps = r.usize_()?;
+        let mut sweeps = Vec::with_capacity(n_sweeps);
+        for _ in 0..n_sweeps {
+            sweeps.push(r.sweep()?);
+        }
+        let report = AlsReport {
+            sweeps,
+            stats: r.stats()?,
+            final_fitness: r.f64_()?,
+            converged: r.bool_()?,
+        };
+        let fitness_old = r.f64_()?;
+        let cumulative = r.f64_()?;
+        let converged = r.bool_()?;
+        let sweeps_done = r.usize_()?;
+        let finished = r.bool_()?;
+        if !r.exhausted() {
+            return Err("checkpoint has trailing bytes".into());
+        }
+
+        // Rebuild the runtime-only pieces (MSDT layout copies, engine)
+        // exactly as construction does, then reinstall the cached
+        // intermediates and stats the checkpoint captured.
+        let input = match cfg.policy {
+            TreePolicy::Standard => InputTensor::new(t.clone()),
+            TreePolicy::MultiSweep => InputTensor::with_msdt_copies(t.clone()),
+        };
+        let mut engine = DimTreeEngine::new(cfg.policy, n_modes);
+        for e in cached {
+            engine.cache_mut().insert(e);
+        }
+        engine.stats = engine_stats;
+
+        Ok((
+            AlsSession {
+                cfg,
+                kind,
+                input,
+                engine,
+                fs,
+                grams,
+                t_norm_sq,
+                d_factors,
+                factors_p,
+                ops,
+                phase,
+                report,
+                fitness_old,
+                cumulative,
+                converged,
+                sweeps_done,
+                finished,
+            },
+            tag,
+        ))
     }
 
     /// Advance exactly one sweep. Idempotent once the session is finished.
@@ -565,6 +832,78 @@ mod tests {
         assert!(out.report.sweeps.is_empty());
         assert!(out.report.final_fitness.is_nan());
         assert!(!out.report.converged);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_identical() {
+        // Interrupt a PP run at several cut points (before, at, and inside
+        // the approximated regime), serialize, resume from bytes, and
+        // compare the completed run against the uninterrupted driver.
+        let ccfg = CollinearityConfig {
+            s: 12,
+            r: 3,
+            order: 3,
+            lo: 0.5,
+            hi: 0.7,
+        };
+        let (t, _, _) = collinearity_tensor(&ccfg, 3);
+        let cfg = AlsConfig::new(3)
+            .with_policy(TreePolicy::MultiSweep)
+            .with_pp_tol(0.3)
+            .with_max_sweeps(30)
+            .with_tol(1e-9);
+        let a = pp_cp_als(&t, &cfg);
+        for cut in [1, 3, 7, 12] {
+            let mut s = AlsSession::new(&t, &cfg, SessionKind::Pp);
+            for _ in 0..cut {
+                let _ = s.step();
+            }
+            s.park();
+            let bytes = s.checkpoint_bytes(0xDEC0DE);
+            let (mut resumed, tag) = AlsSession::resume_from_bytes(&bytes, &t).unwrap();
+            assert_eq!(tag, 0xDEC0DE);
+            assert_eq!(resumed.sweeps_done(), cut.min(a.report.sweeps.len()));
+            while let Step::Swept(_) = resumed.step() {}
+            let b = resumed.finish();
+            assert_bitwise(&a, &b);
+        }
+    }
+
+    #[test]
+    fn disk_roundtrip_and_integrity_checks() {
+        let t = noisy_rank(&[8, 7, 6], 3, 0.05, 11);
+        let cfg = AlsConfig::new(3)
+            .with_policy(TreePolicy::MultiSweep)
+            .with_max_sweeps(10)
+            .with_tol(0.0);
+        let a = cp_als(&t, &cfg);
+        let dir = std::env::temp_dir().join(format!("ppck-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job.ppck");
+        let mut s = AlsSession::new(&t, &cfg, SessionKind::Exact);
+        let _ = s.step();
+        let _ = s.step();
+        s.park_to_disk(&path, 7).unwrap();
+        // A resumed session continues bit-identically.
+        let (mut resumed, tag) = AlsSession::resume_from_disk(&path, &t).unwrap();
+        assert_eq!(tag, 7);
+        while let Step::Swept(_) = resumed.step() {}
+        assert_bitwise(&a, &resumed.finish());
+        let resume_err = |res: Result<(AlsSession, u64), String>| match res {
+            Err(e) => e,
+            Ok(_) => panic!("expected a resume error"),
+        };
+        // The wrong input tensor is refused by fingerprint.
+        let other = noisy_rank(&[8, 7, 6], 3, 0.05, 12);
+        let err = resume_err(AlsSession::resume_from_disk(&path, &other));
+        assert!(err.contains("fingerprint"), "{err}");
+        // Corruption is refused by checksum.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let err = resume_err(AlsSession::resume_from_bytes(&bytes, &t));
+        assert!(err.contains("checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -196,6 +196,15 @@ impl InterCache {
     pub fn evict_stale(&mut self, current: &[u64]) {
         self.map.retain(|_, e| e.valid_for(current));
     }
+
+    /// All cached intermediates in deterministic (mode-set) order —
+    /// checkpoint serialization must not depend on `HashMap` iteration
+    /// order or two checkpoints of the same state would differ bytewise.
+    pub fn entries_sorted(&self) -> Vec<&Intermediate> {
+        let mut keyed: Vec<(&ModeSet, &Intermediate)> = self.map.iter().collect();
+        keyed.sort_by_key(|(s, _)| **s);
+        keyed.into_iter().map(|(_, e)| e).collect()
+    }
 }
 
 #[cfg(test)]

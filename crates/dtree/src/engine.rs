@@ -92,6 +92,11 @@ impl DimTreeEngine {
         &mut self.cache
     }
 
+    /// Read-only view of the intermediate cache (checkpoint serialization).
+    pub fn cache(&self) -> &InterCache {
+        &self.cache
+    }
+
     /// Drop all cached intermediates.
     pub fn clear_cache(&mut self) {
         self.cache.clear();

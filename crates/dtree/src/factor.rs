@@ -25,6 +25,17 @@ impl FactorState {
         FactorState { factors, versions }
     }
 
+    /// Reassemble state with explicit version counters (checkpoint
+    /// restore): a resumed session must present the *same* versions its
+    /// cached intermediates were contracted with, or every cache entry
+    /// would read as stale and the first post-restore sweep would diverge
+    /// from the uninterrupted run's flop counts.
+    pub fn from_parts(factors: Vec<Matrix>, versions: Vec<u64>) -> Self {
+        assert!(!factors.is_empty());
+        assert_eq!(factors.len(), versions.len(), "one version per factor");
+        FactorState { factors, versions }
+    }
+
     /// Tensor order `N`.
     pub fn order(&self) -> usize {
         self.factors.len()

@@ -124,6 +124,39 @@ impl DatasetSpec {
     }
 }
 
+/// Scheduling class of a job (`policy=` manifest key). Selection is
+/// score-based with aging — see `crate::scheduler` for the exact rule —
+/// so every class is starvation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Round-robin (the default): all jobs share turns fairly.
+    Rr,
+    /// Higher [`JobSpec::priority`] steps first, aged so low-priority
+    /// jobs cannot starve.
+    Priority,
+    /// Earliest [`JobSpec::deadline`] (in scheduler turns) steps first.
+    Deadline,
+}
+
+impl SchedPolicy {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "rr" => Ok(SchedPolicy::Rr),
+            "priority" => Ok(SchedPolicy::Priority),
+            "deadline" => Ok(SchedPolicy::Deadline),
+            other => Err(format!("unknown policy '{other}' (rr|priority|deadline)")),
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedPolicy::Rr => "rr",
+            SchedPolicy::Priority => "priority",
+            SchedPolicy::Deadline => "deadline",
+        }
+    }
+}
+
 /// One tenant's decomposition request.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
@@ -138,9 +171,22 @@ pub struct JobSpec {
     pub pp_tol: f64,
     /// Factor-initialization seed.
     pub seed: u64,
-    /// Per-job pool-width pin (None follows the process default).
+    /// Per-job pool-width pin (None follows the process default). With
+    /// more than one driver thread the pin is ignored — concurrent pins of
+    /// different widths would contradict each other — which is numerically
+    /// safe: the pool width is a pure performance knob.
     pub threads: Option<usize>,
     pub lookahead: bool,
+    /// Scheduling class (`policy=rr|priority|deadline`).
+    pub policy: SchedPolicy,
+    /// Weight for [`SchedPolicy::Priority`] (higher steps first).
+    pub priority: u64,
+    /// Deadline in scheduler turns for [`SchedPolicy::Deadline`]
+    /// (smaller = more urgent; the default is least urgent).
+    pub deadline: u64,
+    /// Fault injection for tests (`fail-after=N`): panic the job's turn
+    /// after its `N`-th sweep completes, exercising the failed-step path.
+    pub fail_after: Option<usize>,
 }
 
 impl JobSpec {
@@ -162,7 +208,36 @@ impl JobSpec {
             seed: 42,
             threads: None,
             lookahead: true,
+            policy: SchedPolicy::Rr,
+            priority: 0,
+            deadline: u64::MAX,
+            fail_after: None,
         }
+    }
+
+    /// Conservative cache-memory estimate (f64 elements) used by the
+    /// scheduler's admission control *before* the session exists: twice
+    /// the largest first-level intermediate (the dimension-tree chain
+    /// holds the first level plus strictly smaller children, and MSDT may
+    /// retain two mode-sets across a sweep boundary), plus the PP pair
+    /// operators and anchors for PP jobs.
+    pub fn est_cache_elems(&self) -> usize {
+        let dims: Vec<usize> = match &self.dataset {
+            DatasetSpec::Lowrank { dims, .. } => dims.clone(),
+            DatasetSpec::Collinearity { s, order, .. } => vec![*s; *order],
+        };
+        let total: usize = dims.iter().product();
+        let min_dim = dims.iter().copied().min().unwrap_or(1).max(1);
+        let mut est = 2 * (total / min_dim) * self.rank;
+        if self.method == JobMethod::Pp {
+            for (i, &si) in dims.iter().enumerate() {
+                est += si * self.rank; // anchor Mp^(i)
+                for &sj in dims.iter().skip(i + 1) {
+                    est += si * sj * self.rank; // pair operator
+                }
+            }
+        }
+        est
     }
 
     /// The `AlsConfig` this job runs under.
@@ -268,6 +343,13 @@ pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, String> {
                     }
                     job.threads = Some(t);
                 }
+                "policy" => {
+                    job.policy =
+                        SchedPolicy::parse(value).map_err(|e| format!("line {line_no}: {e}"))?
+                }
+                "priority" => job.priority = parse_num(key, value, line_no)?,
+                "deadline" => job.deadline = parse_num(key, value, line_no)?,
+                "fail-after" => job.fail_after = Some(parse_num(key, value, line_no)?),
                 "lookahead" => {
                     job.lookahead = match value {
                         "on" | "true" | "1" => true,
@@ -357,11 +439,52 @@ mod tests {
             ("job threads=0", "threads must be at least 1"),
             ("job dims=7", "invalid dims"),
             ("job lookahead=maybe", "invalid lookahead"),
+            ("job policy=fifo", "unknown policy 'fifo'"),
+            ("job priority=high", "invalid value for priority"),
+            ("job deadline=soon", "invalid value for deadline"),
+            ("job fail-after=x", "invalid value for fail-after"),
         ] {
             let err = parse_manifest(text).unwrap_err();
             assert!(err.contains(needle), "{text}: {err}");
             assert!(err.contains("line 1"), "{text}: {err}");
         }
+    }
+
+    #[test]
+    fn scheduling_keys_parse() {
+        let jobs = parse_manifest(
+            "job name=p policy=priority priority=9\n\
+             job name=d policy=deadline deadline=30\n\
+             job name=f fail-after=2\n\
+             job name=r\n",
+        )
+        .unwrap();
+        assert_eq!(jobs[0].policy, SchedPolicy::Priority);
+        assert_eq!(jobs[0].priority, 9);
+        assert_eq!(jobs[1].policy, SchedPolicy::Deadline);
+        assert_eq!(jobs[1].deadline, 30);
+        assert_eq!(jobs[2].fail_after, Some(2));
+        assert_eq!(jobs[3].policy, SchedPolicy::Rr);
+        assert_eq!(jobs[3].deadline, u64::MAX);
+        assert_eq!(jobs[3].fail_after, None);
+    }
+
+    #[test]
+    fn cache_estimate_scales_with_method() {
+        let mut j = JobSpec::new("x");
+        j.rank = 4;
+        j.dataset = DatasetSpec::Lowrank {
+            dims: vec![10, 8, 12],
+            gen_rank: 3,
+            noise: 0.0,
+            seed: 1,
+        };
+        // Largest first-level intermediate drops the smallest mode:
+        // (10*12)*4, held twice.
+        assert_eq!(j.est_cache_elems(), 2 * 10 * 12 * 4);
+        j.method = JobMethod::Pp;
+        let pp_extra = (10 + 8 + 12) * 4 + (10 * 8 + 10 * 12 + 8 * 12) * 4;
+        assert_eq!(j.est_cache_elems(), 2 * 10 * 12 * 4 + pp_extra);
     }
 
     #[test]

@@ -6,27 +6,41 @@
 //! over-subscribing the machine. This crate schedules **resumable sessions**
 //! ([`pp_core::AlsSession`]) instead of monolithic runs:
 //!
-//! * the batch scheduler ([`scheduler::run_batch`]) admits up to `J` jobs
-//!   at a time and round-robins **one sweep per turn** across the admitted
-//!   jobs, all over the one shared persistent kernel pool;
+//! * the batch scheduler ([`scheduler::run_batch`]) is **work-conserving
+//!   and multi-core**: a pool of driver threads ([`ServeConfig::drivers`])
+//!   pulls runnable sessions from a shared ready queue and steps several
+//!   tenants' sweeps concurrently over the one persistent kernel pool;
+//! * up to `J` jobs are admitted at a time, subject to a **cache-memory
+//!   budget** ([`ServeConfig::cache_budget_elems`]): jobs whose estimated
+//!   dimension-tree/PP-operator footprint would overflow the budget queue
+//!   instead of OOMing the machine;
+//! * ready jobs are picked by **scheduling policy** ([`job::SchedPolicy`]:
+//!   round-robin, priority, or earliest-deadline-first) with aging, so
+//!   every class is starvation-free;
 //! * the sweep boundary is the natural preemption point of the paper's
 //!   algorithms (MSDT's cache and PP's operators survive suspension inside
 //!   the session), so interleaving changes **nothing numerically** — each
-//!   job's trace is bit-identical to running it alone;
+//!   job's trace is bit-identical to running it alone, at any driver count;
+//! * with [`ServeConfig::checkpoint_dir`] set, every swept turn persists
+//!   the session to a `PPCK` checkpoint file; a batch killed mid-flight
+//!   resumes from the directory bit-identically, and a graceful drain
+//!   ([`ServeConfig::stop_after_turns`]) parks in-flight jobs on purpose;
 //! * jobs that converge exit early and free their admission slot for the
 //!   next pending job; a job that panics (bad manifest entry, degenerate
-//!   tensor) is isolated and reported without killing the batch;
-//! * the schedule trace is deterministic: job admission order and per-job
-//!   sweep counts depend only on the job specs.
+//!   tensor, injected fault) is isolated and reported without killing the
+//!   batch — on driver threads and pool workers alike;
+//! * with one driver (the golden path) the schedule trace is fully
+//!   deterministic: admission order, turn order, and per-job sweep counts
+//!   depend only on the job specs.
 //!
 //! Job batches are described by a plain-text manifest ([`job`]) consumed by
 //! the `ppcp batch` subcommand, and `bench_serve` measures batch throughput
-//! against back-to-back sequential execution.
+//! against back-to-back sequential execution and across driver counts.
 
 pub mod job;
 pub mod scheduler;
 
-pub use job::{parse_manifest, DatasetSpec, JobMethod, JobSpec};
+pub use job::{parse_manifest, DatasetSpec, JobMethod, JobSpec, SchedPolicy};
 pub use scheduler::{
     run_batch, run_sequential, BatchReport, JobResult, JobStatus, ScheduleEvent, ServeConfig,
 };

@@ -1,19 +1,52 @@
-//! The multi-tenant batch scheduler.
+//! The work-conserving multi-tenant batch scheduler.
 //!
-//! **Scheduling model.** One driver thread owns every session; kernels fan
-//! out to the shared persistent pool from inside each sweep. The scheduler
-//! admits up to `J = max_concurrent` jobs, then repeatedly steps the
-//! active jobs **round-robin, one sweep per turn**. A finished job
-//! (converged or out of budget) is sealed and its slot is re-filled from
-//! the pending queue. Construction, stepping, and sealing all run under
-//! `catch_unwind`, so one tenant's panic becomes a `Failed` result instead
-//! of killing the batch.
+//! **Scheduling model.** A pool of [`ServeConfig::drivers`] driver threads
+//! pulls runnable sessions from a shared ready queue and steps several
+//! tenants' sweeps *concurrently* over the one persistent kernel pool; a
+//! driver never idles while any admitted session is runnable
+//! (work-conserving). The scheduler admits up to `J = max_concurrent` jobs
+//! (subject to the cache-memory budget below), a driver claims the
+//! highest-scoring ready session, steps it **one sweep** outside the lock,
+//! and re-enqueues it. A finished job (converged or out of budget) is
+//! sealed and its slot re-filled from the pending queue. Construction,
+//! stepping, and sealing all run under `catch_unwind`, so one tenant's
+//! panic becomes a `Failed` result instead of killing the batch.
 //!
-//! **Determinism.** Sweep counts depend only on the job specs (kernel
-//! results are bit-identical for any pool width), so the admission order,
-//! the schedule trace, and every job's fitness trace are reproducible —
-//! and each job's trace is bit-identical to running that job alone (the
-//! session owns all sweep-to-sweep state; see `pp_core::session`).
+//! **Selection.** Each ready job is scored `base + age`, where `age` is
+//! the number of scheduler turns (performed sweeps, batch-wide) since the
+//! job last stepped, and `base` depends on its [`crate::job::SchedPolicy`]:
+//! `rr` → 0, `priority` → the job's priority, `deadline` → a large
+//! constant minus the deadline (earliest-deadline-first, ranked above any
+//! plausible priority). Ties go to the least recently scheduled job.
+//! Because `age` grows without bound every class is starvation-free, and
+//! with all-default `rr` jobs the rule degenerates to exact round-robin.
+//!
+//! **Determinism.** Kernel results are bit-identical for any pool width
+//! and each session owns all sweep-to-sweep state, so every job's fitness
+//! trace and factors are bit-identical to running that job alone —
+//! regardless of driver count. With `drivers = 1` (the golden path) the
+//! schedule trace itself is also deterministic; with more drivers, which
+//! *turn* a given sweep lands on depends on thread timing, and the trace
+//! is driver-stamped ([`ScheduleEvent::driver`]) rather than globally
+//! reproducible.
+//!
+//! **Admission control.** With [`ServeConfig::cache_budget_elems`] set,
+//! a pending job is admitted only while the live cache memory (summed
+//! [`pp_core::AlsSession::cache_memory_elems`] over admitted sessions)
+//! plus the candidate's [`crate::job::JobSpec::est_cache_elems`] estimate
+//! fits the budget — jobs queue rather than OOM. When nothing is admitted
+//! the head job is admitted unconditionally, so the batch always makes
+//! progress.
+//!
+//! **Checkpoint/restore.** With [`ServeConfig::checkpoint_dir`] set,
+//! every swept turn parks the session and rewrites `job<idx>.ppck`
+//! ([`pp_core::AlsSession::park_to_disk`]); the file carries a fingerprint
+//! of the job spec and is removed when the job reaches a terminal status.
+//! Re-running the same manifest against the same directory resumes every
+//! in-flight job from its checkpoint, bit-identically. A graceful drain
+//! ([`ServeConfig::stop_after_turns`], the `--stop-after-turns` CLI flag)
+//! parks all in-flight jobs to disk mid-batch and reports them as
+//! [`JobStatus::Parked`].
 //!
 //! **Fairness.** Between turns the outgoing job is parked
 //! ([`pp_core::AlsSession::park`]): its speculative lookahead TTM is
@@ -21,19 +54,24 @@
 //! pool slot while others run. Parking is numerically free — a discarded
 //! speculation is recomputed synchronously by the job's next sweep. Set
 //! [`ServeConfig::park_between_steps`] to `false` to let speculation ride
-//! across turns (maximal overlap, single-tenant-biased).
+//! across turns (maximal overlap, single-tenant-biased); checkpointing
+//! implies parking, since an in-flight pool handle cannot be serialized.
 
-use crate::job::JobSpec;
+use crate::job::{JobSpec, SchedPolicy};
+use pp_core::checkpoint::fnv1a;
 use pp_core::{AlsOutput, AlsSession, Step, SweepKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, Once};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex, Once};
 use std::time::Instant;
 
 /// Threads currently driving a batch. A panic **on one of these threads**
 /// is an isolated job failure the scheduler will catch and report through
 /// [`JobStatus::Failed`], so the default hook's crash printout is muted
-/// for them — and only for them: panics on unrelated threads of the
-/// embedding process keep their full diagnostics.
+/// for them. Pool workers are muted too while any batch is live — kernels
+/// fan out to the pool from inside a sweep, and a worker-side panic is
+/// caught there and re-thrown on the driver — but only then: panics on
+/// unrelated threads of the embedding process keep their full diagnostics.
 static BATCH_THREADS: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
 static HOOK_INSTALL: Once = Once::new();
 
@@ -49,7 +87,12 @@ fn silence_panic_hook() -> HookSilence {
     HOOK_INSTALL.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if !batch_threads().contains(&std::thread::current().id()) {
+            let muted = {
+                let g = batch_threads();
+                g.contains(&std::thread::current().id())
+                    || (!g.is_empty() && rayon::is_pool_worker())
+            };
+            if !muted {
                 prev(info);
             }
         }));
@@ -57,6 +100,13 @@ fn silence_panic_hook() -> HookSilence {
     let id = std::thread::current().id();
     batch_threads().push(id);
     HookSilence(id)
+}
+
+/// Install the batch panic-hook muting for the caller's lifetime without
+/// running a batch (stderr-capture tests only).
+#[doc(hidden)]
+pub fn quiet_hook_for_tests() -> impl Drop {
+    silence_panic_hook()
 }
 
 impl Drop for HookSilence {
@@ -75,6 +125,17 @@ pub struct ServeConfig {
     pub max_concurrent: usize,
     /// Park each job's lookahead speculation when its turn ends.
     pub park_between_steps: bool,
+    /// Driver threads stepping tenants concurrently. 1 (the default) is
+    /// the deterministic golden path; results are bit-identical either way.
+    pub drivers: usize,
+    /// Cache-memory admission budget in f64 elements (None = unlimited).
+    pub cache_budget_elems: Option<usize>,
+    /// Directory for per-job `PPCK` checkpoints (None = no checkpointing).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Graceful drain: stop scheduling after this many batch-wide turns,
+    /// park in-flight jobs (to disk when `checkpoint_dir` is set), and
+    /// report them as [`JobStatus::Parked`].
+    pub stop_after_turns: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -82,13 +143,19 @@ impl Default for ServeConfig {
         ServeConfig {
             max_concurrent: 4,
             park_between_steps: true,
+            drivers: 1,
+            cache_budget_elems: None,
+            checkpoint_dir: None,
+            stop_after_turns: None,
         }
     }
 }
 
 impl ServeConfig {
+    /// A config with the given admission window. Invalid values (e.g. 0)
+    /// are reported by [`ServeConfig::validate`] / [`run_batch`], not
+    /// panicked on.
     pub fn new(max_concurrent: usize) -> Self {
-        assert!(max_concurrent > 0, "admission window must be non-empty");
         ServeConfig {
             max_concurrent,
             ..Default::default()
@@ -99,13 +166,49 @@ impl ServeConfig {
         self.park_between_steps = park;
         self
     }
+
+    pub fn with_drivers(mut self, drivers: usize) -> Self {
+        self.drivers = drivers;
+        self
+    }
+
+    pub fn with_cache_budget_elems(mut self, elems: usize) -> Self {
+        self.cache_budget_elems = Some(elems);
+        self
+    }
+
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    pub fn with_stop_after_turns(mut self, turns: usize) -> Self {
+        self.stop_after_turns = Some(turns);
+        self
+    }
+
+    /// Reject unusable configurations with a message instead of a panic.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_concurrent == 0 {
+            return Err("admission window must be non-empty (max_concurrent >= 1)".into());
+        }
+        if self.drivers == 0 {
+            return Err("driver count must be at least 1".into());
+        }
+        if self.cache_budget_elems == Some(0) {
+            return Err("cache budget must be positive".into());
+        }
+        Ok(())
+    }
 }
 
-/// One entry of the deterministic schedule trace: which job swept when.
+/// One entry of the schedule trace: which job swept when, on which driver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ScheduleEvent {
     /// Global turn counter (0-based, one per performed sweep).
     pub turn: usize,
+    /// Driver thread (0-based) that performed the sweep.
+    pub driver: usize,
     /// Job index in submission order.
     pub job: usize,
     /// Job-local sweep index (0-based).
@@ -121,6 +224,9 @@ pub enum JobStatus {
     Completed { converged: bool },
     /// Panicked during construction, stepping, or sealing.
     Failed { error: String },
+    /// Stopped mid-flight by a graceful drain; resumable from the
+    /// checkpoint directory when one was configured.
+    Parked,
 }
 
 /// One job's outcome.
@@ -128,7 +234,7 @@ pub struct JobResult {
     /// `JobSpec::name`.
     pub name: String,
     pub status: JobStatus,
-    /// Factors and trace (None for failed jobs).
+    /// Factors and trace (None for failed or parked jobs).
     pub output: Option<AlsOutput>,
     /// Wall-clock seconds spent inside this job's turns (construction +
     /// sweeps + sealing), excluding other tenants' turns.
@@ -139,13 +245,17 @@ impl JobResult {
     pub fn failed(&self) -> bool {
         matches!(self.status, JobStatus::Failed { .. })
     }
+
+    pub fn parked(&self) -> bool {
+        matches!(self.status, JobStatus::Parked)
+    }
 }
 
 /// Outcome of a whole batch.
 pub struct BatchReport {
     /// Per-job results, in submission order.
     pub jobs: Vec<JobResult>,
-    /// The deterministic schedule trace.
+    /// The schedule trace, sorted by turn (deterministic for one driver).
     pub schedule: Vec<ScheduleEvent>,
     /// Wall-clock seconds for the whole batch.
     pub total_secs: f64,
@@ -153,11 +263,18 @@ pub struct BatchReport {
 
 impl BatchReport {
     pub fn completed(&self) -> usize {
-        self.jobs.iter().filter(|j| !j.failed()).count()
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.status, JobStatus::Completed { .. }))
+            .count()
     }
 
     pub fn failed(&self) -> usize {
         self.jobs.iter().filter(|j| j.failed()).count()
+    }
+
+    pub fn parked(&self) -> usize {
+        self.jobs.iter().filter(|j| j.parked()).count()
     }
 
     /// Completed jobs per second of batch wall time.
@@ -177,105 +294,351 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// An admitted job holding a live session.
-struct Active {
+/// Fingerprint binding a checkpoint file to the spec that produced it, so
+/// a resumed batch refuses checkpoints from a different manifest.
+fn spec_fingerprint(spec: &JobSpec) -> u64 {
+    fnv1a(format!("{spec:?}").as_bytes())
+}
+
+/// Checkpoint path for job `idx` (submission order names the file, the
+/// stored fingerprint verifies the spec).
+fn checkpoint_path(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("job{idx}.ppck"))
+}
+
+/// EDF base: deadline scores rank above any plausible priority so a
+/// deadline-class job is only ever aged past, never priority-beaten.
+const DEADLINE_BASE: u64 = 1 << 40;
+
+/// An admitted job holding a live session, parked between turns.
+struct ReadyJob {
     idx: usize,
     session: AlsSession,
     secs: f64,
+    /// Global turn when this job last stepped (admission turn initially).
+    last_turn: usize,
+    /// Monotonic schedule sequence, bumped on admission and every step —
+    /// the round-robin tie-breaker (least recently scheduled first).
+    seq: u64,
+    /// Cache elements charged against the admission budget: the spec's
+    /// a-priori estimate, raised to the observed footprint once live.
+    /// The estimate stays charged even while the lazily-built cache is
+    /// still small — it is a *reservation* for the job's steady state.
+    cache_elems: usize,
 }
 
-/// Admit job `idx`: build its tensor and session under `catch_unwind`.
-fn admit(specs: &[JobSpec], idx: usize) -> Result<Active, (usize, String, f64)> {
-    let t0 = Instant::now();
-    let spec = &specs[idx];
-    let built = catch_unwind(AssertUnwindSafe(|| {
-        let tensor = spec.dataset.build();
-        AlsSession::new(&tensor, &spec.als_config(), spec.method.session_kind())
-    }));
-    match built {
-        Ok(session) => Ok(Active {
-            idx,
-            session,
-            secs: t0.elapsed().as_secs_f64(),
-        }),
-        Err(p) => Err((idx, panic_message(p), t0.elapsed().as_secs_f64())),
+/// Scheduler state shared by the driver threads.
+struct SchedState {
+    next_pending: usize,
+    ready: Vec<ReadyJob>,
+    /// Jobs currently being stepped by a driver.
+    running: usize,
+    /// Jobs currently being constructed by a driver.
+    admitting: usize,
+    /// Cache elements attributed to running jobs (last observed values).
+    running_elems: usize,
+    results: Vec<Option<JobResult>>,
+    schedule: Vec<ScheduleEvent>,
+    /// Performed sweeps, batch-wide (the scheduler's virtual clock).
+    turn: usize,
+    seq: u64,
+    stopping: bool,
+}
+
+struct Shared<'a> {
+    specs: &'a [JobSpec],
+    cfg: &'a ServeConfig,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl SchedState {
+    fn admitted(&self) -> usize {
+        self.ready.len() + self.running + self.admitting
+    }
+
+    fn live_cache_elems(&self) -> usize {
+        self.ready.iter().map(|j| j.cache_elems).sum::<usize>() + self.running_elems
+    }
+
+    /// Score of a ready job under the aging rule (see module docs).
+    fn score(&self, job: &ReadyJob, spec: &JobSpec) -> u64 {
+        let age = (self.turn - job.last_turn) as u64;
+        let base = match spec.policy {
+            SchedPolicy::Rr => 0,
+            SchedPolicy::Priority => spec.priority,
+            SchedPolicy::Deadline => DEADLINE_BASE.saturating_sub(spec.deadline),
+        };
+        base.saturating_add(age)
+    }
+
+    /// Index into `ready` of the next job to step: maximal score, ties to
+    /// the least recently scheduled (smallest `seq`, which is unique).
+    fn pick(&self, specs: &[JobSpec]) -> Option<usize> {
+        (0..self.ready.len()).max_by_key(|&i| {
+            let job = &self.ready[i];
+            (self.score(job, &specs[job.idx]), std::cmp::Reverse(job.seq))
+        })
     }
 }
 
-/// Run a batch of jobs to completion. See the module docs for the
-/// scheduling, determinism, and fairness contracts.
-pub fn run_batch(specs: &[JobSpec], cfg: &ServeConfig) -> BatchReport {
-    let batch_t0 = Instant::now();
-    let _quiet = silence_panic_hook();
-    let mut results: Vec<Option<JobResult>> = (0..specs.len()).map(|_| None).collect();
-    let mut schedule = Vec::new();
-    let mut next_pending = 0usize;
-    let mut active: Vec<Active> = Vec::new();
+/// Build (or resume) job `idx`'s session under `catch_unwind`.
+fn construct(sh: &Shared<'_>, idx: usize) -> Result<(AlsSession, usize), String> {
+    let spec = &sh.specs[idx];
+    let built = catch_unwind(AssertUnwindSafe(|| {
+        let tensor = spec.dataset.build();
+        let mut als_cfg = spec.als_config();
+        if sh.cfg.drivers > 1 {
+            // Concurrent per-job pool pins of different widths would
+            // contradict each other; the width is a pure perf knob, so
+            // dropping the pin is numerically safe.
+            als_cfg.threads = None;
+        }
+        let ckpt = sh
+            .cfg
+            .checkpoint_dir
+            .as_ref()
+            .map(|d| checkpoint_path(d, idx));
+        if let Some(path) = ckpt.filter(|p| p.exists()) {
+            let (session, tag) = AlsSession::resume_from_disk(&path, &tensor)
+                .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
+            assert_eq!(
+                tag,
+                spec_fingerprint(spec),
+                "checkpoint {} was written by a different job spec",
+                path.display()
+            );
+            session
+        } else {
+            AlsSession::new(&tensor, &als_cfg, spec.method.session_kind())
+        }
+    }));
+    built
+        .map(|session| {
+            let elems = session.cache_memory_elems().max(spec.est_cache_elems());
+            (session, elems)
+        })
+        .map_err(panic_message)
+}
 
-    let fill_slots = |active: &mut Vec<Active>,
-                      next_pending: &mut usize,
-                      results: &mut Vec<Option<JobResult>>| {
-        while active.len() < cfg.max_concurrent && *next_pending < specs.len() {
-            let idx = *next_pending;
-            *next_pending += 1;
-            match admit(specs, idx) {
-                Ok(a) => active.push(a),
-                Err((idx, error, secs)) => {
-                    results[idx] = Some(JobResult {
-                        name: specs[idx].name.clone(),
-                        status: JobStatus::Failed { error },
-                        output: None,
-                        secs,
-                    });
-                }
+/// Admit pending jobs while the window and cache budget allow. Drops and
+/// reacquires the lock around session construction, so other drivers keep
+/// stepping while a tensor is built.
+fn admit_loop<'g>(
+    sh: &'g Shared<'_>,
+    mut st: std::sync::MutexGuard<'g, SchedState>,
+) -> std::sync::MutexGuard<'g, SchedState> {
+    loop {
+        if st.stopping
+            || st.admitted() >= sh.cfg.max_concurrent
+            || st.next_pending >= sh.specs.len()
+        {
+            return st;
+        }
+        let idx = st.next_pending;
+        if let Some(budget) = sh.cfg.cache_budget_elems {
+            let est = sh.specs[idx].est_cache_elems();
+            // Progress guarantee: with nothing admitted the head job goes
+            // in regardless, otherwise it queues until memory frees.
+            if st.admitted() > 0 && st.live_cache_elems() + est > budget {
+                return st;
             }
         }
-    };
+        st.next_pending += 1;
+        st.admitting += 1;
+        drop(st);
+        let t0 = Instant::now();
+        let outcome = construct(sh, idx);
+        let secs = t0.elapsed().as_secs_f64();
+        st = lock_state(sh);
+        st.admitting -= 1;
+        match outcome {
+            Ok((session, cache_elems)) => {
+                st.seq += 1;
+                let job = ReadyJob {
+                    idx,
+                    session,
+                    secs,
+                    last_turn: st.turn,
+                    seq: st.seq,
+                    cache_elems,
+                };
+                st.ready.push(job);
+            }
+            Err(error) => {
+                st.results[idx] = Some(JobResult {
+                    name: sh.specs[idx].name.clone(),
+                    status: JobStatus::Failed { error },
+                    output: None,
+                    secs,
+                });
+            }
+        }
+        sh.cv.notify_all();
+    }
+}
 
-    fill_slots(&mut active, &mut next_pending, &mut results);
-    let mut turn = 0usize;
-    let mut cursor = 0usize;
-    while !active.is_empty() {
-        cursor %= active.len();
+fn lock_state<'g>(sh: &'g Shared<'_>) -> std::sync::MutexGuard<'g, SchedState> {
+    sh.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Drain mode: park every ready job (to disk when checkpointing), mark
+/// pending jobs parked, and return once no job is in flight anywhere.
+fn drain<'g>(
+    sh: &'g Shared<'_>,
+    mut st: std::sync::MutexGuard<'g, SchedState>,
+) -> std::sync::MutexGuard<'g, SchedState> {
+    // Pending jobs never started; they resume from scratch.
+    while st.next_pending < sh.specs.len() {
+        let idx = st.next_pending;
+        st.next_pending += 1;
+        st.results[idx] = Some(JobResult {
+            name: sh.specs[idx].name.clone(),
+            status: JobStatus::Parked,
+            output: None,
+            secs: 0.0,
+        });
+    }
+    loop {
+        if let Some(mut job) = st.ready.pop() {
+            st.running += 1;
+            drop(st);
+            let parked = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(dir) = &sh.cfg.checkpoint_dir {
+                    let path = checkpoint_path(dir, job.idx);
+                    let tag = spec_fingerprint(&sh.specs[job.idx]);
+                    job.session
+                        .park_to_disk(&path, tag)
+                        .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
+                } else {
+                    job.session.park();
+                }
+            }));
+            let status = match parked {
+                Ok(()) => JobStatus::Parked,
+                Err(p) => JobStatus::Failed {
+                    error: panic_message(p),
+                },
+            };
+            st = lock_state(sh);
+            st.running -= 1;
+            st.results[job.idx] = Some(JobResult {
+                name: sh.specs[job.idx].name.clone(),
+                status,
+                output: None,
+                secs: job.secs,
+            });
+            sh.cv.notify_all();
+        } else if st.running > 0 || st.admitting > 0 {
+            st = sh.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        } else {
+            return st;
+        }
+    }
+}
+
+/// One driver thread: admit, pick, step, settle — until no work remains.
+fn drive(sh: &Shared<'_>, driver: usize) {
+    let mut st = lock_state(sh);
+    loop {
+        if let Some(limit) = sh.cfg.stop_after_turns {
+            if st.turn >= limit && !st.stopping {
+                st.stopping = true;
+                sh.cv.notify_all();
+            }
+        }
+        if st.stopping {
+            drop(drain(sh, st));
+            sh.cv.notify_all();
+            return;
+        }
+        st = admit_loop(sh, st);
+        if st.stopping {
+            continue;
+        }
+        let Some(pos) = st.pick(sh.specs) else {
+            if st.running == 0 && st.admitting == 0 && st.next_pending >= sh.specs.len() {
+                sh.cv.notify_all();
+                return;
+            }
+            st = sh.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            continue;
+        };
+        let mut job = st.ready.remove(pos);
+        let prev_elems = job.cache_elems;
+        st.running += 1;
+        st.running_elems += prev_elems;
         // Parking exists to keep one tenant's speculation from occupying
-        // workers during *other* tenants' turns — with a single active
+        // workers during *other* tenants' turns — with a single admitted
         // job there is no such tenant, and parking would only cancel a
         // useful lookahead, so it is skipped (this also keeps the J=1
         // `run_sequential` baseline a faithful monolithic-driver run).
-        let park = cfg.park_between_steps && active.len() > 1;
-        let a = &mut active[cursor];
+        // Checkpointing parks regardless: a pool handle cannot be
+        // serialized.
+        let others = st.ready.len() + st.running - 1 > 0;
+        let park = sh.cfg.park_between_steps && others;
+        drop(st);
+
+        let spec = &sh.specs[job.idx];
         let t0 = Instant::now();
         let stepped = catch_unwind(AssertUnwindSafe(|| {
-            let step = a.session.step();
-            if park {
-                a.session.park();
+            let step = job.session.step();
+            if let Some(n) = spec.fail_after {
+                if matches!(step, Step::Swept(_)) && job.session.sweeps_done() > n {
+                    panic!("injected failure after sweep {n}");
+                }
+            }
+            if let (Step::Swept(_), Some(dir)) = (&step, &sh.cfg.checkpoint_dir) {
+                let path = checkpoint_path(dir, job.idx);
+                job.session
+                    .park_to_disk(&path, spec_fingerprint(spec))
+                    .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
+            } else if park {
+                job.session.park();
             }
             step
         }));
-        let step_secs = t0.elapsed().as_secs_f64();
+        job.secs += t0.elapsed().as_secs_f64();
+
         match stepped {
             Ok(Step::Swept(rec)) => {
-                let a = &mut active[cursor];
-                a.secs += step_secs;
-                schedule.push(ScheduleEvent {
+                job.cache_elems = job
+                    .session
+                    .cache_memory_elems()
+                    .max(sh.specs[job.idx].est_cache_elems());
+                let sweep = job.session.sweeps_done() - 1;
+                st = lock_state(sh);
+                st.running -= 1;
+                st.running_elems -= prev_elems;
+                let turn = st.turn;
+                st.turn += 1;
+                st.schedule.push(ScheduleEvent {
                     turn,
-                    job: a.idx,
-                    sweep: a.session.sweeps_done() - 1,
+                    driver,
+                    job: job.idx,
+                    sweep,
                     kind: rec.kind,
                 });
-                turn += 1;
-                cursor += 1;
+                st.seq += 1;
+                job.last_turn = st.turn;
+                job.seq = st.seq;
+                st.ready.push(job);
+                sh.cv.notify_all();
             }
             Ok(Step::Done(_)) => {
-                let a = active.remove(cursor);
-                let idx = a.idx;
-                let mut secs = a.secs + step_secs;
+                let idx = job.idx;
+                let mut secs = job.secs;
                 let t0 = Instant::now();
-                let sealed = catch_unwind(AssertUnwindSafe(|| a.session.finish()));
+                let sealed = catch_unwind(AssertUnwindSafe(|| job.session.finish()));
                 secs += t0.elapsed().as_secs_f64();
-                results[idx] = Some(match sealed {
+                if let Some(dir) = &sh.cfg.checkpoint_dir {
+                    // Terminal: a leftover checkpoint must not shadow a
+                    // completed job on the next run.
+                    let _ = std::fs::remove_file(checkpoint_path(dir, idx));
+                }
+                let result = match sealed {
                     Ok(output) => JobResult {
-                        name: specs[idx].name.clone(),
+                        name: spec.name.clone(),
                         status: JobStatus::Completed {
                             converged: output.report.converged,
                         },
@@ -283,45 +646,105 @@ pub fn run_batch(specs: &[JobSpec], cfg: &ServeConfig) -> BatchReport {
                         secs,
                     },
                     Err(p) => JobResult {
-                        name: specs[idx].name.clone(),
+                        name: spec.name.clone(),
                         status: JobStatus::Failed {
                             error: panic_message(p),
                         },
                         output: None,
                         secs,
                     },
-                });
-                fill_slots(&mut active, &mut next_pending, &mut results);
-                // `cursor` now points at the element after the removed one
-                // (or wraps); admission appends at the tail, so round-robin
-                // order is preserved.
+                };
+                st = lock_state(sh);
+                st.running -= 1;
+                st.running_elems -= prev_elems;
+                st.results[idx] = Some(result);
+                sh.cv.notify_all();
             }
             Err(p) => {
-                let a = active.remove(cursor);
-                results[a.idx] = Some(JobResult {
-                    name: specs[a.idx].name.clone(),
+                // The failed step may have left a speculative TTM in
+                // flight (notably under `park_between_steps = false`);
+                // settle the spec slot before the session drops, or a
+                // detached speculation outlives its job's removal and
+                // keeps burning a pool worker.
+                let _ = catch_unwind(AssertUnwindSafe(|| job.session.park()));
+                if let Some(dir) = &sh.cfg.checkpoint_dir {
+                    let _ = std::fs::remove_file(checkpoint_path(dir, job.idx));
+                }
+                let result = JobResult {
+                    name: spec.name.clone(),
                     status: JobStatus::Failed {
                         error: panic_message(p),
                     },
                     output: None,
-                    secs: a.secs + step_secs,
-                });
-                fill_slots(&mut active, &mut next_pending, &mut results);
+                    secs: job.secs,
+                };
+                st = lock_state(sh);
+                st.running -= 1;
+                st.running_elems -= prev_elems;
+                st.results[job.idx] = Some(result);
+                sh.cv.notify_all();
             }
         }
     }
-
-    BatchReport {
-        jobs: results.into_iter().map(Option::unwrap).collect(),
-        schedule,
-        total_secs: batch_t0.elapsed().as_secs_f64(),
-    }
 }
 
-/// Run the same jobs back-to-back (J = 1, no interleaving): the baseline
-/// `bench_serve` compares batch throughput against.
+/// Run a batch of jobs to completion (or to a graceful drain). See the
+/// module docs for the scheduling, determinism, and fairness contracts.
+/// Errors on an invalid [`ServeConfig`] or an unusable checkpoint
+/// directory; per-job panics are isolated into [`JobStatus::Failed`].
+pub fn run_batch(specs: &[JobSpec], cfg: &ServeConfig) -> Result<BatchReport, String> {
+    cfg.validate()?;
+    if let Some(dir) = &cfg.checkpoint_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("checkpoint dir {}: {e}", dir.display()))?;
+    }
+    let batch_t0 = Instant::now();
+    let sh = Shared {
+        specs,
+        cfg,
+        state: Mutex::new(SchedState {
+            next_pending: 0,
+            ready: Vec::new(),
+            running: 0,
+            admitting: 0,
+            running_elems: 0,
+            results: (0..specs.len()).map(|_| None).collect(),
+            schedule: Vec::new(),
+            turn: 0,
+            seq: 0,
+            stopping: false,
+        }),
+        cv: Condvar::new(),
+    };
+    if cfg.drivers == 1 {
+        // Golden path: run on the calling thread, fully deterministic.
+        let _quiet = silence_panic_hook();
+        drive(&sh, 0);
+    } else {
+        std::thread::scope(|scope| {
+            for driver in 0..cfg.drivers {
+                let sh = &sh;
+                scope.spawn(move || {
+                    let _quiet = silence_panic_hook();
+                    drive(sh, driver);
+                });
+            }
+        });
+    }
+    let st = sh.state.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut schedule = st.schedule;
+    schedule.sort_by_key(|e| e.turn);
+    Ok(BatchReport {
+        jobs: st.results.into_iter().map(Option::unwrap).collect(),
+        schedule,
+        total_secs: batch_t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// Run the same jobs back-to-back (J = 1, one driver, no interleaving):
+/// the baseline `bench_serve` compares batch throughput against.
 pub fn run_sequential(specs: &[JobSpec]) -> BatchReport {
-    run_batch(specs, &ServeConfig::new(1))
+    run_batch(specs, &ServeConfig::new(1)).expect("sequential config is always valid")
 }
 
 #[cfg(test)]
@@ -344,12 +767,16 @@ mod tests {
         j
     }
 
+    fn batch(specs: &[JobSpec], cfg: &ServeConfig) -> BatchReport {
+        run_batch(specs, cfg).expect("valid config")
+    }
+
     #[test]
     fn round_robin_schedule_is_deterministic() {
         let jobs: Vec<JobSpec> = (0..3)
             .map(|i| quick_job(&format!("j{i}"), JobMethod::Msdt, 3))
             .collect();
-        let report = run_batch(&jobs, &ServeConfig::new(3));
+        let report = batch(&jobs, &ServeConfig::new(3));
         let order: Vec<(usize, usize)> = report.schedule.iter().map(|e| (e.job, e.sweep)).collect();
         assert_eq!(
             order,
@@ -369,6 +796,7 @@ mod tests {
         assert_eq!(report.failed(), 0);
         for (i, e) in report.schedule.iter().enumerate() {
             assert_eq!(e.turn, i);
+            assert_eq!(e.driver, 0, "single-driver trace is driver-0 only");
         }
     }
 
@@ -378,7 +806,7 @@ mod tests {
         let jobs: Vec<JobSpec> = (0..3)
             .map(|i| quick_job(&format!("j{i}"), JobMethod::Msdt, 2))
             .collect();
-        let report = run_batch(&jobs, &ServeConfig::new(2));
+        let report = batch(&jobs, &ServeConfig::new(2));
         let first_j2 = report.schedule.iter().position(|e| e.job == 2).unwrap();
         let last_j0 = report.schedule.iter().rposition(|e| e.job == 0).unwrap();
         assert!(
@@ -387,6 +815,96 @@ mod tests {
             report.schedule
         );
         assert_eq!(report.completed(), 3);
+    }
+
+    #[test]
+    fn invalid_configs_error_instead_of_panicking() {
+        let jobs = vec![quick_job("a", JobMethod::Msdt, 1)];
+        for bad in [
+            ServeConfig::new(0),
+            ServeConfig::new(2).with_drivers(0),
+            ServeConfig::new(2).with_cache_budget_elems(0),
+        ] {
+            let err = run_batch(&jobs, &bad).err().expect("must be rejected");
+            assert!(!err.is_empty());
+        }
+        assert!(ServeConfig::new(4).validate().is_ok());
+    }
+
+    #[test]
+    fn priority_jobs_step_first_but_age_out() {
+        // One high-priority job monopolizes turns until it finishes, but
+        // the rr job still runs to completion afterwards.
+        let mut hi = quick_job("hi", JobMethod::Msdt, 4);
+        hi.policy = SchedPolicy::Priority;
+        hi.priority = 1_000;
+        let jobs = vec![quick_job("lo", JobMethod::Msdt, 4), hi];
+        let report = batch(&jobs, &ServeConfig::new(2));
+        assert_eq!(report.completed(), 2);
+        // All of hi's sweeps precede all of lo's: base 1000 dwarfs any
+        // age the 8-turn batch can accumulate.
+        let last_hi = report.schedule.iter().rposition(|e| e.job == 1).unwrap();
+        let first_lo = report.schedule.iter().position(|e| e.job == 0).unwrap();
+        assert!(last_hi < first_lo, "{:?}", report.schedule);
+    }
+
+    #[test]
+    fn aging_prevents_starvation() {
+        // Priority 2 vs priority 0: ages of the waiting rr job grow by
+        // one per turn, so it must step within `priority + 1` turns even
+        // while the priority job is still live.
+        let mut hi = quick_job("hi", JobMethod::Msdt, 10);
+        hi.policy = SchedPolicy::Priority;
+        hi.priority = 2;
+        let jobs = vec![hi, quick_job("lo", JobMethod::Msdt, 10)];
+        let report = batch(&jobs, &ServeConfig::new(2));
+        let first_lo = report.schedule.iter().position(|e| e.job == 1).unwrap();
+        assert!(
+            first_lo <= 3,
+            "rr job starved for {first_lo} turns: {:?}",
+            report.schedule
+        );
+        assert_eq!(report.completed(), 2);
+    }
+
+    #[test]
+    fn deadline_jobs_run_edf() {
+        let mut d30 = quick_job("d30", JobMethod::Msdt, 3);
+        d30.policy = SchedPolicy::Deadline;
+        d30.deadline = 30;
+        let mut d5 = quick_job("d5", JobMethod::Msdt, 3);
+        d5.policy = SchedPolicy::Deadline;
+        d5.deadline = 5;
+        let jobs = vec![d30, d5];
+        let report = batch(&jobs, &ServeConfig::new(2));
+        // The tighter deadline steps first despite later submission.
+        assert_eq!(report.schedule[0].job, 1, "{:?}", report.schedule);
+        assert_eq!(report.completed(), 2);
+    }
+
+    #[test]
+    fn cache_budget_queues_jobs() {
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|i| quick_job(&format!("j{i}"), JobMethod::Msdt, 2))
+            .collect();
+        // Budget fits roughly one job's estimate: others must queue, and
+        // the schedule serializes instead of interleaving.
+        let est = jobs[0].est_cache_elems();
+        let report = batch(
+            &jobs,
+            &ServeConfig::new(3).with_cache_budget_elems(est + est / 2),
+        );
+        assert_eq!(report.completed(), 3, "budget must queue, not reject");
+        for j in 0..3 {
+            let first = report.schedule.iter().position(|e| e.job == j).unwrap();
+            let last = report.schedule.iter().rposition(|e| e.job == j).unwrap();
+            assert_eq!(
+                last - first,
+                1,
+                "job {j} interleaved: {:?}",
+                report.schedule
+            );
+        }
     }
 
     #[test]
@@ -404,7 +922,7 @@ mod tests {
             bad,
             quick_job("c", JobMethod::Dt, 3),
         ];
-        let report = run_batch(&jobs, &ServeConfig::new(2));
+        let report = batch(&jobs, &ServeConfig::new(2));
         assert_eq!(report.failed(), 1);
         assert_eq!(report.completed(), 2);
         assert!(report.jobs[1].failed());
@@ -441,7 +959,7 @@ mod tests {
             quick_job("slow", JobMethod::Msdt, 12),
             quick_job("queued", JobMethod::Msdt, 3),
         ];
-        let report = run_batch(&jobs, &ServeConfig::new(2));
+        let report = batch(&jobs, &ServeConfig::new(2));
         assert_eq!(report.completed(), 3);
         assert!(matches!(
             report.jobs[0].status,
@@ -471,12 +989,45 @@ mod tests {
             noise: 0.0,
             seed: 1,
         };
-        let report = run_batch(
+        let report = batch(
             &[quick_job("a", JobMethod::Msdt, 2), bad],
             &ServeConfig::new(2),
         );
         assert_eq!(report.completed(), 1);
         assert!(report.jobs_per_sec() > 0.0);
         assert!(report.total_secs > 0.0);
+    }
+
+    #[test]
+    fn injected_step_failure_is_isolated() {
+        let mut doomed = quick_job("doomed", JobMethod::Msdt, 6);
+        doomed.fail_after = Some(2);
+        let jobs = vec![quick_job("a", JobMethod::Msdt, 3), doomed];
+        let report = batch(&jobs, &ServeConfig::new(2));
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.failed(), 1);
+        match &report.jobs[1].status {
+            JobStatus::Failed { error } => {
+                assert!(error.contains("injected failure"), "{error}")
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        // The doomed job swept exactly twice before its panic.
+        assert_eq!(report.schedule.iter().filter(|e| e.job == 1).count(), 2);
+    }
+
+    #[test]
+    fn stop_after_turns_parks_in_flight_jobs() {
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|i| quick_job(&format!("j{i}"), JobMethod::Msdt, 4))
+            .collect();
+        let report = batch(&jobs, &ServeConfig::new(2).with_stop_after_turns(3));
+        assert_eq!(report.schedule.len(), 3, "exactly 3 turns before drain");
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.parked(), 3);
+        for j in &report.jobs {
+            assert!(j.parked(), "{}: {:?}", j.name, j.status);
+            assert!(j.output.is_none());
+        }
     }
 }

@@ -57,7 +57,7 @@ job name=nncp       method=nncp rank=3 sweeps=7 tol=0.0 dims=8x9x10 gen-rank=3 n
 fn batch_of_four_matches_solo_runs_bitwise() {
     let jobs = parse_manifest(MANIFEST).unwrap();
     assert_eq!(jobs.len(), 4);
-    let report = run_batch(&jobs, &ServeConfig::new(4));
+    let report = run_batch(&jobs, &ServeConfig::new(4)).unwrap();
     assert_eq!(report.failed(), 0, "no job may fail");
     for (spec, result) in jobs.iter().zip(report.jobs.iter()) {
         let alone = solo(spec);
@@ -80,7 +80,7 @@ fn parity_holds_without_parking() {
     // Letting each tenant's speculation ride across other tenants' turns
     // must still be bit-identical (stale speculations are discarded).
     let jobs = parse_manifest(MANIFEST).unwrap();
-    let report = run_batch(&jobs, &ServeConfig::new(4).with_park(false));
+    let report = run_batch(&jobs, &ServeConfig::new(4).with_park(false)).unwrap();
     assert_eq!(report.failed(), 0);
     for (spec, result) in jobs.iter().zip(report.jobs.iter()) {
         assert_bitwise(&spec.name, &solo(spec), result.output.as_ref().unwrap());
@@ -91,7 +91,7 @@ fn parity_holds_without_parking() {
 fn narrow_window_matches_too() {
     // J=2 over the same four jobs: different interleaving, same traces.
     let jobs = parse_manifest(MANIFEST).unwrap();
-    let report = run_batch(&jobs, &ServeConfig::new(2));
+    let report = run_batch(&jobs, &ServeConfig::new(2)).unwrap();
     assert_eq!(report.failed(), 0);
     for (spec, result) in jobs.iter().zip(report.jobs.iter()) {
         assert_bitwise(&spec.name, &solo(spec), result.output.as_ref().unwrap());

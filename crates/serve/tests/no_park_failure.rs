@@ -1,0 +1,51 @@
+//! Regression test for the failed-step settle path: when a job's step
+//! panics under `--no-park`, the scheduler must settle the session's
+//! speculative lookahead TTM *before* dropping it. Without the settle, a
+//! claimed speculation outlives its job's removal and keeps burning a
+//! pool worker after the batch moved on.
+//!
+//! Lives in its own file (own process): the `rayon::detached_unsettled`
+//! counter is process-global, and concurrently running serve tests would
+//! make `== 0` racy.
+
+use pp_serve::{DatasetSpec, JobMethod, JobSpec, ServeConfig};
+
+fn job(name: &str, seed: u64) -> JobSpec {
+    let mut j = JobSpec::new(name);
+    j.method = JobMethod::Msdt;
+    j.rank = 3;
+    j.max_sweeps = 6;
+    j.tol = 0.0;
+    j.dataset = DatasetSpec::Lowrank {
+        dims: vec![10, 9, 8],
+        gen_rank: 3,
+        noise: 0.05,
+        seed,
+    };
+    j
+}
+
+#[test]
+fn failed_step_under_no_park_leaves_no_detached_speculation() {
+    // Width >= 2 so lookahead speculations really enqueue on the pool
+    // (at width 1 `submit` never enqueues and the bug cannot manifest).
+    let _w = rayon::scoped_num_threads(2);
+    let mut doomed = job("doomed", 11);
+    doomed.fail_after = Some(2);
+    let jobs = vec![job("healthy", 13), doomed];
+
+    // `--no-park`: speculation rides across turns, so at the moment the
+    // injected panic fires the doomed session has a lookahead TTM in
+    // flight.
+    let cfg = ServeConfig::new(2).with_park(false);
+    let report = pp_serve::run_batch(&jobs, &cfg).unwrap();
+    assert_eq!(report.completed(), 1);
+    assert_eq!(report.failed(), 1);
+    assert!(report.jobs[1].failed());
+
+    assert_eq!(
+        rayon::detached_unsettled(),
+        0,
+        "a failed job's speculative TTM was dropped unsettled"
+    );
+}

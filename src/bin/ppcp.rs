@@ -3,6 +3,18 @@
 //! ```text
 //! ppcp batch --manifest <path>             (multi-tenant batch mode;
 //!      [--jobs <J>]                         J concurrent jobs, default 4)
+//!      [--drivers <N>]                     (driver threads stepping tenants
+//!                                           concurrently; default: all
+//!                                           available cores; 1 = the
+//!                                           deterministic golden path)
+//!      [--cache-budget-mb <MB>]            (admission cache-memory budget;
+//!                                           jobs queue rather than OOM)
+//!      [--checkpoint-dir <DIR>]            (persist per-job checkpoints
+//!                                           each sweep; re-running the same
+//!                                           manifest resumes in-flight jobs
+//!                                           bit-identically)
+//!      [--stop-after-turns <N>]            (graceful drain: park in-flight
+//!                                           jobs after N batch-wide sweeps)
 //!      [--no-park]                         (let lookahead speculation ride
 //!                                           across tenant turns)
 //!      [--trace]                           (print the schedule trace)
@@ -188,11 +200,20 @@ fn parse_args() -> Result<Args, String> {
 struct BatchArgs {
     manifest: String,
     jobs: usize,
+    drivers: usize,
+    cache_budget_mb: Option<usize>,
+    checkpoint_dir: Option<String>,
+    stop_after_turns: Option<usize>,
     park: bool,
     trace: bool,
     threads: Option<usize>,
     help: bool,
     version: bool,
+}
+
+/// Default driver count: every available core (work-conserving serving).
+fn default_drivers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Parse `ppcp batch ...` arguments (everything after the subcommand).
@@ -202,6 +223,10 @@ fn parse_batch_args_from(argv: &[String]) -> Result<BatchArgs, String> {
     let mut args = BatchArgs {
         manifest: String::new(),
         jobs: 4,
+        drivers: default_drivers(),
+        cache_budget_mb: None,
+        checkpoint_dir: None,
+        stop_after_turns: None,
         park: true,
         trace: false,
         threads: None,
@@ -229,6 +254,31 @@ fn parse_batch_args_from(argv: &[String]) -> Result<BatchArgs, String> {
                 if args.jobs == 0 {
                     return Err("--jobs must be at least 1".into());
                 }
+            }
+            "--drivers" => {
+                args.drivers = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?;
+                if args.drivers == 0 {
+                    return Err("--drivers must be at least 1".into());
+                }
+            }
+            "--cache-budget-mb" => {
+                let mb: usize = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?;
+                if mb == 0 {
+                    return Err("--cache-budget-mb must be at least 1".into());
+                }
+                args.cache_budget_mb = Some(mb);
+            }
+            "--checkpoint-dir" => args.checkpoint_dir = Some(take(&mut i)?),
+            "--stop-after-turns" => {
+                args.stop_after_turns = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("invalid value for {key}: {e}"))?,
+                );
             }
             "--threads" => {
                 let t: usize = take(&mut i)?
@@ -272,17 +322,44 @@ fn run_batch_mode(args: &BatchArgs) -> i32 {
             return 2;
         }
     };
-    // Batch-wide width pin; per-job `threads=` pins nest inside per turn.
+    // Batch-wide width pin; per-job `threads=` pins nest inside per turn
+    // (single-driver only — concurrent drivers drop per-job pins).
     let _threads = args.threads.map(rayon::scoped_num_threads);
     println!(
-        "batch: {} jobs, window {}, park={}, threads={}",
+        "batch: {} jobs, window {}, drivers {}, park={}, threads={}{}{}",
         jobs.len(),
         args.jobs,
+        args.drivers,
         args.park,
         args.threads.unwrap_or_else(rayon::current_num_threads),
+        args.cache_budget_mb
+            .map(|mb| format!(", cache-budget {mb} MB"))
+            .unwrap_or_default(),
+        args.checkpoint_dir
+            .as_deref()
+            .map(|d| format!(", checkpoints in {d}"))
+            .unwrap_or_default(),
     );
-    let cfg = parallel_pp::serve::ServeConfig::new(args.jobs).with_park(args.park);
-    let report = parallel_pp::serve::run_batch(&jobs, &cfg);
+    let mut cfg = parallel_pp::serve::ServeConfig::new(args.jobs)
+        .with_park(args.park)
+        .with_drivers(args.drivers);
+    if let Some(mb) = args.cache_budget_mb {
+        // MB of f64 cache elements (8 bytes each).
+        cfg = cfg.with_cache_budget_elems(mb * 1024 * 1024 / 8);
+    }
+    if let Some(dir) = &args.checkpoint_dir {
+        cfg = cfg.with_checkpoint_dir(dir);
+    }
+    if let Some(turns) = args.stop_after_turns {
+        cfg = cfg.with_stop_after_turns(turns);
+    }
+    let report = match parallel_pp::serve::run_batch(&jobs, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
 
     for (spec, res) in jobs.iter().zip(report.jobs.iter()) {
         match &res.status {
@@ -313,20 +390,34 @@ fn run_batch_mode(args: &BatchArgs) -> i32 {
                     spec.method.label()
                 );
             }
+            parallel_pp::serve::JobStatus::Parked => {
+                println!(
+                    "  {:<12} {:<5} parked{}",
+                    res.name,
+                    spec.method.label(),
+                    if args.checkpoint_dir.is_some() {
+                        " (resumable from checkpoint dir)"
+                    } else {
+                        ""
+                    },
+                );
+            }
         }
     }
     println!(
-        "batch finished: {} completed, {} failed, {:.3}s total ({:.2} jobs/s)",
+        "batch finished: {} completed, {} failed, {} parked, {:.3}s total ({:.2} jobs/s)",
         report.completed(),
         report.failed(),
+        report.parked(),
         report.total_secs,
         report.jobs_per_sec(),
     );
     if args.trace {
         for e in &report.schedule {
             println!(
-                "  turn {:4}  job {} ({})  sweep {:3}  {}",
+                "  turn {:4}  drv {}  job {} ({})  sweep {:3}  {}",
                 e.turn,
+                e.driver,
                 e.job,
                 report.jobs[e.job].name,
                 e.sweep,
@@ -334,6 +425,8 @@ fn run_batch_mode(args: &BatchArgs) -> i32 {
             );
         }
     }
+    // A drained (parked) batch is a successful graceful stop, not a
+    // failure: only failed jobs flip the exit code.
     i32::from(report.failed() > 0)
 }
 
@@ -427,7 +520,9 @@ fn main() {
         }
         if bargs.help {
             println!(
-                "ppcp batch --manifest <path> [--jobs J] [--no-park] [--trace] [--threads T]\n\
+                "ppcp batch --manifest <path> [--jobs J] [--drivers N] [--cache-budget-mb MB]\n\
+                 \x20          [--checkpoint-dir DIR] [--stop-after-turns N] [--no-park]\n\
+                 \x20          [--trace] [--threads T]\n\
                  see the pp-serve::job module docs for the manifest format"
             );
             return;
@@ -580,6 +675,59 @@ mod tests {
         assert!(!a.park);
         assert!(a.trace);
         assert_eq!(a.threads, Some(3));
+    }
+
+    #[test]
+    fn batch_scheduler_flags_parse() {
+        let a = parse_batch_args_from(&argv(&["--manifest", "m.txt"])).unwrap();
+        assert_eq!(a.drivers, default_drivers(), "default is all cores");
+        assert_eq!(a.cache_budget_mb, None);
+        assert_eq!(a.checkpoint_dir, None);
+        assert_eq!(a.stop_after_turns, None);
+        let a = parse_batch_args_from(&argv(&[
+            "--manifest",
+            "m.txt",
+            "--drivers",
+            "4",
+            "--cache-budget-mb",
+            "64",
+            "--checkpoint-dir",
+            "/tmp/ckpt",
+            "--stop-after-turns",
+            "12",
+        ]))
+        .unwrap();
+        assert_eq!(a.drivers, 4);
+        assert_eq!(a.cache_budget_mb, Some(64));
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("/tmp/ckpt"));
+        assert_eq!(a.stop_after_turns, Some(12));
+    }
+
+    #[test]
+    fn zero_and_garbage_scheduler_flags_are_rejected() {
+        // Exit-2 paths: zero or unparsable values must be argument errors,
+        // never a panic inside the scheduler.
+        for (flags, needle) in [
+            (vec!["--drivers", "0"], "--drivers must be at least 1"),
+            (vec!["--drivers", "many"], "invalid value for --drivers"),
+            (
+                vec!["--cache-budget-mb", "0"],
+                "--cache-budget-mb must be at least 1",
+            ),
+            (
+                vec!["--cache-budget-mb", "big"],
+                "invalid value for --cache-budget-mb",
+            ),
+            (
+                vec!["--stop-after-turns", "soon"],
+                "invalid value for --stop-after-turns",
+            ),
+        ] {
+            let mut full = vec!["--manifest", "m.txt"];
+            full.extend(flags.iter());
+            let err = parse_batch_args_from(&argv(&full)).unwrap_err();
+            assert!(err.contains(needle), "{flags:?}: {err}");
+        }
     }
 
     #[test]

@@ -16,8 +16,8 @@
 mod pool;
 
 pub use pool::{
-    current_num_threads, join, pool_worker_count, scope, scoped_num_threads, set_num_threads,
-    submit, BatchHandle, Scope, ThreadGuard,
+    current_num_threads, detached_unsettled, is_pool_worker, join, pool_worker_count, scope,
+    scoped_num_threads, set_num_threads, submit, BatchHandle, Scope, ThreadGuard,
 };
 
 use pool::run_batch;

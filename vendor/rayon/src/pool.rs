@@ -71,6 +71,27 @@ static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
 
 static POOL: OnceLock<Pool> = OnceLock::new();
 
+/// Detached ([`submit`]ted) batches whose unit has not finished (run or
+/// been cancelled) yet. Diagnostics/tests: a well-behaved embedder settles
+/// every handle, so this returns to 0 whenever no lookahead is in flight.
+static DETACHED_UNSETTLED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set once at [`worker_loop`] entry, never cleared: identifies the
+    /// persistent pool workers to embedders (e.g. panic-hook routing).
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the calling thread is one of the persistent pool workers.
+pub fn is_pool_worker() -> bool {
+    IS_POOL_WORKER.with(|f| f.get())
+}
+
+/// Number of detached ([`submit`]ted) batches not yet run or cancelled.
+pub fn detached_unsettled() -> usize {
+    DETACHED_UNSETTLED.load(Ordering::Acquire)
+}
+
 fn default_threads() -> usize {
     *DEFAULT_THREADS.get_or_init(|| {
         if let Ok(v) = std::env::var("PP_NUM_THREADS") {
@@ -183,6 +204,9 @@ pub(crate) struct Batch {
     active: AtomicUsize,
     finished: AtomicUsize,
     panicked: AtomicBool,
+    /// Whether this is a detached ([`submit`]) batch, counted in
+    /// [`DETACHED_UNSETTLED`] until its unit finishes or is cancelled.
+    detached: bool,
     /// First captured panic payload, re-thrown on the submitter.
     payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     done: Mutex<bool>,
@@ -276,6 +300,7 @@ fn pick_claimable(q: &VecDeque<Arc<Batch>>, start: usize) -> Option<usize> {
 }
 
 fn worker_loop(pool: &'static Pool) {
+    IS_POOL_WORKER.with(|f| f.set(true));
     let mut q = lock(&pool.queue);
     loop {
         q.retain(|b| !b.drained());
@@ -341,6 +366,9 @@ fn execute(b: &Batch) {
 /// and signals `done_cv`, the sole completion channel for [`wait_done`].
 fn finish_unit(b: &Batch) {
     if b.finished.fetch_add(1, Ordering::AcqRel) + 1 == b.total {
+        if b.detached {
+            DETACHED_UNSETTLED.fetch_sub(1, Ordering::AcqRel);
+        }
         let mut g = lock(&b.done);
         *g = true;
         b.done_cv.notify_all();
@@ -403,6 +431,7 @@ pub(crate) fn run_batch<F: Fn(usize) + Sync>(total: usize, f: &F) {
         active: AtomicUsize::new(1), // the submitter occupies a slot
         finished: AtomicUsize::new(0),
         panicked: AtomicBool::new(false),
+        detached: false,
         payload: Mutex::new(None),
         done: Mutex::new(false),
         done_cv: Condvar::new(),
@@ -463,6 +492,7 @@ where
     F: FnOnce() -> T + Send + 'static,
 {
     let threads = current_num_threads();
+    DETACHED_UNSETTLED.fetch_add(1, Ordering::AcqRel);
     let ctx: Arc<SubmitCtx<T>> = Arc::new(SubmitCtx {
         f: Mutex::new(Some(Box::new(f))),
         out: Mutex::new(None),
@@ -477,6 +507,7 @@ where
         active: AtomicUsize::new(0),
         finished: AtomicUsize::new(0),
         panicked: AtomicBool::new(false),
+        detached: true,
         payload: Mutex::new(None),
         done: Mutex::new(false),
         done_cv: Condvar::new(),
@@ -593,6 +624,7 @@ where
         active: AtomicUsize::new(0),
         finished: AtomicUsize::new(0),
         panicked: AtomicBool::new(false),
+        detached: false,
         payload: Mutex::new(None),
         done: Mutex::new(false),
         done_cv: Condvar::new(),
@@ -682,6 +714,7 @@ mod tests {
             active: AtomicUsize::new(active),
             finished: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            detached: false,
             payload: Mutex::new(None),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
