@@ -1,0 +1,293 @@
+//! `bench_sparse` — benchmark of the CSF sparse MTTKRP fast path against
+//! the densify-then-dense alternative (`SparseTensor::to_dense` followed
+//! by the GEMM-backed dense MTTKRP), on power-law sparse tensors at the
+//! densities the serving tier targets (≤ 1%). Writes a machine-readable
+//! `BENCH_sparse.json` so CI can archive the sparse perf trajectory.
+//!
+//! ```text
+//! bench_sparse [--quick] [--out BENCH_sparse.json] [--threads T]
+//! ```
+//!
+//! * `--quick` — smaller tensors / fewer samples (the CI bench-smoke
+//!   preset; still exercises the parallel CSF path).
+//! * `--out <path>` — where to write the JSON record (default
+//!   `BENCH_sparse.json` in the current directory).
+//! * `--threads <T>` — pin the pool width (default: `PP_NUM_THREADS` or
+//!   hardware).
+//!
+//! Malformed arguments exit with status 2.
+//!
+//! Every row is verified **bitwise** against the pointwise dense oracle
+//! (`mttkrp_pointwise` on the densified tensor) before it is timed — the
+//! JSON records `"bitwise": true` only because the process would have
+//! aborted otherwise.
+//!
+//! JSON schema: an object with `preset`/`threads` tags and a `rows` array
+//! of `{name, dims, nnz, density, rank, mode, csf_ns, densify_ns,
+//! dense_ns, kernel_speedup, total_speedup, bitwise}` — `*_ns` are
+//! min-over-samples nanoseconds per call, `kernel_speedup` =
+//! `dense_ns / csf_ns` (steady state, tensor already dense),
+//! `total_speedup` = `(densify_ns + dense_ns) / csf_ns` (one-shot cost of
+//! the densifying alternative).
+
+use pp_bench::apply_threads_flag;
+use pp_datagen::powerlaw_sparse;
+use pp_tensor::kernels::naive::{mttkrp, mttkrp_pointwise};
+use pp_tensor::rng::{seeded, uniform_matrix};
+use pp_tensor::sparse::{sparse_mttkrp, CsfTensor, SparseTensor};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark case: a power-law sparse tensor at a target density.
+struct Case {
+    name: &'static str,
+    dims: Vec<usize>,
+    samples: usize,
+    skew: f64,
+    rank: usize,
+    mode: usize,
+}
+
+/// Power-law preset rows at ≤ 1% density (the acceptance band), plus one
+/// denser control point. `samples` is the sampler's draw count; duplicate
+/// draws collapse, so realized nnz (recorded in the JSON) is lower.
+fn cases(quick: bool) -> Vec<Case> {
+    if quick {
+        return vec![
+            Case {
+                name: "pl_128_d0.5%",
+                dims: vec![128, 64, 32],
+                samples: 1_400,
+                skew: 2.0,
+                rank: 16,
+                mode: 0,
+            },
+            Case {
+                name: "pl_128_d1%",
+                dims: vec![128, 64, 32],
+                samples: 2_800,
+                skew: 2.0,
+                rank: 16,
+                mode: 1,
+            },
+        ];
+    }
+    let dims = vec![256, 256, 64];
+    vec![
+        Case {
+            name: "pl_256_d0.1%",
+            dims: dims.clone(),
+            samples: 4_300,
+            skew: 2.0,
+            rank: 16,
+            mode: 0,
+        },
+        Case {
+            name: "pl_256_d0.5%",
+            dims: dims.clone(),
+            samples: 21_500,
+            skew: 2.0,
+            rank: 16,
+            mode: 0,
+        },
+        Case {
+            name: "pl_256_d1%",
+            dims: dims.clone(),
+            samples: 43_500,
+            skew: 2.0,
+            rank: 16,
+            mode: 1,
+        },
+        Case {
+            name: "pl_256_d2%",
+            dims,
+            samples: 88_000,
+            skew: 2.0,
+            rank: 16,
+            mode: 2,
+        },
+    ]
+}
+
+/// Min-over-samples seconds per call of `f`, each sample looping enough
+/// iterations to span ≥ `budget` seconds (same harness as `bench_gemm`).
+fn time_min(samples: usize, budget: f64, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (pool spin-up, buffer growth)
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = (budget / once).ceil().max(1.0) as usize;
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+struct Row {
+    name: &'static str,
+    dims: Vec<usize>,
+    nnz: usize,
+    density: f64,
+    rank: usize,
+    mode: usize,
+    csf_s: f64,
+    densify_s: f64,
+    dense_s: f64,
+}
+
+fn dims_tag(dims: &[usize]) -> String {
+    dims.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_sparse.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out_path = p.clone(),
+                    None => {
+                        eprintln!("error: --out expects a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            // Consumed by apply_threads_flag below.
+            "--threads" => i += 1,
+            other => {
+                eprintln!(
+                    "error: unknown flag {other} (bench_sparse [--quick] [--out PATH] [--threads T])"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let threads = apply_threads_flag();
+    let (samples, budget) = if quick { (3, 0.02) } else { (5, 0.1) };
+
+    println!(
+        "CSF sparse MTTKRP vs densify-then-dense ({} preset, {threads} thread{}):",
+        if quick { "quick" } else { "full" },
+        if threads == 1 { "" } else { "s" },
+    );
+    println!(
+        "{:<14} {:>12} {:>8} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "case", "dims", "nnz", "density", "CSF", "densify", "dense", "kernel", "total"
+    );
+    println!(
+        "{:<14} {:>12} {:>8} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "", "", "", "", "ns/call", "ns/call", "ns/call", "speedup", "speedup"
+    );
+
+    let mut rng = seeded(42);
+    let mut rows: Vec<Row> = Vec::new();
+    for c in cases(quick) {
+        let sp: SparseTensor = powerlaw_sparse(&c.dims, c.samples, c.skew, 11);
+        let csf = CsfTensor::build(&sp);
+        let factors: Vec<_> = c
+            .dims
+            .iter()
+            .map(|&d| uniform_matrix(d, c.rank, &mut rng))
+            .collect();
+
+        // Bitwise parity gate: the CSF kernel must reproduce the pointwise
+        // dense oracle exactly before we bother timing it.
+        let dense = sp.to_dense();
+        for n in 0..c.dims.len() {
+            let got = sparse_mttkrp(&csf, &factors, n);
+            let want = mttkrp_pointwise(&dense, &factors, n);
+            assert_eq!(
+                got.data(),
+                want.data(),
+                "{}: CSF MTTKRP diverges from the dense oracle at mode {n}",
+                c.name
+            );
+        }
+
+        let csf_s = time_min(samples, budget, || {
+            black_box(sparse_mttkrp(black_box(&csf), &factors, c.mode));
+        });
+        let densify_s = time_min(samples, budget, || {
+            black_box(black_box(&sp).to_dense());
+        });
+        let dense_s = time_min(samples, budget, || {
+            black_box(mttkrp(black_box(&dense), &factors, c.mode));
+        });
+
+        println!(
+            "{:<14} {:>12} {:>8} {:>7.2}% {:>12.0} {:>12.0} {:>12.0} {:>7.1}x {:>7.1}x",
+            c.name,
+            dims_tag(&c.dims),
+            sp.nnz(),
+            sp.density() * 100.0,
+            csf_s * 1e9,
+            densify_s * 1e9,
+            dense_s * 1e9,
+            dense_s / csf_s,
+            (densify_s + dense_s) / csf_s,
+        );
+        rows.push(Row {
+            name: c.name,
+            dims: c.dims,
+            nnz: sp.nnz(),
+            density: sp.density(),
+            rank: c.rank,
+            mode: c.mode,
+            csf_s,
+            densify_s,
+            dense_s,
+        });
+    }
+
+    // Hand-rolled JSON (no serde in the vendored dependency set).
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"preset\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str("  \"rows\": [\n");
+    for (idx, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"dims\": \"{}\", \"nnz\": {}, \"density\": {:.6}, \
+             \"rank\": {}, \"mode\": {}, \"csf_ns\": {:.0}, \"densify_ns\": {:.0}, \
+             \"dense_ns\": {:.0}, \"kernel_speedup\": {:.3}, \"total_speedup\": {:.3}, \
+             \"bitwise\": true}}",
+            r.name,
+            dims_tag(&r.dims),
+            r.nnz,
+            r.density,
+            r.rank,
+            r.mode,
+            r.csf_s * 1e9,
+            r.densify_s * 1e9,
+            r.dense_s * 1e9,
+            r.dense_s / r.csf_s,
+            (r.densify_s + r.dense_s) / r.csf_s,
+        );
+        json.push_str(if idx + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+}

@@ -94,7 +94,7 @@ fn breakdown(
         let five = meas.stats.five_way();
         let total: f64 = five.iter().map(|(_, s)| s).sum();
         println!(
-            "{:12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} (spec {}/{} hit/wasted; packed GEMM {:.2} Gflop, {}/{} fixed-n/generic)",
+            "{:12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} (spec {}/{} hit/wasted; packed GEMM {:.2} Gflop, {}/{} fixed-n/generic; sparse MTTKRP {:.2} Gflop, {} fibers)",
             m.label(),
             fmt_secs(five[0].1),
             fmt_secs(five[1].1),
@@ -107,6 +107,8 @@ fn breakdown(
             meas.stats.gemm_packed_flops as f64 / 1e9,
             meas.stats.gemm_fixed_n_calls,
             meas.stats.gemm_generic_calls,
+            meas.stats.sparse_mttkrp_flops as f64 / 1e9,
+            meas.stats.sparse_fibers_visited,
         );
     }
     // PP kernels timed as whole steps (their internals are mTTV-dominated).

@@ -48,6 +48,27 @@ pub fn tensor_fingerprint(t: &DenseTensor) -> u64 {
     fnv1a(&w.buf)
 }
 
+/// FNV-1a 64-bit fingerprint of a sparse tensor (dims, nnz, sorted
+/// coordinates, value bits). Domain-separated from the dense fingerprint
+/// by a leading tag so a sparse tensor can never collide with the dense
+/// tensor it densifies to.
+pub fn sparse_fingerprint(t: &pp_tensor::sparse::SparseTensor) -> u64 {
+    let mut w = Writer::new();
+    w.u64_(u64::from_le_bytes(*b"PPSPARSE"));
+    w.usize_(t.order());
+    for &d in t.dims() {
+        w.usize_(d);
+    }
+    w.usize_(t.nnz());
+    for &i in t.inds() {
+        w.u64_(i as u64);
+    }
+    for &x in t.vals() {
+        w.f64_(x);
+    }
+    fnv1a(&w.buf)
+}
+
 /// Little-endian payload builder.
 pub(crate) struct Writer {
     pub(crate) buf: Vec<u8>,
@@ -141,6 +162,8 @@ impl Writer {
         self.u64_(s.gemm_packed_flops);
         self.u64_(s.gemm_fixed_n_calls);
         self.u64_(s.gemm_generic_calls);
+        self.u64_(s.sparse_mttkrp_flops);
+        self.u64_(s.sparse_fibers_visited);
     }
 
     pub(crate) fn sweep(&mut self, r: &SweepRecord) {
@@ -335,6 +358,8 @@ impl<'a> Reader<'a> {
             gemm_packed_flops: self.u64_()?,
             gemm_fixed_n_calls: self.u64_()?,
             gemm_generic_calls: self.u64_()?,
+            sparse_mttkrp_flops: self.u64_()?,
+            sparse_fibers_visited: self.u64_()?,
         })
     }
 

@@ -23,7 +23,7 @@
 //! the one persistent worker pool with per-job fairness and failure
 //! isolation.
 
-use crate::checkpoint::{tensor_fingerprint, Reader, Writer};
+use crate::checkpoint::{sparse_fingerprint, tensor_fingerprint, Reader, Writer};
 use crate::config::{AlsConfig, SolveStrategy};
 use crate::fitness::{fitness_from_residual, relative_residual};
 use crate::nonneg::hals_update;
@@ -33,6 +33,7 @@ use pp_dtree::pp_tree::{build_pp_operators, PpOperators};
 use pp_dtree::{DimTreeEngine, FactorState, InputTensor, Kernel, TreePolicy};
 use pp_tensor::matrix::hadamard_chain_skip;
 use pp_tensor::solve::solve_gram;
+use pp_tensor::sparse::SparseTensor;
 use pp_tensor::{DenseTensor, Matrix};
 use std::time::Instant;
 
@@ -159,6 +160,53 @@ impl AlsSession {
         }
     }
 
+    /// New session over a **sparse** input with the default seeded factor
+    /// initialization. Sparse inputs run exact ALS over the standard tree
+    /// policy (the `dt` method): every MTTKRP routes through the CSF
+    /// kernel, so neither MSDT layout copies nor PP pair operators (both
+    /// densifying constructions) apply.
+    pub fn new_sparse(sp: &SparseTensor, cfg: &AlsConfig, kind: SessionKind) -> Self {
+        assert_eq!(
+            kind,
+            SessionKind::Exact,
+            "sparse inputs support exact ALS (method dt) only"
+        );
+        assert_eq!(
+            cfg.policy,
+            TreePolicy::Standard,
+            "sparse inputs use the standard tree policy (method dt)"
+        );
+        let init = crate::als::init_factors(sp.dims(), cfg.rank, cfg.seed);
+        let n_modes = sp.order();
+        assert!(n_modes >= 2);
+        let _threads = cfg.thread_guard();
+        let input = InputTensor::new_sparse(sp.clone());
+        let engine = DimTreeEngine::new(cfg.policy, n_modes);
+        let fs = FactorState::new(init);
+        let grams: Vec<Matrix> = fs.factors().iter().map(|a| a.gram()).collect();
+        let t_norm_sq = sp.norm_sq();
+
+        AlsSession {
+            cfg: cfg.clone(),
+            kind,
+            input,
+            engine,
+            fs,
+            grams,
+            t_norm_sq,
+            d_factors: Vec::new(),
+            factors_p: Vec::new(),
+            ops: None,
+            phase: PpPhase::Gate,
+            report: AlsReport::default(),
+            fitness_old: f64::NEG_INFINITY,
+            cumulative: 0.0,
+            converged: false,
+            sweeps_done: 0,
+            finished: false,
+        }
+    }
+
     /// The session's update rule.
     pub fn kind(&self) -> SessionKind {
         self.kind
@@ -272,8 +320,13 @@ impl AlsSession {
             PpPhase::Approx => 1,
         });
         // Input binding: the tensor itself is rebuilt from its dataset
-        // spec at resume; only its fingerprint travels.
-        w.u64_(tensor_fingerprint(self.input.base()));
+        // spec at resume; only its fingerprint travels. Sparse inputs use
+        // a domain-separated fingerprint so a dense checkpoint can never
+        // resume against a sparse tensor (or vice versa).
+        w.u64_(match self.input.sparse() {
+            Some(sp) => sparse_fingerprint(&sp.coo),
+            None => tensor_fingerprint(self.input.base()),
+        });
         w.f64_(self.t_norm_sq);
         // Factors with versions, Grams, PP regime state.
         w.matrices(self.fs.factors());
@@ -337,6 +390,44 @@ impl AlsSession {
 
     /// [`AlsSession::resume_from_disk`] on in-memory bytes.
     pub fn resume_from_bytes(bytes: &[u8], t: &DenseTensor) -> Result<(AlsSession, u64), String> {
+        Self::resume_core(bytes, tensor_fingerprint(t), t.order(), |cfg| {
+            match cfg.policy {
+                TreePolicy::Standard => InputTensor::new(t.clone()),
+                TreePolicy::MultiSweep => InputTensor::with_msdt_copies(t.clone()),
+            }
+        })
+    }
+
+    /// [`AlsSession::resume_from_disk`] for a **sparse** input. The
+    /// domain-separated sparse fingerprint refuses dense checkpoints and
+    /// mismatched sparse tensors alike.
+    pub fn resume_from_disk_sparse(
+        path: &std::path::Path,
+        sp: &SparseTensor,
+    ) -> Result<(AlsSession, u64), String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::resume_from_bytes_sparse(&bytes, sp)
+    }
+
+    /// [`AlsSession::resume_from_disk_sparse`] on in-memory bytes.
+    pub fn resume_from_bytes_sparse(
+        bytes: &[u8],
+        sp: &SparseTensor,
+    ) -> Result<(AlsSession, u64), String> {
+        Self::resume_core(bytes, sparse_fingerprint(sp), sp.order(), |_cfg| {
+            InputTensor::new_sparse(sp.clone())
+        })
+    }
+
+    /// Shared resume path: decode the checkpoint, verify the expected
+    /// input fingerprint and order, and rebuild the runtime-only pieces
+    /// with the caller-supplied input constructor.
+    fn resume_core(
+        bytes: &[u8],
+        fp_expected: u64,
+        order: usize,
+        build_input: impl FnOnce(&AlsConfig) -> InputTensor,
+    ) -> Result<(AlsSession, u64), String> {
         let mut r = Reader::open(bytes)?;
         let tag = r.u64_()?;
         let rank = r.usize_()?;
@@ -384,14 +475,14 @@ impl AlsSession {
             v => return Err(format!("invalid PP phase {v}")),
         };
         let fp = r.u64_()?;
-        if fp != tensor_fingerprint(t) {
+        if fp != fp_expected {
             return Err("input tensor does not match the checkpoint (fingerprint mismatch)".into());
         }
         let t_norm_sq = r.f64_()?;
         let factors = r.matrices()?;
         let versions = r.u64s()?;
         let n_modes = factors.len();
-        if n_modes != t.order() || n_modes != versions.len() {
+        if n_modes != order || n_modes != versions.len() {
             return Err("checkpoint factor count does not match the tensor order".into());
         }
         let fs = FactorState::from_parts(factors, versions);
@@ -442,13 +533,10 @@ impl AlsSession {
             return Err("checkpoint has trailing bytes".into());
         }
 
-        // Rebuild the runtime-only pieces (MSDT layout copies, engine)
-        // exactly as construction does, then reinstall the cached
+        // Rebuild the runtime-only pieces (MSDT layout copies / CSF trees,
+        // engine) exactly as construction does, then reinstall the cached
         // intermediates and stats the checkpoint captured.
-        let input = match cfg.policy {
-            TreePolicy::Standard => InputTensor::new(t.clone()),
-            TreePolicy::MultiSweep => InputTensor::with_msdt_copies(t.clone()),
-        };
+        let input = build_input(&cfg);
         let mut engine = DimTreeEngine::new(cfg.policy, n_modes);
         for e in cached {
             engine.cache_mut().insert(e);
@@ -904,6 +992,104 @@ mod tests {
         let err = resume_err(AlsSession::resume_from_bytes(&bytes, &t));
         assert!(err.contains("checksum"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sparse_session_matches_pointwise_oracle_bitwise() {
+        // A sparse exact session must reproduce — bit for bit — a manual
+        // exact ALS over the densified tensor using the dense pointwise
+        // oracle kernel (the parity contract of the CSF MTTKRP).
+        use pp_datagen::sparse::powerlaw_sparse;
+        use pp_tensor::kernels::naive::mttkrp_pointwise;
+        let sp = powerlaw_sparse(&[9, 8, 7], 120, 1.5, 21);
+        let dense = sp.to_dense();
+        let sweeps = 6;
+        let cfg = AlsConfig::new(3).with_max_sweeps(sweeps).with_tol(0.0);
+        let out = AlsSession::new_sparse(&sp, &cfg, SessionKind::Exact).run();
+
+        let mut factors = crate::als::init_factors(sp.dims(), cfg.rank, cfg.seed);
+        let mut grams: Vec<Matrix> = factors.iter().map(|a| a.gram()).collect();
+        let t_norm_sq = dense.norm_sq();
+        let mut fits = Vec::new();
+        for _ in 0..sweeps {
+            let mut last = None;
+            for n in 0..3 {
+                let gamma = hadamard_chain_skip(&grams, n);
+                let m = mttkrp_pointwise(&dense, &factors, n);
+                let a_new = solve_gram(&gamma, &m).0;
+                grams[n] = a_new.gram();
+                factors[n] = a_new;
+                if n == 2 {
+                    last = Some((gamma, m));
+                }
+            }
+            let (gamma, m) = last.unwrap();
+            let r = relative_residual(t_norm_sq, &gamma, &grams[2], &m, &factors[2]);
+            fits.push(fitness_from_residual(r));
+        }
+        assert_eq!(out.report.sweeps.len(), sweeps);
+        for (rec, want) in out.report.sweeps.iter().zip(&fits) {
+            assert_eq!(rec.fitness.to_bits(), want.to_bits());
+        }
+        for (a, b) in out.factors.iter().zip(&factors) {
+            assert_eq!(a.data(), b.data());
+        }
+        // The sparse path never materializes tree intermediates.
+        assert_eq!(out.report.stats.mttv_count, 0);
+        assert!(out.report.stats.sparse_mttkrp_flops > 0);
+    }
+
+    #[test]
+    fn sparse_checkpoint_roundtrip_and_fingerprint() {
+        let (sp, _) = pp_datagen::sparse::sparse_lowrank(&[10, 9, 8], 2, 0.2, 7);
+        let cfg = AlsConfig::new(2).with_max_sweeps(8).with_tol(0.0);
+        let a = AlsSession::new_sparse(&sp, &cfg, SessionKind::Exact).run();
+        for cut in [1, 4] {
+            let mut s = AlsSession::new_sparse(&sp, &cfg, SessionKind::Exact);
+            for _ in 0..cut {
+                let _ = s.step();
+            }
+            s.park();
+            let bytes = s.checkpoint_bytes(0xBEEF);
+            let (mut resumed, tag) = AlsSession::resume_from_bytes_sparse(&bytes, &sp).unwrap();
+            assert_eq!(tag, 0xBEEF);
+            assert_eq!(resumed.sweeps_done(), cut);
+            while let Step::Swept(_) = resumed.step() {}
+            let b = resumed.finish();
+            assert_bitwise(&a, &b);
+        }
+        let mut s = AlsSession::new_sparse(&sp, &cfg, SessionKind::Exact);
+        let _ = s.step();
+        s.park();
+        let bytes = s.checkpoint_bytes(1);
+        let resume_err = |res: Result<(AlsSession, u64), String>| match res {
+            Err(e) => e,
+            Ok(_) => panic!("expected a resume error"),
+        };
+        // A different sparse tensor is refused by fingerprint.
+        let (other, _) = pp_datagen::sparse::sparse_lowrank(&[10, 9, 8], 2, 0.2, 8);
+        let err = resume_err(AlsSession::resume_from_bytes_sparse(&bytes, &other));
+        assert!(err.contains("fingerprint"), "{err}");
+        // Domain separation: a sparse checkpoint refuses a dense resume
+        // even against the element-for-element densified tensor.
+        let err = resume_err(AlsSession::resume_from_bytes(&bytes, &sp.to_dense()));
+        assert!(err.contains("fingerprint"), "{err}");
+        // And a dense checkpoint refuses a sparse resume.
+        let dense = sp.to_dense();
+        let mut d = AlsSession::new(&dense, &cfg, SessionKind::Exact);
+        let _ = d.step();
+        d.park();
+        let dense_bytes = d.checkpoint_bytes(2);
+        let err = resume_err(AlsSession::resume_from_bytes_sparse(&dense_bytes, &sp));
+        assert!(err.contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exact ALS")]
+    fn sparse_session_rejects_pp_kind() {
+        let (sp, _) = pp_datagen::sparse::sparse_lowrank(&[6, 6, 6], 2, 0.3, 3);
+        let cfg = AlsConfig::new(2);
+        let _ = AlsSession::new_sparse(&sp, &cfg, SessionKind::Pp);
     }
 
     #[test]

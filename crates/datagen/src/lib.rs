@@ -19,10 +19,12 @@ pub mod chemistry;
 pub mod coil;
 pub mod collinearity;
 pub mod lowrank;
+pub mod sparse;
 pub mod timelapse;
 
 pub use chemistry::{density_fitting_tensor, ChemistryConfig};
 pub use coil::{coil_tensor, CoilConfig};
 pub use collinearity::{collinearity_tensor, CollinearityConfig};
 pub use lowrank::{exact_rank, noisy_rank};
+pub use sparse::{powerlaw_sparse, sparse_lowrank};
 pub use timelapse::{timelapse_tensor, TimelapseConfig};

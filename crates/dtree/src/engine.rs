@@ -137,6 +137,19 @@ impl DimTreeEngine {
     pub fn mttkrp(&mut self, input: &mut InputTensor, fs: &FactorState, n: usize) -> Matrix {
         assert_eq!(fs.order(), self.n_modes);
         assert!(n < self.n_modes);
+        // Sparse fast path: one CSF MTTKRP replaces the whole contraction
+        // chain — flops scale with nnz, not the dense volume, and there
+        // are no intermediates worth caching (the cache stays empty, so
+        // `cache_memory_elems` reports 0 and lookahead never launches).
+        if let Some(sp) = input.sparse() {
+            let s0 = pp_tensor::sparse::thread_sparse_counters();
+            let t0 = Instant::now();
+            let m = pp_tensor::sparse::sparse_mttkrp(&sp.csf, fs.factors(), n);
+            let delta = pp_tensor::sparse::thread_sparse_counters().since(&s0);
+            self.stats.record(Kernel::Ttm, t0.elapsed(), delta.flops);
+            self.stats.add_sparse_delta(&delta);
+            return m;
+        }
         let inter = self.obtain(input, fs, n);
         debug_assert_eq!(inter.mode_order, vec![n]);
         let rows = inter.tensor.dim(0);
@@ -731,6 +744,51 @@ mod tests {
         let _ = engine.mttkrp(&mut input, &fs, 0);
         engine.lookahead(&input, &fs, 1, Some(0));
         assert_eq!(engine.take_stats().spec_launched, 0);
+    }
+
+    #[test]
+    fn sparse_input_routes_through_csf_kernel() {
+        use pp_tensor::kernels::naive::mttkrp_pointwise;
+        use pp_tensor::sparse::SparseTensor;
+        use rand::Rng;
+        let dims = [7usize, 5, 6];
+        let mut rng = seeded(41);
+        let mut inds = Vec::new();
+        let mut vals = Vec::new();
+        for _ in 0..35 {
+            for &d in &dims {
+                inds.push(rng.random_range(0..d));
+            }
+            vals.push(rng.random::<f64>() - 0.5);
+        }
+        let sp = SparseTensor::from_coo(dims.to_vec(), inds, vals);
+        let dense = sp.to_dense();
+        let mut input = InputTensor::new_sparse(sp);
+        assert!(input.is_sparse());
+        assert!(input.plan_contract(0).is_none(), "no lookahead when sparse");
+        let mut fs = {
+            let factors: Vec<Matrix> = dims
+                .iter()
+                .map(|&d| uniform_matrix(d, 3, &mut rng))
+                .collect();
+            FactorState::new(factors)
+        };
+        let mut engine = DimTreeEngine::new(TreePolicy::Standard, 3);
+        for _sweep in 0..2 {
+            for (n, &dim) in dims.iter().enumerate() {
+                let got = engine.mttkrp(&mut input, &fs, n);
+                let want = mttkrp_pointwise(&dense, fs.factors(), n);
+                assert_eq!(got.data(), want.data(), "mode {n} not bitwise");
+                fs.update(n, uniform_matrix(dim, 3, &mut rng));
+            }
+        }
+        let s = engine.take_stats();
+        assert_eq!(s.ttm_count, 6, "one CSF call per MTTKRP");
+        assert_eq!(s.mttv_count, 0, "no dense tree levels on the sparse path");
+        assert!(s.sparse_mttkrp_flops > 0);
+        assert!(s.sparse_fibers_visited > 0);
+        assert_eq!(s.ttm_flops, s.sparse_mttkrp_flops);
+        assert_eq!(engine.cache_memory_elems(), 0, "sparse path caches nothing");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! first, one last).
 
 use pp_tensor::kernels::ttm::{ttm_first, ttm_last};
+use pp_tensor::sparse::{CsfTensor, SparseTensor};
 use pp_tensor::transpose::permute;
 use pp_tensor::{DenseTensor, Matrix};
 use std::sync::Arc;
@@ -24,14 +25,27 @@ struct Layout {
     tensor: Arc<DenseTensor>,
 }
 
+/// A sparse input: the sorted-coordinate ingest form plus the CSF forest
+/// the sparse MTTKRP kernel runs over. Shared by `Arc` so sessions can
+/// hand it to the engine without copying the nonzeros.
+pub struct SparseInput {
+    /// Sorted COO form (fingerprinting, norms, densify-for-oracle).
+    pub coo: SparseTensor,
+    /// The per-mode fiber forest (the kernel operand).
+    pub csf: CsfTensor,
+}
+
 /// The CP input tensor plus any pre-permuted copies, with a uniform
-/// "contract one mode" entry point that picks the cheapest path.
+/// "contract one mode" entry point that picks the cheapest path. A
+/// sparse-backed input stores no dense layouts; the engine routes its
+/// MTTKRPs through the CSF kernel instead of the dimension tree.
 pub struct InputTensor {
     layouts: Vec<Layout>,
     order: usize,
     /// Whether to create (and keep) a permuted copy when a contraction
     /// would otherwise need an explicit transpose.
     cache_transposes: bool,
+    sparse: Option<Arc<SparseInput>>,
 }
 
 /// Outcome of a first-level contraction.
@@ -98,7 +112,32 @@ impl InputTensor {
             }],
             order,
             cache_transposes: false,
+            sparse: None,
         }
+    }
+
+    /// Wrap a sparse tensor: builds the CSF forest (one fiber tree per
+    /// mode) the engine's sparse MTTKRP fast path runs over. No dense
+    /// layouts are materialized.
+    pub fn new_sparse(sp: SparseTensor) -> Self {
+        let order = sp.order();
+        let csf = CsfTensor::build(&sp);
+        InputTensor {
+            layouts: Vec::new(),
+            order,
+            cache_transposes: false,
+            sparse: Some(Arc::new(SparseInput { coo: sp, csf })),
+        }
+    }
+
+    /// The sparse backing, when this input is sparse.
+    pub fn sparse(&self) -> Option<&SparseInput> {
+        self.sparse.as_deref()
+    }
+
+    /// Whether this input is sparse-backed.
+    pub fn is_sparse(&self) -> bool {
+        self.sparse.is_some()
     }
 
     /// Wrap a tensor and pre-create the permuted copies MSDT needs so every
@@ -147,6 +186,9 @@ impl InputTensor {
 
     /// Extent of original mode `m`.
     pub fn dim(&self, m: usize) -> usize {
+        if let Some(sp) = &self.sparse {
+            return sp.coo.dim(m);
+        }
         let pos = self.layouts[0]
             .mode_order
             .iter()
@@ -155,23 +197,34 @@ impl InputTensor {
         self.layouts[0].tensor.dim(pos)
     }
 
-    /// The base tensor (original layout).
+    /// The base tensor (original layout). Panics on a sparse-backed input
+    /// (which stores no dense layout); see [`InputTensor::sparse`].
     pub fn base(&self) -> &DenseTensor {
+        assert!(
+            self.sparse.is_none(),
+            "sparse input has no dense base tensor"
+        );
         &self.layouts[0].tensor
     }
 
-    /// Number of stored layouts (1 = no copies).
+    /// Number of stored layouts (1 = no copies; 0 = sparse-backed).
     pub fn layout_count(&self) -> usize {
         self.layouts.len()
     }
 
-    /// Total elements (of one copy).
+    /// Stored elements: dense volume of one copy, or `nnz` when sparse.
     pub fn len(&self) -> usize {
+        if let Some(sp) = &self.sparse {
+            return sp.coo.nnz();
+        }
         self.layouts[0].tensor.len()
     }
 
     /// True if the tensor holds no elements.
     pub fn is_empty(&self) -> bool {
+        if let Some(sp) = &self.sparse {
+            return sp.coo.is_empty();
+        }
         self.layouts[0].tensor.is_empty()
     }
 
@@ -183,6 +236,11 @@ impl InputTensor {
     /// speculating).
     pub fn plan_contract(&self, mode: usize) -> Option<ContractPlan> {
         assert!(mode < self.order);
+        if self.sparse.is_some() {
+            // Sparse MTTKRPs bypass the dimension tree entirely, so there
+            // is no first-level TTM to speculate on.
+            return None;
+        }
         // 1. A layout with `mode` last?
         if let Some(l) = self
             .layouts
@@ -211,6 +269,10 @@ impl InputTensor {
     /// transposing (with cost accounted) otherwise.
     pub fn contract_mode(&mut self, mode: usize, factor: &Matrix) -> FirstLevel {
         assert!(mode < self.order);
+        assert!(
+            self.sparse.is_none(),
+            "dense first-level contraction on a sparse input (engine bug)"
+        );
         let r = factor.cols();
         let total = self.len();
         let flops = 2 * total as u64 * r as u64;
@@ -263,8 +325,13 @@ impl InputTensor {
         }
     }
 
-    /// Which original modes are contractible without a transpose.
+    /// Which original modes are contractible without a transpose. Every
+    /// mode of a sparse input qualifies (the CSF forest has a tree rooted
+    /// at each).
     pub fn free_modes(&self) -> Vec<usize> {
+        if self.sparse.is_some() {
+            return (0..self.order).collect();
+        }
         let mut v: Vec<usize> = self
             .layouts
             .iter()

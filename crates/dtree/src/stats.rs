@@ -67,6 +67,12 @@ pub struct KernelStats {
     pub gemm_fixed_n_calls: u64,
     /// Packed-GEMM calls on the generic-width panel path.
     pub gemm_generic_calls: u64,
+    /// Useful flops issued by the sparse CSF MTTKRP fast path
+    /// (`nnz · R · N` per call; sampled from the calling thread's
+    /// `pp_tensor::sparse` counters like the GEMM counters above).
+    pub sparse_mttkrp_flops: u64,
+    /// Leaf-parent fibers visited by the sparse CSF MTTKRP fast path.
+    pub sparse_fibers_visited: u64,
 }
 
 impl KernelStats {
@@ -123,6 +129,8 @@ impl KernelStats {
         self.gemm_packed_flops += other.gemm_packed_flops;
         self.gemm_fixed_n_calls += other.gemm_fixed_n_calls;
         self.gemm_generic_calls += other.gemm_generic_calls;
+        self.sparse_mttkrp_flops += other.sparse_mttkrp_flops;
+        self.sparse_fibers_visited += other.sparse_fibers_visited;
     }
 
     /// Fold a packed-GEMM counter delta (from
@@ -131,6 +139,13 @@ impl KernelStats {
         self.gemm_packed_flops += delta.flops;
         self.gemm_fixed_n_calls += delta.fixed_n_calls;
         self.gemm_generic_calls += delta.generic_calls;
+    }
+
+    /// Fold a sparse-kernel counter delta (from
+    /// `pp_tensor::sparse::thread_sparse_counters`) into the ledger.
+    pub fn add_sparse_delta(&mut self, delta: &pp_tensor::sparse::SparseCounters) {
+        self.sparse_mttkrp_flops += delta.flops;
+        self.sparse_fibers_visited += delta.fibers_visited;
     }
 
     /// Scale all timings (e.g. to average over sweeps).

@@ -90,11 +90,38 @@ pub enum DatasetSpec {
         hi: f64,
         seed: u64,
     },
+    /// `powerlaw_sparse(dims, nnz, skew, seed)` — a power-law
+    /// user×item×time style sampler. `nnz` is the sample count; duplicate
+    /// draws merge, so the stored nonzero count may land slightly below it.
+    SparsePowerlaw {
+        dims: Vec<usize>,
+        nnz: usize,
+        skew: f64,
+        seed: u64,
+    },
+    /// `sparse_lowrank(dims, gen_rank, density, seed)` — a planted CP
+    /// model observed on a uniform random coordinate set of the given
+    /// density.
+    SparseLowrank {
+        dims: Vec<usize>,
+        gen_rank: usize,
+        density: f64,
+        seed: u64,
+    },
 }
 
 impl DatasetSpec {
-    /// Materialize the tensor. May panic on degenerate parameters — the
-    /// scheduler isolates that per job.
+    /// Whether this spec materializes a sparse tensor (CSF path).
+    pub fn is_sparse(&self) -> bool {
+        matches!(
+            self,
+            DatasetSpec::SparsePowerlaw { .. } | DatasetSpec::SparseLowrank { .. }
+        )
+    }
+
+    /// Materialize a dense tensor. May panic on degenerate parameters —
+    /// the scheduler isolates that per job. Panics on sparse specs: those
+    /// build through [`DatasetSpec::build_sparse`] and never densify.
     pub fn build(&self) -> DenseTensor {
         match self {
             DatasetSpec::Lowrank {
@@ -120,6 +147,39 @@ impl DatasetSpec {
                 };
                 pp_datagen::collinearity::collinearity_tensor(&cfg, *seed).0
             }
+            other => panic!("sparse dataset {other:?} builds via build_sparse, not densify"),
+        }
+    }
+
+    /// Materialize a sparse tensor. Panics on dense specs.
+    pub fn build_sparse(&self) -> pp_tensor::sparse::SparseTensor {
+        match self {
+            DatasetSpec::SparsePowerlaw {
+                dims,
+                nnz,
+                skew,
+                seed,
+            } => pp_datagen::sparse::powerlaw_sparse(dims, *nnz, *skew, *seed),
+            DatasetSpec::SparseLowrank {
+                dims,
+                gen_rank,
+                density,
+                seed,
+            } => pp_datagen::sparse::sparse_lowrank(dims, *gen_rank, *density, *seed).0,
+            other => panic!("dense dataset {other:?} has no sparse build"),
+        }
+    }
+
+    /// A-priori nonzero count for sparse specs (sample-count upper bound
+    /// for the power-law sampler), None for dense ones.
+    pub fn est_nnz(&self) -> Option<usize> {
+        match self {
+            DatasetSpec::SparsePowerlaw { nnz, .. } => Some(*nnz),
+            DatasetSpec::SparseLowrank { dims, density, .. } => {
+                let volume: usize = dims.iter().product();
+                Some(((volume as f64) * density).round() as usize)
+            }
+            _ => None,
         }
     }
 }
@@ -222,9 +282,24 @@ impl JobSpec {
     /// retain two mode-sets across a sweep boundary), plus the PP pair
     /// operators and anchors for PP jobs.
     pub fn est_cache_elems(&self) -> usize {
+        // Sparse jobs hold no dimension-tree cache at all (the CSF kernel
+        // bypasses the tree); their admission-relevant footprint is the
+        // resident CSF forest — one tree per mode, each bounded by `order`
+        // index+pointer levels of at most `nnz` entries plus the value
+        // array. Density-aware by construction: for the planted sparse
+        // model `nnz = volume · density`.
+        if let Some(nnz) = self.dataset.est_nnz() {
+            let order = match &self.dataset {
+                DatasetSpec::SparsePowerlaw { dims, .. }
+                | DatasetSpec::SparseLowrank { dims, .. } => dims.len(),
+                _ => unreachable!("est_nnz is Some only for sparse specs"),
+            };
+            return order * (2 * order + 1) * nnz;
+        }
         let dims: Vec<usize> = match &self.dataset {
             DatasetSpec::Lowrank { dims, .. } => dims.clone(),
             DatasetSpec::Collinearity { s, order, .. } => vec![*s; *order],
+            _ => unreachable!("sparse specs returned above"),
         };
         let total: usize = dims.iter().product();
         let min_dim = dims.iter().copied().min().unwrap_or(1).max(1);
@@ -256,23 +331,169 @@ impl JobSpec {
     }
 }
 
-fn parse_num<T: std::str::FromStr>(key: &str, v: &str, line_no: usize) -> Result<T, String>
+/// The dataset vocabulary, shared by the rejection message.
+pub const DATASET_NAMES: &str = "lowrank|collinearity|sparse-powerlaw|sparse-lowrank";
+
+fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String>
 where
     T::Err: std::fmt::Display,
 {
     v.parse()
-        .map_err(|e| format!("line {line_no}: invalid value for {key}: {e}"))
+        .map_err(|e| format!("invalid value for {key}: {e}"))
 }
 
 /// Parse `AxBxC` dims.
-fn parse_dims(v: &str, line_no: usize) -> Result<Vec<usize>, String> {
+fn parse_dims(v: &str) -> Result<Vec<usize>, String> {
     let dims: Result<Vec<usize>, _> = v.split('x').map(|d| d.parse::<usize>()).collect();
     match dims {
         Ok(d) if d.len() >= 2 => Ok(d),
-        _ => Err(format!(
-            "line {line_no}: invalid dims '{v}' (expected e.g. 16x14x15)"
-        )),
+        _ => Err(format!("invalid dims '{v}' (expected e.g. 16x14x15)")),
     }
+}
+
+/// Dataset keys collected as tokens stream by, assembled into a
+/// [`DatasetSpec`] once the whole line is read (so key order within the
+/// line does not matter).
+struct DatasetKeys {
+    dataset: String,
+    dims: Vec<usize>,
+    gen_rank: usize,
+    noise: f64,
+    data_seed: u64,
+    s: usize,
+    r: usize,
+    order: usize,
+    lo: f64,
+    hi: f64,
+    nnz: usize,
+    skew: f64,
+    density: f64,
+}
+
+impl Default for DatasetKeys {
+    fn default() -> Self {
+        DatasetKeys {
+            dataset: "lowrank".into(),
+            dims: vec![16, 14, 15],
+            gen_rank: 4,
+            noise: 0.05,
+            data_seed: 7,
+            s: 14,
+            r: 4,
+            order: 3,
+            lo: 0.5,
+            hi: 0.7,
+            nnz: 2000,
+            skew: 2.0,
+            density: 0.01,
+        }
+    }
+}
+
+impl DatasetKeys {
+    fn into_spec(self) -> DatasetSpec {
+        match self.dataset.as_str() {
+            "lowrank" => DatasetSpec::Lowrank {
+                dims: self.dims,
+                gen_rank: self.gen_rank,
+                noise: self.noise,
+                seed: self.data_seed,
+            },
+            "collinearity" => DatasetSpec::Collinearity {
+                s: self.s,
+                r: self.r,
+                order: self.order,
+                lo: self.lo,
+                hi: self.hi,
+                seed: self.data_seed,
+            },
+            "sparse-powerlaw" => DatasetSpec::SparsePowerlaw {
+                dims: self.dims,
+                nnz: self.nnz,
+                skew: self.skew,
+                seed: self.data_seed,
+            },
+            _ => DatasetSpec::SparseLowrank {
+                dims: self.dims,
+                gen_rank: self.gen_rank,
+                density: self.density,
+                seed: self.data_seed,
+            },
+        }
+    }
+}
+
+/// Apply one `key=value` token to the job being assembled. Errors are
+/// plain messages; the caller wraps them with the line number and the
+/// offending token.
+fn apply_token(
+    job: &mut JobSpec,
+    dk: &mut DatasetKeys,
+    key: &str,
+    value: &str,
+) -> Result<(), String> {
+    match key {
+        "name" => job.name = value.to_string(),
+        "method" => job.method = JobMethod::parse(value)?,
+        "dataset" => match value {
+            "lowrank" | "collinearity" | "sparse-powerlaw" | "sparse-lowrank" => {
+                dk.dataset = value.to_string()
+            }
+            other => return Err(format!("unknown dataset '{other}' ({DATASET_NAMES})")),
+        },
+        "dims" => dk.dims = parse_dims(value)?,
+        "gen-rank" => dk.gen_rank = parse_num(key, value)?,
+        "noise" => dk.noise = parse_num(key, value)?,
+        "data-seed" => dk.data_seed = parse_num(key, value)?,
+        "s" => dk.s = parse_num(key, value)?,
+        "r" => dk.r = parse_num(key, value)?,
+        "order" => dk.order = parse_num(key, value)?,
+        "lo" => dk.lo = parse_num(key, value)?,
+        "hi" => dk.hi = parse_num(key, value)?,
+        "nnz" => {
+            dk.nnz = parse_num(key, value)?;
+            if dk.nnz == 0 {
+                return Err("nnz must be at least 1".into());
+            }
+        }
+        "skew" => {
+            dk.skew = parse_num(key, value)?;
+            if dk.skew < 1.0 {
+                return Err(format!("skew must be at least 1.0, got {}", dk.skew));
+            }
+        }
+        "density" => {
+            dk.density = parse_num(key, value)?;
+            if !(dk.density > 0.0 && dk.density <= 1.0) {
+                return Err(format!("density must be in (0, 1], got {}", dk.density));
+            }
+        }
+        "rank" => job.rank = parse_num(key, value)?,
+        "sweeps" => job.max_sweeps = parse_num(key, value)?,
+        "tol" => job.tol = parse_num(key, value)?,
+        "pp-tol" => job.pp_tol = parse_num(key, value)?,
+        "seed" => job.seed = parse_num(key, value)?,
+        "threads" => {
+            let t: usize = parse_num(key, value)?;
+            if t == 0 {
+                return Err("threads must be at least 1".into());
+            }
+            job.threads = Some(t);
+        }
+        "policy" => job.policy = SchedPolicy::parse(value)?,
+        "priority" => job.priority = parse_num(key, value)?,
+        "deadline" => job.deadline = parse_num(key, value)?,
+        "fail-after" => job.fail_after = Some(parse_num(key, value)?),
+        "lookahead" => {
+            job.lookahead = match value {
+                "on" | "true" | "1" => true,
+                "off" | "false" | "0" => false,
+                other => return Err(format!("invalid lookahead '{other}' (on|off)")),
+            }
+        }
+        other => return Err(format!("unknown key '{other}'")),
+    }
+    Ok(())
 }
 
 /// Parse a jobs manifest. See the module docs for the format.
@@ -295,91 +516,23 @@ pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, String> {
             None => continue,
         }
         let mut job = JobSpec::new(format!("job{}", jobs.len()));
-        // Dataset keys are collected first and assembled once the dataset
-        // kind is known, so key order within the line does not matter.
-        let mut dataset = String::from("lowrank");
-        let mut dims: Vec<usize> = vec![16, 14, 15];
-        let mut gen_rank = 4usize;
-        let mut noise = 0.05f64;
-        let mut data_seed = 7u64;
-        let (mut s, mut r, mut order) = (14usize, 4usize, 3usize);
-        let (mut lo, mut hi) = (0.5f64, 0.7f64);
+        let mut dk = DatasetKeys::default();
         for tok in tokens {
             let (key, value) = tok
                 .split_once('=')
                 .ok_or_else(|| format!("line {line_no}: expected key=value, found '{tok}'"))?;
-            match key {
-                "name" => job.name = value.to_string(),
-                "method" => {
-                    job.method =
-                        JobMethod::parse(value).map_err(|e| format!("line {line_no}: {e}"))?
-                }
-                "dataset" => match value {
-                    "lowrank" | "collinearity" => dataset = value.to_string(),
-                    other => {
-                        return Err(format!(
-                            "line {line_no}: unknown dataset '{other}' (lowrank|collinearity)"
-                        ))
-                    }
-                },
-                "dims" => dims = parse_dims(value, line_no)?,
-                "gen-rank" => gen_rank = parse_num(key, value, line_no)?,
-                "noise" => noise = parse_num(key, value, line_no)?,
-                "data-seed" => data_seed = parse_num(key, value, line_no)?,
-                "s" => s = parse_num(key, value, line_no)?,
-                "r" => r = parse_num(key, value, line_no)?,
-                "order" => order = parse_num(key, value, line_no)?,
-                "lo" => lo = parse_num(key, value, line_no)?,
-                "hi" => hi = parse_num(key, value, line_no)?,
-                "rank" => job.rank = parse_num(key, value, line_no)?,
-                "sweeps" => job.max_sweeps = parse_num(key, value, line_no)?,
-                "tol" => job.tol = parse_num(key, value, line_no)?,
-                "pp-tol" => job.pp_tol = parse_num(key, value, line_no)?,
-                "seed" => job.seed = parse_num(key, value, line_no)?,
-                "threads" => {
-                    let t: usize = parse_num(key, value, line_no)?;
-                    if t == 0 {
-                        return Err(format!("line {line_no}: threads must be at least 1"));
-                    }
-                    job.threads = Some(t);
-                }
-                "policy" => {
-                    job.policy =
-                        SchedPolicy::parse(value).map_err(|e| format!("line {line_no}: {e}"))?
-                }
-                "priority" => job.priority = parse_num(key, value, line_no)?,
-                "deadline" => job.deadline = parse_num(key, value, line_no)?,
-                "fail-after" => job.fail_after = Some(parse_num(key, value, line_no)?),
-                "lookahead" => {
-                    job.lookahead = match value {
-                        "on" | "true" | "1" => true,
-                        "off" | "false" | "0" => false,
-                        other => {
-                            return Err(format!(
-                                "line {line_no}: invalid lookahead '{other}' (on|off)"
-                            ))
-                        }
-                    }
-                }
-                other => return Err(format!("line {line_no}: unknown key '{other}'")),
-            }
+            apply_token(&mut job, &mut dk, key, value)
+                .map_err(|e| format!("line {line_no}: {e} (offending token '{tok}')"))?;
         }
-        job.dataset = match dataset.as_str() {
-            "lowrank" => DatasetSpec::Lowrank {
-                dims,
-                gen_rank,
-                noise,
-                seed: data_seed,
-            },
-            _ => DatasetSpec::Collinearity {
-                s,
-                r,
-                order,
-                lo,
-                hi,
-                seed: data_seed,
-            },
-        };
+        let sparse = matches!(dk.dataset.as_str(), "sparse-powerlaw" | "sparse-lowrank");
+        if sparse && job.method != JobMethod::Dt {
+            return Err(format!(
+                "line {line_no}: dataset '{}' requires method=dt (sparse inputs run exact \
+                 ALS over the standard dimension tree)",
+                dk.dataset
+            ));
+        }
+        job.dataset = dk.into_spec();
         jobs.push(job);
     }
     Ok(jobs)
@@ -428,26 +581,135 @@ mod tests {
     }
 
     #[test]
-    fn errors_name_the_line() {
-        for (text, needle) in [
-            ("job method=turbo", "unknown method 'turbo'"),
-            ("job dataset=netflix", "unknown dataset 'netflix'"),
-            ("job rank=abc", "invalid value for rank"),
-            ("job frobnicate=1", "unknown key 'frobnicate'"),
-            ("job rank", "expected key=value"),
-            ("run name=a", "expected a 'job' declaration"),
-            ("job threads=0", "threads must be at least 1"),
-            ("job dims=7", "invalid dims"),
-            ("job lookahead=maybe", "invalid lookahead"),
-            ("job policy=fifo", "unknown policy 'fifo'"),
-            ("job priority=high", "invalid value for priority"),
-            ("job deadline=soon", "invalid value for deadline"),
-            ("job fail-after=x", "invalid value for fail-after"),
+    fn errors_name_the_line_and_token() {
+        // Every key-level error reports the 1-based line number AND the
+        // offending `key=value` token verbatim.
+        for (text, needle, token) in [
+            (
+                "job method=turbo",
+                "unknown method 'turbo'",
+                Some("method=turbo"),
+            ),
+            (
+                "job dataset=netflix",
+                "unknown dataset 'netflix'",
+                Some("dataset=netflix"),
+            ),
+            ("job rank=abc", "invalid value for rank", Some("rank=abc")),
+            (
+                "job frobnicate=1",
+                "unknown key 'frobnicate'",
+                Some("frobnicate=1"),
+            ),
+            ("job rank", "expected key=value", None),
+            ("run name=a", "expected a 'job' declaration", None),
+            (
+                "job threads=0",
+                "threads must be at least 1",
+                Some("threads=0"),
+            ),
+            ("job dims=7", "invalid dims", Some("dims=7")),
+            (
+                "job lookahead=maybe",
+                "invalid lookahead",
+                Some("lookahead=maybe"),
+            ),
+            (
+                "job policy=fifo",
+                "unknown policy 'fifo'",
+                Some("policy=fifo"),
+            ),
+            (
+                "job priority=high",
+                "invalid value for priority",
+                Some("priority=high"),
+            ),
+            (
+                "job deadline=soon",
+                "invalid value for deadline",
+                Some("deadline=soon"),
+            ),
+            (
+                "job fail-after=x",
+                "invalid value for fail-after",
+                Some("fail-after=x"),
+            ),
+            ("job nnz=0", "nnz must be at least 1", Some("nnz=0")),
+            (
+                "job skew=0.5",
+                "skew must be at least 1.0",
+                Some("skew=0.5"),
+            ),
+            (
+                "job density=1.5",
+                "density must be in (0, 1]",
+                Some("density=1.5"),
+            ),
+            (
+                "job dataset=sparse-powerlaw method=pp",
+                "requires method=dt",
+                None,
+            ),
         ] {
             let err = parse_manifest(text).unwrap_err();
             assert!(err.contains(needle), "{text}: {err}");
             assert!(err.contains("line 1"), "{text}: {err}");
+            if let Some(tok) = token {
+                assert!(
+                    err.contains(&format!("offending token '{tok}'")),
+                    "{text}: {err}"
+                );
+            }
         }
+        // The line number reflects the failing line, not the first.
+        let err = parse_manifest("job name=ok\njob rank=abc\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("offending token 'rank=abc'"), "{err}");
+        // The dataset rejection enumerates the full vocabulary.
+        let err = parse_manifest("job dataset=netflix").unwrap_err();
+        for name in [
+            "lowrank",
+            "collinearity",
+            "sparse-powerlaw",
+            "sparse-lowrank",
+        ] {
+            assert!(err.contains(name), "{err}");
+        }
+    }
+
+    #[test]
+    fn sparse_datasets_parse() {
+        let jobs = parse_manifest(
+            "job name=pl dataset=sparse-powerlaw dims=64x48x32 nnz=500 skew=1.5 \
+             data-seed=3 method=dt rank=4\n\
+             job name=lr dataset=sparse-lowrank dims=20x20x20 gen-rank=3 density=0.05 \
+             data-seed=4 method=dt\n",
+        )
+        .unwrap();
+        assert_eq!(
+            jobs[0].dataset,
+            DatasetSpec::SparsePowerlaw {
+                dims: vec![64, 48, 32],
+                nnz: 500,
+                skew: 1.5,
+                seed: 3,
+            }
+        );
+        assert!(jobs[0].dataset.is_sparse());
+        assert_eq!(jobs[0].method, JobMethod::Dt);
+        assert_eq!(
+            jobs[1].dataset,
+            DatasetSpec::SparseLowrank {
+                dims: vec![20, 20, 20],
+                gen_rank: 3,
+                density: 0.05,
+                seed: 4,
+            }
+        );
+        // est_nnz is density-aware: 8000 elements at 5%.
+        assert_eq!(jobs[1].dataset.est_nnz(), Some(400));
+        assert_eq!(jobs[0].dataset.est_nnz(), Some(500));
+        assert!(!JobSpec::new("d").dataset.is_sparse());
     }
 
     #[test]
@@ -485,6 +747,26 @@ mod tests {
         j.method = JobMethod::Pp;
         let pp_extra = (10 + 8 + 12) * 4 + (10 * 8 + 10 * 12 + 8 * 12) * 4;
         assert_eq!(j.est_cache_elems(), 2 * 10 * 12 * 4 + pp_extra);
+        // Sparse estimates scale with nnz (the CSF forest), not volume.
+        j.method = JobMethod::Dt;
+        j.dataset = DatasetSpec::SparsePowerlaw {
+            dims: vec![100, 100, 100],
+            nnz: 500,
+            skew: 2.0,
+            seed: 1,
+        };
+        assert_eq!(j.est_cache_elems(), 3 * 7 * 500);
+        j.dataset = DatasetSpec::SparseLowrank {
+            dims: vec![100, 100, 100],
+            gen_rank: 3,
+            density: 0.001,
+            seed: 1,
+        };
+        assert_eq!(j.est_cache_elems(), 3 * 7 * 1000);
+        assert!(
+            j.est_cache_elems() < 2 * 100 * 100 * 4,
+            "sparse estimate must undercut the dense formula at low density"
+        );
     }
 
     #[test]

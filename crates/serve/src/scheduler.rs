@@ -386,7 +386,6 @@ impl SchedState {
 fn construct(sh: &Shared<'_>, idx: usize) -> Result<(AlsSession, usize), String> {
     let spec = &sh.specs[idx];
     let built = catch_unwind(AssertUnwindSafe(|| {
-        let tensor = spec.dataset.build();
         let mut als_cfg = spec.als_config();
         if sh.cfg.drivers > 1 {
             // Concurrent per-job pool pins of different widths would
@@ -398,19 +397,39 @@ fn construct(sh: &Shared<'_>, idx: usize) -> Result<(AlsSession, usize), String>
             .cfg
             .checkpoint_dir
             .as_ref()
-            .map(|d| checkpoint_path(d, idx));
-        if let Some(path) = ckpt.filter(|p| p.exists()) {
-            let (session, tag) = AlsSession::resume_from_disk(&path, &tensor)
-                .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
+            .map(|d| checkpoint_path(d, idx))
+            .filter(|p| p.exists());
+        let verify_tag = |tag: u64, path: &Path| {
             assert_eq!(
                 tag,
                 spec_fingerprint(spec),
                 "checkpoint {} was written by a different job spec",
                 path.display()
             );
-            session
+        };
+        if spec.dataset.is_sparse() {
+            // CSF path: the tensor never densifies; sessions run exact ALS
+            // over the standard tree (enforced by the manifest parser and
+            // asserted by the session constructor).
+            let sp = spec.dataset.build_sparse();
+            if let Some(path) = ckpt {
+                let (session, tag) = AlsSession::resume_from_disk_sparse(&path, &sp)
+                    .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
+                verify_tag(tag, &path);
+                session
+            } else {
+                AlsSession::new_sparse(&sp, &als_cfg, spec.method.session_kind())
+            }
         } else {
-            AlsSession::new(&tensor, &als_cfg, spec.method.session_kind())
+            let tensor = spec.dataset.build();
+            if let Some(path) = ckpt {
+                let (session, tag) = AlsSession::resume_from_disk(&path, &tensor)
+                    .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
+                verify_tag(tag, &path);
+                session
+            } else {
+                AlsSession::new(&tensor, &als_cfg, spec.method.session_kind())
+            }
         }
     }));
     built

@@ -2,11 +2,15 @@
 //! interleaved batch is **bit-identical** to running that job alone with
 //! the monolithic driver (acceptance criterion of the session refactor).
 
-use pp_core::{cp_als, nn_cp_als, pp_cp_als, AlsOutput};
+use pp_core::{cp_als, nn_cp_als, pp_cp_als, AlsOutput, AlsSession};
 use pp_serve::{parse_manifest, run_batch, JobMethod, JobSpec, ServeConfig};
 
 /// Run `spec` alone through the matching monolithic driver.
 fn solo(spec: &JobSpec) -> AlsOutput {
+    if spec.dataset.is_sparse() {
+        let sp = spec.dataset.build_sparse();
+        return AlsSession::new_sparse(&sp, &spec.als_config(), spec.method.session_kind()).run();
+    }
     let t = spec.dataset.build();
     let cfg = spec.als_config();
     match spec.method {
@@ -85,6 +89,48 @@ fn parity_holds_without_parking() {
     for (spec, result) in jobs.iter().zip(report.jobs.iter()) {
         assert_bitwise(&spec.name, &solo(spec), result.output.as_ref().unwrap());
     }
+}
+
+/// Sparse CSF jobs alongside a dense tenant in one batch.
+const SPARSE_MANIFEST: &str = "\
+job name=sp-pl dataset=sparse-powerlaw dims=24x20x16 nnz=300 skew=1.5 data-seed=5 method=dt rank=3 sweeps=5 tol=0.0
+job name=sp-lr dataset=sparse-lowrank dims=18x16x14 gen-rank=3 density=0.05 data-seed=6 method=dt rank=3 sweeps=6 tol=0.0
+job name=dense method=msdt rank=3 sweeps=4 tol=0.0 dims=10x9x8 gen-rank=3 noise=0.05 data-seed=11
+";
+
+#[test]
+fn sparse_jobs_interleave_with_dense_bitwise() {
+    let jobs = parse_manifest(SPARSE_MANIFEST).unwrap();
+    assert_eq!(jobs.len(), 3);
+    assert!(jobs[0].dataset.is_sparse() && jobs[1].dataset.is_sparse());
+    let report = run_batch(&jobs, &ServeConfig::new(3)).unwrap();
+    assert_eq!(report.failed(), 0, "no job may fail");
+    for (spec, result) in jobs.iter().zip(report.jobs.iter()) {
+        let batched = result.output.as_ref().expect("completed job has output");
+        assert_bitwise(&spec.name, &solo(spec), batched);
+    }
+}
+
+#[test]
+fn sparse_jobs_checkpoint_and_resume_bitwise() {
+    let jobs = parse_manifest(SPARSE_MANIFEST).unwrap();
+    let dir = std::env::temp_dir().join(format!("pp-serve-sparse-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Drain mid-batch: every in-flight job parks to disk.
+    let cfg = ServeConfig::new(3)
+        .with_checkpoint_dir(&dir)
+        .with_stop_after_turns(4);
+    let drained = run_batch(&jobs, &cfg).unwrap();
+    assert_eq!(drained.parked(), 3);
+    // Re-running the manifest resumes each job from its checkpoint and
+    // completes bit-identically to the uninterrupted solo run.
+    let resumed = run_batch(&jobs, &ServeConfig::new(3).with_checkpoint_dir(&dir)).unwrap();
+    assert_eq!(resumed.failed(), 0);
+    assert_eq!(resumed.completed(), 3);
+    for (spec, result) in jobs.iter().zip(resumed.jobs.iter()) {
+        assert_bitwise(&spec.name, &solo(spec), result.output.as_ref().unwrap());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

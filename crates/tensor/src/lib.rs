@@ -40,11 +40,13 @@ pub mod rng;
 pub mod shape;
 pub(crate) mod simd;
 pub mod solve;
+pub mod sparse;
 pub mod transpose;
 
 pub use dense::DenseTensor;
 pub use matrix::Matrix;
 pub use shape::Shape;
+pub use sparse::{CsfTensor, SparseTensor};
 
 /// Commonly used items, for glob import in downstream crates and examples.
 pub mod prelude {
@@ -57,5 +59,6 @@ pub mod prelude {
     pub use crate::matrix::{hadamard_chain_skip, Matrix};
     pub use crate::shape::Shape;
     pub use crate::solve::{solve_gram, SolveMethod};
+    pub use crate::sparse::{sparse_mttkrp, CsfTensor, SparseTensor};
     pub use crate::transpose::{move_mode_first, move_mode_last, permute};
 }

@@ -1,0 +1,664 @@
+//! Compressed-sparse-fiber tensors and the pool-parallel sparse MTTKRP.
+//!
+//! Production-scale user × item × time tensors are overwhelmingly sparse;
+//! densifying them burns `O(∏ Iₙ)` flops and memory on zeros. This module
+//! adds the sparse fast path: a sorted-coordinate ([`SparseTensor`]) ingest
+//! format, a per-mode compressed-sparse-fiber forest ([`CsfTensor`]), and a
+//! deterministic pool-parallel MTTKRP kernel ([`sparse_mttkrp`]) whose
+//! flops are proportional to `nnz · R` instead of the dense volume.
+//!
+//! # Bitwise parity with the dense oracle
+//!
+//! [`sparse_mttkrp`] is **bit-identical** to densifying and running
+//! [`crate::kernels::naive::mttkrp_pointwise`] on the result:
+//!
+//! * Each CSF tree roots at the MTTKRP target mode `n` and orders the
+//!   remaining levels by **ascending** original mode — so a depth-first
+//!   traversal visits the nonzeros of each output row in the dense
+//!   kernel's row-major order, and the per-leaf product
+//!   `v · ∏_{m≠n} A^(m)[i_m, r]` multiplies factors in the dense kernel's
+//!   ascending-mode order.
+//! * Skipping structural zeros is IEEE-safe: accumulators start at `+0.0`
+//!   and never become `-0.0` (a `±0.0` contribution never flips the sign
+//!   of a `+0.0` accumulator under round-to-nearest), so dropping the
+//!   zero terms leaves every partial sum bit-identical.
+//! * Parallelism follows the packed GEMM's one-accumulator-per-element
+//!   discipline: the output rows are partitioned into contiguous blocks
+//!   and each row is written by exactly one task, which accumulates its
+//!   fibers in the same order the serial loop would — bit-identical at
+//!   any thread count.
+
+use crate::dense::DenseTensor;
+use crate::matrix::Matrix;
+use crate::shape::Shape;
+use rayon::prelude::*;
+use std::cell::Cell;
+
+/// A sparse tensor in sorted-coordinate (COO) form: lexicographically
+/// sorted index tuples with duplicate coordinates merged (summed in sorted
+/// order) and explicit zeros dropped at ingest.
+#[derive(Clone, Debug)]
+pub struct SparseTensor {
+    dims: Vec<usize>,
+    /// `nnz × order` flattened index tuples, lexicographically sorted.
+    inds: Vec<u32>,
+    /// Values aligned with `inds` chunks.
+    vals: Vec<f64>,
+}
+
+impl SparseTensor {
+    /// Ingest unsorted COO data: `inds` holds `vals.len()` index tuples of
+    /// `dims.len()` coordinates each, flattened. Entries are sorted
+    /// lexicographically; duplicates are merged by summation (in sorted
+    /// order, so the merge is deterministic) and zero values are dropped.
+    pub fn from_coo(dims: Vec<usize>, inds: Vec<usize>, vals: Vec<f64>) -> Self {
+        let order = dims.len();
+        assert!(order >= 2, "sparse tensors need order >= 2");
+        assert!(dims.iter().all(|&d| d > 0), "zero-extent mode");
+        assert!(
+            dims.iter().all(|&d| d <= u32::MAX as usize),
+            "mode extent exceeds u32"
+        );
+        assert_eq!(inds.len(), vals.len() * order, "ragged COO input");
+        for (e, tuple) in inds.chunks_exact(order).enumerate() {
+            for (m, (&i, &d)) in tuple.iter().zip(dims.iter()).enumerate() {
+                assert!(i < d, "entry {e}: index {i} out of range for mode {m}");
+            }
+        }
+        let nnz_in = vals.len();
+        let mut perm: Vec<usize> = (0..nnz_in).collect();
+        perm.sort_by(|&a, &b| {
+            inds[a * order..(a + 1) * order].cmp(&inds[b * order..(b + 1) * order])
+        });
+        let mut out_inds: Vec<u32> = Vec::with_capacity(inds.len());
+        let mut out_vals: Vec<f64> = Vec::with_capacity(nnz_in);
+        for &e in &perm {
+            let tuple = &inds[e * order..(e + 1) * order];
+            let dup = !out_vals.is_empty() && {
+                let last = &out_inds[(out_vals.len() - 1) * order..];
+                last.iter()
+                    .zip(tuple.iter())
+                    .all(|(&a, &b)| a as usize == b)
+            };
+            if dup {
+                *out_vals.last_mut().unwrap() += vals[e];
+            } else {
+                out_inds.extend(tuple.iter().map(|&i| i as u32));
+                out_vals.push(vals[e]);
+            }
+        }
+        // Drop exact zeros (including merged cancellations): a zero entry
+        // contributes `±0.0` products, which the parity argument above
+        // shows are no-ops on every accumulator.
+        let mut inds = Vec::with_capacity(out_inds.len());
+        let mut vals = Vec::with_capacity(out_vals.len());
+        for (e, &v) in out_vals.iter().enumerate() {
+            if v != 0.0 {
+                inds.extend_from_slice(&out_inds[e * order..(e + 1) * order]);
+                vals.push(v);
+            }
+        }
+        SparseTensor { dims, inds, vals }
+    }
+
+    /// Extract the nonzero pattern of a dense tensor.
+    pub fn from_dense(t: &DenseTensor) -> Self {
+        let order = t.order();
+        let mut inds = Vec::new();
+        let mut vals = Vec::new();
+        for idx in t.shape().indices() {
+            let v = t.get(&idx);
+            if v != 0.0 {
+                inds.extend_from_slice(&idx[..order]);
+                vals.push(v);
+            }
+        }
+        SparseTensor::from_coo(t.shape().dims().to_vec(), inds, vals)
+    }
+
+    /// Densify (the oracle path for parity tests and benchmarks).
+    pub fn to_dense(&self) -> DenseTensor {
+        let shape = Shape::new(self.dims.clone());
+        let strides = shape.strides();
+        let mut t = DenseTensor::zeros(shape);
+        let data = t.data_mut();
+        let order = self.dims.len();
+        for (e, &v) in self.vals.iter().enumerate() {
+            let lin: usize = self.inds[e * order..(e + 1) * order]
+                .iter()
+                .zip(strides.iter())
+                .map(|(&i, &s)| i as usize * s)
+                .sum();
+            data[lin] = v;
+        }
+        t
+    }
+
+    /// Tensor order.
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Mode extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Extent of mode `m`.
+    pub fn dim(&self, m: usize) -> usize {
+        self.dims[m]
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when no nonzeros are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// `nnz / ∏ dims` (dense volume computed in f64 to avoid overflow).
+    pub fn density(&self) -> f64 {
+        let vol: f64 = self.dims.iter().map(|&d| d as f64).product();
+        self.vals.len() as f64 / vol
+    }
+
+    /// Stored values, in lexicographic coordinate order.
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Flattened sorted index tuples (`nnz × order`).
+    pub fn inds(&self) -> &[u32] {
+        &self.inds
+    }
+
+    /// Index tuple of stored entry `e`.
+    pub fn idx(&self, e: usize) -> &[u32] {
+        let order = self.dims.len();
+        &self.inds[e * order..(e + 1) * order]
+    }
+
+    /// Squared Frobenius norm — bit-identical to densifying first:
+    /// the sum skips only `+0.0` terms of a nonnegative running sum.
+    pub fn norm_sq(&self) -> f64 {
+        self.vals.iter().map(|v| v * v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+}
+
+/// One level of a CSF tree: node indices plus (for non-leaf levels) the
+/// child span of each node in the next level. The leaf level's "children"
+/// are value slots, aligned with the tree's `vals`.
+struct CsfLevel {
+    inds: Vec<u32>,
+    /// `ptr[k]..ptr[k+1]` = children of node `k`; `len = inds.len() + 1`.
+    ptr: Vec<usize>,
+}
+
+/// A compressed-sparse-fiber tree rooted at one target mode.
+pub struct CsfTree {
+    /// The MTTKRP target mode this tree serves (its root level).
+    root_mode: usize,
+    /// Remaining modes in root→leaf level order: ascending, the
+    /// parity-preserving choice (see the module docs).
+    sub_modes: Vec<usize>,
+    /// `levels[0]` is the root; `levels[order-1]` is the leaf level.
+    levels: Vec<CsfLevel>,
+    /// Leaf values, aligned with the leaf level's `inds`.
+    vals: Vec<f64>,
+}
+
+impl CsfTree {
+    /// Number of leaf-parent fibers (the unit of kernel inner loops).
+    pub fn fiber_count(&self) -> usize {
+        let order = self.levels.len();
+        if order >= 2 {
+            self.levels[order - 2].inds.len()
+        } else {
+            0
+        }
+    }
+}
+
+/// The per-mode CSF forest: one fiber tree per MTTKRP target mode, all
+/// derived from one canonically sorted coordinate list. Ordering
+/// heuristic: tree `n` roots at mode `n` (so each output row is owned by
+/// exactly one root node) and keeps the remaining levels ascending; its
+/// sorted entry order is recovered from the canonical order with a single
+/// stable counting sort on the root coordinate — `O(nnz + Iₙ)` per tree
+/// rather than a full comparison sort.
+pub struct CsfTensor {
+    dims: Vec<usize>,
+    nnz: usize,
+    trees: Vec<CsfTree>,
+}
+
+impl CsfTensor {
+    /// Build the full forest (one tree per mode).
+    pub fn build(sp: &SparseTensor) -> Self {
+        let order = sp.order();
+        let trees = (0..order).map(|n| build_tree(sp, n)).collect();
+        CsfTensor {
+            dims: sp.dims().to_vec(),
+            nnz: sp.nnz(),
+            trees,
+        }
+    }
+
+    /// Tensor order.
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Mode extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Nonzeros represented by every tree.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The fiber tree rooted at target mode `n`.
+    pub fn tree(&self, n: usize) -> &CsfTree {
+        &self.trees[n]
+    }
+
+    /// Forest memory footprint in f64-equivalent words (index words are
+    /// counted at their true size) — the admission-control estimate.
+    pub fn memory_words(&self) -> usize {
+        let mut bytes = 0usize;
+        for t in &self.trees {
+            for l in &t.levels {
+                bytes += l.inds.len() * 4 + l.ptr.len() * 8;
+            }
+            bytes += t.vals.len() * 8;
+        }
+        bytes / 8
+    }
+}
+
+/// Build the CSF tree for target mode `n`: stable counting sort of the
+/// canonical entry order by the mode-`n` coordinate, then one compression
+/// scan per level.
+fn build_tree(sp: &SparseTensor, n: usize) -> CsfTree {
+    let order = sp.order();
+    let nnz = sp.nnz();
+    let sub_modes: Vec<usize> = (0..order).filter(|&m| m != n).collect();
+    // Counting sort: entry order becomes (i_n, canonical) — i.e. for a
+    // fixed root index, sub-level coordinates stay in ascending-mode
+    // lexicographic order, which is exactly the dense kernel's row-major
+    // visit order restricted to that output row.
+    let mut counts = vec![0usize; sp.dim(n) + 1];
+    for e in 0..nnz {
+        counts[sp.idx(e)[n] as usize + 1] += 1;
+    }
+    for k in 1..counts.len() {
+        counts[k] += counts[k - 1];
+    }
+    let mut entry_at = vec![0usize; nnz];
+    for e in 0..nnz {
+        let i = sp.idx(e)[n] as usize;
+        entry_at[counts[i]] = e;
+        counts[i] += 1;
+    }
+    // Level order: root mode n, then sub_modes ascending.
+    let level_mode = |l: usize| if l == 0 { n } else { sub_modes[l - 1] };
+    let mut levels: Vec<CsfLevel> = (0..order)
+        .map(|_| CsfLevel {
+            inds: Vec::new(),
+            ptr: Vec::new(),
+        })
+        .collect();
+    let mut vals = Vec::with_capacity(nnz);
+    for (pos, &e) in entry_at.iter().enumerate() {
+        let idx = sp.idx(e);
+        // First level whose path coordinate differs from the previous
+        // entry (entries are sorted in level order); a fresh node there
+        // forces fresh nodes at every deeper level. Duplicates were merged
+        // at ingest, so every entry opens at least a fresh leaf.
+        let mut split = 0;
+        if pos > 0 {
+            let prev = sp.idx(entry_at[pos - 1]);
+            while split < order && idx[level_mode(split)] == prev[level_mode(split)] {
+                split += 1;
+            }
+            debug_assert!(split < order, "duplicate coordinate in sorted COO");
+        }
+        for l in split..order {
+            if l + 1 < order {
+                // Child span of the fresh node starts at the next level's
+                // current length (its first child is pushed right after).
+                let start = levels[l + 1].inds.len();
+                levels[l].ptr.push(start);
+            }
+            levels[l].inds.push(idx[level_mode(l)]);
+        }
+        vals.push(sp.vals()[e]);
+    }
+    // Close the last open node at each non-leaf level.
+    for l in 0..order - 1 {
+        let end = levels[l + 1].inds.len();
+        levels[l].ptr.push(end);
+    }
+    CsfTree {
+        root_mode: n,
+        sub_modes,
+        levels,
+        vals,
+    }
+}
+
+/// Per-thread sparse-kernel counters, sampled around engine calls exactly
+/// like [`crate::gemm::GemmCounters`]: the kernel entry point runs on the
+/// sampling thread (pool workers only fill output blocks), so a driver
+/// sees its own calls even while other sessions compute concurrently.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SparseCounters {
+    /// Sparse MTTKRP invocations.
+    pub calls: u64,
+    /// Useful flops issued: `nnz · R · N` per call (`N−1` multiplies plus
+    /// one accumulate per nonzero per rank column).
+    pub flops: u64,
+    /// Leaf-parent fibers visited across all calls.
+    pub fibers_visited: u64,
+}
+
+impl SparseCounters {
+    const ZERO: SparseCounters = SparseCounters {
+        calls: 0,
+        flops: 0,
+        fibers_visited: 0,
+    };
+
+    /// Delta between two snapshots of the same thread's counters.
+    pub fn since(&self, earlier: &SparseCounters) -> SparseCounters {
+        SparseCounters {
+            calls: self.calls - earlier.calls,
+            flops: self.flops - earlier.flops,
+            fibers_visited: self.fibers_visited - earlier.fibers_visited,
+        }
+    }
+}
+
+thread_local! {
+    static SPARSE_COUNTERS: Cell<SparseCounters> = const { Cell::new(SparseCounters::ZERO) };
+}
+
+/// Snapshot the calling thread's sparse-kernel counters (diff two
+/// snapshots with [`SparseCounters::since`]).
+pub fn thread_sparse_counters() -> SparseCounters {
+    SPARSE_COUNTERS.with(|c| c.get())
+}
+
+fn bump_counters(flops: u64, fibers: u64) {
+    SPARSE_COUNTERS.with(|c| {
+        let mut v = c.get();
+        v.calls += 1;
+        v.flops += flops;
+        v.fibers_visited += fibers;
+        c.set(v);
+    });
+}
+
+/// Rank-block oversubscription factor for the parallel row partition
+/// (like the GEMM's chunk oversubscription: enough blocks that dynamic
+/// claiming balances skewed fibers, few enough that scheduling stays
+/// cheap). Block geometry never affects results — each output row is
+/// accumulated by exactly one task in a fixed order.
+const ROW_BLOCK_OVERSUB: usize = 4;
+
+/// Work threshold (in `nnz · R` units) below which the kernel stays
+/// serial.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Sparse MTTKRP `M^(n) = X_(n) · ⨀_{j≠n} A^(j)` over the CSF forest.
+///
+/// Bit-identical to `mttkrp_pointwise(&csf_source.to_dense(), factors, n)`
+/// at any thread count — see the module docs for the argument.
+pub fn sparse_mttkrp(csf: &CsfTensor, factors: &[Matrix], n: usize) -> Matrix {
+    let order = csf.order();
+    assert_eq!(factors.len(), order, "one factor per mode");
+    assert!(n < order);
+    let r = factors[n].cols();
+    for (m, f) in factors.iter().enumerate() {
+        assert_eq!(f.rows(), csf.dims()[m], "factor {m} rows");
+        assert_eq!(f.cols(), r, "factor {m} rank");
+    }
+    let tree = csf.tree(n);
+    debug_assert_eq!(tree.root_mode, n);
+    let rows = csf.dims()[n];
+    let mut out = Matrix::zeros(rows, r);
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || csf.nnz() * r < PAR_THRESHOLD || rows == 0 {
+        accumulate_root_range(
+            tree,
+            factors,
+            0,
+            tree.levels[0].inds.len(),
+            0,
+            out.data_mut(),
+            r,
+        );
+    } else {
+        let block_rows = rows.div_ceil(ROW_BLOCK_OVERSUB * threads).max(1);
+        out.data_mut()
+            .par_chunks_mut(block_rows * r)
+            .enumerate()
+            .for_each(|(b, chunk)| {
+                let row0 = b * block_rows;
+                let row1 = row0 + chunk.len() / r;
+                let roots = &tree.levels[0].inds;
+                let lo = roots.partition_point(|&i| (i as usize) < row0);
+                let hi = roots.partition_point(|&i| (i as usize) < row1);
+                accumulate_root_range(tree, factors, lo, hi, row0, chunk, r);
+            });
+    }
+    bump_counters(
+        csf.nnz() as u64 * r as u64 * order as u64,
+        tree.fiber_count() as u64,
+    );
+    out
+}
+
+/// Accumulate root nodes `[lo, hi)` into `out`, a row-major block of `r`
+/// wide rows starting at output row `row0`. Each root node owns exactly
+/// one output row; fibers under it are visited in sorted order.
+fn accumulate_root_range(
+    tree: &CsfTree,
+    factors: &[Matrix],
+    lo: usize,
+    hi: usize,
+    row0: usize,
+    out: &mut [f64],
+    r: usize,
+) {
+    let order = tree.levels.len();
+    for root in lo..hi {
+        let row = tree.levels[0].inds[root] as usize - row0;
+        let out_row = &mut out[row * r..(row + 1) * r];
+        if order == 3 {
+            // The dominant order-3 fast path: fiber = (mid, leaf range).
+            let fa = &factors[tree.sub_modes[0]];
+            let fb = &factors[tree.sub_modes[1]];
+            let roots = &tree.levels[0];
+            let mids = &tree.levels[1];
+            let leaves = &tree.levels[2];
+            for mid in roots.ptr[root]..roots.ptr[root + 1] {
+                let row_a = fa.row(mids.inds[mid] as usize);
+                for leaf in mids.ptr[mid]..mids.ptr[mid + 1] {
+                    let v = tree.vals[leaf];
+                    let row_b = fb.row(leaves.inds[leaf] as usize);
+                    for rr in 0..r {
+                        out_row[rr] += v * row_a[rr] * row_b[rr];
+                    }
+                }
+            }
+        } else {
+            let mut path = vec![0usize; order];
+            path[0] = root;
+            descend(tree, factors, 1, root, &mut path, out_row, r);
+        }
+    }
+}
+
+/// Generic-order depth-first walk: at the leaf level, multiply the path's
+/// factor rows in ascending-mode (= level) order, exactly like the dense
+/// pointwise kernel.
+fn descend(
+    tree: &CsfTree,
+    factors: &[Matrix],
+    level: usize,
+    node: usize,
+    path: &mut Vec<usize>,
+    out_row: &mut [f64],
+    r: usize,
+) {
+    let order = tree.levels.len();
+    let span = tree.levels[level - 1].ptr[node]..tree.levels[level - 1].ptr[node + 1];
+    if level == order - 1 {
+        let leaves = &tree.levels[level];
+        for leaf in span {
+            let v = tree.vals[leaf];
+            let row_last = factors[tree.sub_modes[level - 1]].row(leaves.inds[leaf] as usize);
+            for rr in 0..r {
+                let mut prod = v;
+                for (sub, &nd) in path[1..level].iter().enumerate() {
+                    prod *= factors[tree.sub_modes[sub]]
+                        .row(tree.levels[sub + 1].inds[nd] as usize)[rr];
+                }
+                prod *= row_last[rr];
+                out_row[rr] += prod;
+            }
+        }
+    } else {
+        for child in span {
+            path[level] = child;
+            descend(tree, factors, level + 1, child, path, out_row, r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::naive::mttkrp_pointwise;
+    use crate::rng::{seeded, uniform_matrix};
+    use rand::Rng;
+
+    fn random_sparse(dims: &[usize], nnz: usize, seed: u64) -> SparseTensor {
+        let mut rng = seeded(seed);
+        let order = dims.len();
+        let mut inds = Vec::with_capacity(nnz * order);
+        let mut vals = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            for &d in dims {
+                inds.push(rng.random_range(0..d));
+            }
+            vals.push(rng.random::<f64>() * 2.0 - 1.0);
+        }
+        SparseTensor::from_coo(dims.to_vec(), inds, vals)
+    }
+
+    fn factors_for(dims: &[usize], r: usize, seed: u64) -> Vec<Matrix> {
+        let mut rng = seeded(seed);
+        dims.iter()
+            .map(|&d| uniform_matrix(d, r, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn ingest_sorts_merges_and_drops_zeros() {
+        let sp = SparseTensor::from_coo(
+            vec![3, 3],
+            vec![2, 2, 0, 1, 2, 2, 0, 0, 1, 0],
+            vec![1.0, 2.0, 3.0, 0.0, 5.0],
+        );
+        // (0,0) dropped (zero), (2,2) merged to 4.0, sorted order.
+        assert_eq!(sp.nnz(), 3);
+        assert_eq!(sp.idx(0), &[0, 1]);
+        assert_eq!(sp.idx(1), &[1, 0]);
+        assert_eq!(sp.idx(2), &[2, 2]);
+        assert_eq!(sp.vals(), &[2.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let sp = random_sparse(&[4, 5, 3], 20, 1);
+        let back = SparseTensor::from_dense(&sp.to_dense());
+        assert_eq!(back.inds(), sp.inds());
+        assert_eq!(back.vals(), sp.vals());
+        assert_eq!(sp.norm_sq().to_bits(), sp.to_dense().norm_sq().to_bits());
+    }
+
+    #[test]
+    fn csf_counts_fibers() {
+        // 2 nonzeros sharing a (root, mid) prefix → 1 fiber in tree 0.
+        let sp = SparseTensor::from_coo(
+            vec![2, 2, 2],
+            vec![0, 1, 0, 0, 1, 1, 1, 0, 0],
+            vec![1.0, 2.0, 3.0],
+        );
+        let csf = CsfTensor::build(&sp);
+        assert_eq!(csf.nnz(), 3);
+        assert_eq!(csf.tree(0).fiber_count(), 2);
+        assert!(csf.memory_words() > 0);
+    }
+
+    #[test]
+    fn mttkrp_matches_pointwise_oracle_bitwise() {
+        for (dims, nnz, seed) in [
+            (vec![5, 6, 4], 25usize, 2u64),
+            (vec![7, 3, 5], 40, 3),
+            (vec![4, 4, 4, 4], 30, 4),
+            (vec![3, 5, 2, 4, 3], 35, 5),
+        ] {
+            let sp = random_sparse(&dims, nnz, seed);
+            let dense = sp.to_dense();
+            let csf = CsfTensor::build(&sp);
+            let factors = factors_for(&dims, 3, seed + 100);
+            for n in 0..dims.len() {
+                let got = sparse_mttkrp(&csf, &factors, n);
+                let want = mttkrp_pointwise(&dense, &factors, n);
+                assert_eq!(got.data(), want.data(), "dims {dims:?} mode {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_entry_tensors() {
+        let empty = SparseTensor::from_coo(vec![3, 4, 2], vec![], vec![]);
+        assert!(empty.is_empty());
+        let csf = CsfTensor::build(&empty);
+        let factors = factors_for(&[3, 4, 2], 2, 9);
+        let m = sparse_mttkrp(&csf, &factors, 1);
+        assert!(m.data().iter().all(|&x| x == 0.0));
+
+        let one = SparseTensor::from_coo(vec![3, 4, 2], vec![2, 3, 1], vec![7.5]);
+        let csf = CsfTensor::build(&one);
+        let got = sparse_mttkrp(&csf, &factors, 0);
+        let want = mttkrp_pointwise(&one.to_dense(), &factors, 0);
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn counters_accumulate_per_call() {
+        let sp = random_sparse(&[6, 5, 4], 30, 11);
+        let csf = CsfTensor::build(&sp);
+        let factors = factors_for(&[6, 5, 4], 4, 12);
+        let before = thread_sparse_counters();
+        let _ = sparse_mttkrp(&csf, &factors, 0);
+        let d = thread_sparse_counters().since(&before);
+        assert_eq!(d.calls, 1);
+        assert_eq!(d.flops, csf.nnz() as u64 * 4 * 3);
+        assert_eq!(d.fibers_visited, csf.tree(0).fiber_count() as u64);
+    }
+}

@@ -9,6 +9,7 @@ use pp_tensor::gemm::{gemm, Trans};
 use pp_tensor::kernels::krp::khatri_rao;
 use pp_tensor::kernels::mttv::mttv;
 use pp_tensor::rng::{seeded, uniform_matrix, uniform_tensor};
+use pp_tensor::sparse::{sparse_mttkrp, CsfTensor, SparseTensor};
 use pp_tensor::Matrix;
 use std::sync::Mutex;
 
@@ -134,5 +135,53 @@ fn mttv_bit_identical_across_thread_counts() {
             par.data(),
             "fixed-r mttv differs at {threads} threads"
         );
+    }
+}
+
+#[test]
+fn sparse_mttkrp_bit_identical_1_vs_4_threads() {
+    // CSF MTTKRP splits the root level into per-thread output-row blocks;
+    // a prime leading extent keeps block boundaries misaligned with fiber
+    // boundaries at every width. nnz·R clears the 2^14 parallel threshold,
+    // so 4 threads genuinely takes the pooled path while 1 thread takes
+    // the serial fallback — outputs must still match bit for bit.
+    let _serial = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dims = [101usize, 64, 32];
+    let nnz = 1500;
+    let mut lcg = 0x5EED_1234_u64;
+    let mut next = |m: usize| {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((lcg >> 33) as usize) % m
+    };
+    let mut rng = seeded(77);
+    let vals_src = uniform_matrix(nnz, 1, &mut rng);
+    let mut inds = Vec::with_capacity(nnz * dims.len());
+    for _ in 0..nnz {
+        for &d in &dims {
+            inds.push(next(d));
+        }
+    }
+    let sp = SparseTensor::from_coo(dims.to_vec(), inds, vals_src.data().to_vec());
+    let csf = CsfTensor::build(&sp);
+    let factors: Vec<Matrix> = dims
+        .iter()
+        .map(|&d| uniform_matrix(d, 16, &mut rng))
+        .collect();
+    for n in 0..dims.len() {
+        assert!(
+            sp.nnz() * 16 >= 1 << 14,
+            "case must clear the par threshold"
+        );
+        let one = with_threads(1, || sparse_mttkrp(&csf, &factors, n));
+        for threads in [2, 4, 8] {
+            let par = with_threads(threads, || sparse_mttkrp(&csf, &factors, n));
+            assert_eq!(
+                one.data(),
+                par.data(),
+                "sparse MTTKRP mode {n} differs at {threads} threads"
+            );
+        }
     }
 }

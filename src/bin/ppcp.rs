@@ -21,7 +21,11 @@
 //!      [--threads <T>]
 //!
 //! ppcp [--version] [--help]
-//!      --dataset <lowrank|collinearity|chemistry|coil|timelapse>
+//!      --dataset <lowrank|collinearity|chemistry|coil|timelapse|
+//!                 sparse-powerlaw|sparse-lowrank>
+//!                                          (sparse datasets run the CSF
+//!                                           fast path; they require
+//!                                           --method dt and --ranks 1)
 //!      --method  <dt|msdt|pp|nncp>          (default msdt)
 //!      --rank    <R>                        (default 16)
 //!      --sweeps  <max>                      (default 100)
@@ -89,7 +93,15 @@ struct Args {
     version: bool,
 }
 
-const DATASETS: &[&str] = &["lowrank", "collinearity", "chemistry", "coil", "timelapse"];
+const DATASETS: &[&str] = &[
+    "lowrank",
+    "collinearity",
+    "chemistry",
+    "coil",
+    "timelapse",
+    "sparse-powerlaw",
+    "sparse-lowrank",
+];
 const METHODS: &[&str] = &["dt", "msdt", "pp", "nncp"];
 
 /// Parse and validate a CLI argument vector (without the program name).
@@ -186,6 +198,21 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
             args.method,
             METHODS.join("|")
         ));
+    }
+    if args.dataset.starts_with("sparse-") {
+        if args.method != "dt" {
+            return Err(format!(
+                "dataset '{}' requires --method dt (sparse inputs run exact ALS \
+                 over the standard dimension tree)",
+                args.dataset
+            ));
+        }
+        if args.ranks > 1 {
+            return Err(format!(
+                "dataset '{}' is sequential-only (--ranks 1)",
+                args.dataset
+            ));
+        }
     }
     Ok(args)
 }
@@ -467,11 +494,84 @@ fn make_tensor(args: &Args) -> DenseTensor {
             },
             args.seed,
         ),
-        other => {
-            eprintln!("unknown dataset '{other}' (lowrank|collinearity|chemistry|coil|timelapse)");
-            std::process::exit(2);
+        // Parse-time validation rejects unknown names and `main` routes
+        // sparse datasets through `run_sparse` before reaching here.
+        other => unreachable!("dataset '{other}' has no dense generator"),
+    }
+}
+
+/// Generate the sparse CLI presets: a power-law user×item×time sample and
+/// a planted low-rank CP model at 0.5% density.
+fn make_sparse_tensor(args: &Args) -> parallel_pp::tensor::sparse::SparseTensor {
+    use parallel_pp::datagen::sparse::{powerlaw_sparse, sparse_lowrank};
+    match args.dataset.as_str() {
+        "sparse-powerlaw" => powerlaw_sparse(&[512, 256, 64], 100_000, 2.0, args.seed),
+        _ => sparse_lowrank(&[256, 256, 64], args.rank.max(4), 0.005, args.seed).0,
+    }
+}
+
+/// The sparse single-run driver: exact ALS (`dt`) where every MTTKRP
+/// routes through the pool-parallel CSF kernel, never densifying.
+fn run_sparse(args: &Args) {
+    use parallel_pp::core::{AlsSession, SessionKind};
+    let sp = {
+        let _gen = args.threads.map(rayon::scoped_num_threads);
+        make_sparse_tensor(args)
+    };
+    let dims: Vec<String> = sp.dims().iter().map(|d| d.to_string()).collect();
+    println!(
+        "dataset {} → sparse tensor {} ({} nnz, density {:.4}%), method {}, R={}, threads={}",
+        args.dataset,
+        dims.join("x"),
+        sp.nnz(),
+        sp.density() * 100.0,
+        args.method,
+        args.rank,
+        args.threads.unwrap_or_else(rayon::current_num_threads),
+    );
+    let mut cfg = AlsConfig::new(args.rank)
+        .with_max_sweeps(args.sweeps)
+        .with_tol(args.tol)
+        .with_pp_tol(args.pp_tol)
+        .with_seed(args.seed)
+        .with_lookahead(!args.no_lookahead)
+        .with_policy(TreePolicy::Standard);
+    if let Some(t) = args.threads {
+        cfg = cfg.with_threads(t);
+    }
+    let out = AlsSession::new_sparse(&sp, &cfg, SessionKind::Exact).run();
+    let report = out.report;
+    println!(
+        "finished: {} sweeps (all exact), fitness {:.5}, {:.2}s total{}",
+        report.sweeps.len(),
+        report.final_fitness,
+        report.total_secs(),
+        if report.converged {
+            " (converged)"
+        } else {
+            " (sweep limit)"
+        },
+    );
+    print_sparse_counters(&report.stats);
+    if args.trace {
+        for s in &report.sweeps {
+            println!(
+                "  {:9} t={:8.3}s fitness={:.6}",
+                s.kind.label(),
+                s.cumulative_secs,
+                s.fitness
+            );
         }
     }
+}
+
+/// The CSF kernel counter line, printed whenever the sparse fast path ran.
+fn print_sparse_counters(stats: &parallel_pp::dtree::KernelStats) {
+    println!(
+        "sparse MTTKRP (CSF): {:.2} Gflop, {} fibers visited",
+        stats.sparse_mttkrp_flops as f64 / 1e9,
+        stats.sparse_fibers_visited,
+    );
 }
 
 fn grid_for(t: &DenseTensor, p: usize) -> ProcGrid {
@@ -545,6 +645,10 @@ fn main() {
             "see module docs: ppcp [--version] --dataset <name> --method <dt|msdt|pp|nncp> ...\n\
              \x20                 ppcp batch --manifest <path> [--jobs J] [--no-park] [--trace]"
         );
+        return;
+    }
+    if args.dataset.starts_with("sparse-") {
+        run_sparse(&args);
         return;
     }
     // `--threads` routes through `AlsConfig::threads`: the pin is scoped
@@ -633,6 +737,9 @@ fn main() {
         report.stats.gemm_fixed_n_calls,
         report.stats.gemm_generic_calls,
     );
+    if report.stats.sparse_mttkrp_flops > 0 {
+        print_sparse_counters(&report.stats);
+    }
     if args.trace {
         for s in &report.sweeps {
             println!(
@@ -884,8 +991,28 @@ mod tests {
 
     #[test]
     fn unknown_dataset_is_rejected() {
+        // The rejection enumerates every valid dataset name, including the
+        // sparse ones.
         let err = parse_args_from(&argv(&["--dataset", "netflix"])).unwrap_err();
         assert!(err.contains("unknown dataset 'netflix'"), "{err}");
+        for name in DATASETS {
+            assert!(err.contains(name), "missing '{name}' in: {err}");
+        }
+    }
+
+    #[test]
+    fn sparse_datasets_require_dt_and_one_rank() {
+        for ds in ["sparse-powerlaw", "sparse-lowrank"] {
+            let a = parse_args_from(&argv(&["--dataset", ds, "--method", "dt"])).unwrap();
+            assert_eq!(a.dataset, ds);
+            let err = parse_args_from(&argv(&["--dataset", ds])).unwrap_err();
+            assert!(err.contains("requires --method dt"), "{ds}: {err}");
+            let err = parse_args_from(&argv(&["--dataset", ds, "--method", "pp"])).unwrap_err();
+            assert!(err.contains("requires --method dt"), "{ds}: {err}");
+            let err = parse_args_from(&argv(&["--dataset", ds, "--method", "dt", "--ranks", "4"]))
+                .unwrap_err();
+            assert!(err.contains("sequential-only"), "{ds}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Property-based parity of the CSF sparse MTTKRP against the pointwise
+//! dense oracle: for random shapes, densities, skews, and target modes,
+//! `sparse_mttkrp` on the CSF forest must be **bitwise** equal to
+//! `mttkrp_pointwise` on the densified tensor — the same
+//! one-accumulator-per-element / ascending-mode-product contract that
+//! makes `PP_NUM_THREADS` a pure performance knob for sparse inputs.
+
+use parallel_pp::datagen::powerlaw_sparse;
+use parallel_pp::tensor::kernels::naive::mttkrp_pointwise;
+use parallel_pp::tensor::rng::{seeded, uniform_matrix};
+use parallel_pp::tensor::sparse::{sparse_mttkrp, CsfTensor, SparseTensor};
+use proptest::prelude::*;
+
+/// Shape menus spanning order 3 and 4, with ragged/prime extents so fiber
+/// boundaries never align with chunk boundaries. Sample counts run from
+/// empty through ~10% density on the smallest shape.
+const SHAPES: &[&[usize]] = &[
+    &[6, 5, 4],
+    &[9, 8, 7],
+    &[13, 4, 11],
+    &[17, 16, 3],
+    &[5, 4, 3, 3],
+    &[7, 6, 5, 4],
+];
+const SAMPLES: &[usize] = &[0, 1, 7, 40, 150, 600];
+const SKEWS: &[f64] = &[1.0, 1.6, 2.5];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn csf_mttkrp_matches_pointwise_oracle_bitwise(
+        si in 0usize..SHAPES.len(),
+        ci in 0usize..SAMPLES.len(),
+        ki in 0usize..SKEWS.len(),
+        rank in 1usize..9,
+        data_seed in 0u64..500,
+        factor_seed in 0u64..500,
+    ) {
+        let dims = SHAPES[si];
+        let sp = powerlaw_sparse(dims, SAMPLES[ci], SKEWS[ki], data_seed);
+        let csf = CsfTensor::build(&sp);
+        let dense = sp.to_dense();
+        let mut rng = seeded(factor_seed);
+        let factors: Vec<_> = dims
+            .iter()
+            .map(|&d| uniform_matrix(d, rank, &mut rng))
+            .collect();
+        for n in 0..dims.len() {
+            let got = sparse_mttkrp(&csf, &factors, n);
+            let want = mttkrp_pointwise(&dense, &factors, n);
+            prop_assert!(
+                got.data() == want.data(),
+                "dims {:?} nnz {} rank {} mode {}: CSF diverges from oracle",
+                dims, sp.nnz(), rank, n
+            );
+        }
+    }
+
+    #[test]
+    fn coo_ingest_accumulates_like_dense(
+        si in 0usize..SHAPES.len(),
+        draws in 0usize..120,
+        seed in 0u64..500,
+    ) {
+        // Unsorted COO input with intentional duplicates: `from_coo` must
+        // sort, merge duplicates by summation in sorted order, and drop
+        // exact zeros — i.e. round-trip through `to_dense` to the same
+        // array a manual scatter-accumulate produces.
+        let dims = SHAPES[si];
+        let volume: usize = dims.iter().product();
+        let mut rng = seeded(seed ^ 0xC0C0);
+        let mut lcg = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = |m: usize| {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((lcg >> 33) as usize) % m
+        };
+        let vals_src = uniform_matrix(draws.max(1), 1, &mut rng);
+        let mut inds = Vec::with_capacity(draws * dims.len());
+        let mut vals = Vec::with_capacity(draws);
+        let mut manual = vec![0.0f64; volume];
+        for d in 0..draws {
+            let mut lin = 0usize;
+            for &ext in dims {
+                let i = next(ext);
+                inds.push(i);
+                lin = lin * ext + i;
+            }
+            // Duplicate roughly a third of the coordinates.
+            let v = vals_src.data()[d];
+            vals.push(v);
+            manual[lin] += v;
+            if next(3) == 0 {
+                let start = inds.len() - dims.len();
+                let coord: Vec<usize> = inds[start..].to_vec();
+                inds.extend_from_slice(&coord);
+                vals.push(0.5 * v);
+                manual[lin] += 0.5 * v;
+            }
+        }
+        let sp = SparseTensor::from_coo(dims.to_vec(), inds, vals);
+        prop_assert!(sp.nnz() <= volume);
+        let dense = sp.to_dense();
+        prop_assert_eq!(dense.data(), &manual[..]);
+    }
+}
