@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! bench_sparse [--quick] [--out BENCH_sparse.json] [--threads T]
+//!              [--method dt,pp,msdt]
 //! ```
 //!
 //! * `--quick` — smaller tensors / fewer samples (the CI bench-smoke
@@ -14,24 +15,33 @@
 //!   `BENCH_sparse.json` in the current directory).
 //! * `--threads <T>` — pin the pool width (default: `PP_NUM_THREADS` or
 //!   hardware).
+//! * `--method <list>` — comma-separated subset of `dt,pp,msdt` to run in
+//!   the full-solver comparison section (default: all three).
 //!
 //! Malformed arguments exit with status 2.
 //!
-//! Every row is verified **bitwise** against the pointwise dense oracle
-//! (`mttkrp_pointwise` on the densified tensor) before it is timed — the
-//! JSON records `"bitwise": true` only because the process would have
-//! aborted otherwise.
+//! Every kernel row is verified **bitwise** against the pointwise dense
+//! oracle (`mttkrp_pointwise` on the densified tensor) before it is
+//! timed — the JSON records `"bitwise": true` only because the process
+//! would have aborted otherwise. Likewise each pp/msdt solver row is
+//! gated on its sparse session reproducing the same-method session on the
+//! densified tensor bit for bit.
 //!
-//! JSON schema: an object with `preset`/`threads` tags and a `rows` array
+//! JSON schema: an object with `preset`/`threads` tags, a `rows` array
 //! of `{name, dims, nnz, density, rank, mode, csf_ns, densify_ns,
 //! dense_ns, kernel_speedup, total_speedup, bitwise}` — `*_ns` are
 //! min-over-samples nanoseconds per call, `kernel_speedup` =
 //! `dense_ns / csf_ns` (steady state, tensor already dense),
 //! `total_speedup` = `(densify_ns + dense_ns) / csf_ns` (one-shot cost of
-//! the densifying alternative).
+//! the densifying alternative) — and a `methods` array of
+//! `{method, sweeps, exact, pp_init, pp_approx, ns_per_sweep,
+//! speedup_vs_dt, bitwise}` comparing the sparse ALS drivers (dt = direct
+//! CSF, pp/msdt = semi-sparse chain) on one ≤1%-density tensor.
 
 use pp_bench::apply_threads_flag;
+use pp_core::{AlsConfig, AlsSession, SessionKind, SweepKind};
 use pp_datagen::powerlaw_sparse;
+use pp_dtree::TreePolicy;
 use pp_tensor::kernels::naive::{mttkrp, mttkrp_pointwise};
 use pp_tensor::rng::{seeded, uniform_matrix};
 use pp_tensor::sparse::{sparse_mttkrp, CsfTensor, SparseTensor};
@@ -148,9 +158,149 @@ fn dims_tag(dims: &[usize]) -> String {
         .join("x")
 }
 
+/// One sparse-solver comparison row: method, sweep mix, time per sweep.
+/// `approx_secs_per_sweep` isolates PP's approximated sweeps (Table II's
+/// metric: those sweeps never touch the input tensor at all), 0 when the
+/// method has none.
+struct MethodRow {
+    method: &'static str,
+    sweeps: usize,
+    exact: usize,
+    pp_init: usize,
+    pp_approx: usize,
+    secs_per_sweep: f64,
+    approx_secs_per_sweep: f64,
+}
+
+/// Run the `--method` comparison on one ≤1%-density power-law tensor:
+/// every admitted sparse method decomposes the same input with the same
+/// config knobs, bitwise-gated before timing (pp/msdt against the
+/// same-method session on the densified tensor; dt's kernel is oracle-
+/// gated in the kernel rows above).
+fn method_comparison(methods: &[&'static str], quick: bool) -> Vec<MethodRow> {
+    // Enough sweeps that PP's approximated regime (the cheap sweeps the
+    // comparison is about) dominates the mix after its one-time init.
+    let (dims, samples, rank, sweeps): (Vec<usize>, usize, usize, usize) = if quick {
+        (vec![64, 48, 32], 1_000, 8, 8)
+    } else {
+        (vec![256, 256, 64], 21_500, 16, 12)
+    };
+    let sp = powerlaw_sparse(&dims, samples, 2.0, 11);
+    println!(
+        "\nsparse ALS methods on {} ({} nnz, density {:.2}%), R={rank}, {sweeps} sweeps:",
+        dims_tag(&dims),
+        sp.nnz(),
+        sp.density() * 100.0,
+    );
+    println!(
+        "{:<6} {:>7} {:>7} {:>8} {:>9} {:>14} {:>14} {:>10}",
+        "method", "sweeps", "exact", "PP-init", "PP-appr", "ns/sweep", "ns/appr-sweep", "vs dt"
+    );
+    let cfg_for = |method: &str| {
+        let mut cfg = AlsConfig::new(rank)
+            .with_max_sweeps(sweeps)
+            .with_tol(0.0)
+            .with_policy(match method {
+                "dt" => TreePolicy::Standard,
+                _ => TreePolicy::MultiSweep,
+            });
+        if method == "pp" {
+            // Loose ε so the short run actually enters the PP regime.
+            cfg = cfg.with_pp_tol(0.5);
+        }
+        cfg
+    };
+    let kind_for = |method: &str| match method {
+        "pp" => SessionKind::Pp,
+        _ => SessionKind::Exact,
+    };
+
+    // Bitwise gates before any timing.
+    let dense = sp.to_dense();
+    for &m in methods {
+        if m == "dt" {
+            continue; // oracle-gated per mode in the kernel rows
+        }
+        let a = AlsSession::new(&dense, &cfg_for(m), kind_for(m)).run();
+        let b = AlsSession::new_sparse(&sp, &cfg_for(m), kind_for(m)).run();
+        assert_eq!(
+            a.report.sweeps.len(),
+            b.report.sweeps.len(),
+            "{m}: sparse sweep count diverges from densified run"
+        );
+        for (i, (x, y)) in a
+            .report
+            .sweeps
+            .iter()
+            .zip(b.report.sweeps.iter())
+            .enumerate()
+        {
+            assert_eq!(x.kind, y.kind, "{m}: sweep kind diverges at {i}");
+            assert_eq!(
+                x.fitness.to_bits(),
+                y.fitness.to_bits(),
+                "{m}: fitness diverges at sweep {i}"
+            );
+        }
+        for (n, (fa, fb)) in a.factors.iter().zip(b.factors.iter()).enumerate() {
+            assert_eq!(fa.data(), fb.data(), "{m}: factor {n} diverges");
+        }
+    }
+    drop(dense);
+
+    let mut rows = Vec::new();
+    let mut dt_secs = None;
+    for &m in methods {
+        let out = AlsSession::new_sparse(&sp, &cfg_for(m), kind_for(m)).run();
+        let n = out.report.sweeps.len().max(1);
+        let secs_per_sweep = out.report.total_secs() / n as f64;
+        // Per-sweep durations from the report's cumulative clock, so the
+        // approximated-regime mean excludes init and exact sweeps.
+        let mut prev = 0.0;
+        let (mut approx_total, mut approx_n) = (0.0, 0usize);
+        for rec in &out.report.sweeps {
+            if rec.kind == SweepKind::PpApprox {
+                approx_total += rec.cumulative_secs - prev;
+                approx_n += 1;
+            }
+            prev = rec.cumulative_secs;
+        }
+        if m == "dt" {
+            dt_secs = Some(secs_per_sweep);
+        }
+        let row = MethodRow {
+            method: m,
+            sweeps: out.report.sweeps.len(),
+            exact: out.report.count(SweepKind::Exact),
+            pp_init: out.report.count(SweepKind::PpInit),
+            pp_approx: out.report.count(SweepKind::PpApprox),
+            secs_per_sweep,
+            approx_secs_per_sweep: if approx_n > 0 {
+                approx_total / approx_n as f64
+            } else {
+                0.0
+            },
+        };
+        println!(
+            "{:<6} {:>7} {:>7} {:>8} {:>9} {:>14.0} {:>14.0} {:>9.2}x",
+            row.method,
+            row.sweeps,
+            row.exact,
+            row.pp_init,
+            row.pp_approx,
+            row.secs_per_sweep * 1e9,
+            row.approx_secs_per_sweep * 1e9,
+            dt_secs.map_or(f64::NAN, |d| d / row.secs_per_sweep),
+        );
+        rows.push(row);
+    }
+    rows
+}
+
 fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_sparse.json");
+    let mut methods: Vec<&'static str> = vec!["dt", "pp", "msdt"];
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -166,11 +316,31 @@ fn main() {
                     }
                 }
             }
+            "--method" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("error: --method expects a comma-separated list (dt,pp,msdt)");
+                    std::process::exit(2);
+                };
+                methods = list
+                    .split(',')
+                    .map(|m| match m {
+                        "dt" => "dt",
+                        "pp" => "pp",
+                        "msdt" => "msdt",
+                        other => {
+                            eprintln!("error: unknown method '{other}' (dt|pp|msdt)");
+                            std::process::exit(2);
+                        }
+                    })
+                    .collect();
+            }
             // Consumed by apply_threads_flag below.
             "--threads" => i += 1,
             other => {
                 eprintln!(
-                    "error: unknown flag {other} (bench_sparse [--quick] [--out PATH] [--threads T])"
+                    "error: unknown flag {other} (bench_sparse [--quick] [--out PATH] \
+                     [--threads T] [--method dt,pp,msdt])"
                 );
                 std::process::exit(2);
             }
@@ -254,6 +424,12 @@ fn main() {
         });
     }
 
+    let method_rows = method_comparison(&methods, quick);
+    let dt_per_sweep = method_rows
+        .iter()
+        .find(|r| r.method == "dt")
+        .map(|r| r.secs_per_sweep);
+
     // Hand-rolled JSON (no serde in the vendored dependency set).
     let mut json = String::from("{\n");
     let _ = writeln!(
@@ -283,6 +459,33 @@ fn main() {
             (r.densify_s + r.dense_s) / r.csf_s,
         );
         json.push_str(if idx + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"methods\": [\n");
+    for (idx, r) in method_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"method\": \"{}\", \"sweeps\": {}, \"exact\": {}, \"pp_init\": {}, \
+             \"pp_approx\": {}, \"ns_per_sweep\": {:.0}, \"approx_ns_per_sweep\": {:.0}, \
+             \"speedup_vs_dt\": {:.3}, \"approx_speedup_vs_dt\": {:.3}, \"bitwise\": true}}",
+            r.method,
+            r.sweeps,
+            r.exact,
+            r.pp_init,
+            r.pp_approx,
+            r.secs_per_sweep * 1e9,
+            r.approx_secs_per_sweep * 1e9,
+            dt_per_sweep.map_or(0.0, |d| d / r.secs_per_sweep),
+            if r.approx_secs_per_sweep > 0.0 {
+                dt_per_sweep.map_or(0.0, |d| d / r.approx_secs_per_sweep)
+            } else {
+                0.0
+            },
+        );
+        json.push_str(if idx + 1 < method_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write(&out_path, &json) {

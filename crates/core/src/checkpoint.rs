@@ -18,12 +18,14 @@
 //! bytes do not match.
 
 use crate::result::{SweepKind, SweepRecord};
-use pp_dtree::{Intermediate, KernelStats};
-use pp_tensor::{DenseTensor, Matrix, Shape};
+use pp_dtree::{Intermediate, KernelStats, Payload};
+use pp_tensor::{DenseTensor, Matrix, SemiSparseTensor, Shape};
 use std::sync::Arc;
 
 pub(crate) const MAGIC: [u8; 4] = *b"PPCK";
-pub(crate) const VERSION: u32 = 1;
+/// Format 2 added the representation tag to cached intermediates (dense
+/// vs semi-sparse) and the semi-sparse kernel counters to the stats block.
+pub(crate) const VERSION: u32 = 2;
 
 /// FNV-1a 64-bit over a byte slice.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -138,10 +140,37 @@ impl Writer {
         }
     }
 
+    pub(crate) fn u32s(&mut self, vs: &[u32]) {
+        self.usize_(vs.len());
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    pub(crate) fn f64s(&mut self, vs: &[f64]) {
+        self.usize_(vs.len());
+        for &v in vs {
+            self.f64_(v);
+        }
+    }
+
     pub(crate) fn intermediate(&mut self, e: &Intermediate) {
         self.usizes(&e.mode_order);
         self.u64s(&e.versions);
-        self.tensor(&e.tensor);
+        // Representation tag: 0 = dense, 1 = semi-sparse.
+        match &e.payload {
+            Payload::Dense(t) => {
+                self.u8_(0);
+                self.tensor(t);
+            }
+            Payload::SemiSparse(ss) => {
+                self.u8_(1);
+                self.usizes(ss.dims());
+                self.usize_(ss.rank());
+                self.u32s(ss.inds());
+                self.f64s(ss.panels());
+            }
+        }
     }
 
     pub(crate) fn stats(&mut self, s: &KernelStats) {
@@ -164,6 +193,9 @@ impl Writer {
         self.u64_(s.gemm_generic_calls);
         self.u64_(s.sparse_mttkrp_flops);
         self.u64_(s.sparse_fibers_visited);
+        self.u64_(s.semisparse_ttm_flops);
+        self.u64_(s.semisparse_ttv_flops);
+        self.u64_(s.semisparse_entries_visited);
     }
 
     pub(crate) fn sweep(&mut self, r: &SweepRecord) {
@@ -328,12 +360,42 @@ impl<'a> Reader<'a> {
         (0..n).map(|_| self.usize_()).collect()
     }
 
+    pub(crate) fn u32_(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32s(&mut self) -> Result<Vec<u32>, String> {
+        let n = self.count("u32")?;
+        (0..n).map(|_| self.u32_()).collect()
+    }
+
+    pub(crate) fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.count("f64")?;
+        (0..n).map(|_| self.f64_()).collect()
+    }
+
     pub(crate) fn intermediate(&mut self) -> Result<Intermediate, String> {
         let mode_order = self.usizes()?;
         let versions = self.u64s()?;
-        let tensor = Arc::new(self.tensor()?);
+        let payload = match self.u8_()? {
+            0 => Payload::Dense(Arc::new(self.tensor()?)),
+            1 => {
+                let dims = self.usizes()?;
+                let r = self.usize_()?;
+                let inds = self.u32s()?;
+                let panels = self.f64s()?;
+                let l = dims.len();
+                if l == 0 || r == 0 || inds.len() % l != 0 || panels.len() != (inds.len() / l) * r {
+                    return Err("inconsistent semi-sparse intermediate".into());
+                }
+                Payload::SemiSparse(Arc::new(SemiSparseTensor::from_parts(
+                    dims, inds, panels, r,
+                )))
+            }
+            v => return Err(format!("invalid intermediate representation tag {v}")),
+        };
         Ok(Intermediate {
-            tensor,
+            payload,
             mode_order,
             versions,
         })
@@ -360,6 +422,9 @@ impl<'a> Reader<'a> {
             gemm_generic_calls: self.u64_()?,
             sparse_mttkrp_flops: self.u64_()?,
             sparse_fibers_visited: self.u64_()?,
+            semisparse_ttm_flops: self.u64_()?,
+            semisparse_ttv_flops: self.u64_()?,
+            semisparse_entries_visited: self.u64_()?,
         })
     }
 

@@ -55,7 +55,7 @@ pub fn ref_pp_init(ctx: &mut RankCtx, st: &mut ParState, _cfg: &AlsConfig) -> Pp
     let ops = build_pp_operators(&mut st.input, &st.fs_local, &mut st.engine);
     // One redistribution per materialized operator.
     for pair in ops.pairs.values() {
-        redistribute(ctx, pair.tensor.data());
+        redistribute(ctx, pair.dense().data());
     }
     for first in &ops.firsts {
         redistribute(ctx, first.data());

@@ -161,30 +161,54 @@ impl AlsSession {
     }
 
     /// New session over a **sparse** input with the default seeded factor
-    /// initialization. Sparse inputs run exact ALS over the standard tree
-    /// policy (the `dt` method): every MTTKRP routes through the CSF
-    /// kernel, so neither MSDT layout copies nor PP pair operators (both
-    /// densifying constructions) apply.
+    /// initialization. Three method combinations are admitted:
+    ///
+    /// * `Exact` + [`TreePolicy::Standard`] (the `dt` method): every MTTKRP
+    ///   routes through the direct CSF kernel.
+    /// * `Exact` + [`TreePolicy::MultiSweep`] (the `msdt` method): the
+    ///   dimension tree runs over **semi-sparse** intermediates (dense rank
+    ///   panels on the surviving fiber structure) — no layout copies are
+    ///   materialized and the input is never densified.
+    /// * `Pp` + [`TreePolicy::MultiSweep`] (the `pp` method): exact sweeps
+    ///   and PP operator construction both contract over the semi-sparse
+    ///   chain; only the operator-sized pair tensors are dense.
+    ///
+    /// Non-negative ALS is not supported on sparse inputs, and sparse PP is
+    /// pinned to the multi-sweep policy so a checkpoint's tree policy alone
+    /// determines how the input is rebuilt at resume.
     pub fn new_sparse(sp: &SparseTensor, cfg: &AlsConfig, kind: SessionKind) -> Self {
-        assert_eq!(
+        assert_ne!(
             kind,
-            SessionKind::Exact,
-            "sparse inputs support exact ALS (method dt) only"
+            SessionKind::NonNeg,
+            "sparse inputs support methods dt, pp, and msdt (not nncp)"
         );
-        assert_eq!(
-            cfg.policy,
-            TreePolicy::Standard,
-            "sparse inputs use the standard tree policy (method dt)"
-        );
+        if kind == SessionKind::Pp {
+            assert_eq!(
+                cfg.policy,
+                TreePolicy::MultiSweep,
+                "sparse PP runs over the multi-sweep tree policy"
+            );
+            assert!(sp.order() >= 3, "pairwise perturbation needs order ≥ 3");
+        }
         let init = crate::als::init_factors(sp.dims(), cfg.rank, cfg.seed);
         let n_modes = sp.order();
         assert!(n_modes >= 2);
         let _threads = cfg.thread_guard();
-        let input = InputTensor::new_sparse(sp.clone());
+        // Standard policy takes the direct CSF fast path; the multi-sweep
+        // policy plans semi-sparse first-level contractions per mode.
+        let input = match cfg.policy {
+            TreePolicy::Standard => InputTensor::new_sparse(sp.clone()),
+            TreePolicy::MultiSweep => InputTensor::new_sparse_chained(sp.clone()),
+        };
         let engine = DimTreeEngine::new(cfg.policy, n_modes);
         let fs = FactorState::new(init);
         let grams: Vec<Matrix> = fs.factors().iter().map(|a| a.gram()).collect();
         let t_norm_sq = sp.norm_sq();
+        let d_factors = if kind == SessionKind::Pp {
+            fs.factors().to_vec()
+        } else {
+            Vec::new()
+        };
 
         AlsSession {
             cfg: cfg.clone(),
@@ -194,7 +218,7 @@ impl AlsSession {
             fs,
             grams,
             t_norm_sq,
-            d_factors: Vec::new(),
+            d_factors,
             factors_p: Vec::new(),
             ops: None,
             phase: PpPhase::Gate,
@@ -414,8 +438,14 @@ impl AlsSession {
         bytes: &[u8],
         sp: &SparseTensor,
     ) -> Result<(AlsSession, u64), String> {
-        Self::resume_core(bytes, sparse_fingerprint(sp), sp.order(), |_cfg| {
-            InputTensor::new_sparse(sp.clone())
+        Self::resume_core(bytes, sparse_fingerprint(sp), sp.order(), |cfg| {
+            // The tree policy alone determines the sparse input shape:
+            // Standard ⇒ direct CSF (dt); MultiSweep ⇒ semi-sparse chain
+            // plans (pp and msdt) — the same dispatch `new_sparse` uses.
+            match cfg.policy {
+                TreePolicy::Standard => InputTensor::new_sparse(sp.clone()),
+                TreePolicy::MultiSweep => InputTensor::new_sparse_chained(sp.clone()),
+            }
         })
     }
 
@@ -1085,11 +1115,94 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exact ALS")]
-    fn sparse_session_rejects_pp_kind() {
+    #[should_panic(expected = "nncp")]
+    fn sparse_session_rejects_nonneg_kind() {
         let (sp, _) = pp_datagen::sparse::sparse_lowrank(&[6, 6, 6], 2, 0.3, 3);
         let cfg = AlsConfig::new(2);
+        let _ = AlsSession::new_sparse(&sp, &cfg, SessionKind::NonNeg);
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-sweep")]
+    fn sparse_pp_requires_multisweep_policy() {
+        let (sp, _) = pp_datagen::sparse::sparse_lowrank(&[6, 6, 6], 2, 0.3, 3);
+        let cfg = AlsConfig::new(2); // Standard policy
         let _ = AlsSession::new_sparse(&sp, &cfg, SessionKind::Pp);
+    }
+
+    #[test]
+    fn sparse_msdt_session_matches_densified_bitwise() {
+        // MSDT over the semi-sparse chain must reproduce — bit for bit —
+        // the dense MSDT session on the densified tensor, while never
+        // densifying the input (dense-volume GEMM flops stay absent).
+        let (sp, _) = pp_datagen::sparse::sparse_lowrank(&[10, 9, 8], 2, 0.15, 17);
+        let cfg = AlsConfig::new(2)
+            .with_policy(TreePolicy::MultiSweep)
+            .with_max_sweeps(7)
+            .with_tol(0.0);
+        let a = AlsSession::new(&sp.to_dense(), &cfg, SessionKind::Exact).run();
+        let b = AlsSession::new_sparse(&sp, &cfg, SessionKind::Exact).run();
+        assert_bitwise(&a, &b);
+        let s = &b.report.stats;
+        assert!(s.semisparse_ttm_flops > 0, "first levels must be sparse");
+        assert!(s.semisparse_ttv_flops > 0, "lower levels must be sparse");
+        assert_eq!(s.sparse_mttkrp_flops, 0, "direct CSF kernel not used");
+        assert_eq!(s.transpose_count, 0, "no layout copies on sparse input");
+    }
+
+    #[test]
+    fn sparse_pp_session_matches_densified_bitwise() {
+        // PP on a sparse input: exact sweeps and operator construction run
+        // over the semi-sparse chain; the trace (including approximated
+        // sweeps) must match the dense PP session on the densified tensor.
+        let (sp, _) = pp_datagen::sparse::sparse_lowrank(&[9, 8, 7], 2, 0.2, 29);
+        let cfg = AlsConfig::new(2)
+            .with_policy(TreePolicy::MultiSweep)
+            .with_pp_tol(0.5)
+            .with_max_sweeps(20)
+            .with_tol(0.0);
+        let a = AlsSession::new(&sp.to_dense(), &cfg, SessionKind::Pp).run();
+        let b = AlsSession::new_sparse(&sp, &cfg, SessionKind::Pp).run();
+        assert_bitwise(&a, &b);
+        assert!(
+            b.report.count(SweepKind::PpApprox) >= 1,
+            "PP regime never entered — pp_tol too tight for the test"
+        );
+        let s = &b.report.stats;
+        assert!(s.semisparse_ttm_flops > 0);
+        assert_eq!(s.sparse_mttkrp_flops, 0);
+    }
+
+    #[test]
+    fn sparse_pp_checkpoint_mid_regime_is_bit_identical() {
+        // Drain/park inside the PP regime, serialize (semi-sparse cache
+        // entries and dense pair operators both travel), resume, finish:
+        // the completed run must match the uninterrupted one bit for bit.
+        let (sp, _) = pp_datagen::sparse::sparse_lowrank(&[9, 8, 7], 2, 0.2, 29);
+        let cfg = AlsConfig::new(2)
+            .with_policy(TreePolicy::MultiSweep)
+            .with_pp_tol(0.5)
+            .with_max_sweeps(20)
+            .with_tol(0.0);
+        let a = AlsSession::new_sparse(&sp, &cfg, SessionKind::Pp).run();
+        let first_approx = a
+            .report
+            .sweeps
+            .iter()
+            .position(|r| r.kind == SweepKind::PpApprox)
+            .expect("regime must open");
+        for cut in [first_approx, first_approx + 1] {
+            let mut s = AlsSession::new_sparse(&sp, &cfg, SessionKind::Pp);
+            for _ in 0..cut {
+                let _ = s.step();
+            }
+            s.park();
+            let bytes = s.checkpoint_bytes(0xFACADE);
+            let (mut resumed, tag) = AlsSession::resume_from_bytes_sparse(&bytes, &sp).unwrap();
+            assert_eq!(tag, 0xFACADE);
+            while let Step::Swept(_) = resumed.step() {}
+            assert_bitwise(&a, &resumed.finish());
+        }
     }
 
     #[test]

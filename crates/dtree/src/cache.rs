@@ -10,21 +10,62 @@
 //! the preceding exact sweep (paper footnote 1).
 
 use crate::modeset::ModeSet;
-use pp_tensor::DenseTensor;
+use pp_tensor::{DenseTensor, SemiSparseTensor};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A cached contraction intermediate with its provenance.
+/// The tensor data of an intermediate: representation is a *planning
+/// dimension*, not an assumption. Dense inputs produce dense
+/// intermediates; sparse inputs produce semi-sparse ones (dense along the
+/// rank, sparse in the surviving fiber structure), and every consumer —
+/// the contraction chains, MSDT superset reuse, PP operator construction,
+/// cross-mode lookahead — dispatches on this enum instead of densifying.
 ///
-/// The tensor payload sits behind an `Arc`: intermediates are multi-MB and
-/// flow between the cache and the contraction chain on every MTTKRP, so
-/// cache hits and inserts must be reference bumps, not copies.
+/// Payloads sit behind `Arc`s: intermediates are multi-MB and flow between
+/// the cache and the contraction chain on every MTTKRP, so cache hits and
+/// inserts must be reference bumps, not copies.
+#[derive(Clone)]
+pub enum Payload {
+    /// Dense `[extent of mode_order[0], ..., R]` tensor (rank trailing).
+    Dense(Arc<DenseTensor>),
+    /// Semi-sparse: surviving levels follow `mode_order`, rank panels dense.
+    SemiSparse(Arc<SemiSparseTensor>),
+}
+
+impl Payload {
+    /// The payload's memory footprint in f64-equivalent words (the Table I
+    /// auxiliary-memory metric).
+    pub fn memory_words(&self) -> usize {
+        match self {
+            Payload::Dense(t) => t.len(),
+            Payload::SemiSparse(ss) => ss.memory_words(),
+        }
+    }
+
+    /// The dense tensor, panicking on a semi-sparse payload — for
+    /// consumers with a hard dense contract (PP pair operators feeding
+    /// Eq. 6 corrections).
+    pub fn dense(&self) -> &DenseTensor {
+        match self {
+            Payload::Dense(t) => t,
+            Payload::SemiSparse(_) => panic!("expected a dense intermediate"),
+        }
+    }
+
+    /// True for the semi-sparse representation.
+    pub fn is_semisparse(&self) -> bool {
+        matches!(self, Payload::SemiSparse(_))
+    }
+}
+
+/// A cached contraction intermediate with its provenance.
 #[derive(Clone)]
 pub struct Intermediate {
-    /// Tensor data: `[extent of mode_order[0], ..., R]` (rank trailing).
-    pub tensor: Arc<DenseTensor>,
-    /// Original tensor modes in the layout order of `tensor`'s leading dims.
+    /// Tensor data in either representation.
+    pub payload: Payload,
+    /// Original tensor modes in the layout order of the payload's leading
+    /// dims (dense) or levels (semi-sparse).
     pub mode_order: Vec<usize>,
     /// Factor versions contracted in; meaningful for modes ∉ the set.
     pub versions: Vec<u64>,
@@ -53,16 +94,28 @@ impl Intermediate {
             .enumerate()
             .all(|(j, &v)| set.contains(j) || self.versions[j] == v)
     }
+
+    /// The dense payload (panics on semi-sparse) — see [`Payload::dense`].
+    pub fn dense(&self) -> &DenseTensor {
+        self.payload.dense()
+    }
+
+    /// Memory footprint in f64-equivalent words.
+    pub fn memory_words(&self) -> usize {
+        self.payload.memory_words()
+    }
 }
 
 /// What a speculative first-level contraction returns from the pool.
 pub struct SpecPayload {
-    /// The contracted intermediate (rank mode trailing).
-    pub tensor: DenseTensor,
-    /// GEMM wall time inside the speculative task.
+    /// The contracted intermediate (either representation, rank trailing).
+    pub payload: Payload,
+    /// Contraction wall time inside the speculative task.
     pub ttm_time: Duration,
     /// Flops performed.
     pub flops: u64,
+    /// Input entries visited (semi-sparse contractions only; 0 for dense).
+    pub entries: u64,
 }
 
 /// An in-flight speculative first-level contraction (cross-mode
@@ -187,9 +240,10 @@ impl InterCache {
         self.spec = None;
     }
 
-    /// Total f64 elements held (auxiliary-memory metric of Table I).
+    /// Total f64-equivalent words held (auxiliary-memory metric of
+    /// Table I) — semi-sparse entries count index words at true size.
     pub fn memory_elems(&self) -> usize {
-        self.map.values().map(|e| e.tensor.len()).sum()
+        self.map.values().map(|e| e.memory_words()).sum()
     }
 
     /// Drop entries invalid under `current` versions.
@@ -215,7 +269,7 @@ mod tests {
     fn dummy(modes: &[usize], versions: Vec<u64>) -> Intermediate {
         let dims: Vec<usize> = modes.iter().map(|_| 2).chain([3]).collect();
         Intermediate {
-            tensor: Arc::new(DenseTensor::zeros(Shape::new(dims))),
+            payload: Payload::Dense(Arc::new(DenseTensor::zeros(Shape::new(dims)))),
             mode_order: modes.to_vec(),
             versions,
         }

@@ -29,7 +29,7 @@ pub fn first_order_correction(
     assert_ne!(n, i);
     let pair = ops.pair(n, i);
     let pos = pair.position_of(i);
-    let out = mttv(&pair.tensor, pos, d_factor_i);
+    let out = mttv(pair.dense(), pos, d_factor_i);
     debug_assert_eq!(out.tensor.order(), 2);
     let rows = out.tensor.dim(0);
     let r = out.tensor.dim(1);

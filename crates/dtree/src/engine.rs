@@ -21,13 +21,15 @@
 //! policies compute exactly the same `M^(n)` values (up to floating-point
 //! associativity) — MSDT is lossless, as the paper states.
 
-use crate::cache::{InterCache, Intermediate, SpecPayload, SpecSlot};
+use crate::cache::{InterCache, Intermediate, Payload, SpecPayload, SpecSlot};
 use crate::factor::FactorState;
 use crate::input::InputTensor;
 use crate::modeset::ModeSet;
 use crate::stats::{Kernel, KernelStats};
 use pp_tensor::kernels::mttv::mttv;
+use pp_tensor::semisparse::{ss_mttv, thread_ss_counters};
 use pp_tensor::Matrix;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which dimension-tree schedule to run.
@@ -137,24 +139,36 @@ impl DimTreeEngine {
     pub fn mttkrp(&mut self, input: &mut InputTensor, fs: &FactorState, n: usize) -> Matrix {
         assert_eq!(fs.order(), self.n_modes);
         assert!(n < self.n_modes);
-        // Sparse fast path: one CSF MTTKRP replaces the whole contraction
-        // chain — flops scale with nnz, not the dense volume, and there
-        // are no intermediates worth caching (the cache stays empty, so
-        // `cache_memory_elems` reports 0 and lookahead never launches).
+        // Direct-CSF fast path: one sparse MTTKRP replaces the whole
+        // contraction chain — flops scale with nnz, not the dense volume,
+        // and there are no intermediates worth caching (the cache stays
+        // empty, so `cache_memory_elems` reports 0 and lookahead never
+        // launches). Chain-planned sparse inputs (`csf` absent) fall
+        // through to the dimension tree below, whose contractions produce
+        // semi-sparse intermediates — the input is never densified.
         if let Some(sp) = input.sparse() {
-            let s0 = pp_tensor::sparse::thread_sparse_counters();
-            let t0 = Instant::now();
-            let m = pp_tensor::sparse::sparse_mttkrp(&sp.csf, fs.factors(), n);
-            let delta = pp_tensor::sparse::thread_sparse_counters().since(&s0);
-            self.stats.record(Kernel::Ttm, t0.elapsed(), delta.flops);
-            self.stats.add_sparse_delta(&delta);
-            return m;
+            if let Some(csf) = &sp.csf {
+                let s0 = pp_tensor::sparse::thread_sparse_counters();
+                let t0 = Instant::now();
+                let m = pp_tensor::sparse::sparse_mttkrp(csf, fs.factors(), n);
+                let delta = pp_tensor::sparse::thread_sparse_counters().since(&s0);
+                self.stats.record(Kernel::Ttm, t0.elapsed(), delta.flops);
+                self.stats.add_sparse_delta(&delta);
+                return m;
+            }
         }
         let inter = self.obtain(input, fs, n);
         debug_assert_eq!(inter.mode_order, vec![n]);
-        let rows = inter.tensor.dim(0);
-        let r = inter.tensor.dim(1);
-        Matrix::from_vec(rows, r, inter.tensor.data().to_vec())
+        match &inter.payload {
+            Payload::Dense(t) => {
+                let rows = t.dim(0);
+                let r = t.dim(1);
+                Matrix::from_vec(rows, r, t.data().to_vec())
+            }
+            // Scatter the surviving rows; rows with no nonzeros are exact
+            // +0.0 in the dense chain too, so this is bit-identical.
+            Payload::SemiSparse(ss) => ss.to_matrix(input.dim(n)),
+        }
     }
 
     /// Walk the contraction chain down to `{n}`.
@@ -228,13 +242,15 @@ impl DimTreeEngine {
         let mode_order = plan.mode_order.clone();
         let factor = fs.factor(k).clone();
         let flops = 2 * plan.input_elems() as u64 * factor.cols() as u64;
+        let entries = plan.input_entries();
         let handle = rayon::submit(move || {
             let t0 = Instant::now();
-            let tensor = plan.run(&factor);
+            let payload = plan.run(&factor);
             SpecPayload {
-                tensor,
+                payload,
                 ttm_time: t0.elapsed(),
                 flops,
+                entries,
             }
         });
         self.stats.spec_launched += 1;
@@ -283,9 +299,15 @@ impl DimTreeEngine {
                 if let Some(payload) = handle.join() {
                     self.stats
                         .record(Kernel::Ttm, payload.ttm_time, payload.flops);
+                    if payload.payload.is_semisparse() {
+                        // Counters were bumped on the pool worker's
+                        // thread-locals; account from the payload instead.
+                        self.stats.semisparse_ttm_flops += payload.flops;
+                        self.stats.semisparse_entries_visited += payload.entries;
+                    }
                     self.stats.spec_hits += 1;
                     let inter = Intermediate {
-                        tensor: std::sync::Arc::new(payload.tensor),
+                        payload: payload.payload,
                         mode_order,
                         // Same versions the sync path would record, so the
                         // cached entry is indistinguishable from it.
@@ -303,15 +325,17 @@ impl DimTreeEngine {
             }
         }
         let g0 = pp_tensor::gemm::thread_gemm_counters();
+        let s0 = thread_ss_counters();
         let fl = input.contract_mode(k, fs.factor(k));
         self.stats
             .add_gemm_delta(&pp_tensor::gemm::thread_gemm_counters().since(&g0));
+        self.stats.add_ss_delta(&thread_ss_counters().since(&s0));
         if fl.transpose_words > 0 {
             self.stats.record(Kernel::Transpose, fl.transpose_time, 0);
         }
         self.stats.record(Kernel::Ttm, fl.ttm_time, fl.flops);
         let inter = Intermediate {
-            tensor: std::sync::Arc::new(fl.tensor),
+            payload: fl.payload,
             mode_order: fl.mode_order,
             versions: fs.versions().to_vec(),
         };
@@ -330,15 +354,30 @@ impl DimTreeEngine {
         cache_it: bool,
     ) -> Intermediate {
         let pos = current.position_of(j);
-        let t0 = Instant::now();
-        let out = mttv(&current.tensor, pos, fs.factor(j));
-        self.stats.record(Kernel::Mttv, t0.elapsed(), out.flops);
+        let payload = match &current.payload {
+            Payload::Dense(t) => {
+                let t0 = Instant::now();
+                let out = mttv(t, pos, fs.factor(j));
+                self.stats.record(Kernel::Mttv, t0.elapsed(), out.flops);
+                Payload::Dense(Arc::new(out.tensor))
+            }
+            Payload::SemiSparse(ss) => {
+                let s0 = thread_ss_counters();
+                let t0 = Instant::now();
+                let out = ss_mttv(ss, pos, fs.factor(j));
+                let elapsed = t0.elapsed();
+                let d = thread_ss_counters().since(&s0);
+                self.stats.record(Kernel::Mttv, elapsed, d.ttv_flops);
+                self.stats.add_ss_delta(&d);
+                Payload::SemiSparse(Arc::new(out))
+            }
+        };
         let mut mode_order = current.mode_order.clone();
         mode_order.remove(pos);
         let mut versions = current.versions;
         versions[j] = fs.version(j);
         let next = Intermediate {
-            tensor: std::sync::Arc::new(out.tensor),
+            payload,
             mode_order,
             versions,
         };

@@ -9,7 +9,9 @@
 //! suffices for orders 3 and 4 (each copy exposes two more modes: one
 //! first, one last).
 
+use crate::cache::Payload;
 use pp_tensor::kernels::ttm::{ttm_first, ttm_last};
+use pp_tensor::semisparse::{csf_ttm, TtmPlan};
 use pp_tensor::sparse::{CsfTensor, SparseTensor};
 use pp_tensor::transpose::permute;
 use pp_tensor::{DenseTensor, Matrix};
@@ -25,14 +27,30 @@ struct Layout {
     tensor: Arc<DenseTensor>,
 }
 
-/// A sparse input: the sorted-coordinate ingest form plus the CSF forest
-/// the sparse MTTKRP kernel runs over. Shared by `Arc` so sessions can
-/// hand it to the engine without copying the nonzeros.
+/// A sparse input: the sorted-coordinate ingest form plus either the CSF
+/// forest the direct sparse-MTTKRP fast path runs over (`method=dt`), or
+/// per-mode semi-sparse TTM plans that let the dimension-tree engine plan
+/// first-level contractions over the sparse representation (`pp`/`msdt`).
+/// Shared by `Arc` so sessions can hand it to the engine — and contraction
+/// plans can ship it to pool workers — without copying the nonzeros.
 pub struct SparseInput {
     /// Sorted COO form (fingerprinting, norms, densify-for-oracle).
     pub coo: SparseTensor,
-    /// The per-mode fiber forest (the kernel operand).
-    pub csf: CsfTensor,
+    /// The per-mode fiber forest (direct-kernel inputs; `None` when the
+    /// input plans dimension-tree chains instead).
+    pub csf: Option<CsfTensor>,
+    /// Per-mode semi-sparse TTM plans (chain-planned inputs; empty for
+    /// direct-kernel inputs).
+    pub plans: Vec<TtmPlan>,
+}
+
+impl SparseInput {
+    /// Auxiliary structure memory in f64-equivalent words (forest or
+    /// plans) — the admission-control estimate.
+    pub fn memory_words(&self) -> usize {
+        self.csf.as_ref().map_or(0, |c| c.memory_words())
+            + self.plans.iter().map(|p| p.memory_words()).sum::<usize>()
+    }
 }
 
 /// The CP input tensor plus any pre-permuted copies, with a uniform
@@ -50,18 +68,21 @@ pub struct InputTensor {
 
 /// Outcome of a first-level contraction.
 pub struct FirstLevel {
-    /// The intermediate `𝓜^(rest)`, rank mode trailing.
-    pub tensor: DenseTensor,
+    /// The intermediate `𝓜^(rest)` in either representation, rank
+    /// trailing.
+    pub payload: Payload,
     /// Original tensor modes of the result, in the result's layout order.
     pub mode_order: Vec<usize>,
-    /// Flops spent.
+    /// Flops spent (useful flops for semi-sparse: `2 · nnz · R`).
     pub flops: u64,
     /// Time spent in an explicit transpose, if one was needed.
     pub transpose_time: Duration,
     /// Main-memory words moved by that transpose.
     pub transpose_words: u64,
-    /// GEMM time (excluding the transpose).
+    /// Contraction time (excluding the transpose).
     pub ttm_time: Duration,
+    /// Input entries visited (semi-sparse contractions only; 0 for dense).
+    pub entries: u64,
 }
 
 /// Which end of a stored layout a planned first-level contraction touches.
@@ -73,31 +94,61 @@ pub enum ContractEnd {
     Last,
 }
 
-/// A zero-copy plan for a first-level TTM: the chosen stored layout plus
-/// the end the contracted mode occupies. The tensor is shared by `Arc`, so
-/// the plan can outlive `&self` and execute on another thread — the
-/// speculative half of the engine's cross-mode lookahead.
+/// The data a [`ContractPlan`] executes over: a dense stored layout with
+/// the contracted mode extremal, or the sparse input with its precomputed
+/// per-mode semi-sparse TTM plan.
+enum PlanSource {
+    Dense {
+        tensor: Arc<DenseTensor>,
+        end: ContractEnd,
+    },
+    Sparse {
+        input: Arc<SparseInput>,
+        mode: usize,
+    },
+}
+
+/// A zero-copy plan for a first-level contraction. The data is shared by
+/// `Arc`, so the plan can outlive `&self` and execute on another thread —
+/// the speculative half of the engine's cross-mode lookahead.
 pub struct ContractPlan {
-    tensor: Arc<DenseTensor>,
-    end: ContractEnd,
+    source: PlanSource,
     /// Original tensor modes of the *result*, in its layout order.
     pub mode_order: Vec<usize>,
 }
 
 impl ContractPlan {
-    /// Execute the planned TTM — the identical kernel call
-    /// [`InputTensor::contract_mode`] would issue on the same layout, so
-    /// the result is bit-identical to the non-speculative path.
-    pub fn run(&self, factor: &Matrix) -> DenseTensor {
-        match self.end {
-            ContractEnd::Last => ttm_last(&self.tensor, factor),
-            ContractEnd::First => ttm_first(&self.tensor, factor),
+    /// Execute the planned contraction — the identical kernel call
+    /// [`InputTensor::contract_mode`] would issue on the same layout/plan,
+    /// so the result is bit-identical to the non-speculative path.
+    pub fn run(&self, factor: &Matrix) -> Payload {
+        match &self.source {
+            PlanSource::Dense { tensor, end } => Payload::Dense(Arc::new(match end {
+                ContractEnd::Last => ttm_last(tensor, factor),
+                ContractEnd::First => ttm_first(tensor, factor),
+            })),
+            PlanSource::Sparse { input, mode } => {
+                Payload::SemiSparse(Arc::new(csf_ttm(&input.coo, &input.plans[*mode], factor)))
+            }
         }
     }
 
-    /// Elements of the input layout (for flop accounting).
+    /// Elements of the input (dense layout volume, or `nnz`) — for flop
+    /// accounting: flops = `2 · input_elems · R` either way.
     pub fn input_elems(&self) -> usize {
-        self.tensor.len()
+        match &self.source {
+            PlanSource::Dense { tensor, .. } => tensor.len(),
+            PlanSource::Sparse { input, .. } => input.coo.nnz(),
+        }
+    }
+
+    /// Input entries a semi-sparse execution visits (0 for dense plans) —
+    /// feeds the engine's semi-sparse fiber counter on speculative hits.
+    pub fn input_entries(&self) -> u64 {
+        match &self.source {
+            PlanSource::Dense { .. } => 0,
+            PlanSource::Sparse { input, .. } => input.coo.nnz() as u64,
+        }
     }
 }
 
@@ -126,8 +177,38 @@ impl InputTensor {
             layouts: Vec::new(),
             order,
             cache_transposes: false,
-            sparse: Some(Arc::new(SparseInput { coo: sp, csf })),
+            sparse: Some(Arc::new(SparseInput {
+                coo: sp,
+                csf: Some(csf),
+                plans: Vec::new(),
+            })),
         }
+    }
+
+    /// Wrap a sparse tensor for **dimension-tree planning**: instead of
+    /// the CSF forest, build one semi-sparse TTM plan per mode, so every
+    /// first-level contraction the standard/MSDT chains or the PP operator
+    /// tree asks for executes over the sparse representation — the `pp`
+    /// and `msdt` methods on sparse inputs. The input is never densified.
+    pub fn new_sparse_chained(sp: SparseTensor) -> Self {
+        let order = sp.order();
+        let plans: Vec<TtmPlan> = (0..order).map(|m| TtmPlan::build(&sp, m)).collect();
+        InputTensor {
+            layouts: Vec::new(),
+            order,
+            cache_transposes: false,
+            sparse: Some(Arc::new(SparseInput {
+                coo: sp,
+                csf: None,
+                plans,
+            })),
+        }
+    }
+
+    /// Whether this sparse input plans dimension-tree chains (semi-sparse
+    /// intermediates) rather than the direct CSF kernel.
+    pub fn is_sparse_chained(&self) -> bool {
+        self.sparse.as_ref().is_some_and(|sp| !sp.plans.is_empty())
     }
 
     /// The sparse backing, when this input is sparse.
@@ -236,10 +317,22 @@ impl InputTensor {
     /// speculating).
     pub fn plan_contract(&self, mode: usize) -> Option<ContractPlan> {
         assert!(mode < self.order);
-        if self.sparse.is_some() {
-            // Sparse MTTKRPs bypass the dimension tree entirely, so there
-            // is no first-level TTM to speculate on.
-            return None;
+        if let Some(sp) = &self.sparse {
+            if sp.plans.is_empty() {
+                // Direct-CSF input: sparse MTTKRPs bypass the dimension
+                // tree entirely, so there is no first-level TTM to plan.
+                return None;
+            }
+            // Chain-planned input: semi-sparse TTM over the plan for
+            // `mode`. The result's surviving levels keep the canonical
+            // ascending mode order (the plan's stable sort preserves it).
+            return Some(ContractPlan {
+                source: PlanSource::Sparse {
+                    input: sp.clone(),
+                    mode,
+                },
+                mode_order: (0..self.order).filter(|&m| m != mode).collect(),
+            });
         }
         // 1. A layout with `mode` last?
         if let Some(l) = self
@@ -248,16 +341,20 @@ impl InputTensor {
             .find(|l| *l.mode_order.last().unwrap() == mode)
         {
             return Some(ContractPlan {
-                tensor: l.tensor.clone(),
-                end: ContractEnd::Last,
+                source: PlanSource::Dense {
+                    tensor: l.tensor.clone(),
+                    end: ContractEnd::Last,
+                },
                 mode_order: l.mode_order[..self.order - 1].to_vec(),
             });
         }
         // 2. A layout with `mode` first?
         if let Some(l) = self.layouts.iter().find(|l| l.mode_order[0] == mode) {
             return Some(ContractPlan {
-                tensor: l.tensor.clone(),
-                end: ContractEnd::First,
+                source: PlanSource::Dense {
+                    tensor: l.tensor.clone(),
+                    end: ContractEnd::First,
+                },
                 mode_order: l.mode_order[1..].to_vec(),
             });
         }
@@ -270,24 +367,26 @@ impl InputTensor {
     pub fn contract_mode(&mut self, mode: usize, factor: &Matrix) -> FirstLevel {
         assert!(mode < self.order);
         assert!(
-            self.sparse.is_none(),
-            "dense first-level contraction on a sparse input (engine bug)"
+            self.sparse.is_none() || self.is_sparse_chained(),
+            "first-level contraction on a direct-CSF sparse input (engine bug)"
         );
         let r = factor.cols();
         let total = self.len();
         let flops = 2 * total as u64 * r as u64;
 
         if let Some(plan) = self.plan_contract(mode) {
+            let entries = plan.input_entries();
             let t0 = Instant::now();
             let out = plan.run(factor);
             let ttm_time = t0.elapsed();
             return FirstLevel {
-                tensor: out,
+                payload: out,
                 mode_order: plan.mode_order,
                 flops,
                 transpose_time: Duration::ZERO,
                 transpose_words: 0,
                 ttm_time,
+                entries,
             };
         }
         // Transpose: move `mode` last in a fresh copy.
@@ -316,12 +415,13 @@ impl InputTensor {
             });
         }
         FirstLevel {
-            tensor: out,
+            payload: Payload::Dense(Arc::new(out)),
             mode_order: result_modes,
             flops,
             transpose_time,
             transpose_words,
             ttm_time,
+            entries: 0,
         }
     }
 
@@ -377,7 +477,7 @@ mod tests {
             .map(|m0| fl.mode_order.iter().position(|x| x == m0).unwrap())
             .collect();
         perm.push(m); // rank mode stays last
-        permute(&fl.tensor, &perm)
+        permute(fl.payload.dense(), &perm)
     }
 
     #[test]

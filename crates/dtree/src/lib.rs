@@ -53,7 +53,7 @@ where
         .collect()
 }
 
-pub use cache::{InterCache, Intermediate, SpecPayload, SpecSlot};
+pub use cache::{InterCache, Intermediate, Payload, SpecPayload, SpecSlot};
 pub use engine::{DimTreeEngine, TreePolicy};
 pub use factor::FactorState;
 pub use input::InputTensor;

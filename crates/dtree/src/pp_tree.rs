@@ -21,7 +21,7 @@
 //! deterministic key order (so traces and cache contents are identical for
 //! any thread count).
 
-use crate::cache::Intermediate;
+use crate::cache::{Intermediate, Payload};
 use crate::engine::DimTreeEngine;
 use crate::factor::FactorState;
 use crate::input::InputTensor;
@@ -29,8 +29,10 @@ use crate::modeset::ModeSet;
 use crate::par_collect;
 use crate::stats::Kernel;
 use pp_tensor::kernels::mttv::mttv;
+use pp_tensor::semisparse::{ss_mttv, thread_ss_counters};
 use pp_tensor::Matrix;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The PP operators produced by the initialization step.
@@ -54,7 +56,7 @@ impl PpOperators {
 
     /// Auxiliary memory held by the operators, in f64 elements.
     pub fn memory_elems(&self) -> usize {
-        self.pairs.values().map(|p| p.tensor.len()).sum::<usize>()
+        self.pairs.values().map(|p| p.memory_words()).sum::<usize>()
             + self.firsts.iter().map(|m| m.data().len()).sum::<usize>()
     }
 }
@@ -132,6 +134,8 @@ pub fn build_pp_operators_with(
         for &(dur, flops) in &done.steps {
             engine.stats.record(Kernel::Mttv, dur, flops);
         }
+        engine.stats.semisparse_ttv_flops += done.ss_flops;
+        engine.stats.semisparse_entries_visited += done.ss_entries;
         if memory == PpTreeMemory::Full {
             engine.cache_mut().insert(done.inter.clone());
         }
@@ -146,7 +150,7 @@ pub fn build_pp_operators_with(
         let pair = &pairs[&key];
         let pos = pair.position_of(partner);
         let t0 = Instant::now();
-        let out = mttv(&pair.tensor, pos, fs.factor(partner));
+        let out = mttv(pair.dense(), pos, fs.factor(partner));
         (t0.elapsed(), out.flops, out.tensor)
     });
     let mut firsts = Vec::with_capacity(n_modes);
@@ -180,6 +184,26 @@ struct PairDone {
     key: (usize, usize),
     inter: Intermediate,
     steps: Vec<(Duration, u64)>,
+    /// Semi-sparse mTTV flops performed on the chain (0 on dense inputs).
+    ss_flops: u64,
+    /// Semi-sparse entries visited on the chain.
+    ss_entries: u64,
+}
+
+/// Pair operators have a hard dense contract — the approximated step's
+/// first-order corrections and the anchors below run dense mTTVs over
+/// them — so a pair completed on the semi-sparse chain is scattered dense
+/// here. This densifies an *operator* (`s_i · s_j · R` words, factor-matrix
+/// scale), never the input tensor.
+fn densify_pair(inter: Intermediate) -> Intermediate {
+    match &inter.payload {
+        Payload::Dense(_) => inter,
+        Payload::SemiSparse(ss) => Intermediate {
+            payload: Payload::Dense(Arc::new(ss.to_dense())),
+            mode_order: inter.mode_order.clone(),
+            versions: inter.versions.clone(),
+        },
+    }
 }
 
 /// Contract every mode outside `key` out of `start` (batched TTVs). Pure
@@ -188,18 +212,36 @@ fn finish_pair(key: (usize, usize), start: Intermediate, fs: &FactorState) -> Pa
     let set = ModeSet::from_modes([key.0, key.1]);
     let mut current = start;
     let mut steps = Vec::new();
+    let mut ss_flops = 0u64;
+    let mut ss_entries = 0u64;
     while current.set().len() > 2 {
         let gone = current.set().minus(set).min().unwrap();
         let pos = current.position_of(gone);
-        let t0 = Instant::now();
-        let out = mttv(&current.tensor, pos, fs.factor(gone));
-        steps.push((t0.elapsed(), out.flops));
+        let payload = match &current.payload {
+            Payload::Dense(t) => {
+                let t0 = Instant::now();
+                let out = mttv(t, pos, fs.factor(gone));
+                steps.push((t0.elapsed(), out.flops));
+                Payload::Dense(Arc::new(out.tensor))
+            }
+            Payload::SemiSparse(ss) => {
+                // Counters land on this pool worker's thread-locals;
+                // account explicitly so Phase C can merge them.
+                let flops = 2 * ss.n_entries() as u64 * ss.rank() as u64;
+                let t0 = Instant::now();
+                let out = ss_mttv(ss, pos, fs.factor(gone));
+                steps.push((t0.elapsed(), flops));
+                ss_flops += flops;
+                ss_entries += ss.n_entries() as u64;
+                Payload::SemiSparse(Arc::new(out))
+            }
+        };
         let mut mode_order = current.mode_order.clone();
         mode_order.remove(pos);
         let mut versions = current.versions;
         versions[gone] = fs.version(gone);
         current = Intermediate {
-            tensor: std::sync::Arc::new(out.tensor),
+            payload,
             mode_order,
             versions,
         };
@@ -207,8 +249,10 @@ fn finish_pair(key: (usize, usize), start: Intermediate, fs: &FactorState) -> Pa
     debug_assert_eq!(current.set(), set);
     PairDone {
         key,
-        inter: current,
+        inter: densify_pair(current),
         steps,
+        ss_flops,
+        ss_entries,
     }
 }
 
@@ -253,13 +297,15 @@ fn first_level_ttm(
     fresh_ttms: &mut usize,
 ) -> Intermediate {
     *fresh_ttms += 1;
+    let s0 = thread_ss_counters();
     let fl = input.contract_mode(contract, fs.factor(contract));
+    engine.stats.add_ss_delta(&thread_ss_counters().since(&s0));
     if fl.transpose_words > 0 {
         engine.stats.record(Kernel::Transpose, fl.transpose_time, 0);
     }
     engine.stats.record(Kernel::Ttm, fl.ttm_time, fl.flops);
     let inter = Intermediate {
-        tensor: std::sync::Arc::new(fl.tensor),
+        payload: fl.payload,
         mode_order: fl.mode_order,
         versions: fs.versions().to_vec(),
     };
@@ -311,7 +357,7 @@ fn obtain_pp_start(
     let n_modes = fs.order();
 
     if let Some(c) = engine.cache_mut().get_valid(set, fs.versions()) {
-        return PairStart::Done(c.clone());
+        return PairStart::Done(densify_pair(c.clone()));
     }
 
     let choice = pick_parent_mode(engine, fs, set, n_modes);
@@ -320,7 +366,7 @@ fn obtain_pp_start(
         // Order-3 tensors: the pair is itself a first-level intermediate.
         let inter = first_level_ttm(input, fs, engine, choice, fresh_ttms);
         debug_assert_eq!(inter.set(), set);
-        return PairStart::Done(inter);
+        return PairStart::Done(densify_pair(inter));
     }
     PairStart::From(obtain_pp(input, fs, engine, parent_set, fresh_ttms))
 }
@@ -379,15 +425,30 @@ fn contract_step(
     expect: ModeSet,
 ) -> Intermediate {
     let pos = parent.position_of(gone);
-    let t0 = Instant::now();
-    let out = mttv(&parent.tensor, pos, fs.factor(gone));
-    engine.stats.record(Kernel::Mttv, t0.elapsed(), out.flops);
+    let payload = match &parent.payload {
+        Payload::Dense(t) => {
+            let t0 = Instant::now();
+            let out = mttv(t, pos, fs.factor(gone));
+            engine.stats.record(Kernel::Mttv, t0.elapsed(), out.flops);
+            Payload::Dense(Arc::new(out.tensor))
+        }
+        Payload::SemiSparse(ss) => {
+            let s0 = thread_ss_counters();
+            let t0 = Instant::now();
+            let out = ss_mttv(ss, pos, fs.factor(gone));
+            let elapsed = t0.elapsed();
+            let d = thread_ss_counters().since(&s0);
+            engine.stats.record(Kernel::Mttv, elapsed, d.ttv_flops);
+            engine.stats.add_ss_delta(&d);
+            Payload::SemiSparse(Arc::new(out))
+        }
+    };
     let mut mode_order = parent.mode_order.clone();
     mode_order.remove(pos);
     let mut versions = parent.versions;
     versions[gone] = fs.version(gone);
     let inter = Intermediate {
-        tensor: std::sync::Arc::new(out.tensor),
+        payload,
         mode_order,
         versions,
     };
@@ -454,9 +515,9 @@ mod tests {
                 let want = oracle_pair(&t, &fs, i, j);
                 // Canonicalize got's layout to (i, j, R).
                 let got_t = if got.mode_order == vec![i, j] {
-                    (*got.tensor).clone()
+                    got.dense().clone()
                 } else {
-                    pp_tensor::transpose::swap_first_two(&got.tensor)
+                    pp_tensor::transpose::swap_first_two(got.dense())
                 };
                 assert!(got_t.max_abs_diff(&want) < 1e-9, "pair ({i},{j}) mismatch");
             }
@@ -534,11 +595,11 @@ mod tests {
         for (key, a) in &full.pairs {
             let b = &combined.pairs[key];
             let at = if a.mode_order == b.mode_order {
-                (*a.tensor).clone()
+                a.dense().clone()
             } else {
-                pp_tensor::transpose::swap_first_two(&a.tensor)
+                pp_tensor::transpose::swap_first_two(a.dense())
             };
-            assert!(at.max_abs_diff(&b.tensor) < 1e-10, "pair {key:?}");
+            assert!(at.max_abs_diff(b.dense()) < 1e-10, "pair {key:?}");
         }
         for (a, b) in full.firsts.iter().zip(combined.firsts.iter()) {
             assert!(a.max_abs_diff(b) < 1e-10);
@@ -570,7 +631,7 @@ mod tests {
         for (key, a) in &serial.pairs {
             let b = &parallel.pairs[key];
             assert_eq!(a.mode_order, b.mode_order, "pair {key:?} layout");
-            assert_eq!(a.tensor.data(), b.tensor.data(), "pair {key:?} data");
+            assert_eq!(a.dense().data(), b.dense().data(), "pair {key:?} data");
         }
         for (a, b) in serial.firsts.iter().zip(parallel.firsts.iter()) {
             assert_eq!(a.data(), b.data());

@@ -282,19 +282,41 @@ impl JobSpec {
     /// retain two mode-sets across a sweep boundary), plus the PP pair
     /// operators and anchors for PP jobs.
     pub fn est_cache_elems(&self) -> usize {
-        // Sparse jobs hold no dimension-tree cache at all (the CSF kernel
-        // bypasses the tree); their admission-relevant footprint is the
-        // resident CSF forest — one tree per mode, each bounded by `order`
-        // index+pointer levels of at most `nnz` entries plus the value
-        // array. Density-aware by construction: for the planted sparse
-        // model `nnz = volume · density`.
+        // Sparse jobs: the footprint depends on the method, not just the
+        // nonzero count. Density-aware by construction: for the planted
+        // sparse model `nnz = volume · density`.
         if let Some(nnz) = self.dataset.est_nnz() {
-            let order = match &self.dataset {
+            let dims = match &self.dataset {
                 DatasetSpec::SparsePowerlaw { dims, .. }
-                | DatasetSpec::SparseLowrank { dims, .. } => dims.len(),
+                | DatasetSpec::SparseLowrank { dims, .. } => dims.clone(),
                 _ => unreachable!("est_nnz is Some only for sparse specs"),
             };
-            return order * (2 * order + 1) * nnz;
+            let order = dims.len();
+            if self.method == JobMethod::Dt {
+                // Direct CSF kernel: one fiber tree per mode, each at
+                // most `order` index levels of `nnz` entries plus the
+                // value array — and no dimension-tree cache at all (the
+                // kernel bypasses the tree).
+                return order * (order + 1) * nnz;
+            }
+            // Semi-sparse chain (pp/msdt): per-mode TTM plans (sorted
+            // tuple index, permutation, and fiber pointers — O(order·nnz)
+            // words each) plus the cached semi-sparse intermediates: at
+            // most `nnz` surviving tuples, each an R-panel with its
+            // index tuple, held twice across the MSDT sweep boundary.
+            let mut est = order * (order + 1) * nnz + 2 * nnz * (self.rank + order);
+            if self.method == JobMethod::Pp {
+                // PP pair operators densify at completion (they are
+                // operator-sized, not input-sized): s_i·s_j·R dense
+                // blocks plus the s_i·R anchors.
+                for (i, &si) in dims.iter().enumerate() {
+                    est += si * self.rank;
+                    for &sj in dims.iter().skip(i + 1) {
+                        est += si * sj * self.rank;
+                    }
+                }
+            }
+            return est;
         }
         let dims: Vec<usize> = match &self.dataset {
             DatasetSpec::Lowrank { dims, .. } => dims.clone(),
@@ -525,10 +547,10 @@ pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, String> {
                 .map_err(|e| format!("line {line_no}: {e} (offending token '{tok}')"))?;
         }
         let sparse = matches!(dk.dataset.as_str(), "sparse-powerlaw" | "sparse-lowrank");
-        if sparse && job.method != JobMethod::Dt {
+        if sparse && job.method == JobMethod::Nncp {
             return Err(format!(
-                "line {line_no}: dataset '{}' requires method=dt (sparse inputs run exact \
-                 ALS over the standard dimension tree)",
+                "line {line_no}: dataset '{}' supports method=dt|pp|msdt (nncp's row-wise \
+                 HALS needs the dense residual and cannot run on sparse inputs)",
                 dk.dataset
             ));
         }
@@ -646,8 +668,8 @@ mod tests {
                 Some("density=1.5"),
             ),
             (
-                "job dataset=sparse-powerlaw method=pp",
-                "requires method=dt",
+                "job dataset=sparse-powerlaw method=nncp",
+                "supports method=dt|pp|msdt",
                 None,
             ),
         ] {
@@ -713,6 +735,17 @@ mod tests {
     }
 
     #[test]
+    fn sparse_datasets_admit_pp_and_msdt() {
+        let jobs = parse_manifest(
+            "job name=a dataset=sparse-powerlaw method=pp rank=4\n\
+             job name=b dataset=sparse-lowrank method=msdt rank=4\n",
+        )
+        .unwrap();
+        assert_eq!(jobs[0].method, JobMethod::Pp);
+        assert_eq!(jobs[1].method, JobMethod::Msdt);
+    }
+
+    #[test]
     fn scheduling_keys_parse() {
         let jobs = parse_manifest(
             "job name=p policy=priority priority=9\n\
@@ -747,7 +780,11 @@ mod tests {
         j.method = JobMethod::Pp;
         let pp_extra = (10 + 8 + 12) * 4 + (10 * 8 + 10 * 12 + 8 * 12) * 4;
         assert_eq!(j.est_cache_elems(), 2 * 10 * 12 * 4 + pp_extra);
-        // Sparse estimates scale with nnz (the CSF forest), not volume.
+        // Sparse estimates scale with nnz, not volume, and are
+        // per-method: dt holds only the CSF forest, msdt adds the TTM
+        // plans and cached semi-sparse intermediates, pp further adds
+        // the densified pair operators and anchors.
+        let legacy = 3 * 7 * 500; // the old method-blind formula
         j.method = JobMethod::Dt;
         j.dataset = DatasetSpec::SparsePowerlaw {
             dims: vec![100, 100, 100],
@@ -755,14 +792,29 @@ mod tests {
             skew: 2.0,
             seed: 1,
         };
-        assert_eq!(j.est_cache_elems(), 3 * 7 * 500);
+        assert_eq!(j.est_cache_elems(), 3 * 4 * 500);
+        assert!(
+            j.est_cache_elems() < legacy,
+            "dt must reserve less than the old formula (no tree cache)"
+        );
+        j.method = JobMethod::Msdt;
+        assert_eq!(j.est_cache_elems(), 3 * 4 * 500 + 2 * 500 * (4 + 3));
+        j.method = JobMethod::Pp;
+        let sparse_pp =
+            3 * 4 * 500 + 2 * 500 * (4 + 3) + (100 + 100 + 100) * 4 + 3 * (100 * 100) * 4;
+        assert_eq!(j.est_cache_elems(), sparse_pp);
+        assert!(
+            j.est_cache_elems() > legacy,
+            "pp must reserve more than the old formula (dense pair operators)"
+        );
+        j.method = JobMethod::Dt;
         j.dataset = DatasetSpec::SparseLowrank {
             dims: vec![100, 100, 100],
             gen_rank: 3,
             density: 0.001,
             seed: 1,
         };
-        assert_eq!(j.est_cache_elems(), 3 * 7 * 1000);
+        assert_eq!(j.est_cache_elems(), 3 * 4 * 1000);
         assert!(
             j.est_cache_elems() < 2 * 100 * 100 * 4,
             "sparse estimate must undercut the dense formula at low density"

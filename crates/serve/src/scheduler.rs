@@ -408,9 +408,10 @@ fn construct(sh: &Shared<'_>, idx: usize) -> Result<(AlsSession, usize), String>
             );
         };
         if spec.dataset.is_sparse() {
-            // CSF path: the tensor never densifies; sessions run exact ALS
-            // over the standard tree (enforced by the manifest parser and
-            // asserted by the session constructor).
+            // Sparse path: the tensor never densifies. dt runs the direct
+            // CSF kernel over the standard tree; pp and msdt run the
+            // semi-sparse TTM chain over the multi-sweep tree (the policy
+            // in `als_cfg` selects the input shape inside the session).
             let sp = spec.dataset.build_sparse();
             if let Some(path) = ckpt {
                 let (session, tag) = AlsSession::resume_from_disk_sparse(&path, &sp)

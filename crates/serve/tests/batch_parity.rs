@@ -133,6 +133,45 @@ fn sparse_jobs_checkpoint_and_resume_bitwise() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Sparse jobs on the semi-sparse chain: PP and MSDT next to a direct-CSF
+/// dt tenant (the methods PR 8 unlocked for sparse datasets).
+const SPARSE_METHODS_MANIFEST: &str = "\
+job name=sp-pp dataset=sparse-lowrank dims=14x12x10 gen-rank=3 density=0.08 data-seed=7 method=pp rank=3 sweeps=16 pp-tol=0.5 tol=0.0
+job name=sp-ms dataset=sparse-powerlaw dims=20x16x12 nnz=250 skew=1.5 data-seed=8 method=msdt rank=3 sweeps=5 tol=0.0
+job name=sp-dt dataset=sparse-lowrank dims=12x11x10 gen-rank=3 density=0.1 data-seed=9 method=dt rank=3 sweeps=5 tol=0.0
+";
+
+#[test]
+fn sparse_pp_and_msdt_jobs_match_solo_bitwise() {
+    let jobs = parse_manifest(SPARSE_METHODS_MANIFEST).unwrap();
+    assert_eq!(jobs.len(), 3);
+    let report = run_batch(&jobs, &ServeConfig::new(3)).unwrap();
+    assert_eq!(report.failed(), 0, "no job may fail");
+    for (spec, result) in jobs.iter().zip(report.jobs.iter()) {
+        let batched = result.output.as_ref().expect("completed job has output");
+        assert_bitwise(&spec.name, &solo(spec), batched);
+    }
+}
+
+#[test]
+fn sparse_pp_and_msdt_checkpoint_and_resume_bitwise() {
+    let jobs = parse_manifest(SPARSE_METHODS_MANIFEST).unwrap();
+    let dir = std::env::temp_dir().join(format!("pp-serve-sparse-pp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServeConfig::new(3)
+        .with_checkpoint_dir(&dir)
+        .with_stop_after_turns(4);
+    let drained = run_batch(&jobs, &cfg).unwrap();
+    assert_eq!(drained.parked(), 3);
+    let resumed = run_batch(&jobs, &ServeConfig::new(3).with_checkpoint_dir(&dir)).unwrap();
+    assert_eq!(resumed.failed(), 0);
+    assert_eq!(resumed.completed(), 3);
+    for (spec, result) in jobs.iter().zip(resumed.jobs.iter()) {
+        assert_bitwise(&spec.name, &solo(spec), result.output.as_ref().unwrap());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn narrow_window_matches_too() {
     // J=2 over the same four jobs: different interleaving, same traces.

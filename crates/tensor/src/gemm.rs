@@ -102,6 +102,19 @@ fn resolve_panel(name: &str, raw: Option<&str>, default: usize, round_to: usize)
 /// deterministic and thread-count independent).
 const SMALL_WORK: usize = 1 << 10;
 
+/// The resolved KC panel depth (after any `PP_GEMM_KC` override) — exposed
+/// so kernels on other representations (the semi-sparse TTM) can replay
+/// the packed path's per-panel accumulation order bit for bit.
+pub fn panel_kc() -> usize {
+    panel_constants().1
+}
+
+/// The small-vs-packed dispatch threshold in multiply-adds (`m·n·k`) —
+/// exposed for the same bitwise-mirroring reason as [`panel_kc`].
+pub fn small_work_limit() -> usize {
+    SMALL_WORK
+}
+
 /// Minimum number of multiply-adds before it is worth fanning out to the
 /// rayon pool; below this the dispatch overhead exceeds the work. With the
 /// persistent pool, dispatch is an enqueue + atomic chunk claims (no thread

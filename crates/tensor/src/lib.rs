@@ -37,6 +37,7 @@ pub mod gemm;
 pub mod kernels;
 pub mod matrix;
 pub mod rng;
+pub mod semisparse;
 pub mod shape;
 pub(crate) mod simd;
 pub mod solve;
@@ -45,6 +46,7 @@ pub mod transpose;
 
 pub use dense::DenseTensor;
 pub use matrix::Matrix;
+pub use semisparse::{SemiSparseTensor, TtmPlan};
 pub use shape::Shape;
 pub use sparse::{CsfTensor, SparseTensor};
 
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use crate::kernels::naive::{mttkrp, reconstruct};
     pub use crate::kernels::ttm::{ttm, ttm_first, ttm_last};
     pub use crate::matrix::{hadamard_chain_skip, Matrix};
+    pub use crate::semisparse::{csf_ttm, semisparse_mttkrp, ss_mttv, SemiSparseTensor, TtmPlan};
     pub use crate::shape::Shape;
     pub use crate::solve::{solve_gram, SolveMethod};
     pub use crate::sparse::{sparse_mttkrp, CsfTensor, SparseTensor};

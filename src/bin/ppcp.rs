@@ -23,9 +23,11 @@
 //! ppcp [--version] [--help]
 //!      --dataset <lowrank|collinearity|chemistry|coil|timelapse|
 //!                 sparse-powerlaw|sparse-lowrank>
-//!                                          (sparse datasets run the CSF
-//!                                           fast path; they require
-//!                                           --method dt and --ranks 1)
+//!                                          (sparse datasets never densify:
+//!                                           dt runs the direct CSF kernel,
+//!                                           pp/msdt run the semi-sparse
+//!                                           TTM chain; nncp is rejected
+//!                                           and --ranks must be 1)
 //!      --method  <dt|msdt|pp|nncp>          (default msdt)
 //!      --rank    <R>                        (default 16)
 //!      --sweeps  <max>                      (default 100)
@@ -200,10 +202,10 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         ));
     }
     if args.dataset.starts_with("sparse-") {
-        if args.method != "dt" {
+        if args.method == "nncp" {
             return Err(format!(
-                "dataset '{}' requires --method dt (sparse inputs run exact ALS \
-                 over the standard dimension tree)",
+                "dataset '{}' supports --method dt|pp|msdt (nncp's row-wise HALS \
+                 needs the dense residual and cannot run on sparse inputs)",
                 args.dataset
             ));
         }
@@ -510,8 +512,10 @@ fn make_sparse_tensor(args: &Args) -> parallel_pp::tensor::sparse::SparseTensor 
     }
 }
 
-/// The sparse single-run driver: exact ALS (`dt`) where every MTTKRP
-/// routes through the pool-parallel CSF kernel, never densifying.
+/// The sparse single-run driver. The input never densifies: `dt` routes
+/// every MTTKRP through the pool-parallel CSF kernel over the standard
+/// tree; `pp` and `msdt` run the semi-sparse TTM chain over the
+/// multi-sweep tree.
 fn run_sparse(args: &Args) {
     use parallel_pp::core::{AlsSession, SessionKind};
     let sp = {
@@ -535,15 +539,25 @@ fn run_sparse(args: &Args) {
         .with_pp_tol(args.pp_tol)
         .with_seed(args.seed)
         .with_lookahead(!args.no_lookahead)
-        .with_policy(TreePolicy::Standard);
+        .with_policy(match args.method.as_str() {
+            "dt" => TreePolicy::Standard,
+            _ => TreePolicy::MultiSweep,
+        });
     if let Some(t) = args.threads {
         cfg = cfg.with_threads(t);
     }
-    let out = AlsSession::new_sparse(&sp, &cfg, SessionKind::Exact).run();
+    let kind = match args.method.as_str() {
+        "pp" => SessionKind::Pp,
+        _ => SessionKind::Exact,
+    };
+    let out = AlsSession::new_sparse(&sp, &cfg, kind).run();
     let report = out.report;
     println!(
-        "finished: {} sweeps (all exact), fitness {:.5}, {:.2}s total{}",
+        "finished: {} sweeps ({} exact, {} PP-init, {} PP-approx), fitness {:.5}, {:.2}s total{}",
         report.sweeps.len(),
+        report.count(SweepKind::Exact),
+        report.count(SweepKind::PpInit),
+        report.count(SweepKind::PpApprox),
         report.final_fitness,
         report.total_secs(),
         if report.converged {
@@ -565,13 +579,24 @@ fn run_sparse(args: &Args) {
     }
 }
 
-/// The CSF kernel counter line, printed whenever the sparse fast path ran.
+/// The sparse kernel counter lines: the direct CSF MTTKRP (dt) and the
+/// semi-sparse TTM/TTV chain (pp/msdt) — whichever actually ran.
 fn print_sparse_counters(stats: &parallel_pp::dtree::KernelStats) {
-    println!(
-        "sparse MTTKRP (CSF): {:.2} Gflop, {} fibers visited",
-        stats.sparse_mttkrp_flops as f64 / 1e9,
-        stats.sparse_fibers_visited,
-    );
+    if stats.sparse_mttkrp_flops > 0 {
+        println!(
+            "sparse MTTKRP (CSF): {:.2} Gflop, {} fibers visited",
+            stats.sparse_mttkrp_flops as f64 / 1e9,
+            stats.sparse_fibers_visited,
+        );
+    }
+    if stats.semisparse_ttm_flops > 0 || stats.semisparse_ttv_flops > 0 {
+        println!(
+            "semi-sparse chain: {:.2} Gflop TTM + {:.2} Gflop TTV, {} entries visited",
+            stats.semisparse_ttm_flops as f64 / 1e9,
+            stats.semisparse_ttv_flops as f64 / 1e9,
+            stats.semisparse_entries_visited,
+        );
+    }
 }
 
 fn grid_for(t: &DenseTensor, p: usize) -> ProcGrid {
@@ -737,9 +762,7 @@ fn main() {
         report.stats.gemm_fixed_n_calls,
         report.stats.gemm_generic_calls,
     );
-    if report.stats.sparse_mttkrp_flops > 0 {
-        print_sparse_counters(&report.stats);
-    }
+    print_sparse_counters(&report.stats);
     if args.trace {
         for s in &report.sweeps {
             println!(
@@ -1001,17 +1024,25 @@ mod tests {
     }
 
     #[test]
-    fn sparse_datasets_require_dt_and_one_rank() {
+    fn sparse_datasets_admit_dt_pp_msdt_and_reject_nncp() {
         for ds in ["sparse-powerlaw", "sparse-lowrank"] {
-            let a = parse_args_from(&argv(&["--dataset", ds, "--method", "dt"])).unwrap();
-            assert_eq!(a.dataset, ds);
-            let err = parse_args_from(&argv(&["--dataset", ds])).unwrap_err();
-            assert!(err.contains("requires --method dt"), "{ds}: {err}");
-            let err = parse_args_from(&argv(&["--dataset", ds, "--method", "pp"])).unwrap_err();
-            assert!(err.contains("requires --method dt"), "{ds}: {err}");
-            let err = parse_args_from(&argv(&["--dataset", ds, "--method", "dt", "--ranks", "4"]))
-                .unwrap_err();
-            assert!(err.contains("sequential-only"), "{ds}: {err}");
+            // dt, pp, and msdt are all legal (msdt is also the default).
+            for m in ["dt", "pp", "msdt"] {
+                let a = parse_args_from(&argv(&["--dataset", ds, "--method", m])).unwrap();
+                assert_eq!(a.dataset, ds);
+                assert_eq!(a.method, m);
+            }
+            let a = parse_args_from(&argv(&["--dataset", ds])).unwrap();
+            assert_eq!(a.method, "msdt");
+            // nncp stays rejected, and the message enumerates the legal set.
+            let err = parse_args_from(&argv(&["--dataset", ds, "--method", "nncp"])).unwrap_err();
+            assert!(err.contains("supports --method dt|pp|msdt"), "{ds}: {err}");
+            // Sparse runs are still sequential-only, whatever the method.
+            for m in ["dt", "pp", "msdt"] {
+                let err = parse_args_from(&argv(&["--dataset", ds, "--method", m, "--ranks", "4"]))
+                    .unwrap_err();
+                assert!(err.contains("sequential-only"), "{ds} {m}: {err}");
+            }
         }
     }
 

@@ -154,11 +154,11 @@ fn factors_digest(factors: &[Matrix]) -> u64 {
 }
 
 /// Serialize a run into the golden JSON format.
-fn to_json(method: Method, dataset: Dataset, report: &AlsReport, factors: &[Matrix]) -> String {
+fn to_json(method: &str, dataset: &str, report: &AlsReport, factors: &[Matrix]) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"method\": \"{}\",", method.tag());
-    let _ = writeln!(s, "  \"dataset\": \"{}\",", dataset.tag());
+    let _ = writeln!(s, "  \"method\": \"{method}\",");
+    let _ = writeln!(s, "  \"dataset\": \"{dataset}\",");
     let _ = writeln!(s, "  \"converged\": {},", report.converged);
     let _ = writeln!(
         s,
@@ -236,16 +236,22 @@ fn golden_path(method: Method, dataset: Dataset) -> PathBuf {
         .join(format!("{}_{}.json", method.tag(), dataset.tag()))
 }
 
-fn check_case(method: Method, dataset: Dataset) {
-    let (report, factors) = run_case(method, dataset);
-    let path = golden_path(method, dataset);
+/// Verify (or, under PP_UPDATE_GOLDEN=1, rewrite) one golden trace file.
+fn check_trace(
+    path: &PathBuf,
+    label: &str,
+    method_tag: &str,
+    dataset_tag: &str,
+    report: &AlsReport,
+    factors: &[Matrix],
+) {
     if std::env::var("PP_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, to_json(method, dataset, &report, &factors)).unwrap();
+        std::fs::write(path, to_json(method_tag, dataset_tag, report, factors)).unwrap();
         eprintln!("updated {}", path.display());
         return;
     }
-    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
         panic!(
             "missing golden trace {} ({e}); regenerate with PP_UPDATE_GOLDEN=1",
             path.display()
@@ -255,32 +261,45 @@ fn check_case(method: Method, dataset: Dataset) {
     assert_eq!(
         golden.sweeps.len(),
         report.sweeps.len(),
-        "{method:?}/{dataset:?}: sweep count drifted"
+        "{label}: sweep count drifted"
     );
     for (i, (rec, (kind, bits))) in report.sweeps.iter().zip(golden.sweeps.iter()).enumerate() {
         assert_eq!(
             rec.kind.label(),
             kind,
-            "{method:?}/{dataset:?}: sweep-kind schedule drifted at sweep {i}"
+            "{label}: sweep-kind schedule drifted at sweep {i}"
         );
         assert_eq!(
             rec.fitness.to_bits(),
             *bits,
-            "{method:?}/{dataset:?}: fitness drifted at sweep {i}: {} vs golden {}",
+            "{label}: fitness drifted at sweep {i}: {} vs golden {}",
             rec.fitness,
             f64::from_bits(*bits)
         );
     }
-    assert_eq!(report.converged, golden.converged, "{method:?}/{dataset:?}");
+    assert_eq!(report.converged, golden.converged, "{label}");
     assert_eq!(
         report.final_fitness.to_bits(),
         golden.final_fitness_bits,
-        "{method:?}/{dataset:?}: final fitness drifted"
+        "{label}: final fitness drifted"
     );
     assert_eq!(
-        factors_digest(&factors),
+        factors_digest(factors),
         golden.factors_fnv,
-        "{method:?}/{dataset:?}: final factors drifted"
+        "{label}: final factors drifted"
+    );
+}
+
+fn check_case(method: Method, dataset: Dataset) {
+    let (report, factors) = run_case(method, dataset);
+    let path = golden_path(method, dataset);
+    check_trace(
+        &path,
+        &format!("{method:?}/{dataset:?}"),
+        method.tag(),
+        dataset.tag(),
+        &report,
+        &factors,
     );
 }
 
@@ -291,6 +310,110 @@ macro_rules! golden_case {
             check_case($method, $dataset);
         }
     };
+}
+
+/// Sparse golden cases: PP and MSDT over the semi-sparse chain. The input
+/// never densifies inside the session; these traces pin the PR 8
+/// representation-polymorphic planner bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SparseDataset {
+    /// `powerlaw_sparse(&[24, 20, 16], 800, 1.8, 5)`.
+    Powerlaw,
+    /// `sparse_lowrank(&[18, 16, 14], 3, 0.06, 6)`.
+    Lowrank,
+}
+
+impl SparseDataset {
+    fn tag(&self) -> &'static str {
+        match self {
+            SparseDataset::Powerlaw => "powerlaw",
+            SparseDataset::Lowrank => "lowrank",
+        }
+    }
+
+    fn tensor(&self) -> parallel_pp::tensor::sparse::SparseTensor {
+        match self {
+            SparseDataset::Powerlaw => {
+                parallel_pp::datagen::sparse::powerlaw_sparse(&[24, 20, 16], 800, 1.8, 5)
+            }
+            SparseDataset::Lowrank => {
+                parallel_pp::datagen::sparse::sparse_lowrank(&[18, 16, 14], 3, 0.06, 6).0
+            }
+        }
+    }
+}
+
+fn run_sparse_case(method: Method, dataset: SparseDataset) -> (AlsReport, Vec<Matrix>) {
+    use parallel_pp::core::{AlsSession, SessionKind};
+    let sp = dataset.tensor();
+    let out = match method {
+        Method::Msdt => AlsSession::new_sparse(
+            &sp,
+            &AlsConfig::new(3)
+                .with_policy(TreePolicy::MultiSweep)
+                .with_max_sweeps(10)
+                .with_tol(0.0),
+            SessionKind::Exact,
+        )
+        .run(),
+        Method::Pp => AlsSession::new_sparse(
+            &sp,
+            &AlsConfig::new(3)
+                .with_policy(TreePolicy::MultiSweep)
+                .with_pp_tol(0.5)
+                .with_max_sweeps(16)
+                .with_tol(0.0),
+            SessionKind::Pp,
+        )
+        .run(),
+        other => unreachable!("no sparse golden case for {other:?}"),
+    };
+    // The traces pin a run that stayed sparse end to end: the chain
+    // counters must be live and the dense-volume GEMM counter absent.
+    assert!(
+        out.report.stats.semisparse_ttm_flops > 0,
+        "sparse case densified its input"
+    );
+    (out.report, out.factors)
+}
+
+fn check_sparse_case(method: Method, dataset: SparseDataset) {
+    let (report, factors) = run_sparse_case(method, dataset);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("sparse_{}_{}.json", method.tag(), dataset.tag()));
+    check_trace(
+        &path,
+        &format!("sparse {method:?}/{dataset:?}"),
+        method.tag(),
+        &format!("sparse-{}", dataset.tag()),
+        &report,
+        &factors,
+    );
+}
+
+macro_rules! sparse_golden_case {
+    ($name:ident, $method:expr, $dataset:expr) => {
+        #[test]
+        fn $name() {
+            check_sparse_case($method, $dataset);
+        }
+    };
+}
+
+sparse_golden_case!(sparse_pp_powerlaw, Method::Pp, SparseDataset::Powerlaw);
+sparse_golden_case!(sparse_pp_lowrank, Method::Pp, SparseDataset::Lowrank);
+sparse_golden_case!(sparse_msdt_powerlaw, Method::Msdt, SparseDataset::Powerlaw);
+sparse_golden_case!(sparse_msdt_lowrank, Method::Msdt, SparseDataset::Lowrank);
+
+/// The sparse PP cases must actually enter the PP regime.
+#[test]
+fn sparse_pp_cases_reach_pp_regime() {
+    for dataset in [SparseDataset::Powerlaw, SparseDataset::Lowrank] {
+        let (report, _) = run_sparse_case(Method::Pp, dataset);
+        let has_approx = report.sweeps.iter().any(|s| s.kind.label() == "PP-approx");
+        assert!(has_approx, "{dataset:?}: sparse PP regime never activated");
+    }
 }
 
 golden_case!(dt_lowrank, Method::Dt, Dataset::Lowrank);

@@ -6,9 +6,13 @@
 //! makes `PP_NUM_THREADS` a pure performance knob for sparse inputs.
 
 use parallel_pp::datagen::powerlaw_sparse;
+use parallel_pp::tensor::kernels::mttv::mttv;
 use parallel_pp::tensor::kernels::naive::mttkrp_pointwise;
+use parallel_pp::tensor::kernels::ttm::ttm;
 use parallel_pp::tensor::rng::{seeded, uniform_matrix};
+use parallel_pp::tensor::semisparse::{csf_ttm, semisparse_mttkrp, TtmPlan};
 use parallel_pp::tensor::sparse::{sparse_mttkrp, CsfTensor, SparseTensor};
+use parallel_pp::tensor::Matrix;
 use proptest::prelude::*;
 
 /// Shape menus spanning order 3 and 4, with ragged/prime extents so fiber
@@ -53,6 +57,83 @@ proptest! {
                 got.data() == want.data(),
                 "dims {:?} nnz {} rank {} mode {}: CSF diverges from oracle",
                 dims, sp.nnz(), rank, n
+            );
+        }
+    }
+
+    #[test]
+    fn csf_ttm_matches_densified_ttm_bitwise(
+        si in 0usize..SHAPES.len(),
+        ci in 0usize..SAMPLES.len(),
+        ki in 0usize..SKEWS.len(),
+        rank in 1usize..9,
+        data_seed in 0u64..500,
+        factor_seed in 0u64..500,
+    ) {
+        // The semi-sparse TTM must equal — bit for bit — the dense TTM on
+        // the densified tensor, for every contraction mode. Structural
+        // zeros contribute exact +0.0 terms in the dense kernel, so
+        // skipping them is a bitwise no-op.
+        let dims = SHAPES[si];
+        let sp = powerlaw_sparse(dims, SAMPLES[ci], SKEWS[ki], data_seed);
+        let dense = sp.to_dense();
+        let mut rng = seeded(factor_seed);
+        let factors: Vec<_> = dims
+            .iter()
+            .map(|&d| uniform_matrix(d, rank, &mut rng))
+            .collect();
+        for (mode, factor) in factors.iter().enumerate() {
+            let plan = TtmPlan::build(&sp, mode);
+            let got = csf_ttm(&sp, &plan, factor).to_dense();
+            let want = ttm(&dense, mode, factor).tensor;
+            prop_assert!(
+                got.data() == want.data(),
+                "dims {:?} nnz {} rank {} mode {}: csf_ttm diverges from dense TTM",
+                dims, sp.nnz(), rank, mode
+            );
+        }
+    }
+
+    #[test]
+    fn semisparse_mttkrp_matches_densified_chain_bitwise(
+        si in 0usize..SHAPES.len(),
+        ci in 0usize..SAMPLES.len(),
+        rank in 1usize..7,
+        data_seed in 0u64..500,
+        factor_seed in 0u64..500,
+        pick in 0usize..8,
+    ) {
+        // Full chain parity: first level via csf_ttm on a proptest-chosen
+        // mode k ≠ n, then semisparse_mttkrp down to M^(n), against the
+        // identical dense chain (same TTM mode, same last-position-first
+        // TTV order) on the densified tensor.
+        let dims = SHAPES[si];
+        let order = dims.len();
+        let sp = powerlaw_sparse(dims, SAMPLES[ci], SKEWS[1], data_seed);
+        let mut rng = seeded(factor_seed);
+        let factors: Vec<_> = dims
+            .iter()
+            .map(|&d| uniform_matrix(d, rank, &mut rng))
+            .collect();
+        for n in 0..order {
+            let k = (0..order).filter(|&m| m != n).nth(pick % (order - 1)).unwrap();
+            let plan = TtmPlan::build(&sp, k);
+            let ss = csf_ttm(&sp, &plan, &factors[k]);
+            let mode_order: Vec<usize> = (0..order).filter(|&m| m != k).collect();
+            let got = semisparse_mttkrp(&ss, &mode_order, &factors, n);
+
+            let mut cur = ttm(&sp.to_dense(), k, &factors[k]).tensor;
+            let mut ord = mode_order.clone();
+            while ord.len() > 1 {
+                let pos = (0..ord.len()).rev().find(|&p| ord[p] != n).unwrap();
+                cur = mttv(&cur, pos, &factors[ord[pos]]).tensor;
+                ord.remove(pos);
+            }
+            let want = Matrix::from_vec(dims[n], rank, cur.into_vec());
+            prop_assert!(
+                got.data() == want.data(),
+                "dims {:?} nnz {} rank {} n {} k {}: chain diverges from dense",
+                dims, sp.nnz(), rank, n, k
             );
         }
     }

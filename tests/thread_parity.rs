@@ -8,7 +8,7 @@
 //! threshold (K·s·R = 1600·40·8 ≈ 5×10⁵ ≥ 2¹⁶), so the N-thread run
 //! really exercises the pooled parallel paths.
 
-use parallel_pp::core::{cp_als, pp_cp_als, AlsConfig};
+use parallel_pp::core::{cp_als, pp_cp_als, AlsConfig, AlsSession, SessionKind};
 use parallel_pp::datagen::lowrank::noisy_rank;
 use parallel_pp::dtree::TreePolicy;
 
@@ -80,4 +80,61 @@ fn pp_cp_als_trace_identical_under_1_and_n_threads() {
         "PP regime never engaged; loosen pp_tol"
     );
     assert_identical(&serial, &parallel);
+}
+
+#[test]
+fn sparse_msdt_trace_identical_under_1_and_n_threads() {
+    // The semi-sparse chain (csf_ttm + ss_mttv) partitions its output
+    // panels disjointly, so MSDT on a sparse input must be bitwise
+    // deterministic across pool widths. Density is chosen so the entry
+    // count crosses the kernels' parallel-work threshold.
+    let _serial = override_lock();
+    let (sp, _) = parallel_pp::datagen::sparse::sparse_lowrank(&[40, 36, 30], 4, 0.12, 71);
+    let run = |threads: usize| {
+        AlsSession::new_sparse(
+            &sp,
+            &AlsConfig::new(8)
+                .with_policy(TreePolicy::MultiSweep)
+                .with_max_sweeps(6)
+                .with_tol(0.0)
+                .with_threads(threads),
+            SessionKind::Exact,
+        )
+        .run()
+    };
+    let serial = run(1);
+    assert!(
+        serial.report.stats.semisparse_ttm_flops > 0,
+        "semi-sparse chain never ran"
+    );
+    assert_identical(&serial, &run(4));
+}
+
+#[test]
+fn sparse_pp_trace_identical_under_1_and_n_threads() {
+    let _serial = override_lock();
+    let (sp, _) = parallel_pp::datagen::sparse::sparse_lowrank(&[40, 36, 30], 4, 0.12, 77);
+    let run = |threads: usize| {
+        AlsSession::new_sparse(
+            &sp,
+            &AlsConfig::new(8)
+                .with_policy(TreePolicy::MultiSweep)
+                .with_max_sweeps(18)
+                .with_tol(0.0)
+                .with_pp_tol(0.5)
+                .with_threads(threads),
+            SessionKind::Pp,
+        )
+        .run()
+    };
+    let serial = run(1);
+    assert!(
+        serial
+            .report
+            .sweeps
+            .iter()
+            .any(|s| s.kind == parallel_pp::core::SweepKind::PpInit),
+        "PP regime never engaged; loosen pp_tol"
+    );
+    assert_identical(&serial, &run(4));
 }
