@@ -11,7 +11,7 @@
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
-use pp_comm::{CostModel, Runtime};
+use pp_comm::{Collectives, CostModel, Runtime};
 use pp_core::ref_pp::{time_pp_kernels, PpKernelTimes, PpVariant};
 use pp_core::{AlsConfig, SolveStrategy};
 use pp_dtree::{KernelStats, TreePolicy};

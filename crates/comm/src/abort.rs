@@ -1,0 +1,124 @@
+//! Cooperative abort for rank worlds: when one rank dies, every blocked
+//! collective on every sibling rank must wake up and panic instead of
+//! waiting forever on a peer that will never arrive.
+//!
+//! Both backends share one [`Abort`] per world (sub-communicators created
+//! by `split` inherit it), so a single poisoned flag reaches rendezvous
+//! slots and point-to-point channels alike. Blocking primitives register a
+//! *waker* — a closure that takes the primitive's lock and notifies its
+//! condvars — and call [`Abort::check`] inside their wait loops; `set`
+//! flips the flag and fires every waker, so a waiter either observes the
+//! flag before blocking or is woken by the notification.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+type Waker = Box<dyn Fn() + Send + Sync>;
+
+#[derive(Default)]
+struct AbortInner {
+    flag: AtomicBool,
+    wakers: Mutex<Vec<Waker>>,
+}
+
+/// Shared poison flag for one rank world. Cloning shares the flag.
+#[derive(Clone, Default)]
+pub(crate) struct Abort {
+    inner: Arc<AbortInner>,
+}
+
+impl Abort {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a waker fired when the world is poisoned. Wakers hold only
+    /// `Weak` references back to their primitive, so worlds are freed when
+    /// the last communicator drops. If the world is already poisoned the
+    /// waker fires immediately.
+    pub fn register(&self, waker: Waker) {
+        if self.is_set() {
+            waker();
+        }
+        self.inner.wakers.lock().push(waker);
+    }
+
+    /// Whether the world has been poisoned.
+    pub fn is_set(&self) -> bool {
+        self.inner.flag.load(Ordering::SeqCst)
+    }
+
+    /// Poison the world and wake every registered blocking primitive.
+    /// Idempotent.
+    pub fn set(&self) {
+        if !self.inner.flag.swap(true, Ordering::SeqCst) {
+            for w in self.inner.wakers.lock().iter() {
+                w();
+            }
+        }
+    }
+
+    /// Panic if the world is poisoned; called from inside wait loops.
+    pub fn check(&self) {
+        if self.is_set() {
+            panic!("collective aborted: a peer rank panicked");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Condvar;
+    use std::sync::Weak;
+
+    #[test]
+    fn set_is_idempotent_and_visible() {
+        let a = Abort::new();
+        assert!(!a.is_set());
+        a.set();
+        a.set();
+        assert!(a.is_set());
+    }
+
+    #[test]
+    #[should_panic(expected = "collective aborted")]
+    fn check_panics_once_set() {
+        let a = Abort::new();
+        a.set();
+        a.check();
+    }
+
+    #[test]
+    fn wakers_fire_on_set_and_on_late_register() {
+        struct Gate {
+            m: Mutex<bool>,
+            cv: Condvar,
+        }
+        let gate = Arc::new(Gate {
+            m: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let a = Abort::new();
+        let w: Weak<Gate> = Arc::downgrade(&gate);
+        a.register(Box::new(move || {
+            if let Some(g) = w.upgrade() {
+                *g.m.lock() = true;
+                g.cv.notify_all();
+            }
+        }));
+        a.set();
+        assert!(*gate.m.lock(), "waker must fire on set");
+
+        // A primitive created after the abort still gets woken immediately.
+        *gate.m.lock() = false;
+        let w: Weak<Gate> = Arc::downgrade(&gate);
+        a.register(Box::new(move || {
+            if let Some(g) = w.upgrade() {
+                *g.m.lock() = true;
+            }
+        }));
+        assert!(*gate.m.lock(), "late registration fires immediately");
+    }
+}

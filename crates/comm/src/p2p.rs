@@ -1,0 +1,884 @@
+//! Point-to-point channel backend: real collective schedules over
+//! per-rank-pair bounded mailboxes.
+//!
+//! The `Transport` owns one bounded SPSC channel per *ordered* rank pair
+//! `(src, dst)`: a mutex-guarded `VecDeque` with two condvars (`not_empty`
+//! for receivers, `not_full` for senders) and a small capacity, so a rank
+//! that runs ahead blocks instead of buffering unboundedly — the same
+//! backpressure an MPI eager/rendezvous protocol provides. Messages carry a
+//! tag derived from a per-rank collective counter; since collectives are
+//! globally ordered within a group, sender and receiver counters agree, and
+//! a tag mismatch on receive means the ranks left lockstep (a bug), not a
+//! recoverable condition.
+//!
+//! Collective schedules (all deterministic, all valid for any group size):
+//!
+//! * **Barrier** — dissemination: round `k` sends a token to rank
+//!   `r + 2^k` and receives from `r − 2^k`; `⌈log₂P⌉` rounds.
+//! * **All-Gather** — ring: `P−1` steps, each forwarding the block received
+//!   last step to the right neighbour.
+//! * **All-Reduce** — distance-doubling (Bruck) exchange of *source-tagged
+//!   contributions*, summed locally in ascending rank order. The doubling
+//!   schedule is the recursive-doubling butterfly generalized to any `P`.
+//! * **Reduce-Scatter** — ring of unreduced segment pieces: the piece of
+//!   source `s` for owner `o` travels `s → s+1 → … → o`; owners sum their
+//!   pieces in ascending source order.
+//! * **Broadcast / Gather / Scatter** — binomial trees relabeled around the
+//!   root.
+//! * **All-to-All** — pairwise exchange: step `t` sends to `r+t`, receives
+//!   from `r−t`.
+//!
+//! **Determinism / bitwise parity.** The rendezvous oracle sums reduction
+//! contributions left-to-right in rank order. A butterfly that combined
+//! *partial sums* in-network would associate the floating-point additions
+//! differently and change low-order bits. Our ALS collectives are in the
+//! short-vector regime (Gram matrices and scalars, `O(R²)` words), where
+//! MPI implementations themselves pick allgather-based all-reduce — so the
+//! p2p reductions move raw contributions and reduce at the end points, in
+//! ascending rank order, making every collective bitwise identical to the
+//! rendezvous backend while exercising a real message-passing schedule.
+//!
+//! **Modeled vs. measured cost.** The [`CostLedger`] is charged with the
+//! §II-E closed forms via the same `charge` helpers
+//! the rendezvous backend uses, so modeled cost reports are comparable
+//! across backends. The traffic that actually crosses the channels —
+//! including control rounds such as split membership exchanges — is counted
+//! separately per rank in [`TransportCounters`].
+
+use crate::abort::Abort;
+use crate::comm::{charge, Collectives};
+use crate::cost::CostLedger;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-channel buffer capacity (messages). Small on purpose: it bounds how
+/// far a rank can run ahead of a peer before blocking.
+const CHAN_CAP: usize = 8;
+
+/// Low 16 tag bits address the round within one collective; the rest is the
+/// per-rank collective sequence number.
+const ROUND_BITS: u32 = 16;
+/// Reserved round id for the payload phase of tree/direct schedules that
+/// run after a control round.
+const ROUND_PAYLOAD: u64 = (1 << ROUND_BITS) - 1;
+
+type Block = (u32, Vec<f64>);
+
+/// Message body. `Blocks` carry data tagged with the originating (or
+/// destination) rank so forwarding schedules stay self-describing.
+enum Payload {
+    Token,
+    Words(Vec<f64>),
+    Blocks(Vec<Block>),
+}
+
+impl Payload {
+    fn words(&self) -> u64 {
+        match self {
+            Payload::Token => 0,
+            Payload::Words(v) => v.len() as u64,
+            Payload::Blocks(b) => b.iter().map(|(_, d)| d.len() as u64).sum(),
+        }
+    }
+
+    fn into_words(self) -> Vec<f64> {
+        match self {
+            Payload::Words(v) => v,
+            _ => panic!("p2p payload type mismatch (expected words)"),
+        }
+    }
+
+    fn into_blocks(self) -> Vec<Block> {
+        match self {
+            Payload::Blocks(b) => b,
+            _ => panic!("p2p payload type mismatch (expected blocks)"),
+        }
+    }
+}
+
+struct Msg {
+    tag: u64,
+    payload: Payload,
+}
+
+/// One bounded mailbox for one ordered rank pair.
+#[derive(Default)]
+struct Chan {
+    q: Mutex<VecDeque<Msg>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Shared channel fabric of one group: `size²` mailboxes plus the split
+/// registry mirroring the rendezvous backend's scheme.
+struct Transport {
+    size: usize,
+    chans: Vec<Chan>,
+    abort: Abort,
+    splits: Mutex<HashMap<(u64, i64), Arc<Transport>>>,
+    split_seq: Mutex<u64>,
+}
+
+impl Transport {
+    fn new(size: usize, abort: Abort) -> Arc<Transport> {
+        assert!(
+            size < (1 << ROUND_BITS),
+            "p2p transport supports at most {} ranks",
+            (1 << ROUND_BITS) - 1
+        );
+        let t = Arc::new(Transport {
+            size,
+            chans: (0..size * size).map(|_| Chan::default()).collect(),
+            abort: abort.clone(),
+            splits: Mutex::new(HashMap::new()),
+            split_seq: Mutex::new(0),
+        });
+        let weak = Arc::downgrade(&t);
+        abort.register(Box::new(move || {
+            if let Some(t) = weak.upgrade() {
+                for ch in &t.chans {
+                    let _q = ch.q.lock();
+                    ch.not_empty.notify_all();
+                    ch.not_full.notify_all();
+                }
+            }
+        }));
+        t
+    }
+
+    #[inline]
+    fn chan(&self, src: usize, dst: usize) -> &Chan {
+        &self.chans[src * self.size + dst]
+    }
+
+    /// Blocking bounded send. Panics if the world is poisoned while waiting,
+    /// so no rank hangs on a dead peer's full mailbox.
+    fn send(&self, src: usize, dst: usize, msg: Msg) {
+        debug_assert_ne!(src, dst, "p2p schedules never self-send");
+        let ch = self.chan(src, dst);
+        let mut q = ch.q.lock();
+        while q.len() >= CHAN_CAP {
+            self.abort.check();
+            ch.not_full.wait(&mut q);
+        }
+        self.abort.check();
+        q.push_back(msg);
+        ch.not_empty.notify_one();
+    }
+
+    /// Blocking receive; asserts the expected tag (ranks must stay in
+    /// collective lockstep). Panics if the world is poisoned while waiting.
+    fn recv(&self, src: usize, dst: usize, tag: u64) -> Payload {
+        let ch = self.chan(src, dst);
+        let mut q = ch.q.lock();
+        while q.is_empty() {
+            self.abort.check();
+            ch.not_empty.wait(&mut q);
+        }
+        let msg = q.pop_front().expect("non-empty queue");
+        ch.not_full.notify_one();
+        drop(q);
+        assert_eq!(
+            msg.tag, tag,
+            "p2p tag mismatch on {src}->{dst}: ranks left collective lockstep"
+        );
+        msg.payload
+    }
+}
+
+/// Measured per-rank wire traffic of the p2p backend: what actually crossed
+/// the channels, including control rounds. Contrast with the rank's
+/// [`CostLedger`], which records the §II-E *model* charges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Messages pushed into peer mailboxes.
+    pub msgs_sent: u64,
+    /// Payload words (`f64`s) pushed into peer mailboxes.
+    pub words_sent: u64,
+    /// Messages popped from this rank's mailboxes.
+    pub msgs_recv: u64,
+    /// Payload words popped from this rank's mailboxes.
+    pub words_recv: u64,
+}
+
+#[derive(Clone, Default)]
+struct WireLedger(Arc<Mutex<TransportCounters>>);
+
+impl WireLedger {
+    fn on_send(&self, words: u64) {
+        let mut c = self.0.lock();
+        c.msgs_sent += 1;
+        c.words_sent += words;
+    }
+
+    fn on_recv(&self, words: u64) {
+        let mut c = self.0.lock();
+        c.msgs_recv += 1;
+        c.words_recv += words;
+    }
+
+    fn snapshot(&self) -> TransportCounters {
+        *self.0.lock()
+    }
+}
+
+/// The point-to-point channel backend. See the module docs for the
+/// schedules and the determinism argument.
+///
+/// Clones and sub-communicators created by [`Collectives::split`] share the
+/// rank's cost ledger and wire counters.
+#[derive(Clone)]
+pub struct P2p {
+    transport: Arc<Transport>,
+    rank: usize,
+    size: usize,
+    ledger: CostLedger,
+    wire: WireLedger,
+    /// Per-rank collective sequence number; shared by clones of the same
+    /// rank handle so tags stay aligned across peers.
+    seq: Arc<AtomicU64>,
+}
+
+impl P2p {
+    /// Create the world for `size` ranks. Returned in rank order; each must
+    /// be moved to its own thread.
+    pub fn world(size: usize) -> Vec<P2p> {
+        assert!(size > 0);
+        let transport = Transport::new(size, Abort::new());
+        (0..size)
+            .map(|rank| P2p {
+                transport: transport.clone(),
+                rank,
+                size,
+                ledger: CostLedger::new(),
+                wire: WireLedger::default(),
+                seq: Arc::new(AtomicU64::new(0)),
+            })
+            .collect()
+    }
+
+    /// Measured wire traffic of this rank so far.
+    pub fn wire_counters(&self) -> TransportCounters {
+        self.wire.snapshot()
+    }
+
+    /// Poison the world: every rank blocked on a channel (of this world or
+    /// any sub-group) wakes up and panics.
+    pub(crate) fn abort(&self) {
+        self.transport.abort.set();
+    }
+
+    /// Tag prefix for the next collective on this rank.
+    fn op_tag(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) << ROUND_BITS
+    }
+
+    fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        self.wire.on_send(payload.words());
+        self.transport.send(self.rank, dst, Msg { tag, payload });
+    }
+
+    fn recv(&self, src: usize, tag: u64) -> Payload {
+        let payload = self.transport.recv(src, self.rank, tag);
+        self.wire.on_recv(payload.words());
+        payload
+    }
+
+    /// Dissemination synchronization (uncharged): `⌈log₂P⌉` token rounds.
+    fn sync(&self, tag: u64) {
+        let p = self.size;
+        let mut step = 1usize;
+        let mut round = 0u64;
+        while step < p {
+            let to = (self.rank + step) % p;
+            let from = (self.rank + p - step) % p;
+            self.send(to, tag | round, Payload::Token);
+            match self.recv(from, tag | round) {
+                Payload::Token => {}
+                _ => panic!("p2p payload type mismatch (expected token)"),
+            }
+            step <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Distance-doubling (Bruck) exchange of source-tagged blocks
+    /// (uncharged): after `⌈log₂P⌉` rounds every rank holds every rank's
+    /// contribution, returned indexed by source rank.
+    ///
+    /// Invariant: after round `k`, this rank holds the contributions of
+    /// sources `(rank − j) mod P` for `j < min(2ᵏ, P)`; round `k` forwards
+    /// the oldest `min(2ᵏ, P − 2ᵏ)` of them a distance `2ᵏ` to the right.
+    fn exchange_blocks(&self, tag: u64, mine: &[f64]) -> Vec<Vec<f64>> {
+        let p = self.size;
+        let me = self.rank;
+        let mut held: Vec<Block> = vec![(me as u32, mine.to_vec())];
+        let mut step = 1usize;
+        let mut round = 0u64;
+        while step < p {
+            let to = (me + step) % p;
+            let from = (me + p - step) % p;
+            let send_cnt = step.min(p - step);
+            self.send(to, tag | round, Payload::Blocks(held[..send_cnt].to_vec()));
+            let got = self.recv(from, tag | round).into_blocks();
+            held.extend(got);
+            step <<= 1;
+            round += 1;
+        }
+        let mut by_src: Vec<Option<Vec<f64>>> = (0..p).map(|_| None).collect();
+        for (src, data) in held {
+            let slot = &mut by_src[src as usize];
+            debug_assert!(slot.is_none(), "duplicate contribution from rank {src}");
+            *slot = Some(data);
+        }
+        by_src
+            .into_iter()
+            .map(|d| d.expect("exchange must deliver every contribution"))
+            .collect()
+    }
+
+    /// Ring all-gather of one block per rank (uncharged), returned indexed
+    /// by source rank. `P−1` steps; step `t` forwards the block received at
+    /// step `t−1`.
+    fn ring_gather_v(&self, tag: u64, v: &[f64]) -> Vec<Vec<f64>> {
+        let p = self.size;
+        let me = self.rank;
+        let mut by_src: Vec<Option<Vec<f64>>> = (0..p).map(|_| None).collect();
+        by_src[me] = Some(v.to_vec());
+        let mut cur: Block = (me as u32, v.to_vec());
+        let to = (me + 1) % p;
+        let from = (me + p - 1) % p;
+        for t in 0..p.saturating_sub(1) {
+            self.send(to, tag | t as u64, Payload::Blocks(vec![cur]));
+            let got = self.recv(from, tag | t as u64).into_blocks();
+            debug_assert_eq!(got.len(), 1, "ring forwards exactly one block");
+            let (src, data) = got.into_iter().next().expect("ring block");
+            by_src[src as usize] = Some(data.clone());
+            cur = (src, data);
+        }
+        by_src
+            .into_iter()
+            .map(|d| d.expect("ring must deliver every block"))
+            .collect()
+    }
+}
+
+impl Collectives for P2p {
+    #[inline]
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    fn barrier(&self) {
+        let tag = self.op_tag();
+        self.sync(tag);
+        charge::barrier(&self.ledger, self.size);
+    }
+
+    fn all_gather(&self, v: &[f64]) -> Vec<f64> {
+        let parts = self.all_gather_v(v);
+        let total: usize = parts.iter().map(|b| b.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for b in parts {
+            out.extend_from_slice(&b);
+        }
+        out
+    }
+
+    fn all_gather_v(&self, v: &[f64]) -> Vec<Vec<f64>> {
+        let tag = self.op_tag();
+        let res = self.ring_gather_v(tag, v);
+        let total: usize = res.iter().map(|r| r.len()).sum();
+        charge::all_gather(&self.ledger, self.size, total);
+        res
+    }
+
+    fn all_reduce_sum(&self, v: &[f64]) -> Vec<f64> {
+        let tag = self.op_tag();
+        let contributions = self.exchange_blocks(tag, v);
+        charge::all_reduce(&self.ledger, self.size, v.len());
+        let mut out = vec![0.0f64; v.len()];
+        for s in &contributions {
+            assert_eq!(s.len(), out.len(), "all_reduce length mismatch");
+            for (o, x) in out.iter_mut().zip(s.iter()) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    fn reduce_scatter_sum(&self, v: &[f64], counts: &[usize]) -> Vec<f64> {
+        let p = self.size;
+        let me = self.rank;
+        assert_eq!(counts.len(), p, "one count per rank required");
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, v.len(), "counts must cover the whole vector");
+        let tag = self.op_tag();
+        let mut offsets = Vec::with_capacity(p);
+        let mut acc = 0usize;
+        for &c in counts {
+            offsets.push(acc);
+            acc += c;
+        }
+        let seg = |owner: usize| &v[offsets[owner]..offsets[owner] + counts[owner]];
+
+        // pieces[s] = source s's contribution to my segment. The piece of
+        // source s for owner o rides the ring s → s+1 → … → o: at step t
+        // this rank forwards the pieces of source (rank − t + 1) mod P that
+        // still have hops left, and keeps the one addressed to itself.
+        let mut pieces: Vec<Option<Vec<f64>>> = (0..p).map(|_| None).collect();
+        pieces[me] = Some(seg(me).to_vec());
+        let to = (me + 1) % p;
+        let from = (me + p - 1) % p;
+        let mut carry: Vec<Block> = Vec::new();
+        for t in 1..p {
+            let bundle: Vec<Block> = if t == 1 {
+                (0..p)
+                    .filter(|&o| o != me)
+                    .map(|o| (o as u32, seg(o).to_vec()))
+                    .collect()
+            } else {
+                std::mem::take(&mut carry)
+            };
+            self.send(to, tag | (t - 1) as u64, Payload::Blocks(bundle));
+            let got = self.recv(from, tag | (t - 1) as u64).into_blocks();
+            let src = (me + p - t) % p;
+            for (owner, data) in got {
+                if owner as usize == me {
+                    pieces[src] = Some(data);
+                } else {
+                    carry.push((owner, data));
+                }
+            }
+        }
+        debug_assert!(carry.is_empty(), "all pieces must reach their owner");
+        charge::reduce_scatter(&self.ledger, p, v.len());
+        let mut out = vec![0.0f64; counts[me]];
+        for s in pieces.into_iter() {
+            let s = s.expect("missing reduce-scatter piece");
+            for (o, x) in out.iter_mut().zip(s.iter()) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    fn broadcast(&self, root: usize, v: &[f64]) -> Vec<f64> {
+        let p = self.size;
+        assert!(root < p, "root out of range");
+        let me = self.rank;
+        let tag = self.op_tag();
+        let vr = (me + p - root) % p;
+        let data: Vec<f64>;
+        let mut mask = 1usize;
+        if vr == 0 {
+            data = v.to_vec();
+            while mask < p {
+                mask <<= 1;
+            }
+        } else {
+            // My receive round is the lowest set bit of the relative rank;
+            // the parent is that bit cleared.
+            while vr & mask == 0 {
+                mask <<= 1;
+            }
+            let parent = (vr - mask + root) % p;
+            data = self.recv(parent, tag).into_words();
+        }
+        let mut m = mask >> 1;
+        while m > 0 {
+            let child = vr + m;
+            if child < p {
+                self.send((child + root) % p, tag, Payload::Words(data.clone()));
+            }
+            m >>= 1;
+        }
+        charge::broadcast(&self.ledger, p, data.len());
+        data
+    }
+
+    fn gather(&self, root: usize, v: &[f64]) -> Vec<Vec<f64>> {
+        let p = self.size;
+        assert!(root < p, "root out of range");
+        let me = self.rank;
+        let tag = self.op_tag();
+        // Control round: lengths, so every rank charges the same total the
+        // rendezvous backend does (non-root ranks never see the payloads).
+        let lens = self.exchange_blocks(tag, &[v.len() as f64]);
+        let total: usize = lens.iter().map(|l| l[0] as usize).sum();
+        // Binomial tree towards the root: leaves send first; inner nodes
+        // absorb each child subtree, then forward the accumulated bundle.
+        let vr = (me + p - root) % p;
+        let mut bundle: Vec<Block> = vec![(me as u32, v.to_vec())];
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask != 0 {
+                let parent = (vr - mask + root) % p;
+                self.send(
+                    parent,
+                    tag | ROUND_PAYLOAD,
+                    Payload::Blocks(std::mem::take(&mut bundle)),
+                );
+                break;
+            }
+            let child = vr + mask;
+            if child < p {
+                let got = self
+                    .recv((child + root) % p, tag | ROUND_PAYLOAD)
+                    .into_blocks();
+                bundle.extend(got);
+            }
+            mask <<= 1;
+        }
+        charge::gather(&self.ledger, p, total);
+        if me == root {
+            let mut by_src: Vec<Option<Vec<f64>>> = (0..p).map(|_| None).collect();
+            for (src, data) in bundle {
+                by_src[src as usize] = Some(data);
+            }
+            by_src
+                .into_iter()
+                .map(|d| d.expect("gather must deliver every contribution"))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn scatter(&self, root: usize, chunks: Vec<Vec<f64>>) -> Vec<f64> {
+        let p = self.size;
+        assert!(root < p, "root out of range");
+        let me = self.rank;
+        let tag = self.op_tag();
+        let vr = (me + p - root) % p;
+        let rel = |abs: usize| (abs + p - root) % p;
+        // Binomial tree from the root: each node receives the bundle for its
+        // whole subtree (relative ranks [vr, vr + span)), then halves it
+        // towards its children.
+        let mut bundle: Vec<Block>;
+        let span: usize;
+        if vr == 0 {
+            assert_eq!(chunks.len(), p, "one chunk per rank required");
+            bundle = chunks
+                .into_iter()
+                .enumerate()
+                .map(|(r, c)| (r as u32, c))
+                .collect();
+            let mut m = 1usize;
+            while m < p {
+                m <<= 1;
+            }
+            span = m;
+        } else {
+            let mut mask = 1usize;
+            while vr & mask == 0 {
+                mask <<= 1;
+            }
+            let parent = (vr - mask + root) % p;
+            bundle = self.recv(parent, tag).into_blocks();
+            span = mask;
+        }
+        let mut m = span >> 1;
+        while m > 0 {
+            let child = vr + m;
+            if child < p {
+                let (keep, give): (Vec<Block>, Vec<Block>) = bundle
+                    .into_iter()
+                    .partition(|(r, _)| rel(*r as usize) < child);
+                bundle = keep;
+                self.send((child + root) % p, tag, Payload::Blocks(give));
+            }
+            m >>= 1;
+        }
+        debug_assert_eq!(bundle.len(), 1, "only this rank's chunk may remain");
+        let (src, mine) = bundle.into_iter().next().expect("own chunk");
+        debug_assert_eq!(src as usize, me);
+        charge::scatter(&self.ledger, p, mine.len());
+        mine
+    }
+
+    fn sendrecv_round(&self, msg: Option<(usize, Vec<f64>)>) -> Option<Vec<f64>> {
+        let p = self.size;
+        let me = self.rank;
+        if let Some((dest, _)) = &msg {
+            assert!(*dest < p, "destination out of range");
+        }
+        let tag = self.op_tag();
+        // Control round: everyone learns who is sending to whom (encoded as
+        // dest + 1; 0 = silent), then payloads go point-to-point.
+        let header = [msg.as_ref().map_or(0.0, |(d, _)| (*d + 1) as f64)];
+        let headers = self.exchange_blocks(tag, &header);
+        let mut incoming_src: Option<usize> = None;
+        for (src, h) in headers.iter().enumerate() {
+            if h[0] as usize == me + 1 {
+                assert!(
+                    incoming_src.is_none(),
+                    "multiple messages addressed to rank {me} in one round"
+                );
+                incoming_src = Some(src);
+            }
+        }
+        let sent_words = msg.as_ref().map_or(0, |(_, pay)| pay.len());
+        let mut incoming: Option<Vec<f64>> = None;
+        if let Some((dest, payload)) = msg {
+            if dest == me {
+                incoming = Some(payload);
+            } else {
+                self.send(dest, tag | ROUND_PAYLOAD, Payload::Words(payload));
+            }
+        }
+        if incoming.is_none() {
+            if let Some(src) = incoming_src {
+                incoming = Some(self.recv(src, tag | ROUND_PAYLOAD).into_words());
+            }
+        }
+        let recv_words = incoming.as_ref().map_or(0, |pay| pay.len());
+        charge::sendrecv(&self.ledger, p, sent_words, recv_words);
+        incoming
+    }
+
+    fn all_to_all(&self, mut chunks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let p = self.size;
+        assert_eq!(chunks.len(), p, "one chunk per destination rank");
+        let me = self.rank;
+        let tag = self.op_tag();
+        let sent: usize = chunks.iter().map(|c| c.len()).sum();
+        let mut out: Vec<Option<Vec<f64>>> = (0..p).map(|_| None).collect();
+        out[me] = Some(std::mem::take(&mut chunks[me]));
+        for t in 1..p {
+            let to = (me + t) % p;
+            let from = (me + p - t) % p;
+            self.send(
+                to,
+                tag | (t - 1) as u64,
+                Payload::Words(std::mem::take(&mut chunks[to])),
+            );
+            out[from] = Some(self.recv(from, tag | (t - 1) as u64).into_words());
+        }
+        let out: Vec<Vec<f64>> = out
+            .into_iter()
+            .map(|c| c.expect("all_to_all must fill every slot"))
+            .collect();
+        let received: usize = out.iter().map(|c| c.len()).sum();
+        charge::all_to_all(&self.ledger, p, sent.max(received));
+        out
+    }
+
+    fn split(&self, color: i64, key: i64) -> P2p {
+        let p = self.size;
+        let me = self.rank;
+        // Membership exchange, mirroring the rendezvous scheme: sort all
+        // (color, key, parent rank) triples; same-color ranks form the
+        // child group in (key, rank) order.
+        let tag = self.op_tag();
+        let triples = self.exchange_blocks(tag, &[color as f64, key as f64, me as f64]);
+        let mut trs: Vec<(i64, i64, usize)> = triples
+            .iter()
+            .map(|t| (t[0] as i64, t[1] as i64, t[2] as usize))
+            .collect();
+        trs.sort_by_key(|&(c, k, r)| (c, k, r));
+        let members: Vec<usize> = trs
+            .iter()
+            .filter(|&&(c, _, _)| c == color)
+            .map(|&(_, _, r)| r)
+            .collect();
+        let my_new_rank = members
+            .iter()
+            .position(|&r| r == me)
+            .expect("member list must contain this rank");
+        let group_size = members.len();
+
+        // The lowest-ranked member of each color creates the child
+        // transport; everyone retrieves it from the registry keyed by a
+        // sequence number all ranks advance together. The child shares the
+        // world's abort flag so poisoning reaches sub-groups.
+        let seq = *self.transport.split_seq.lock();
+        if members[0] == me {
+            let child = Transport::new(group_size, self.transport.abort.clone());
+            self.transport.splits.lock().insert((seq, color), child);
+        }
+        self.sync(self.op_tag());
+        let child = self
+            .transport
+            .splits
+            .lock()
+            .get(&(seq, color))
+            .cloned()
+            .expect("split registry entry must exist");
+        if me == 0 {
+            *self.transport.split_seq.lock() += 1;
+        }
+        self.sync(self.op_tag());
+        if members[0] == me {
+            self.transport.splits.lock().remove(&(seq, color));
+        }
+
+        charge::split(&self.ledger, p);
+        P2p {
+            transport: child,
+            rank: my_new_rank,
+            size: group_size,
+            ledger: self.ledger.clone(),
+            wire: self.wire.clone(),
+            seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_ranks<R: Send + 'static>(
+        size: usize,
+        f: impl Fn(P2p) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let comms = P2p::world(size);
+        let f = Arc::new(f);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = f.clone();
+                thread::spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn transport_is_fifo_per_channel() {
+        let t = Transport::new(2, Abort::new());
+        for i in 0..3u64 {
+            t.send(
+                0,
+                1,
+                Msg {
+                    tag: i,
+                    payload: Payload::Words(vec![i as f64]),
+                },
+            );
+        }
+        for i in 0..3u64 {
+            assert_eq!(t.recv(0, 1, i).into_words(), vec![i as f64]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tag mismatch")]
+    fn stale_tag_is_rejected() {
+        let t = Transport::new(2, Abort::new());
+        t.send(
+            0,
+            1,
+            Msg {
+                tag: 7,
+                payload: Payload::Token,
+            },
+        );
+        let _ = t.recv(0, 1, 8);
+    }
+
+    #[test]
+    fn barrier_wire_traffic_is_dissemination() {
+        // ⌈log₂4⌉ = 2 token rounds per rank, zero payload words.
+        let out = run_ranks(4, |c| {
+            c.barrier();
+            c.wire_counters()
+        });
+        for s in out {
+            assert_eq!(s.msgs_sent, 2);
+            assert_eq!(s.msgs_recv, 2);
+            assert_eq!(s.words_sent, 0);
+        }
+    }
+
+    #[test]
+    fn all_reduce_wire_traffic_matches_bruck() {
+        // P = 4, n = 3: round 0 carries 1 block (n words), round 1 carries
+        // 2 blocks (2n words): n(P−1) words over ⌈log₂P⌉ messages per rank.
+        let out = run_ranks(4, |c| {
+            let _ = c.all_reduce_sum(&[1.0, 2.0, 3.0]);
+            c.wire_counters()
+        });
+        for s in out {
+            assert_eq!(s.msgs_sent, 2);
+            assert_eq!(s.words_sent, 9);
+            assert_eq!(s.msgs_recv, 2);
+            assert_eq!(s.words_recv, 9);
+        }
+    }
+
+    #[test]
+    fn all_gather_wire_traffic_matches_ring() {
+        // P = 4, n = 2 per rank: P−1 ring steps, each forwarding one
+        // n-word block.
+        let out = run_ranks(4, |c| {
+            let _ = c.all_gather(&[1.0, 2.0]);
+            c.wire_counters()
+        });
+        for s in out {
+            assert_eq!(s.msgs_sent, 3);
+            assert_eq!(s.words_sent, 6);
+            assert_eq!(s.msgs_recv, 3);
+            assert_eq!(s.words_recv, 6);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_ring_delivers_uneven_counts() {
+        let out = run_ranks(3, |c| {
+            // Sum over ranks of [r, r, r, r, r, r] split as [1, 2, 3].
+            let v = vec![c.rank() as f64; 6];
+            (c.rank(), c.reduce_scatter_sum(&v, &[1, 2, 3]))
+        });
+        for (rank, seg) in out {
+            assert_eq!(seg, vec![3.0; rank + 1]);
+        }
+    }
+
+    #[test]
+    fn odd_sized_groups_run_every_collective() {
+        let out = run_ranks(5, |c| {
+            c.barrier();
+            let g = c.all_gather(&[c.rank() as f64]);
+            let s = c.all_reduce_sum(&[1.0]);
+            let b = c.broadcast(3, &if c.rank() == 3 { vec![9.0] } else { vec![] });
+            (g, s, b)
+        });
+        for (g, s, b) in out {
+            assert_eq!(g, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+            assert_eq!(s, vec![5.0]);
+            assert_eq!(b, vec![9.0]);
+        }
+    }
+
+    #[test]
+    fn abort_wakes_a_blocked_receiver() {
+        let mut comms = P2p::world(2);
+        let c1 = comms.pop().expect("rank 1");
+        let c0 = comms.pop().expect("rank 0");
+        // Rank 0 blocks in the barrier waiting for rank 1, which never
+        // calls it; poisoning the world must turn the wait into a panic.
+        let h = thread::spawn(move || c0.barrier());
+        c1.abort();
+        let err = h.join().expect_err("blocked rank must panic, not hang");
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("peer rank"), "got: {msg}");
+    }
+}

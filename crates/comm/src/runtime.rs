@@ -1,19 +1,29 @@
-//! The simulated distributed runtime: one OS thread per logical rank.
+//! The distributed runtime: one OS thread per logical rank.
 //!
 //! `Runtime::new(P).run(|ctx| ...)` plays the role of `mpirun -np P`: the
 //! closure body is the per-rank program. Ranks own their data privately and
 //! coordinate only through `ctx.comm` collectives, so algorithms keep the
 //! exact structure of their MPI implementations (Algorithms 3 and 4 of the
-//! paper).
+//! paper). [`Runtime::with_backend`] selects the collective implementation
+//! (rendezvous oracle or the p2p channel transport);
+//! [`Runtime::from_env`] honors `PP_COMM_BACKEND`.
+//!
+//! If a rank program panics, the runtime poisons the whole world before
+//! re-raising, so peers blocked in collectives (on either backend) panic
+//! with "collective aborted" instead of waiting forever on the dead rank —
+//! the launcher then reports a rank-thread panic rather than hanging.
 
-use crate::comm::Communicator;
+use crate::comm::{Backend, CommWorld, Communicator};
 use crate::cost::{CostCounters, CostReport};
+use crate::p2p::TransportCounters;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 
 /// Handle for launching SPMD rank programs.
 pub struct Runtime {
     size: usize,
+    backend: Backend,
 }
 
 /// Per-rank execution context handed to the rank program.
@@ -42,18 +52,38 @@ pub struct RunOutput<R> {
     pub costs: Vec<CostCounters>,
     /// Critical-path / total aggregation of `costs`.
     pub report: CostReport,
+    /// Per-rank measured wire traffic, indexed by rank; `None` on the
+    /// rendezvous backend (which has no wire).
+    pub transport: Option<Vec<TransportCounters>>,
 }
 
 impl Runtime {
-    /// A runtime with `size` logical ranks.
+    /// A runtime with `size` logical ranks on the default (rendezvous)
+    /// backend.
     pub fn new(size: usize) -> Self {
+        Self::with_backend(size, Backend::default())
+    }
+
+    /// A runtime with `size` logical ranks on an explicit backend.
+    pub fn with_backend(size: usize, backend: Backend) -> Self {
         assert!(size > 0, "need at least one rank");
-        Runtime { size }
+        Runtime { size, backend }
+    }
+
+    /// A runtime with `size` ranks on the backend named by the
+    /// `PP_COMM_BACKEND` environment variable (default: rendezvous).
+    pub fn from_env(size: usize) -> Self {
+        Self::with_backend(size, Backend::from_env())
     }
 
     /// Number of logical ranks.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// The collective backend this runtime launches worlds on.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Run the SPMD program `f` on every rank and collect results.
@@ -66,7 +96,8 @@ impl Runtime {
         R: Send + 'static,
         F: Fn(&mut RankCtx) -> R + Send + Sync + 'static,
     {
-        let comms = Communicator::world(self.size);
+        let comms = CommWorld::new(self.size).backend(self.backend).build();
+        let is_p2p = self.backend == Backend::P2p;
         let f = Arc::new(f);
         let handles: Vec<_> = comms
             .into_iter()
@@ -77,25 +108,40 @@ impl Runtime {
                     .stack_size(8 * 1024 * 1024)
                     .spawn(move || {
                         let ledger = comm.ledger().clone();
+                        let poison = comm.clone();
                         let mut ctx = RankCtx { comm };
-                        let out = f(&mut ctx);
-                        (out, ledger.snapshot())
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+                            Ok(out) => {
+                                let wire = ctx.comm.transport_stats();
+                                (out, ledger.snapshot(), wire)
+                            }
+                            Err(cause) => {
+                                // Wake peers blocked on this rank before
+                                // re-raising, so `join` below sees a panic
+                                // on every affected rank instead of a hang.
+                                poison.abort();
+                                resume_unwind(cause);
+                            }
+                        }
                     })
                     .expect("failed to spawn rank thread")
             })
             .collect();
         let mut results = Vec::with_capacity(self.size);
         let mut costs = Vec::with_capacity(self.size);
+        let mut transport = Vec::with_capacity(self.size);
         for h in handles {
-            let (r, c) = h.join().expect("rank thread panicked");
+            let (r, c, w) = h.join().expect("rank thread panicked");
             results.push(r);
             costs.push(c);
+            transport.extend(w);
         }
         let report = CostReport::from_ranks(&costs);
         RunOutput {
             results,
             costs,
             report,
+            transport: is_p2p.then_some(transport),
         }
     }
 }
@@ -103,6 +149,7 @@ impl Runtime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comm::Collectives;
 
     #[test]
     fn spmd_hello_world() {
@@ -112,6 +159,7 @@ mod tests {
             sum[0]
         });
         assert_eq!(out.results, vec![6.0; 4]);
+        assert!(out.transport.is_none(), "rendezvous has no wire");
     }
 
     #[test]
@@ -150,22 +198,53 @@ mod tests {
     }
 
     #[test]
-    fn heavy_collective_traffic_is_stable() {
-        // Stress the rendezvous slots with many mixed collectives.
-        let rt = Runtime::new(8);
-        let out = rt.run(|ctx| {
-            let mut acc = 0.0f64;
-            for i in 0..40 {
-                let g = ctx.comm.all_gather(&[ctx.rank() as f64 + i as f64]);
-                acc += g.iter().sum::<f64>();
-                let s = ctx.comm.reduce_scatter_sum(&[1.0; 8], &[1; 8]);
-                acc += s[0];
-                ctx.comm.barrier();
+    #[should_panic(expected = "rank thread panicked")]
+    fn rank_panic_propagates_on_p2p() {
+        // Same injection on the channel backend: peers blocked in the
+        // all-reduce on the dead rank's channels are poisoned awake.
+        let rt = Runtime::with_backend(3, Backend::P2p);
+        let _ = rt.run(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("injected failure");
             }
-            acc
+            let s = ctx.comm.all_reduce_sum(&[1.0]);
+            s[0]
         });
-        for r in out.results.windows(2) {
-            assert_eq!(r[0], r[1]);
+    }
+
+    #[test]
+    fn heavy_collective_traffic_is_stable() {
+        // Stress both backends with many mixed collectives.
+        for backend in Backend::ALL {
+            let rt = Runtime::with_backend(8, backend);
+            let out = rt.run(|ctx| {
+                let mut acc = 0.0f64;
+                for i in 0..40 {
+                    let g = ctx.comm.all_gather(&[ctx.rank() as f64 + i as f64]);
+                    acc += g.iter().sum::<f64>();
+                    let s = ctx.comm.reduce_scatter_sum(&[1.0; 8], &[1; 8]);
+                    acc += s[0];
+                    ctx.comm.barrier();
+                }
+                acc
+            });
+            for r in out.results.windows(2) {
+                assert_eq!(r[0], r[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn p2p_runs_report_wire_traffic() {
+        let rt = Runtime::with_backend(4, Backend::P2p);
+        let out = rt.run(|ctx| {
+            let _ = ctx.comm.all_reduce_sum(&[1.0, 2.0]);
+        });
+        let wire = out.transport.expect("p2p must report transport counters");
+        assert_eq!(wire.len(), 4);
+        for w in wire {
+            assert!(w.msgs_sent > 0);
+            assert_eq!(w.words_sent, w.words_recv, "symmetric schedule");
         }
     }
 }

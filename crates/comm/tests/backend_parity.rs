@@ -1,0 +1,241 @@
+//! Cross-backend parity property suite.
+//!
+//! Every collective must return bitwise-identical `f64`s *and* charge the
+//! identical §II-E model ledger on the rendezvous oracle and on the p2p
+//! channel transport, at every tested world size P ∈ {1, 2, 3, 4, 8} —
+//! including empty payloads, uneven per-rank lengths, and zero
+//! reduce-scatter counts. Payload values are irrational (sin-based) and of
+//! mixed magnitude, so any reordering of a floating-point reduction flips
+//! result bits and fails the comparison.
+//!
+//! A final (non-property) test pins the p2p ledger to the closed forms of
+//! §II-E directly, so the parity checks cannot pass vacuously.
+
+use pp_comm::{Backend, Collectives, CostCounters, RankCtx, Runtime};
+use proptest::prelude::*;
+
+const WORLD_SIZES: [usize; 5] = [1, 2, 3, 4, 8];
+
+/// Deterministic payload entry whose bits make reduction order observable.
+fn val(rank: usize, slot: usize, seed: u64) -> f64 {
+    let phase = (rank as f64) * 37.0 + (slot as f64) * 11.0 + seed as f64;
+    let scale = 10f64.powi(((rank + slot + seed as usize) % 5) as i32 - 2);
+    (phase * 0.7311).sin() * scale
+}
+
+fn vals(rank: usize, len: usize, seed: u64) -> Vec<f64> {
+    (0..len).map(|i| val(rank, i, seed)).collect()
+}
+
+/// Append a length-prefixed vector to a digest, so differently-shaped
+/// outputs can never collide.
+fn push(digest: &mut Vec<f64>, v: &[f64]) {
+    digest.push(v.len() as f64);
+    digest.extend_from_slice(v);
+}
+
+/// Run `f` on every rank under both backends; require bitwise-identical
+/// per-rank digests and identical per-rank model ledgers.
+fn run_both<F>(p: usize, f: F) -> Result<Vec<CostCounters>, String>
+where
+    F: Fn(&mut RankCtx) -> Vec<f64> + Send + Sync + Clone + 'static,
+{
+    let rv = Runtime::with_backend(p, Backend::Rendezvous).run(f.clone());
+    let pp = Runtime::with_backend(p, Backend::P2p).run(f);
+    for (r, (a, b)) in rv.results.iter().zip(pp.results.iter()).enumerate() {
+        let ab: Vec<u64> = a.iter().map(|x| x.to_bits()).collect();
+        let bb: Vec<u64> = b.iter().map(|x| x.to_bits()).collect();
+        if ab != bb {
+            return Err(format!(
+                "rank {r}/{p}: backends disagree bitwise\nrendezvous: {a:?}\np2p:        {b:?}"
+            ));
+        }
+    }
+    if rv.costs != pp.costs {
+        return Err(format!(
+            "model ledgers diverge at P={p}\nrendezvous: {:?}\np2p:        {:?}",
+            rv.costs, pp.costs
+        ));
+    }
+    Ok(pp.costs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_gather_matches(pi in 0usize..5, len in 0usize..7, seed in 0u64..1000) {
+        let p = WORLD_SIZES[pi];
+        run_both(p, move |ctx| ctx.comm.all_gather(&vals(ctx.rank(), len, seed)))?;
+    }
+
+    #[test]
+    fn all_gather_v_matches(pi in 0usize..5, seed in 0u64..1000) {
+        let p = WORLD_SIZES[pi];
+        run_both(p, move |ctx| {
+            // Uneven per-rank lengths, including empty contributions.
+            let mine = vals(ctx.rank(), (ctx.rank() * 7 + seed as usize) % 5, seed);
+            let parts = ctx.comm.all_gather_v(&mine);
+            let mut digest = Vec::new();
+            for part in &parts {
+                push(&mut digest, part);
+            }
+            digest
+        })?;
+    }
+
+    #[test]
+    fn all_reduce_sum_matches(pi in 0usize..5, len in 0usize..7, seed in 0u64..1000) {
+        let p = WORLD_SIZES[pi];
+        run_both(p, move |ctx| ctx.comm.all_reduce_sum(&vals(ctx.rank(), len, seed)))?;
+    }
+
+    #[test]
+    fn reduce_scatter_sum_matches(pi in 0usize..5, seed in 0u64..1000) {
+        let p = WORLD_SIZES[pi];
+        run_both(p, move |ctx| {
+            // Uneven counts, some zero; every rank holds the full vector.
+            let counts: Vec<usize> = (0..ctx.size())
+                .map(|r| (r * 3 + seed as usize + r) % 4)
+                .collect();
+            let total: usize = counts.iter().sum();
+            ctx.comm.reduce_scatter_sum(&vals(ctx.rank(), total, seed), &counts)
+        })?;
+    }
+
+    #[test]
+    fn broadcast_matches(pi in 0usize..5, len in 0usize..7, root_sel in 0usize..8, seed in 0u64..1000) {
+        let p = WORLD_SIZES[pi];
+        let root = root_sel % p;
+        run_both(p, move |ctx| ctx.comm.broadcast(root, &vals(root, len, seed)))?;
+    }
+
+    #[test]
+    fn gather_matches(pi in 0usize..5, root_sel in 0usize..8, seed in 0u64..1000) {
+        let p = WORLD_SIZES[pi];
+        let root = root_sel % p;
+        run_both(p, move |ctx| {
+            let mine = vals(ctx.rank(), (ctx.rank() + seed as usize) % 5, seed);
+            let parts = ctx.comm.gather(root, &mine);
+            let mut digest = Vec::new();
+            for part in &parts {
+                push(&mut digest, part);
+            }
+            digest
+        })?;
+    }
+
+    #[test]
+    fn scatter_matches(pi in 0usize..5, root_sel in 0usize..8, seed in 0u64..1000) {
+        let p = WORLD_SIZES[pi];
+        let root = root_sel % p;
+        run_both(p, move |ctx| {
+            let chunks: Vec<Vec<f64>> = if ctx.rank() == root {
+                (0..ctx.size()).map(|d| vals(d, (d + seed as usize) % 4, seed)).collect()
+            } else {
+                Vec::new()
+            };
+            ctx.comm.scatter(root, chunks)
+        })?;
+    }
+
+    #[test]
+    fn all_to_all_matches(pi in 0usize..5, seed in 0u64..1000) {
+        let p = WORLD_SIZES[pi];
+        run_both(p, move |ctx| {
+            let r = ctx.rank();
+            let chunks: Vec<Vec<f64>> = (0..ctx.size())
+                .map(|d| vals(r, (r + 2 * d + seed as usize) % 3, seed))
+                .collect();
+            let recv = ctx.comm.all_to_all(chunks);
+            let mut digest = Vec::new();
+            for part in &recv {
+                push(&mut digest, part);
+            }
+            digest
+        })?;
+    }
+
+    #[test]
+    fn sendrecv_round_matches(pi in 0usize..5, shift_sel in 0usize..8, seed in 0u64..1000) {
+        let p = WORLD_SIZES[pi];
+        let shift = shift_sel % p;
+        run_both(p, move |ctx| {
+            // Uniform shift (possibly 0 = self-send) keeps the round legal:
+            // at most one message addressed to each rank. Some ranks sit out.
+            let r = ctx.rank();
+            let msg = if (r + seed as usize).is_multiple_of(4) {
+                None
+            } else {
+                Some(((r + shift) % ctx.size(), vals(r, (r + seed as usize) % 4, seed)))
+            };
+            let mut digest = Vec::new();
+            match ctx.comm.sendrecv_round(msg) {
+                Some(payload) => push(&mut digest, &payload),
+                None => digest.push(-1.0),
+            }
+            digest
+        })?;
+    }
+
+    #[test]
+    fn barrier_and_split_match(pi in 0usize..5, len in 0usize..5, seed in 0u64..1000) {
+        let p = WORLD_SIZES[pi];
+        run_both(p, move |ctx| {
+            ctx.comm.barrier();
+            // Two-color split with reversed key order, then a reduction in
+            // the child group: exercises sub-communicator charging too.
+            let r = ctx.rank();
+            let child = ctx.comm.split((r % 2) as i64, -(r as i64));
+            let reduced = child.all_reduce_sum(&vals(r, len, seed));
+            let mut digest = vec![child.rank() as f64, child.size() as f64];
+            push(&mut digest, &reduced);
+            digest
+        })?;
+    }
+}
+
+/// The parity suite compares ledgers across backends; this pins the p2p
+/// ledger to the §II-E closed forms directly so parity cannot hold
+/// vacuously. For every P (power of two or not) the model charges
+/// `ceil(log2 P)·α`-style message counts and `n·δ(P)` word terms.
+#[test]
+fn p2p_ledger_matches_closed_forms() {
+    for p in WORLD_SIZES {
+        let n = 6usize;
+        let out = Runtime::with_backend(p, Backend::P2p).run(move |ctx| {
+            ctx.comm.ledger().reset();
+            let _ = ctx.comm.all_reduce_sum(&vals(ctx.rank(), n, 1));
+            let ar = ctx.comm.ledger().reset();
+            let counts = vec![n / p + usize::from(ctx.size() * (n / p) < n); p];
+            let total: usize = counts.iter().sum();
+            let _ = ctx
+                .comm
+                .reduce_scatter_sum(&vals(ctx.rank(), total, 2), &counts);
+            let rs = ctx.comm.ledger().reset();
+            (ar, rs, total)
+        });
+        let log_p = (p.max(2) as f64).log2().ceil() as u64;
+        let delta = u64::from(p > 1);
+        for (ar, rs, total) in out.results {
+            assert_eq!(ar.messages, 2 * log_p, "all-reduce α term at P={p}");
+            assert_eq!(
+                ar.comm_words,
+                2 * delta * n as u64,
+                "all-reduce β term at P={p}"
+            );
+            assert_eq!(ar.flops, delta * n as u64, "all-reduce γ term at P={p}");
+            assert_eq!(rs.messages, log_p, "reduce-scatter α term at P={p}");
+            assert_eq!(
+                rs.comm_words,
+                delta * total as u64,
+                "reduce-scatter β term at P={p}"
+            );
+            assert_eq!(
+                rs.flops,
+                delta * total as u64,
+                "reduce-scatter γ term at P={p}"
+            );
+        }
+    }
+}

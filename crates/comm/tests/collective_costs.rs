@@ -8,10 +8,14 @@
 //! * All-Reduce: `2 log P · α + 2n·δ(P) · β + n·δ(P)` flops
 //! * Barrier / split: `log P · α`
 //!
-//! Until now the ledger arithmetic and the model formulas were each tested
-//! in isolation; this suite pins the two sides to each other on small P.
+//! Every assertion runs on **both backends**: the rendezvous oracle and the
+//! p2p channel transport charge the ledger through the same §II-E forms, so
+//! the closed forms must hold rank-for-rank on each — in particular the p2p
+//! All-Reduce and RS+AG charge exactly the §II-E message/word counts for
+//! power-of-two P. (The p2p backend's *wire* traffic is measured separately
+//! in `TransportCounters`; see `crates/comm/src/p2p.rs` tests.)
 
-use pp_comm::{CostCounters, Runtime};
+use pp_comm::{Backend, Collectives, CostCounters, Runtime};
 
 /// `ceil(log2(max(P, 2)))` — the hop count the communicator charges.
 fn log_p(p: usize) -> u64 {
@@ -23,12 +27,14 @@ fn delta(p: usize) -> u64 {
     u64::from(p > 1)
 }
 
-/// Run one collective on `p` ranks and return each rank's ledger delta.
+/// Run one collective on `p` ranks of `backend` and return each rank's
+/// ledger delta.
 fn measure(
+    backend: Backend,
     p: usize,
     op: impl Fn(&mut pp_comm::RankCtx) + Send + Sync + 'static,
 ) -> Vec<CostCounters> {
-    let out = Runtime::new(p).run(move |ctx| {
+    let out = Runtime::with_backend(p, backend).run(move |ctx| {
         ctx.comm.ledger().reset();
         op(ctx);
         ctx.comm.ledger().snapshot()
@@ -40,26 +46,34 @@ const SIZES: [usize; 4] = [1, 2, 4, 8];
 
 #[test]
 fn barrier_costs_log_p_messages() {
-    for p in SIZES {
-        for c in measure(p, |ctx| ctx.comm.barrier()) {
-            assert_eq!(c.messages, log_p(p), "P={p}");
-            assert_eq!(c.comm_words, 0, "P={p}");
-            assert_eq!(c.flops, 0, "P={p}");
+    for backend in Backend::ALL {
+        for p in SIZES {
+            for c in measure(backend, p, |ctx| ctx.comm.barrier()) {
+                assert_eq!(c.messages, log_p(p), "{backend} P={p}");
+                assert_eq!(c.comm_words, 0, "{backend} P={p}");
+                assert_eq!(c.flops, 0, "{backend} P={p}");
+            }
         }
     }
 }
 
 #[test]
 fn all_gather_costs_match_closed_form() {
-    for p in SIZES {
-        for n in [1usize, 5, 64] {
-            for c in measure(p, move |ctx| {
-                let _ = ctx.comm.all_gather(&vec![1.0; n]);
-            }) {
-                assert_eq!(c.messages, log_p(p), "P={p} n={n}");
-                // Gathered total: P·n words on the wire when P > 1.
-                assert_eq!(c.comm_words, delta(p) * (p * n) as u64, "P={p} n={n}");
-                assert_eq!(c.flops, 0);
+    for backend in Backend::ALL {
+        for p in SIZES {
+            for n in [1usize, 5, 64] {
+                for c in measure(backend, p, move |ctx| {
+                    let _ = ctx.comm.all_gather(&vec![1.0; n]);
+                }) {
+                    assert_eq!(c.messages, log_p(p), "{backend} P={p} n={n}");
+                    // Gathered total: P·n words on the wire when P > 1.
+                    assert_eq!(
+                        c.comm_words,
+                        delta(p) * (p * n) as u64,
+                        "{backend} P={p} n={n}"
+                    );
+                    assert_eq!(c.flops, 0);
+                }
             }
         }
     }
@@ -67,16 +81,23 @@ fn all_gather_costs_match_closed_form() {
 
 #[test]
 fn all_reduce_costs_match_closed_form() {
-    for p in SIZES {
-        for n in [1usize, 5, 64] {
-            for c in measure(p, move |ctx| {
-                let _ = ctx.comm.all_reduce_sum(&vec![1.0; n]);
-            }) {
-                // Reduce-Scatter + All-Gather realization: twice the
-                // latency and twice the bandwidth of a one-way collective.
-                assert_eq!(c.messages, 2 * log_p(p), "P={p} n={n}");
-                assert_eq!(c.comm_words, 2 * delta(p) * n as u64, "P={p} n={n}");
-                assert_eq!(c.flops, delta(p) * n as u64, "P={p} n={n}");
+    for backend in Backend::ALL {
+        for p in SIZES {
+            for n in [1usize, 5, 64] {
+                for c in measure(backend, p, move |ctx| {
+                    let _ = ctx.comm.all_reduce_sum(&vec![1.0; n]);
+                }) {
+                    // Reduce-Scatter + All-Gather realization: twice the
+                    // latency and twice the bandwidth of a one-way
+                    // collective.
+                    assert_eq!(c.messages, 2 * log_p(p), "{backend} P={p} n={n}");
+                    assert_eq!(
+                        c.comm_words,
+                        2 * delta(p) * n as u64,
+                        "{backend} P={p} n={n}"
+                    );
+                    assert_eq!(c.flops, delta(p) * n as u64, "{backend} P={p} n={n}");
+                }
             }
         }
     }
@@ -84,34 +105,38 @@ fn all_reduce_costs_match_closed_form() {
 
 #[test]
 fn reduce_scatter_costs_match_closed_form() {
-    for p in SIZES {
-        let n = 3 * p; // 3 words per rank
-        for c in measure(p, move |ctx| {
-            let counts = vec![3usize; ctx.size()];
-            let _ = ctx.comm.reduce_scatter_sum(&vec![1.0; n], &counts);
-        }) {
-            assert_eq!(c.messages, log_p(p), "P={p}");
-            assert_eq!(c.comm_words, delta(p) * n as u64, "P={p}");
-            assert_eq!(c.flops, delta(p) * n as u64, "P={p}");
+    for backend in Backend::ALL {
+        for p in SIZES {
+            let n = 3 * p; // 3 words per rank
+            for c in measure(backend, p, move |ctx| {
+                let counts = vec![3usize; ctx.size()];
+                let _ = ctx.comm.reduce_scatter_sum(&vec![1.0; n], &counts);
+            }) {
+                assert_eq!(c.messages, log_p(p), "{backend} P={p}");
+                assert_eq!(c.comm_words, delta(p) * n as u64, "{backend} P={p}");
+                assert_eq!(c.flops, delta(p) * n as u64, "{backend} P={p}");
+            }
         }
     }
 }
 
 #[test]
 fn broadcast_costs_match_closed_form() {
-    for p in SIZES {
-        for n in [1usize, 17] {
-            for c in measure(p, move |ctx| {
-                let v = if ctx.rank() == 0 {
-                    vec![2.0; n]
-                } else {
-                    vec![]
-                };
-                let _ = ctx.comm.broadcast(0, &v);
-            }) {
-                assert_eq!(c.messages, log_p(p), "P={p} n={n}");
-                assert_eq!(c.comm_words, delta(p) * n as u64, "P={p} n={n}");
-                assert_eq!(c.flops, 0);
+    for backend in Backend::ALL {
+        for p in SIZES {
+            for n in [1usize, 17] {
+                for c in measure(backend, p, move |ctx| {
+                    let v = if ctx.rank() == 0 {
+                        vec![2.0; n]
+                    } else {
+                        vec![]
+                    };
+                    let _ = ctx.comm.broadcast(0, &v);
+                }) {
+                    assert_eq!(c.messages, log_p(p), "{backend} P={p} n={n}");
+                    assert_eq!(c.comm_words, delta(p) * n as u64, "{backend} P={p} n={n}");
+                    assert_eq!(c.flops, 0);
+                }
             }
         }
     }
@@ -119,61 +144,73 @@ fn broadcast_costs_match_closed_form() {
 
 #[test]
 fn all_to_all_costs_match_closed_form() {
-    for p in SIZES {
-        let n_per_dest = 4usize;
-        for c in measure(p, move |ctx| {
-            let chunks = vec![vec![1.0; n_per_dest]; ctx.size()];
-            let _ = ctx.comm.all_to_all(chunks);
-        }) {
-            assert_eq!(c.messages, log_p(p), "P={p}");
-            // Symmetric traffic: max(sent, received) = P·n words.
-            assert_eq!(c.comm_words, delta(p) * (p * n_per_dest) as u64, "P={p}");
+    for backend in Backend::ALL {
+        for p in SIZES {
+            let n_per_dest = 4usize;
+            for c in measure(backend, p, move |ctx| {
+                let chunks = vec![vec![1.0; n_per_dest]; ctx.size()];
+                let _ = ctx.comm.all_to_all(chunks);
+            }) {
+                assert_eq!(c.messages, log_p(p), "{backend} P={p}");
+                // Symmetric traffic: max(sent, received) = P·n words.
+                assert_eq!(
+                    c.comm_words,
+                    delta(p) * (p * n_per_dest) as u64,
+                    "{backend} P={p}"
+                );
+            }
         }
     }
 }
 
 #[test]
 fn split_costs_log_p_messages() {
-    for p in [2usize, 4, 8] {
-        for c in measure(p, |ctx| {
-            let _ = ctx.comm.split((ctx.rank() % 2) as i64, 0);
-        }) {
-            assert_eq!(c.messages, log_p(p), "P={p}");
-            assert_eq!(c.comm_words, 0);
+    for backend in Backend::ALL {
+        for p in [2usize, 4, 8] {
+            for c in measure(backend, p, |ctx| {
+                let _ = ctx.comm.split((ctx.rank() % 2) as i64, 0);
+            }) {
+                assert_eq!(c.messages, log_p(p), "{backend} P={p}");
+                assert_eq!(c.comm_words, 0);
+            }
         }
     }
 }
 
 #[test]
 fn sendrecv_charges_per_endpoint_traffic() {
-    for c in measure(4, |ctx| {
-        let dest = (ctx.rank() + 1) % ctx.size();
-        let _ = ctx.comm.sendrecv_round(Some((dest, vec![1.0; 6])));
-    }) {
-        // One message, 6 sent + 6 received words.
-        assert_eq!(c.messages, 1);
-        assert_eq!(c.comm_words, 12);
+    for backend in Backend::ALL {
+        for c in measure(backend, 4, |ctx| {
+            let dest = (ctx.rank() + 1) % ctx.size();
+            let _ = ctx.comm.sendrecv_round(Some((dest, vec![1.0; 6])));
+        }) {
+            // One message, 6 sent + 6 received words.
+            assert_eq!(c.messages, 1, "{backend}");
+            assert_eq!(c.comm_words, 12, "{backend}");
+        }
     }
 }
 
 /// The §II-E identity the model relies on: an All-Reduce is exactly one
 /// Reduce-Scatter plus one All-Gather — in the measured ledger, not just
-/// on paper.
+/// on paper, and on both backends.
 #[test]
 fn all_reduce_equals_reduce_scatter_plus_all_gather() {
-    for p in [2usize, 4, 8] {
-        let n = 4 * p;
-        let ar = measure(p, move |ctx| {
-            let _ = ctx.comm.all_reduce_sum(&vec![1.0; n]);
-        });
-        let rs_ag = measure(p, move |ctx| {
-            let counts = vec![4usize; ctx.size()];
-            let seg = ctx.comm.reduce_scatter_sum(&vec![1.0; n], &counts);
-            let _ = ctx.comm.all_gather(&seg);
-        });
-        for (a, b) in ar.iter().zip(rs_ag.iter()) {
-            assert_eq!(a.messages, b.messages, "P={p}");
-            assert_eq!(a.comm_words, b.comm_words, "P={p}");
+    for backend in Backend::ALL {
+        for p in [2usize, 4, 8] {
+            let n = 4 * p;
+            let ar = measure(backend, p, move |ctx| {
+                let _ = ctx.comm.all_reduce_sum(&vec![1.0; n]);
+            });
+            let rs_ag = measure(backend, p, move |ctx| {
+                let counts = vec![4usize; ctx.size()];
+                let seg = ctx.comm.reduce_scatter_sum(&vec![1.0; n], &counts);
+                let _ = ctx.comm.all_gather(&seg);
+            });
+            for (a, b) in ar.iter().zip(rs_ag.iter()) {
+                assert_eq!(a.messages, b.messages, "{backend} P={p}");
+                assert_eq!(a.comm_words, b.comm_words, "{backend} P={p}");
+            }
         }
     }
 }

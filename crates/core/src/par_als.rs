@@ -62,7 +62,7 @@ mod tests {
         let cfg2 = cfg.clone();
         let t2 = t.clone();
         let grid2 = grid.clone();
-        let out = Runtime::new(p).run(move |ctx| {
+        let out = Runtime::from_env(p).run(move |ctx| {
             let local = DistTensor::from_global(&t2, &grid2, ctx.rank());
             par_cp_als(ctx, &grid2, &local, &cfg2)
         });

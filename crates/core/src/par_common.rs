@@ -3,7 +3,7 @@
 
 use crate::config::{AlsConfig, SolveStrategy};
 use crate::fitness::{fitness_from_residual, relative_residual};
-use pp_comm::RankCtx;
+use pp_comm::{Collectives, RankCtx};
 use pp_dtree::{DimTreeEngine, FactorState, InputTensor, Kernel, TreePolicy};
 use pp_grid::{DistFactor, DistTensor, FactorLayout, ProcGrid};
 use pp_tensor::matrix::hadamard_chain_skip;

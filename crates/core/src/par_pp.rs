@@ -66,7 +66,7 @@ mod tests {
 
         let grid = ProcGrid::new(vec![2, 2, 1]);
         let (t2, grid2, acfg2) = (t.clone(), grid.clone(), acfg.clone());
-        let out = Runtime::new(4).run(move |ctx| {
+        let out = Runtime::from_env(4).run(move |ctx| {
             let local = DistTensor::from_global(&t2, &grid2, ctx.rank());
             par_pp_cp_als(ctx, &grid2, &local, &acfg2)
         });
@@ -97,7 +97,7 @@ mod tests {
         let seq = pp_cp_als(&t, &acfg);
         let grid = ProcGrid::new(vec![2, 1, 2, 1]);
         let (t2, grid2, acfg2) = (t.clone(), grid.clone(), acfg.clone());
-        let out = Runtime::new(4).run(move |ctx| {
+        let out = Runtime::from_env(4).run(move |ctx| {
             let local = DistTensor::from_global(&t2, &grid2, ctx.rank());
             par_pp_cp_als(ctx, &grid2, &local, &acfg2)
         });

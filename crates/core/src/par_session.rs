@@ -19,7 +19,7 @@ use crate::par_als::ParAlsOutput;
 use crate::par_common::ParState;
 use crate::result::{AlsReport, SweepKind, SweepRecord};
 use crate::session::{Step, StopReason};
-use pp_comm::RankCtx;
+use pp_comm::{Collectives, RankCtx};
 use pp_dtree::pp_tree::{build_pp_operators, PpOperators};
 use pp_dtree::Kernel;
 use pp_grid::{DistTensor, ProcGrid};
@@ -378,7 +378,7 @@ mod tests {
 
         for kind in [ParKind::Exact, ParKind::Pp] {
             let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
-            let whole = Runtime::new(4).run(move |ctx| {
+            let whole = Runtime::from_env(4).run(move |ctx| {
                 let local = DistTensor::from_global(&t2, &g2, ctx.rank());
                 match kind {
                     ParKind::Exact => par_cp_als(ctx, &g2, &local, &c2),
@@ -386,7 +386,7 @@ mod tests {
                 }
             });
             let (t3, g3, c3) = (t.clone(), grid.clone(), cfg.clone());
-            let stepped = Runtime::new(4).run(move |ctx| {
+            let stepped = Runtime::from_env(4).run(move |ctx| {
                 let local = DistTensor::from_global(&t3, &g3, ctx.rank());
                 let mut s = ParSession::new(ctx, &g3, &local, &c3, kind);
                 while let Step::Swept(_) = s.step(ctx) {}

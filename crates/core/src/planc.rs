@@ -46,12 +46,12 @@ mod tests {
         let cfg = AlsConfig::new(2).with_max_sweeps(6).with_tol(0.0);
 
         let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
-        let ours = Runtime::new(4).run(move |ctx| {
+        let ours = Runtime::from_env(4).run(move |ctx| {
             let local = DistTensor::from_global(&t2, &g2, ctx.rank());
             par_cp_als(ctx, &g2, &local, &c2)
         });
         let (t3, g3, c3) = (t.clone(), grid.clone(), cfg.clone());
-        let planc = Runtime::new(4).run(move |ctx| {
+        let planc = Runtime::from_env(4).run(move |ctx| {
             let local = DistTensor::from_global(&t3, &g3, ctx.rank());
             planc_cp_als(ctx, &g3, &local, &c3)
         });

@@ -17,7 +17,7 @@
 
 use crate::config::AlsConfig;
 use crate::par_common::ParState;
-use pp_comm::RankCtx;
+use pp_comm::{Collectives, RankCtx};
 use pp_dtree::correct::first_order_correction;
 use pp_dtree::pp_tree::{build_pp_operators, PpOperators};
 use pp_grid::{DistTensor, ProcGrid};
@@ -192,7 +192,7 @@ mod tests {
         let grid = ProcGrid::new(vec![2, 1, 2]);
         let cfg = AlsConfig::new(2).with_max_sweeps(4);
         let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
-        let out = Runtime::new(4).run(move |ctx| {
+        let out = Runtime::from_env(4).run(move |ctx| {
             let local = DistTensor::from_global(&t2, &g2, ctx.rank());
             let mut st = ParState::init(ctx, &g2, &local, &c2);
             for n in 0..3 {
@@ -228,7 +228,7 @@ mod tests {
         let cfg = AlsConfig::new(2);
         for variant in [PpVariant::Ours, PpVariant::Reference] {
             let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
-            let out = Runtime::new(4).run(move |ctx| {
+            let out = Runtime::from_env(4).run(move |ctx| {
                 let local = DistTensor::from_global(&t2, &g2, ctx.rank());
                 time_pp_kernels(ctx, &g2, &local, &c2, 2, variant)
             });

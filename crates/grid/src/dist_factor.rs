@@ -16,7 +16,7 @@
 
 use crate::dist::BlockDist;
 use crate::grid::ProcGrid;
-use pp_comm::Communicator;
+use pp_comm::Collectives;
 use pp_tensor::Matrix;
 
 /// Row-layout parameters for one mode's factor matrix on a given grid.
@@ -167,7 +167,7 @@ impl DistFactor {
 
     /// All-Gather the Q blocks within the mode slice to refresh the
     /// replicated P block (Alg. 3 lines 8 and 18).
-    pub fn refresh_p(&mut self, slice: &Communicator) {
+    pub fn refresh_p<C: Collectives>(&mut self, slice: &C) {
         assert_eq!(slice.size(), self.layout.slice_size);
         let gathered = slice.all_gather(self.q.data());
         let r = self.layout.rank_cols;
@@ -182,7 +182,7 @@ impl DistFactor {
     /// Reduce-Scatter local MTTKRP contributions (`block × R`, this rank's
     /// partial sums) over the mode slice; returns this rank's `sub × R`
     /// segment of the fully summed `M^(i)` (Alg. 3 line 14).
-    pub fn reduce_scatter_rows(&self, m_local: &Matrix, slice: &Communicator) -> Matrix {
+    pub fn reduce_scatter_rows<C: Collectives>(&self, m_local: &Matrix, slice: &C) -> Matrix {
         assert_eq!(slice.size(), self.layout.slice_size);
         assert_eq!(m_local.rows(), self.layout.block);
         assert_eq!(m_local.cols(), self.layout.rank_cols);
@@ -198,7 +198,7 @@ impl DistFactor {
     /// Gram matrix `S^(i) = A^(i)ᵀ A^(i)` from Q blocks: local Gram plus an
     /// All-Reduce over the world communicator (Alg. 3 lines 7/17). Padding
     /// rows are zero and contribute nothing.
-    pub fn gram_allreduce(&self, world: &Communicator) -> Matrix {
+    pub fn gram_allreduce<C: Collectives>(&self, world: &C) -> Matrix {
         let local = self.q.gram();
         let summed = world.all_reduce_sum(local.data());
         Matrix::from_vec(local.rows(), local.cols(), summed)
@@ -206,7 +206,7 @@ impl DistFactor {
 
     /// Reassemble the global factor matrix from Q blocks (diagnostic /
     /// test utility; gathers over the world communicator).
-    pub fn gather_global(&self, world: &Communicator, grid: &ProcGrid, mode: usize) -> Matrix {
+    pub fn gather_global<C: Collectives>(&self, world: &C, grid: &ProcGrid, mode: usize) -> Matrix {
         let r = self.layout.rank_cols;
         let blocks = world.all_gather_v(self.q.data());
         let mut out = Matrix::zeros(self.layout.global_rows, r);

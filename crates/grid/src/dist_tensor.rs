@@ -3,7 +3,7 @@
 
 use crate::dist::BlockDist;
 use crate::grid::ProcGrid;
-use pp_comm::Communicator;
+use pp_comm::Collectives;
 use pp_tensor::{DenseTensor, Shape};
 
 /// The block of a global tensor owned by one rank.
@@ -87,7 +87,7 @@ impl DistTensor {
 
     /// Reassemble the global tensor on every rank (all-gather of blocks).
     /// Test/diagnostic utility — not used by the scalable algorithms.
-    pub fn gather_global(&self, world: &Communicator) -> DenseTensor {
+    pub fn gather_global<C: Collectives>(&self, world: &C) -> DenseTensor {
         assert_eq!(world.size(), self.grid.size());
         let blocks = world.all_gather_v(self.local.data());
         let mut out = DenseTensor::zeros(self.global_shape.clone());

@@ -1,6 +1,6 @@
 //! N-dimensional logical processor grids (the `𝒫` of the paper's §II-A).
 
-use pp_comm::Communicator;
+use pp_comm::Collectives;
 
 /// An order-`N` processor grid with extents `I_1 × ... × I_N`.
 ///
@@ -82,8 +82,9 @@ impl ProcGrid {
 
     /// Split `world` into mode-`k` slice communicators: ranks sharing grid
     /// coordinate `x_k` end up in the same sub-communicator, ordered by
-    /// world rank (Alg. 3's `PROC-SLICE(P^(k)(x_k, :))`).
-    pub fn slice_comm(&self, world: &Communicator, k: usize) -> Communicator {
+    /// world rank (Alg. 3's `PROC-SLICE(P^(k)(x_k, :))`). Generic over the
+    /// collective backend.
+    pub fn slice_comm<C: Collectives>(&self, world: &C, k: usize) -> C {
         assert_eq!(world.size(), self.size(), "communicator/grid size mismatch");
         let coord = self.coords_of(world.rank())[k];
         world.split(coord as i64, world.rank() as i64)

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example weak_scaling`
 
-use parallel_pp::comm::{CostModel, CostReport, Runtime};
+use parallel_pp::comm::{Collectives, CostModel, CostReport, Runtime};
 use parallel_pp::core::par_common::ParState;
 use parallel_pp::core::AlsConfig;
 use parallel_pp::dtree::TreePolicy;

@@ -34,7 +34,13 @@
 //!      --tol     <Δ>                        (default 1e-5)
 //!      --pp-tol  <ε>                        (default 0.1)
 //!      --ranks   <P>                        (default 1; >1 runs the
-//!                                            simulated distributed runtime)
+//!                                            in-process distributed runtime)
+//!      --backend <rendezvous|p2p>           (default rendezvous; collective
+//!                                            implementation for --ranks > 1:
+//!                                            the rendezvous oracle or the
+//!                                            point-to-point channel
+//!                                            transport — results are
+//!                                            bit-identical either way)
 //!      --threads <T>                        (default: PP_NUM_THREADS or
 //!                                            hardware; pins the kernel
 //!                                            thread pool per rank, scoped
@@ -64,7 +70,7 @@
 //! ```
 //! See the README's "Serving" section for the manifest format.
 
-use parallel_pp::comm::Runtime;
+use parallel_pp::comm::{Backend, Runtime};
 use parallel_pp::core::par_als::par_cp_als;
 use parallel_pp::core::par_pp::par_pp_cp_als;
 use parallel_pp::core::{cp_als, nn_cp_als, pp_cp_als, AlsConfig, SweepKind};
@@ -87,6 +93,7 @@ struct Args {
     tol: f64,
     pp_tol: f64,
     ranks: usize,
+    backend: Backend,
     threads: Option<usize>,
     no_lookahead: bool,
     seed: u64,
@@ -120,6 +127,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
         tol: 1e-5,
         pp_tol: 0.1,
         ranks: 1,
+        backend: Backend::default(),
         threads: None,
         no_lookahead: false,
         seed: 42,
@@ -167,6 +175,7 @@ fn parse_args_from(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("invalid value for {key}: {e}"))?
             }
+            "--backend" => args.backend = take(&mut i)?.parse()?,
             "--threads" => {
                 let t: usize = take(&mut i)?
                     .parse()
@@ -712,11 +721,15 @@ fn main() {
 
     let report = if args.ranks > 1 {
         let grid = grid_for(&t, args.ranks);
-        println!("processor grid: {:?}", grid.dims());
+        println!(
+            "processor grid: {:?}, backend: {}",
+            grid.dims(),
+            args.backend
+        );
         let t = Arc::new(t);
         let method = args.method.clone();
         let (t2, g2, c2) = (t.clone(), grid.clone(), cfg.clone());
-        let out = Runtime::new(args.ranks).run(move |ctx| {
+        let out = Runtime::with_backend(args.ranks, args.backend).run(move |ctx| {
             let local = DistTensor::from_global(&t2, &g2, ctx.rank());
             match method.as_str() {
                 "pp" => par_pp_cp_als(ctx, &g2, &local, &c2).report,
@@ -946,6 +959,8 @@ mod tests {
             "0.2",
             "--ranks",
             "4",
+            "--backend",
+            "p2p",
             "--threads",
             "8",
             "--no-lookahead",
@@ -958,6 +973,7 @@ mod tests {
         assert_eq!(a.method, "pp");
         assert_eq!(a.rank, 24);
         assert_eq!(a.ranks, 4);
+        assert_eq!(a.backend, Backend::P2p);
         assert_eq!(a.threads, Some(8));
         assert!(a.no_lookahead);
         assert!(a.trace);
@@ -1003,6 +1019,29 @@ mod tests {
             let err = parse_args_from(&argv(&[bad])).unwrap_err();
             assert!(err.contains("unknown flag"), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn backend_defaults_to_rendezvous_and_parses_both_names() {
+        assert_eq!(
+            parse_args_from(&argv(&[])).unwrap().backend,
+            Backend::default()
+        );
+        assert_eq!(
+            parse_args_from(&argv(&[])).unwrap().backend,
+            Backend::Rendezvous
+        );
+        let a = parse_args_from(&argv(&["--backend", "rendezvous"])).unwrap();
+        assert_eq!(a.backend, Backend::Rendezvous);
+        let a = parse_args_from(&argv(&["--backend", "p2p"])).unwrap();
+        assert_eq!(a.backend, Backend::P2p);
+    }
+
+    #[test]
+    fn unknown_backend_is_rejected_enumerating_names() {
+        let err = parse_args_from(&argv(&["--backend", "mpi"])).unwrap_err();
+        assert!(err.contains("unknown backend 'mpi'"), "{err}");
+        assert!(err.contains("rendezvous|p2p"), "{err}");
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //!
 //! * [`tensor`] — dense tensor substrate (GEMM, TTM, batched TTV,
 //!   Khatri-Rao, transposes, SPD solves);
-//! * [`comm`] — simulated distributed-memory BSP runtime with MPI-style
-//!   collectives and an α–β–γ–ν cost model;
+//! * [`comm`] — distributed-memory BSP runtime with MPI-style collectives
+//!   behind a pluggable [`comm::Collectives`] backend (rendezvous oracle or
+//!   point-to-point channel transport) and an α–β–γ–ν cost model;
 //! * [`grid`] — processor grids, padded block distributions, distributed
 //!   tensors and factor matrices;
 //! * [`dtree`] — dimension-tree engines: the standard dimension tree (DT),
@@ -37,7 +38,7 @@ pub use pp_tensor as tensor;
 
 /// Convenient glob import for examples and downstream users.
 pub mod prelude {
-    pub use pp_comm::{CostModel, Runtime};
+    pub use pp_comm::{Backend, Collectives, CommWorld, CostModel, Runtime};
     pub use pp_core::{
         cp_als, nn_cp_als, pp_cp_als, AlsConfig, InitStrategy, SolveStrategy, SweepKind,
     };

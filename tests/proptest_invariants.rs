@@ -7,7 +7,7 @@
 //! * block distributions tile every index exactly once;
 //! * collectives preserve content for arbitrary sizes and rank counts.
 
-use parallel_pp::comm::Runtime;
+use parallel_pp::comm::{Collectives, Runtime};
 use parallel_pp::dtree::{DimTreeEngine, FactorState, InputTensor, TreePolicy};
 use parallel_pp::grid::BlockDist;
 use parallel_pp::tensor::kernels::krp::khatri_rao;
