@@ -198,6 +198,14 @@ impl Writer {
         self.u64_(s.semisparse_entries_visited);
     }
 
+    /// Length-prefixed opaque byte blob — lets one checkpoint nest another
+    /// complete frame (a streaming session wraps its inner ALS session's
+    /// checkpoint this way, so the inner codec stays a black box).
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        self.usize_(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
     pub(crate) fn sweep(&mut self, r: &SweepRecord) {
         self.u8_(match r.kind {
             SweepKind::Exact => 0,
@@ -428,6 +436,12 @@ impl<'a> Reader<'a> {
         })
     }
 
+    /// Length-prefixed opaque byte blob (see [`Writer::bytes`]).
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, String> {
+        let n = self.count("byte")?;
+        Ok(self.take(n)?.to_vec())
+    }
+
     pub(crate) fn sweep(&mut self) -> Result<SweepRecord, String> {
         let kind = match self.u8_()? {
             0 => SweepKind::Exact,
@@ -513,5 +527,69 @@ mod tests {
         bytes[0] = b'P';
         bytes[4] = 9; // version
         assert!(open_err(&bytes).contains("version"));
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_clean_error() {
+        // A file cut short anywhere — mid-header, mid-length, mid-payload —
+        // must produce Err, never a panic or a partial parse.
+        let mut w = Writer::new();
+        w.u64_(7);
+        w.matrix(&Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let bytes = w.frame();
+        for cut in 0..bytes.len() {
+            let r = Reader::open(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail the frame check");
+        }
+    }
+
+    #[test]
+    fn payload_ending_mid_field_is_reported() {
+        // A frame can be checksum-valid yet logically short for the reader
+        // (e.g. written by a buggy producer): field reads must fail cleanly.
+        let mut w = Writer::new();
+        w.u64_(1);
+        let bytes = w.frame();
+        let mut r = Reader::open(&bytes).unwrap();
+        assert_eq!(r.u64_().unwrap(), 1);
+        let e = r.u64_().expect_err("reading past the payload must fail");
+        assert!(e.contains("mid-field"), "{e}");
+        let mut r2 = Reader::open(&bytes).unwrap();
+        let e2 = r2.matrix().expect_err("matrix past payload must fail");
+        assert!(e2.contains("mid-field"), "{e2}");
+    }
+
+    #[test]
+    fn bytes_blob_round_trips_and_rejects_truncation() {
+        let inner: Vec<u8> = (0..100u8).collect();
+        let mut w = Writer::new();
+        w.bytes(&inner);
+        w.u64_(0xdead);
+        let bytes = w.frame();
+        let mut r = Reader::open(&bytes).unwrap();
+        assert_eq!(r.bytes().unwrap(), inner);
+        assert_eq!(r.u64_().unwrap(), 0xdead);
+        assert!(r.exhausted());
+
+        // A blob whose declared length exceeds the payload must error.
+        let mut w2 = Writer::new();
+        w2.usize_(1 << 20); // length prefix with no data behind it
+        let bytes2 = w2.frame();
+        let mut r2 = Reader::open(&bytes2).unwrap();
+        let e = r2.bytes().expect_err("oversized blob length");
+        assert!(e.contains("mid-field"), "{e}");
+    }
+
+    #[test]
+    fn implausible_counts_fail_without_allocating() {
+        // u64::MAX as a count must be rejected by the plausibility bound,
+        // not attempted as an allocation.
+        let mut w = Writer::new();
+        w.u64_(u64::MAX);
+        let bytes = w.frame();
+        let mut r = Reader::open(&bytes).unwrap();
+        assert!(r.u64s().expect_err("count").contains("implausible"));
+        let mut r2 = Reader::open(&bytes).unwrap();
+        assert!(r2.bytes().expect_err("blob count").contains("implausible"));
     }
 }

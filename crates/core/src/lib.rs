@@ -17,6 +17,9 @@
 //!   machines every driver above is a thin step-loop over: explicit owned
 //!   state, `step()` advances one sweep, `finish()` drains speculation.
 //!   Sessions are the scheduling unit of the `pp-serve` batch driver;
+//! * [`stream`] — streaming/online CP for tensors that grow along one
+//!   mode: warm-started factor rows, incremental dimension-tree cache
+//!   extension, per-arrival sweep windows;
 //! * [`fitness`] — the amortized residual formula (Eq. 3);
 //! * [`nonneg`] — nonnegative CP (HALS) on the same dimension trees;
 //! * [`init`] — factor initialization strategies;
@@ -59,6 +62,7 @@ pub mod pp_als;
 pub mod ref_pp;
 pub mod result;
 pub mod session;
+pub mod stream;
 
 pub use als::{cp_als, cp_als_with_init, init_factors};
 pub use config::{AlsConfig, SolveStrategy};
@@ -70,3 +74,4 @@ pub use par_session::{ParKind, ParSession};
 pub use pp_als::{pp_cp_als, pp_cp_als_with_init};
 pub use result::{AlsOutput, AlsReport, SweepKind, SweepRecord};
 pub use session::{AlsSession, SessionKind, Step, StopReason};
+pub use stream::StreamingSession;

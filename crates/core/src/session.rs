@@ -69,12 +69,33 @@ pub enum Step {
 
 /// Phase of the PP regime between steps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum PpPhase {
+pub(crate) enum PpPhase {
     /// Top of Alg. 2's outer loop: evaluate the dA gate; a step either
     /// performs the PP initialization (gate open) or an exact sweep.
     Gate,
     /// Inside the approximated regime: a step performs one PP sweep.
     Approx,
+}
+
+/// The sweep-to-sweep state a streaming arrival mutates, borrowed
+/// disjointly so [`crate::stream`] can extend the input, factors, Grams,
+/// and dimension-tree cache in one coherent transaction.
+pub(crate) struct StreamParts<'a> {
+    pub(crate) cfg: &'a mut AlsConfig,
+    pub(crate) kind: SessionKind,
+    pub(crate) input: &'a mut InputTensor,
+    pub(crate) engine: &'a mut DimTreeEngine,
+    pub(crate) fs: &'a mut FactorState,
+    pub(crate) grams: &'a mut Vec<Matrix>,
+    pub(crate) t_norm_sq: &'a mut f64,
+    pub(crate) d_factors: &'a mut Vec<Matrix>,
+    pub(crate) factors_p: &'a mut Vec<Matrix>,
+    pub(crate) ops: &'a mut Option<PpOperators>,
+    pub(crate) phase: &'a mut PpPhase,
+    pub(crate) fitness_old: &'a mut f64,
+    pub(crate) converged: &'a mut bool,
+    pub(crate) finished: &'a mut bool,
+    pub(crate) sweeps_done: usize,
 }
 
 /// A resumable CP-ALS / PP-CP-ALS / NNCP run. See the module docs.
@@ -595,6 +616,30 @@ impl AlsSession {
             },
             tag,
         ))
+    }
+
+    /// Disjoint mutable borrows of everything a streaming arrival rewrites
+    /// (see [`crate::stream::StreamingSession::arrive`]). Kept out of the
+    /// public API: the invariants between these fields (Gram ↔ factor,
+    /// cache ↔ versions) are the session's to maintain.
+    pub(crate) fn stream_parts(&mut self) -> StreamParts<'_> {
+        StreamParts {
+            cfg: &mut self.cfg,
+            kind: self.kind,
+            input: &mut self.input,
+            engine: &mut self.engine,
+            fs: &mut self.fs,
+            grams: &mut self.grams,
+            t_norm_sq: &mut self.t_norm_sq,
+            d_factors: &mut self.d_factors,
+            factors_p: &mut self.factors_p,
+            ops: &mut self.ops,
+            phase: &mut self.phase,
+            fitness_old: &mut self.fitness_old,
+            converged: &mut self.converged,
+            finished: &mut self.finished,
+            sweeps_done: self.sweeps_done,
+        }
     }
 
     /// Advance exactly one sweep. Idempotent once the session is finished.

@@ -48,9 +48,43 @@ impl Default for ChemistryConfig {
     }
 }
 
+impl ChemistryConfig {
+    /// Reject degenerate configurations with a clear message instead of a
+    /// downstream kernel panic.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_orb == 0 {
+            return Err("chemistry config: n_orb must be positive".into());
+        }
+        if self.n_aux == 0 {
+            return Err("chemistry config: n_aux must be positive".into());
+        }
+        // NaN must fail this check too, hence the explicit is_nan arm.
+        if self.overlap_sigma <= 0.0
+            || self.overlap_sigma.is_nan()
+            || self.aux_tau <= 0.0
+            || self.aux_tau.is_nan()
+        {
+            return Err(format!(
+                "chemistry config: overlap_sigma ({}) and aux_tau ({}) must be positive",
+                self.overlap_sigma, self.aux_tau
+            ));
+        }
+        if !self.noise.is_finite() || self.noise < 0.0 {
+            return Err(format!(
+                "chemistry config: noise must be finite and >= 0, got {}",
+                self.noise
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Generate the order-3 density-fitting surrogate `𝓓 ∈ R^{E × n × n}`
 /// (auxiliary mode first, matching the paper's 4520 × 280 × 280 layout).
 pub fn density_fitting_tensor(cfg: &ChemistryConfig, seed: u64) -> DenseTensor {
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
     let n = cfg.n_orb;
     let e_dim = cfg.n_aux;
     let mut rng = seeded(seed);
@@ -191,5 +225,30 @@ mod tests {
         let a = density_fitting_tensor(&small_cfg(), 11);
         let b = density_fitting_tensor(&small_cfg(), 11);
         assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(small_cfg().validate().is_ok());
+        let z = ChemistryConfig {
+            n_orb: 0,
+            ..small_cfg()
+        };
+        assert!(z.validate().unwrap_err().contains("n_orb"));
+        let z = ChemistryConfig {
+            n_aux: 0,
+            ..small_cfg()
+        };
+        assert!(z.validate().unwrap_err().contains("n_aux"));
+        let z = ChemistryConfig {
+            overlap_sigma: 0.0,
+            ..small_cfg()
+        };
+        assert!(z.validate().is_err());
+        let z = ChemistryConfig {
+            noise: f64::NAN,
+            ..small_cfg()
+        };
+        assert!(z.validate().is_err());
     }
 }

@@ -33,6 +33,23 @@ impl Default for CoilConfig {
     }
 }
 
+impl CoilConfig {
+    /// Reject degenerate configurations with a clear message instead of a
+    /// downstream kernel panic.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("size", self.size),
+            ("objects", self.objects),
+            ("poses", self.poses),
+        ] {
+            if v == 0 {
+                return Err(format!("coil config: {name} must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Soft indicator: 1 inside, 0 outside, smooth across ~`edge` units.
 fn soft(d: f64, edge: f64) -> f64 {
     1.0 / (1.0 + (d / edge).exp())
@@ -41,6 +58,9 @@ fn soft(d: f64, edge: f64) -> f64 {
 /// Render the tensor `size × size × 3 × (objects·poses)`, frames ordered
 /// object-major (all poses of object 0, then object 1, ...).
 pub fn coil_tensor(cfg: &CoilConfig) -> DenseTensor {
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
     let s = cfg.size;
     let frames = cfg.objects * cfg.poses;
     let shape = Shape::new(vec![s, s, 3, frames]);
@@ -149,6 +169,23 @@ mod tests {
         let a = frame_vec(&t, 0); // object 0
         let b = frame_vec(&t, 8); // object 1
         assert!(cosine(&a, &b) < 0.999);
+    }
+
+    #[test]
+    fn validate_rejects_zero_dims() {
+        assert!(tiny().validate().is_ok());
+        for field in 0..3 {
+            let mut cfg = tiny();
+            match field {
+                0 => cfg.size = 0,
+                1 => cfg.objects = 0,
+                _ => cfg.poses = 0,
+            }
+            assert!(
+                cfg.validate().unwrap_err().contains("must be positive"),
+                "field {field}"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,35 @@ pub struct CollinearityConfig {
     pub hi: f64,
 }
 
+impl CollinearityConfig {
+    /// Reject degenerate configurations with a clear message instead of a
+    /// downstream construction panic.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.r == 0 {
+            return Err("collinearity config: rank must be positive".into());
+        }
+        if self.s <= self.r {
+            return Err(format!(
+                "collinearity config: mode size {} must exceed rank {} (construction needs s >= R+1)",
+                self.s, self.r
+            ));
+        }
+        if self.order < 2 {
+            return Err(format!(
+                "collinearity config: order must be >= 2, got {}",
+                self.order
+            ));
+        }
+        if !(0.0..1.0).contains(&self.lo) || !(0.0..1.0).contains(&self.hi) || self.lo > self.hi {
+            return Err(format!(
+                "collinearity config: need 0 <= lo <= hi < 1, got [{}, {})",
+                self.lo, self.hi
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Generate the tensor and the exact factors. Each mode's factor gets its
 /// own collinearity drawn uniformly from `[lo, hi)` (the paper's "selected
 /// randomly from a given interval").
@@ -49,6 +78,9 @@ pub fn collinearity_tensor(
     cfg: &CollinearityConfig,
     seed: u64,
 ) -> (DenseTensor, Vec<Matrix>, Vec<f64>) {
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
     let mut rng = seeded(seed);
     let mut factors = Vec::with_capacity(cfg.order);
     let mut cs = Vec::with_capacity(cfg.order);
@@ -104,5 +136,28 @@ mod tests {
     fn rejects_too_small_mode() {
         let mut rng = seeded(1);
         let _ = collinear_factor(3, 3, 0.5, &mut rng);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let good = CollinearityConfig {
+            s: 8,
+            r: 3,
+            order: 3,
+            lo: 0.4,
+            hi: 0.6,
+        };
+        assert!(good.validate().is_ok());
+        assert!(CollinearityConfig { r: 0, ..good }.validate().is_err());
+        assert!(CollinearityConfig { s: 3, ..good }.validate().is_err());
+        assert!(CollinearityConfig { order: 1, ..good }.validate().is_err());
+        assert!(CollinearityConfig {
+            lo: 0.7,
+            hi: 0.2,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(CollinearityConfig { hi: 1.0, ..good }.validate().is_err());
     }
 }

@@ -27,4 +27,4 @@ pub use coil::{coil_tensor, CoilConfig};
 pub use collinearity::{collinearity_tensor, CollinearityConfig};
 pub use lowrank::{exact_rank, noisy_rank};
 pub use sparse::{powerlaw_sparse, sparse_lowrank};
-pub use timelapse::{timelapse_tensor, TimelapseConfig};
+pub use timelapse::{timelapse_tensor, TimelapseConfig, TimelapseStream, TIME_MODE};

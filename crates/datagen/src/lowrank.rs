@@ -7,6 +7,11 @@ use pp_tensor::{DenseTensor, Matrix};
 /// A tensor with exact CP rank ≤ `r`: `[[A^(1), ..., A^(N)]]` from uniform
 /// random factors. Returns the tensor and the planted factors.
 pub fn exact_rank(dims: &[usize], r: usize, seed: u64) -> (DenseTensor, Vec<Matrix>) {
+    assert!(r > 0, "rank must be positive");
+    assert!(
+        !dims.is_empty() && dims.iter().all(|&d| d > 0),
+        "every mode extent must be positive, got {dims:?}"
+    );
     let mut rng = seeded(seed);
     let factors: Vec<Matrix> = dims
         .iter()

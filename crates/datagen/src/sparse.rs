@@ -35,6 +35,10 @@ fn powerlaw_index(rng: &mut impl Rng, d: usize, skew: f64) -> usize {
 /// `skew ≥ 1.0` controls the head-heaviness (1.0 = uniform).
 pub fn powerlaw_sparse(dims: &[usize], samples: usize, skew: f64, seed: u64) -> SparseTensor {
     assert!(skew >= 1.0, "skew must be >= 1.0");
+    assert!(
+        dims.len() >= 2 && dims.iter().all(|&d| d > 0),
+        "every mode extent must be positive, got {dims:?}"
+    );
     let mut rng = seeded(seed);
     let order = dims.len();
     let mut inds = Vec::with_capacity(samples * order);
@@ -60,6 +64,11 @@ pub fn sparse_lowrank(
     assert!(
         density > 0.0 && density <= 1.0,
         "density must be in (0, 1], got {density}"
+    );
+    assert!(r > 0, "rank must be positive");
+    assert!(
+        dims.len() >= 2 && dims.iter().all(|&d| d > 0),
+        "every mode extent must be positive, got {dims:?}"
     );
     let mut rng = seeded(seed);
     let factors: Vec<Matrix> = dims

@@ -47,8 +47,38 @@ impl Default for TimelapseConfig {
     }
 }
 
+impl TimelapseConfig {
+    /// Reject degenerate configurations before any rendering happens: a
+    /// zero-sized mode produces an empty tensor that every downstream
+    /// consumer (ALS, streaming, serving) would only diagnose much later
+    /// as an opaque kernel panic.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("height", self.height),
+            ("width", self.width),
+            ("bands", self.bands),
+            ("times", self.times),
+            ("materials", self.materials),
+        ] {
+            if v == 0 {
+                return Err(format!("timelapse config: {name} must be positive"));
+            }
+        }
+        if !self.noise.is_finite() || self.noise < 0.0 {
+            return Err(format!(
+                "timelapse config: noise must be finite and >= 0, got {}",
+                self.noise
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Render the tensor `height × width × bands × times`.
 pub fn timelapse_tensor(cfg: &TimelapseConfig, seed: u64) -> DenseTensor {
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
     let mut rng = seeded(seed);
     let (h, w, b, nt) = (cfg.height, cfg.width, cfg.bands, cfg.times);
 
@@ -156,6 +186,91 @@ pub fn timelapse_tensor(cfg: &TimelapseConfig, seed: u64) -> DenseTensor {
     t
 }
 
+/// The mode along which a time-lapse tensor evolves (time is last).
+pub const TIME_MODE: usize = 3;
+
+/// Arrival-ordered slices of a time-lapse tensor for streaming CP.
+///
+/// The generator's noise is drawn per element in linear order over the
+/// *whole* tensor and the illumination curve depends on the full horizon,
+/// so slices cannot be rendered independently: the stream renders the full
+/// `cfg.times` horizon once and carves it. An initial prefix of
+/// `initial` time points is followed by `(times - initial) / arrive`
+/// arrivals of `arrive` time points each — every carved piece is
+/// bit-identical to the corresponding region of [`timelapse_tensor`].
+pub struct TimelapseStream {
+    full: DenseTensor,
+    initial: usize,
+    arrive: usize,
+}
+
+impl TimelapseStream {
+    /// Render the full horizon and set up the arrival schedule.
+    /// `initial` time points are served up front; the remaining
+    /// `cfg.times - initial` must divide evenly into slices of `arrive`.
+    pub fn new(
+        cfg: &TimelapseConfig,
+        seed: u64,
+        initial: usize,
+        arrive: usize,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if initial == 0 || initial >= cfg.times {
+            return Err(format!(
+                "streaming needs 0 < initial-times < times, got {initial} of {}",
+                cfg.times
+            ));
+        }
+        if arrive == 0 {
+            return Err("arrival slice thickness must be positive".into());
+        }
+        let rest = cfg.times - initial;
+        if !rest.is_multiple_of(arrive) {
+            return Err(format!(
+                "remaining {rest} time points do not divide into slices of {arrive}"
+            ));
+        }
+        Ok(TimelapseStream {
+            full: timelapse_tensor(cfg, seed),
+            initial,
+            arrive,
+        })
+    }
+
+    /// The initial tensor (first `initial` time points).
+    pub fn initial(&self) -> DenseTensor {
+        self.full.slice_along(TIME_MODE, 0, self.initial)
+    }
+
+    /// Number of arrivals after the initial tensor.
+    pub fn n_arrivals(&self) -> usize {
+        (self.full.dim(TIME_MODE) - self.initial) / self.arrive
+    }
+
+    /// The `i`-th arriving slice (`arrive` time points thick).
+    pub fn slice(&self, i: usize) -> DenseTensor {
+        assert!(i < self.n_arrivals(), "arrival {i} out of range");
+        self.full
+            .slice_along(TIME_MODE, self.initial + i * self.arrive, self.arrive)
+    }
+
+    /// The tensor as of `extent` time points — what a from-scratch rebuild
+    /// at that arrival would decompose (checkpoint resume re-derives the
+    /// input from this).
+    pub fn prefix(&self, extent: usize) -> DenseTensor {
+        assert!(
+            extent <= self.full.dim(TIME_MODE),
+            "prefix extent {extent} beyond horizon"
+        );
+        self.full.slice_along(TIME_MODE, 0, extent)
+    }
+
+    /// The full-horizon tensor.
+    pub fn full(&self) -> &DenseTensor {
+        &self.full
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +364,66 @@ mod tests {
         let a = timelapse_tensor(&tiny(), 4);
         let b = timelapse_tensor(&tiny(), 4);
         assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn validate_rejects_zero_dims() {
+        for field in 0..5 {
+            let mut cfg = tiny();
+            match field {
+                0 => cfg.height = 0,
+                1 => cfg.width = 0,
+                2 => cfg.bands = 0,
+                3 => cfg.times = 0,
+                _ => cfg.materials = 0,
+            }
+            let err = cfg.validate().expect_err("zero dim must be rejected");
+            assert!(err.contains("must be positive"), "{err}");
+        }
+        let cfg = TimelapseConfig {
+            noise: -0.1,
+            ..tiny()
+        };
+        assert!(cfg.validate().is_err(), "negative noise must be rejected");
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn generator_panics_on_invalid_config() {
+        let cfg = TimelapseConfig { times: 0, ..tiny() };
+        let _ = timelapse_tensor(&cfg, 1);
+    }
+
+    #[test]
+    fn stream_slices_recompose_the_full_tensor() {
+        let cfg = tiny(); // times = 5
+        let stream = TimelapseStream::new(&cfg, 9, 3, 1).expect("valid schedule");
+        assert_eq!(stream.n_arrivals(), 2);
+        let full = timelapse_tensor(&cfg, 9);
+        let mut grown = stream.initial();
+        assert_eq!(grown.shape().dims(), &[12, 14, 8, 3]);
+        for i in 0..stream.n_arrivals() {
+            grown = grown.concat_along(&stream.slice(i), TIME_MODE);
+            assert_eq!(
+                grown.data(),
+                stream.prefix(3 + (i + 1)).data(),
+                "prefix after arrival {i}"
+            );
+        }
+        assert_eq!(grown.data(), full.data(), "stream must recompose exactly");
+    }
+
+    #[test]
+    fn stream_rejects_bad_schedules() {
+        let cfg = tiny(); // times = 5
+        assert!(TimelapseStream::new(&cfg, 1, 0, 1).is_err(), "initial 0");
+        assert!(TimelapseStream::new(&cfg, 1, 5, 1).is_err(), "no arrivals");
+        assert!(TimelapseStream::new(&cfg, 1, 3, 0).is_err(), "slice 0");
+        assert!(
+            TimelapseStream::new(&cfg, 1, 2, 2).is_err(),
+            "3 remaining not divisible by 2"
+        );
+        assert!(TimelapseStream::new(&cfg, 1, 1, 2).is_ok());
     }
 }

@@ -224,6 +224,13 @@ impl InterCache {
         self.map.insert(inter.set(), inter);
     }
 
+    /// Remove and return the entry for `set`, if present (streaming cache
+    /// surgery: delta-extension takes the old payload out, eviction drops
+    /// entries whose extent along the evolving mode went stale).
+    pub fn remove(&mut self, set: ModeSet) -> Option<Intermediate> {
+        self.map.remove(&set)
+    }
+
     /// Number of cached intermediates.
     pub fn len(&self) -> usize {
         self.map.len()

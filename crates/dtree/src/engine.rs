@@ -28,7 +28,7 @@ use crate::modeset::ModeSet;
 use crate::stats::{Kernel, KernelStats};
 use pp_tensor::kernels::mttv::mttv;
 use pp_tensor::semisparse::{ss_mttv, thread_ss_counters};
-use pp_tensor::Matrix;
+use pp_tensor::{DenseTensor, Matrix};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,6 +39,19 @@ pub enum TreePolicy {
     Standard,
     /// Multi-sweep dimension tree (the paper's MSDT).
     MultiSweep,
+}
+
+/// How [`DimTreeEngine::extend_mode`] refreshes first-level cache entries
+/// when the evolving mode grows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheUpdate {
+    /// Contract **only the new slice** and append the result into the
+    /// cached intermediate along the evolving mode — per-arrival work
+    /// scales with the slice, not the full tensor.
+    Incremental,
+    /// Recontract the same cache keys from the **full grown tensor** — the
+    /// from-scratch oracle the incremental path must match bitwise.
+    Recompute,
 }
 
 /// MTTKRP engine with a persistent intermediate cache.
@@ -343,6 +356,109 @@ impl DimTreeEngine {
             self.cache.insert(inter.clone());
         }
         inter
+    }
+
+    /// Streaming arrival along original mode `e`: refresh the intermediate
+    /// cache after the input tensor grew by `slice` (canonical layout).
+    ///
+    /// Preconditions: the caller has already grown `input`
+    /// ([`InputTensor::extend_mode`]) and extended + version-bumped mode
+    /// `e`'s factor in `fs`, and no speculation is in flight.
+    ///
+    /// First-level entries whose mode set *contains* `e` and whose
+    /// contracted-away factors are still current are the reusable ones:
+    /// `e`'s version bump does not invalidate them (member modes are
+    /// ignored by the validity rule) but their extent along `e` is stale.
+    /// Under [`CacheUpdate::Incremental`] each such entry is delta-extended
+    /// by contracting only `slice` (through a layout-mirrored input, so
+    /// the plan — and hence the result's mode order and per-row arithmetic
+    /// — matches the full contraction exactly) and appending along `e`;
+    /// under [`CacheUpdate::Recompute`] it is recontracted whole from the
+    /// grown tensor. Both paths record the same versions a fresh
+    /// contraction would, so the two modes leave bitwise-identical caches
+    /// — that equality is the streaming correctness contract. Every other
+    /// entry containing `e` (lower tree levels with a stale extent) is
+    /// evicted, and entries not containing `e` are invalid via the version
+    /// bump and swept out.
+    pub fn extend_mode(
+        &mut self,
+        input: &mut InputTensor,
+        fs: &FactorState,
+        e: usize,
+        slice: &DenseTensor,
+        update: CacheUpdate,
+    ) {
+        assert!(e < self.n_modes);
+        assert!(
+            self.cache.spec().is_none(),
+            "extend_mode requires a parked engine (no speculation in flight)"
+        );
+        let versions = fs.versions().to_vec();
+        let full = ModeSet::full(self.n_modes);
+        let mut extendable: Vec<ModeSet> = Vec::new();
+        let mut drop_keys: Vec<ModeSet> = Vec::new();
+        for inter in self.cache.entries_sorted() {
+            let set = inter.set();
+            if !set.contains(e) {
+                continue;
+            }
+            if set.len() == self.n_modes - 1
+                && inter.valid_for(&versions)
+                && !inter.payload.is_semisparse()
+            {
+                extendable.push(set);
+            } else {
+                drop_keys.push(set);
+            }
+        }
+        for set in drop_keys {
+            self.cache.remove(set);
+        }
+        let mut slice_input = match update {
+            CacheUpdate::Incremental if !extendable.is_empty() => Some(input.slice_like(slice)),
+            _ => None,
+        };
+        for set in extendable {
+            let k = full.minus(set).min().expect("one contracted mode");
+            let inter = match (&mut slice_input, update) {
+                (Some(si), CacheUpdate::Incremental) => {
+                    let old = self.cache.remove(set).expect("extendable entry present");
+                    let g0 = pp_tensor::gemm::thread_gemm_counters();
+                    let fl = si.contract_mode(k, fs.factor(k));
+                    self.stats
+                        .add_gemm_delta(&pp_tensor::gemm::thread_gemm_counters().since(&g0));
+                    self.stats.record(Kernel::Ttm, fl.ttm_time, fl.flops);
+                    debug_assert_eq!(old.mode_order, fl.mode_order);
+                    let pos = old.position_of(e);
+                    let merged = old.dense().concat_along(fl.payload.dense(), pos);
+                    Intermediate {
+                        payload: Payload::Dense(Arc::new(merged)),
+                        mode_order: fl.mode_order,
+                        versions: versions.clone(),
+                    }
+                }
+                _ => {
+                    self.cache.remove(set);
+                    let g0 = pp_tensor::gemm::thread_gemm_counters();
+                    let fl = input.contract_mode(k, fs.factor(k));
+                    self.stats
+                        .add_gemm_delta(&pp_tensor::gemm::thread_gemm_counters().since(&g0));
+                    if fl.transpose_words > 0 {
+                        self.stats.record(Kernel::Transpose, fl.transpose_time, 0);
+                    }
+                    self.stats.record(Kernel::Ttm, fl.ttm_time, fl.flops);
+                    Intermediate {
+                        payload: fl.payload,
+                        mode_order: fl.mode_order,
+                        versions: versions.clone(),
+                    }
+                }
+            };
+            if self.caching {
+                self.cache.insert(inter);
+            }
+        }
+        self.cache.evict_stale(&versions);
     }
 
     /// One batched-TTV step: contract mode `j` out of `current`.
@@ -828,6 +944,143 @@ mod tests {
         assert!(s.sparse_fibers_visited > 0);
         assert_eq!(s.ttm_flops, s.sparse_mttkrp_flops);
         assert_eq!(engine.cache_memory_elems(), 0, "sparse path caches nothing");
+    }
+
+    /// Streaming-extension contract: after the tensor grows along `e`,
+    /// (a) the Incremental and Recompute cache refreshes leave bitwise-
+    /// identical caches, and (b) subsequent MTTKRPs from the extended
+    /// engine are bitwise identical to a cold engine on the full tensor.
+    /// Sizes are chosen so every contraction (initial, slice, and full)
+    /// clears the packed-GEMM threshold — the row-count-invariant path
+    /// that makes slice-then-concat equal whole-tensor contraction.
+    fn streaming_extension_matches(policy: TreePolicy, dims: &[usize], e: usize, r: usize) {
+        let grow = 2usize;
+        let (t_full, fs_full) = setup(dims, r, 55);
+        let d_e = dims[e];
+        let initial = t_full.slice_along(e, 0, d_e - grow);
+        let slice = t_full.slice_along(e, d_e - grow, grow);
+        let make_input = |t: &DenseTensor| match policy {
+            TreePolicy::Standard => InputTensor::new(t.clone()),
+            TreePolicy::MultiSweep => InputTensor::with_msdt_copies(t.clone()),
+        };
+        // Factors: the evolving mode starts with the first d_e-grow rows of
+        // the full factor and is extended with the last rows, so both arms
+        // end at the exact same factor values as the cold full-tensor run.
+        let full_e = fs_full.factor(e);
+        let initial_e = Matrix::from_fn(d_e - grow, r, |i, j| full_e.get(i, j));
+        let extra_e = Matrix::from_fn(grow, r, |i, j| full_e.get(d_e - grow + i, j));
+        let make_fs = || {
+            let factors: Vec<Matrix> = (0..dims.len())
+                .map(|n| {
+                    if n == e {
+                        initial_e.clone()
+                    } else {
+                        fs_full.factor(n).clone()
+                    }
+                })
+                .collect();
+            FactorState::new(factors)
+        };
+
+        let mut arms = Vec::new();
+        for update in [CacheUpdate::Incremental, CacheUpdate::Recompute] {
+            let mut input = make_input(&initial);
+            let mut fs = make_fs();
+            let mut engine = DimTreeEngine::new(policy, dims.len());
+            // Warm sweep on the small tensor populates the cache.
+            for n in 0..dims.len() {
+                let _ = engine.mttkrp(&mut input, &fs, n);
+            }
+            assert!(!engine.cache().is_empty(), "warm sweep must cache");
+            // Entries that must survive: valid first-level sets containing
+            // `e` (all entries are valid here — no factor was updated).
+            let expect_keep = engine
+                .cache()
+                .entries_sorted()
+                .iter()
+                .filter(|i| i.set().contains(e) && i.set().len() == dims.len() - 1)
+                .count();
+            input.extend_mode(e, &slice);
+            fs.extend_rows(e, &extra_e);
+            engine.extend_mode(&mut input, &fs, e, &slice, update);
+            assert_eq!(
+                engine.cache().len(),
+                expect_keep,
+                "{policy:?} e={e}: exactly the first-level entries containing e survive"
+            );
+            arms.push((input, fs, engine));
+        }
+
+        // (a) Both arms leave bitwise-identical caches.
+        {
+            let (a, b) = (&arms[0].2, &arms[1].2);
+            let ea = a.cache().entries_sorted();
+            let eb = b.cache().entries_sorted();
+            assert_eq!(ea.len(), eb.len(), "cache key sets differ");
+            for (x, y) in ea.iter().zip(eb.iter()) {
+                assert_eq!(x.set(), y.set());
+                assert_eq!(x.mode_order, y.mode_order);
+                assert_eq!(x.versions, y.versions);
+                assert_eq!(
+                    x.dense().data(),
+                    y.dense().data(),
+                    "{policy:?} e={e}: incremental payload != recompute payload"
+                );
+            }
+        }
+
+        // (b) MTTKRPs after extension: both arms run the same schedule, so
+        // incremental must match the recompute oracle bitwise — and both
+        // must match the naive MTTKRP on the full tensor numerically.
+        // (A *cold* engine is not a bitwise reference: it lacks the cache
+        // history, so MSDT picks different — mathematically equal —
+        // contraction chains.)
+        let (inc, rec) = arms.split_at_mut(1);
+        let (inc_input, inc_fs, inc_engine) = &mut inc[0];
+        let (rec_input, rec_fs, rec_engine) = &mut rec[0];
+        assert_eq!(inc_fs.factor(e).data(), fs_full.factor(e).data());
+        for n in 0..dims.len() {
+            let got = inc_engine.mttkrp(inc_input, inc_fs, n);
+            let oracle = rec_engine.mttkrp(rec_input, rec_fs, n);
+            assert_eq!(
+                got.data(),
+                oracle.data(),
+                "{policy:?} e={e} mode {n}: incremental != recompute oracle"
+            );
+            let naive = naive_mttkrp(&t_full, fs_full.factors(), n);
+            assert!(
+                got.max_abs_diff(&naive) < 1e-9,
+                "{policy:?} e={e} mode {n}: extended engine wrong vs naive"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_extension_standard_order3() {
+        for e in 0..3 {
+            streaming_extension_matches(TreePolicy::Standard, &[12, 10, 8], e, 8);
+        }
+    }
+
+    #[test]
+    fn streaming_extension_msdt_order3() {
+        for e in 0..3 {
+            streaming_extension_matches(TreePolicy::MultiSweep, &[12, 10, 8], e, 8);
+        }
+    }
+
+    #[test]
+    fn streaming_extension_standard_order4() {
+        for e in 0..4 {
+            streaming_extension_matches(TreePolicy::Standard, &[8, 6, 5, 4], e, 8);
+        }
+    }
+
+    #[test]
+    fn streaming_extension_msdt_order4() {
+        for e in 0..4 {
+            streaming_extension_matches(TreePolicy::MultiSweep, &[8, 6, 5, 4], e, 8);
+        }
     }
 
     #[test]

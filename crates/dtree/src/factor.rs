@@ -78,6 +78,20 @@ impl FactorState {
         self.versions[n] += 1;
     }
 
+    /// Append `extra` rows to mode `n`'s factor, bumping its version — the
+    /// streaming update for an evolving mode: existing rows are preserved
+    /// bit for bit and the new slice's warm-started rows land below them.
+    pub fn extend_rows(&mut self, n: usize, extra: &Matrix) {
+        assert_eq!(
+            extra.cols(),
+            self.factors[n].cols(),
+            "rank change on row extension"
+        );
+        assert!(extra.rows() > 0, "row extension must add rows");
+        self.factors[n] = Matrix::vstack(&[&self.factors[n], extra]);
+        self.versions[n] += 1;
+    }
+
     /// Replace a factor *without* bumping the version (used when loading
     /// externally synchronized state, e.g. refreshed P-layout blocks that
     /// represent the same logical version).
@@ -108,5 +122,26 @@ mod tests {
     fn update_shape_mismatch_panics() {
         let mut fs = FactorState::new(vec![Matrix::zeros(3, 2)]);
         fs.update(0, Matrix::zeros(5, 2));
+    }
+
+    #[test]
+    fn extend_rows_appends_and_bumps() {
+        let mut fs = FactorState::new(vec![
+            Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64),
+            Matrix::zeros(4, 2),
+        ]);
+        let extra = Matrix::from_fn(2, 2, |i, j| 100.0 + (i * 2 + j) as f64);
+        fs.extend_rows(0, &extra);
+        assert_eq!(fs.factor(0).rows(), 5);
+        assert_eq!(fs.versions(), &[1, 0]);
+        assert_eq!(fs.factor(0).get(1, 1), 3.0, "old rows preserved");
+        assert_eq!(fs.factor(0).get(3, 0), 100.0, "new rows appended");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank change")]
+    fn extend_rows_rejects_rank_change() {
+        let mut fs = FactorState::new(vec![Matrix::zeros(3, 2)]);
+        fs.extend_rows(0, &Matrix::zeros(2, 3));
     }
 }

@@ -425,6 +425,61 @@ impl InputTensor {
         }
     }
 
+    /// Grow original mode `e` by appending `slice` (given in the canonical
+    /// ascending-mode layout) along it in **every** stored layout. The
+    /// slice is permuted into each layout's order and concatenated at `e`'s
+    /// position there, so all layouts stay element-for-element consistent
+    /// views of the grown tensor. Dense inputs only.
+    pub fn extend_mode(&mut self, e: usize, slice: &DenseTensor) {
+        assert!(self.sparse.is_none(), "streaming growth is dense-only");
+        assert!(e < self.order);
+        assert_eq!(slice.order(), self.order, "slice order mismatch");
+        for layout in &mut self.layouts {
+            let pos = layout.mode_order.iter().position(|&m| m == e).unwrap();
+            let canonical = layout.mode_order.iter().enumerate().all(|(k, &m)| k == m);
+            let permuted = if canonical {
+                slice.clone()
+            } else {
+                permute(slice, &layout.mode_order)
+            };
+            layout.tensor = Arc::new(layout.tensor.concat_along(&permuted, pos));
+        }
+    }
+
+    /// An input wrapping `slice` (canonical layout) that mirrors this
+    /// input's stored layouts exactly. [`InputTensor::plan_contract`] then
+    /// selects the same layout and contraction end for every mode as on
+    /// the full input — the property that makes a slice contraction the
+    /// row-for-row sub-computation of the full one (packed-GEMM values are
+    /// per-row, so delta-extension of a cached intermediate is bitwise
+    /// identical to recontracting the grown tensor).
+    pub fn slice_like(&self, slice: &DenseTensor) -> InputTensor {
+        assert!(self.sparse.is_none(), "streaming growth is dense-only");
+        assert_eq!(slice.order(), self.order, "slice order mismatch");
+        let layouts = self
+            .layouts
+            .iter()
+            .map(|l| {
+                let canonical = l.mode_order.iter().enumerate().all(|(k, &m)| k == m);
+                let tensor = if canonical {
+                    slice.clone()
+                } else {
+                    permute(slice, &l.mode_order)
+                };
+                Layout {
+                    mode_order: l.mode_order.clone(),
+                    tensor: Arc::new(tensor),
+                }
+            })
+            .collect();
+        InputTensor {
+            layouts,
+            order: self.order,
+            cache_transposes: false,
+            sparse: None,
+        }
+    }
+
     /// Which original modes are contractible without a transpose. Every
     /// mode of a sparse input qualifies (the CSF forest has a tree rooted
     /// at each).

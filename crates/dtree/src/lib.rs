@@ -54,7 +54,7 @@ where
 }
 
 pub use cache::{InterCache, Intermediate, Payload, SpecPayload, SpecSlot};
-pub use engine::{DimTreeEngine, TreePolicy};
+pub use engine::{CacheUpdate, DimTreeEngine, TreePolicy};
 pub use factor::FactorState;
 pub use input::InputTensor;
 pub use modeset::ModeSet;

@@ -9,6 +9,8 @@
 //! job name=chem  dataset=lowrank dims=16x14x15 gen-rank=4 noise=0.05 data-seed=3 \
 //!     method=pp rank=4 sweeps=40 tol=1e-7 pp-tol=0.3 seed=42
 //! job name=imgs  dataset=collinearity s=14 r=4 lo=0.5 hi=0.7 data-seed=5 method=msdt rank=4
+//! job name=live  dataset=timelapse height=12 width=10 bands=8 times=9 materials=3 \
+//!     stream=on initial-times=3 arrive=2 sweeps-per-arrival=4 update=incremental method=pp
 //! ```
 //!
 //! (No line continuations — the `\` above is for readability only.)
@@ -17,7 +19,8 @@
 //! no-silent-fallback policy.
 
 use pp_core::{AlsConfig, SessionKind};
-use pp_dtree::TreePolicy;
+use pp_datagen::timelapse::{TimelapseConfig, TimelapseStream};
+use pp_dtree::{CacheUpdate, TreePolicy};
 use pp_tensor::DenseTensor;
 
 /// Which driver method a job runs (the `ppcp --method` vocabulary).
@@ -108,6 +111,18 @@ pub enum DatasetSpec {
         density: f64,
         seed: u64,
     },
+    /// Time-lapse hyperspectral surrogate (`height × width × bands ×
+    /// times`) — the only dataset that can also feed streaming jobs
+    /// (`stream=on`), arriving slice-by-slice along the time mode.
+    Timelapse {
+        height: usize,
+        width: usize,
+        bands: usize,
+        times: usize,
+        materials: usize,
+        noise: f64,
+        seed: u64,
+    },
 }
 
 impl DatasetSpec {
@@ -147,6 +162,9 @@ impl DatasetSpec {
                 };
                 pp_datagen::collinearity::collinearity_tensor(&cfg, *seed).0
             }
+            DatasetSpec::Timelapse { seed, .. } => {
+                pp_datagen::timelapse::timelapse_tensor(&self.timelapse_config(), *seed)
+            }
             other => panic!("sparse dataset {other:?} builds via build_sparse, not densify"),
         }
     }
@@ -167,6 +185,30 @@ impl DatasetSpec {
                 seed,
             } => pp_datagen::sparse::sparse_lowrank(dims, *gen_rank, *density, *seed).0,
             other => panic!("dense dataset {other:?} has no sparse build"),
+        }
+    }
+
+    /// The generator config of a [`DatasetSpec::Timelapse`] spec. Panics
+    /// on other variants (callers gate on the variant first).
+    fn timelapse_config(&self) -> TimelapseConfig {
+        match self {
+            DatasetSpec::Timelapse {
+                height,
+                width,
+                bands,
+                times,
+                materials,
+                noise,
+                ..
+            } => TimelapseConfig {
+                height: *height,
+                width: *width,
+                bands: *bands,
+                times: *times,
+                materials: *materials,
+                noise: *noise,
+            },
+            other => panic!("dataset {other:?} is not a timelapse"),
         }
     }
 
@@ -217,6 +259,22 @@ impl SchedPolicy {
     }
 }
 
+/// Arrival schedule of a streaming job (`stream=on`): how the time-lapse
+/// horizon is carved and how many sweeps each arrival's window gets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Time points served up front (`initial-times=`).
+    pub initial: usize,
+    /// Time points per arriving slice (`arrive=`).
+    pub arrive: usize,
+    /// Sweep budget per window, the initial window included
+    /// (`sweeps-per-arrival=`).
+    pub sweeps_per_arrival: usize,
+    /// Incremental cache delta-extension or the recompute oracle
+    /// (`update=incremental|recompute`) — bit-identical either way.
+    pub update: CacheUpdate,
+}
+
 /// One tenant's decomposition request.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
@@ -247,6 +305,10 @@ pub struct JobSpec {
     /// Fault injection for tests (`fail-after=N`): panic the job's turn
     /// after its `N`-th sweep completes, exercising the failed-step path.
     pub fail_after: Option<usize>,
+    /// Streaming arrival schedule (`stream=on`); requires a
+    /// [`DatasetSpec::Timelapse`] dataset. `None` runs the ordinary batch
+    /// session over the fully materialized tensor.
+    pub stream: Option<StreamSpec>,
 }
 
 impl JobSpec {
@@ -272,7 +334,29 @@ impl JobSpec {
             priority: 0,
             deadline: u64::MAX,
             fail_after: None,
+            stream: None,
         }
+    }
+
+    /// Materialize the arrival feed of a streaming job. Errors on
+    /// non-streaming specs and on schedules the horizon cannot satisfy
+    /// (mirroring [`TimelapseStream::new`]'s validation).
+    pub fn build_stream(&self) -> Result<TimelapseStream, String> {
+        let stream = self
+            .stream
+            .ok_or_else(|| format!("job '{}' has no stream schedule", self.name))?;
+        let DatasetSpec::Timelapse { seed, .. } = &self.dataset else {
+            return Err(format!(
+                "job '{}': streaming requires dataset=timelapse",
+                self.name
+            ));
+        };
+        TimelapseStream::new(
+            &self.dataset.timelapse_config(),
+            *seed,
+            stream.initial,
+            stream.arrive,
+        )
     }
 
     /// Conservative cache-memory estimate (f64 elements) used by the
@@ -321,6 +405,15 @@ impl JobSpec {
         let dims: Vec<usize> = match &self.dataset {
             DatasetSpec::Lowrank { dims, .. } => dims.clone(),
             DatasetSpec::Collinearity { s, order, .. } => vec![*s; *order],
+            // Streaming jobs grow toward the full horizon, so the
+            // reservation is sized for the final extent up front.
+            DatasetSpec::Timelapse {
+                height,
+                width,
+                bands,
+                times,
+                ..
+            } => vec![*height, *width, *bands, *times],
             _ => unreachable!("sparse specs returned above"),
         };
         let total: usize = dims.iter().product();
@@ -354,7 +447,7 @@ impl JobSpec {
 }
 
 /// The dataset vocabulary, shared by the rejection message.
-pub const DATASET_NAMES: &str = "lowrank|collinearity|sparse-powerlaw|sparse-lowrank";
+pub const DATASET_NAMES: &str = "lowrank|collinearity|timelapse|sparse-powerlaw|sparse-lowrank";
 
 fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String>
 where
@@ -390,6 +483,16 @@ struct DatasetKeys {
     nnz: usize,
     skew: f64,
     density: f64,
+    height: usize,
+    width: usize,
+    bands: usize,
+    times: usize,
+    materials: usize,
+    stream: bool,
+    initial_times: usize,
+    arrive: usize,
+    sweeps_per_arrival: usize,
+    update: CacheUpdate,
 }
 
 impl Default for DatasetKeys {
@@ -408,6 +511,16 @@ impl Default for DatasetKeys {
             nnz: 2000,
             skew: 2.0,
             density: 0.01,
+            height: 12,
+            width: 10,
+            bands: 8,
+            times: 9,
+            materials: 3,
+            stream: false,
+            initial_times: 3,
+            arrive: 2,
+            sweeps_per_arrival: 4,
+            update: CacheUpdate::Incremental,
         }
     }
 }
@@ -435,6 +548,15 @@ impl DatasetKeys {
                 skew: self.skew,
                 seed: self.data_seed,
             },
+            "timelapse" => DatasetSpec::Timelapse {
+                height: self.height,
+                width: self.width,
+                bands: self.bands,
+                times: self.times,
+                materials: self.materials,
+                noise: self.noise,
+                seed: self.data_seed,
+            },
             _ => DatasetSpec::SparseLowrank {
                 dims: self.dims,
                 gen_rank: self.gen_rank,
@@ -458,7 +580,7 @@ fn apply_token(
         "name" => job.name = value.to_string(),
         "method" => job.method = JobMethod::parse(value)?,
         "dataset" => match value {
-            "lowrank" | "collinearity" | "sparse-powerlaw" | "sparse-lowrank" => {
+            "lowrank" | "collinearity" | "timelapse" | "sparse-powerlaw" | "sparse-lowrank" => {
                 dk.dataset = value.to_string()
             }
             other => return Err(format!("unknown dataset '{other}' ({DATASET_NAMES})")),
@@ -488,6 +610,33 @@ fn apply_token(
             dk.density = parse_num(key, value)?;
             if !(dk.density > 0.0 && dk.density <= 1.0) {
                 return Err(format!("density must be in (0, 1], got {}", dk.density));
+            }
+        }
+        "height" => dk.height = parse_num(key, value)?,
+        "width" => dk.width = parse_num(key, value)?,
+        "bands" => dk.bands = parse_num(key, value)?,
+        "times" => dk.times = parse_num(key, value)?,
+        "materials" => dk.materials = parse_num(key, value)?,
+        "stream" => {
+            dk.stream = match value {
+                "on" | "true" | "1" => true,
+                "off" | "false" | "0" => false,
+                other => return Err(format!("invalid stream '{other}' (on|off)")),
+            }
+        }
+        "initial-times" => dk.initial_times = parse_num(key, value)?,
+        "arrive" => dk.arrive = parse_num(key, value)?,
+        "sweeps-per-arrival" => {
+            dk.sweeps_per_arrival = parse_num(key, value)?;
+            if dk.sweeps_per_arrival == 0 {
+                return Err("sweeps-per-arrival must be at least 1".into());
+            }
+        }
+        "update" => {
+            dk.update = match value {
+                "incremental" => CacheUpdate::Incremental,
+                "recompute" => CacheUpdate::Recompute,
+                other => return Err(format!("unknown update '{other}' (incremental|recompute)")),
             }
         }
         "rank" => job.rank = parse_num(key, value)?,
@@ -553,6 +702,39 @@ pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, String> {
                  HALS needs the dense residual and cannot run on sparse inputs)",
                 dk.dataset
             ));
+        }
+        if dk.stream {
+            if dk.dataset != "timelapse" {
+                return Err(format!(
+                    "line {line_no}: stream=on requires dataset=timelapse, got '{}'",
+                    dk.dataset
+                ));
+            }
+            if job.method == JobMethod::Nncp {
+                return Err(format!(
+                    "line {line_no}: stream jobs support method=dt|pp|msdt \
+                     (streaming warm-starts are unconstrained least-squares rows)"
+                ));
+            }
+            if dk.initial_times == 0 || dk.initial_times >= dk.times {
+                return Err(format!(
+                    "line {line_no}: streaming needs 0 < initial-times < times, got {} of {}",
+                    dk.initial_times, dk.times
+                ));
+            }
+            if dk.arrive == 0 || (dk.times - dk.initial_times) % dk.arrive != 0 {
+                return Err(format!(
+                    "line {line_no}: remaining {} time points do not divide into slices of {}",
+                    dk.times - dk.initial_times,
+                    dk.arrive
+                ));
+            }
+            job.stream = Some(StreamSpec {
+                initial: dk.initial_times,
+                arrive: dk.arrive,
+                sweeps_per_arrival: dk.sweeps_per_arrival,
+                update: dk.update,
+            });
         }
         job.dataset = dk.into_spec();
         jobs.push(job);
@@ -743,6 +925,81 @@ mod tests {
         .unwrap();
         assert_eq!(jobs[0].method, JobMethod::Pp);
         assert_eq!(jobs[1].method, JobMethod::Msdt);
+    }
+
+    #[test]
+    fn timelapse_and_stream_keys_parse() {
+        let jobs = parse_manifest(
+            "job name=batch dataset=timelapse height=10 width=9 bands=6 times=5 materials=2 \
+             noise=0.01 data-seed=13 method=msdt rank=4\n\
+             job name=live dataset=timelapse times=9 stream=on initial-times=3 arrive=2 \
+             sweeps-per-arrival=5 update=recompute method=pp rank=4\n",
+        )
+        .unwrap();
+        assert_eq!(
+            jobs[0].dataset,
+            DatasetSpec::Timelapse {
+                height: 10,
+                width: 9,
+                bands: 6,
+                times: 5,
+                materials: 2,
+                noise: 0.01,
+                seed: 13,
+            }
+        );
+        assert_eq!(jobs[0].stream, None, "stream defaults to off");
+        assert!(!jobs[0].dataset.is_sparse());
+        assert_eq!(
+            jobs[1].stream,
+            Some(StreamSpec {
+                initial: 3,
+                arrive: 2,
+                sweeps_per_arrival: 5,
+                update: CacheUpdate::Recompute,
+            })
+        );
+        // The reservation covers the final horizon (times=9), not the
+        // initial prefix: 2 · (12·10·8·9 / 8) · R plus the PP operators.
+        assert!(jobs[1].est_cache_elems() >= 2 * (12 * 10 * 8 * 9 / 8) * 4);
+        // The feed materializes and carves the declared schedule.
+        let feed = jobs[1].build_stream().unwrap();
+        assert_eq!(feed.initial().dim(3), 3);
+        assert_eq!(feed.n_arrivals(), 3);
+        // A batch job has no feed to build.
+        assert!(jobs[0].build_stream().err().unwrap().contains("no stream"));
+    }
+
+    #[test]
+    fn stream_misconfigurations_are_parse_errors() {
+        for (text, needle) in [
+            (
+                "job dataset=lowrank stream=on",
+                "stream=on requires dataset=timelapse",
+            ),
+            (
+                "job dataset=timelapse stream=on method=nncp",
+                "stream jobs support method=dt|pp|msdt",
+            ),
+            (
+                "job dataset=timelapse times=5 stream=on initial-times=5",
+                "0 < initial-times < times",
+            ),
+            (
+                "job dataset=timelapse times=9 stream=on initial-times=3 arrive=4",
+                "do not divide",
+            ),
+            (
+                "job dataset=timelapse stream=on sweeps-per-arrival=0",
+                "sweeps-per-arrival must be at least 1",
+            ),
+            ("job stream=maybe", "invalid stream 'maybe'"),
+            ("job update=lazy", "unknown update 'lazy'"),
+        ] {
+            let err = parse_manifest(text).unwrap_err();
+            assert!(err.contains(needle), "{text}: {err}");
+            assert!(err.contains("line 1"), "{text}: {err}");
+        }
     }
 
     #[test]

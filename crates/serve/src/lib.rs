@@ -31,7 +31,12 @@
 //!   batch — on driver threads and pool workers alike;
 //! * with one driver (the golden path) the schedule trace is fully
 //!   deterministic: admission order, turn order, and per-job sweep counts
-//!   depend only on the job specs.
+//!   depend only on the job specs;
+//! * **streaming tenants** (`stream=on` on a timelapse dataset) hold a
+//!   [`pp_core::StreamingSession`] instead: when a sweep window closes the
+//!   scheduler feeds the next arriving slice on that tenant's own turn, so
+//!   online jobs interleave with batch jobs at sweep granularity, park and
+//!   checkpoint mid-arrival, and resume bit-identically.
 //!
 //! Job batches are described by a plain-text manifest ([`job`]) consumed by
 //! the `ppcp batch` subcommand, and `bench_serve` measures batch throughput
@@ -40,7 +45,7 @@
 pub mod job;
 pub mod scheduler;
 
-pub use job::{parse_manifest, DatasetSpec, JobMethod, JobSpec, SchedPolicy};
+pub use job::{parse_manifest, DatasetSpec, JobMethod, JobSpec, SchedPolicy, StreamSpec};
 pub use scheduler::{
     run_batch, run_sequential, BatchReport, JobResult, JobStatus, ScheduleEvent, ServeConfig,
 };

@@ -59,7 +59,8 @@
 
 use crate::job::{JobSpec, SchedPolicy};
 use pp_core::checkpoint::fnv1a;
-use pp_core::{AlsOutput, AlsSession, Step, SweepKind};
+use pp_core::{AlsOutput, AlsSession, Step, StreamingSession, SweepKind};
+use pp_datagen::timelapse::{TimelapseStream, TIME_MODE};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex, Once};
@@ -310,10 +311,73 @@ fn checkpoint_path(dir: &Path, idx: usize) -> PathBuf {
 /// deadline-class job is only ever aged past, never priority-beaten.
 const DEADLINE_BASE: u64 = 1 << 40;
 
+/// A live admitted tenant: an ordinary batch session, or a streaming
+/// session together with its arrival feed.
+enum Tenant {
+    Batch(AlsSession),
+    Stream {
+        session: StreamingSession,
+        feed: TimelapseStream,
+    },
+}
+
+impl Tenant {
+    /// One sweep of the tenant. A streaming tenant whose window has closed
+    /// consumes its next arrival first (on its own turn, so arrivals
+    /// interleave with other tenants at sweep granularity); `Done` means
+    /// the whole arrival schedule is spent.
+    fn step(&mut self) -> Step {
+        match self {
+            Tenant::Batch(s) => s.step(),
+            Tenant::Stream { session, feed } => {
+                if session.is_finished() && session.arrivals_done() < feed.n_arrivals() {
+                    session.arrive(&feed.slice(session.arrivals_done()));
+                }
+                session.step()
+            }
+        }
+    }
+
+    fn sweeps_done(&self) -> usize {
+        match self {
+            Tenant::Batch(s) => s.sweeps_done(),
+            Tenant::Stream { session, .. } => session.sweeps_done(),
+        }
+    }
+
+    fn park(&mut self) {
+        match self {
+            Tenant::Batch(s) => s.park(),
+            Tenant::Stream { session, .. } => session.park(),
+        }
+    }
+
+    fn park_to_disk(&mut self, path: &Path, tag: u64) -> std::io::Result<()> {
+        match self {
+            Tenant::Batch(s) => s.park_to_disk(path, tag),
+            Tenant::Stream { session, .. } => session.park_to_disk(path, tag),
+        }
+    }
+
+    fn cache_memory_elems(&self) -> usize {
+        match self {
+            Tenant::Batch(s) => s.cache_memory_elems(),
+            Tenant::Stream { session, .. } => session.cache_memory_elems(),
+        }
+    }
+
+    fn finish(self) -> AlsOutput {
+        match self {
+            Tenant::Batch(s) => s.finish(),
+            Tenant::Stream { session, .. } => session.finish(),
+        }
+    }
+}
+
 /// An admitted job holding a live session, parked between turns.
 struct ReadyJob {
     idx: usize,
-    session: AlsSession,
+    session: Tenant,
     secs: f64,
     /// Global turn when this job last stepped (admission turn initially).
     last_turn: usize,
@@ -382,10 +446,14 @@ impl SchedState {
     }
 }
 
-/// Build (or resume) job `idx`'s session under `catch_unwind`.
-fn construct(sh: &Shared<'_>, idx: usize) -> Result<(AlsSession, usize), String> {
+/// Build (or resume) job `idx`'s session. Generator/session panics are
+/// caught (`catch_unwind`); checkpoint I/O and validation failures —
+/// unreadable files, corrupt or truncated `PPCK` payloads, a fingerprint
+/// from a different manifest — are plain `Err`s, so a bad checkpoint can
+/// never partially resume or take a driver thread down.
+fn construct(sh: &Shared<'_>, idx: usize) -> Result<(Tenant, usize), String> {
     let spec = &sh.specs[idx];
-    let built = catch_unwind(AssertUnwindSafe(|| {
+    let built = catch_unwind(AssertUnwindSafe(|| -> Result<Tenant, String> {
         let mut als_cfg = spec.als_config();
         if sh.cfg.drivers > 1 {
             // Concurrent per-job pool pins of different widths would
@@ -399,13 +467,14 @@ fn construct(sh: &Shared<'_>, idx: usize) -> Result<(AlsSession, usize), String>
             .as_ref()
             .map(|d| checkpoint_path(d, idx))
             .filter(|p| p.exists());
-        let verify_tag = |tag: u64, path: &Path| {
-            assert_eq!(
-                tag,
-                spec_fingerprint(spec),
-                "checkpoint {} was written by a different job spec",
-                path.display()
-            );
+        let verify_tag = |tag: u64, path: &Path| -> Result<(), String> {
+            if tag != spec_fingerprint(spec) {
+                return Err(format!(
+                    "checkpoint {} was written by a different job spec",
+                    path.display()
+                ));
+            }
+            Ok(())
         };
         if spec.dataset.is_sparse() {
             // Sparse path: the tensor never densifies. dt runs the direct
@@ -415,30 +484,55 @@ fn construct(sh: &Shared<'_>, idx: usize) -> Result<(AlsSession, usize), String>
             let sp = spec.dataset.build_sparse();
             if let Some(path) = ckpt {
                 let (session, tag) = AlsSession::resume_from_disk_sparse(&path, &sp)
-                    .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
-                verify_tag(tag, &path);
-                session
+                    .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+                verify_tag(tag, &path)?;
+                Ok(Tenant::Batch(session))
             } else {
-                AlsSession::new_sparse(&sp, &als_cfg, spec.method.session_kind())
+                Ok(Tenant::Batch(AlsSession::new_sparse(
+                    &sp,
+                    &als_cfg,
+                    spec.method.session_kind(),
+                )))
+            }
+        } else if let Some(stream) = spec.stream {
+            let feed = spec.build_stream()?;
+            if let Some(path) = ckpt {
+                let (session, tag) =
+                    StreamingSession::resume_from_disk(&path, |extent| feed.prefix(extent))
+                        .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+                verify_tag(tag, &path)?;
+                Ok(Tenant::Stream { session, feed })
+            } else {
+                let session = StreamingSession::new(
+                    &feed.initial(),
+                    &als_cfg,
+                    spec.method.session_kind(),
+                    TIME_MODE,
+                    stream.sweeps_per_arrival,
+                    stream.update,
+                );
+                Ok(Tenant::Stream { session, feed })
             }
         } else {
             let tensor = spec.dataset.build();
             if let Some(path) = ckpt {
                 let (session, tag) = AlsSession::resume_from_disk(&path, &tensor)
-                    .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
-                verify_tag(tag, &path);
-                session
+                    .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+                verify_tag(tag, &path)?;
+                Ok(Tenant::Batch(session))
             } else {
-                AlsSession::new(&tensor, &als_cfg, spec.method.session_kind())
+                Ok(Tenant::Batch(AlsSession::new(
+                    &tensor,
+                    &als_cfg,
+                    spec.method.session_kind(),
+                )))
             }
         }
     }));
-    built
-        .map(|session| {
-            let elems = session.cache_memory_elems().max(spec.est_cache_elems());
-            (session, elems)
-        })
-        .map_err(panic_message)
+    built.map_err(panic_message).and_then(|r| r).map(|session| {
+        let elems = session.cache_memory_elems().max(spec.est_cache_elems());
+        (session, elems)
+    })
 }
 
 /// Admit pending jobs while the window and cache budget allow. Drops and
@@ -523,22 +617,21 @@ fn drain<'g>(
         if let Some(mut job) = st.ready.pop() {
             st.running += 1;
             drop(st);
-            let parked = catch_unwind(AssertUnwindSafe(|| {
+            let parked = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
                 if let Some(dir) = &sh.cfg.checkpoint_dir {
                     let path = checkpoint_path(dir, job.idx);
                     let tag = spec_fingerprint(&sh.specs[job.idx]);
                     job.session
                         .park_to_disk(&path, tag)
-                        .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
+                        .map_err(|e| format!("checkpoint {}: {e}", path.display()))
                 } else {
                     job.session.park();
+                    Ok(())
                 }
             }));
-            let status = match parked {
+            let status = match parked.map_err(panic_message).and_then(|r| r) {
                 Ok(()) => JobStatus::Parked,
-                Err(p) => JobStatus::Failed {
-                    error: panic_message(p),
-                },
+                Err(error) => JobStatus::Failed { error },
             };
             st = lock_state(sh);
             st.running -= 1;
@@ -601,7 +694,7 @@ fn drive(sh: &Shared<'_>, driver: usize) {
 
         let spec = &sh.specs[job.idx];
         let t0 = Instant::now();
-        let stepped = catch_unwind(AssertUnwindSafe(|| {
+        let stepped = catch_unwind(AssertUnwindSafe(|| -> Result<Step, String> {
             let step = job.session.step();
             if let Some(n) = spec.fail_after {
                 if matches!(step, Step::Swept(_)) && job.session.sweeps_done() > n {
@@ -612,15 +705,15 @@ fn drive(sh: &Shared<'_>, driver: usize) {
                 let path = checkpoint_path(dir, job.idx);
                 job.session
                     .park_to_disk(&path, spec_fingerprint(spec))
-                    .unwrap_or_else(|e| panic!("checkpoint {}: {e}", path.display()));
+                    .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
             } else if park {
                 job.session.park();
             }
-            step
+            Ok(step)
         }));
         job.secs += t0.elapsed().as_secs_f64();
 
-        match stepped {
+        match stepped.map_err(panic_message).and_then(|r| r) {
             Ok(Step::Swept(rec)) => {
                 job.cache_elems = job
                     .session
@@ -680,7 +773,7 @@ fn drive(sh: &Shared<'_>, driver: usize) {
                 st.results[idx] = Some(result);
                 sh.cv.notify_all();
             }
-            Err(p) => {
+            Err(error) => {
                 // The failed step may have left a speculative TTM in
                 // flight (notably under `park_between_steps = false`);
                 // settle the spec slot before the session drops, or a
@@ -692,9 +785,7 @@ fn drive(sh: &Shared<'_>, driver: usize) {
                 }
                 let result = JobResult {
                     name: spec.name.clone(),
-                    status: JobStatus::Failed {
-                        error: panic_message(p),
-                    },
+                    status: JobStatus::Failed { error },
                     output: None,
                     secs: job.secs,
                 };
@@ -1034,6 +1125,244 @@ mod tests {
         }
         // The doomed job swept exactly twice before its panic.
         assert_eq!(report.schedule.iter().filter(|e| e.job == 1).count(), 2);
+    }
+
+    /// Fresh per-test scratch directory under the system temp dir.
+    fn temp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pp-serve-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// A small streaming tenant over the 12×10×8×7 timelapse: 3 initial
+    /// time points, two 2-thick arrivals, `spa` sweeps per window.
+    fn stream_job(name: &str, method: JobMethod, spa: usize) -> JobSpec {
+        let mut j = quick_job(name, method, 50);
+        j.rank = 4;
+        j.dataset = DatasetSpec::Timelapse {
+            height: 12,
+            width: 10,
+            bands: 8,
+            times: 7,
+            materials: 3,
+            noise: 1e-3,
+            seed: 17,
+        };
+        j.stream = Some(crate::job::StreamSpec {
+            initial: 3,
+            arrive: 2,
+            sweeps_per_arrival: spa,
+            update: pp_dtree::CacheUpdate::Incremental,
+        });
+        j
+    }
+
+    #[test]
+    fn stream_jobs_interleave_with_batch_tenants() {
+        // A streaming tenant and a batch tenant share the window: the
+        // stream spends (1 initial + 2 arrivals) × 3 sweeps, arrivals
+        // riding on its own turns, while the batch job round-robins.
+        let jobs = vec![stream_job("live", JobMethod::Msdt, 3), {
+            let mut b = quick_job("batch", JobMethod::Msdt, 9);
+            b.tol = 0.0;
+            b
+        }];
+        let report = batch(&jobs, &ServeConfig::new(2));
+        assert_eq!(report.completed(), 2, "{:?}", report.jobs[0].status);
+        let out = report.jobs[0].output.as_ref().unwrap();
+        assert_eq!(out.report.sweeps.len(), 9, "3 windows x 3 sweeps");
+        // The time-mode factor reached the full horizon.
+        assert_eq!(out.factors[TIME_MODE].rows(), 7);
+        // Round-robin actually interleaved the two tenants.
+        let order: Vec<usize> = report.schedule.iter().map(|e| e.job).collect();
+        assert_eq!(
+            order,
+            vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1]
+        );
+        // And the streamed result is bit-identical to driving the session
+        // alone — scheduling changes nothing numerically.
+        let spec = &jobs[0];
+        let feed = spec.build_stream().unwrap();
+        let mut alone = StreamingSession::new(
+            &feed.initial(),
+            &spec.als_config(),
+            spec.method.session_kind(),
+            TIME_MODE,
+            3,
+            pp_dtree::CacheUpdate::Incremental,
+        );
+        alone.run_window();
+        for i in 0..feed.n_arrivals() {
+            alone.arrive(&feed.slice(i));
+            alone.run_window();
+        }
+        let alone = alone.finish();
+        assert_eq!(alone.report.sweeps.len(), out.report.sweeps.len());
+        for (a, b) in alone.report.sweeps.iter().zip(out.report.sweeps.iter()) {
+            assert_eq!(a.fitness.to_bits(), b.fitness.to_bits());
+        }
+        for (fa, fb) in alone.factors.iter().zip(out.factors.iter()) {
+            assert_eq!(fa.data(), fb.data());
+        }
+    }
+
+    #[test]
+    fn stream_drain_and_resume_is_bit_identical() {
+        // Drain a streaming PP tenant mid-arrival into a checkpoint, then
+        // re-run the same spec against the same directory: the stitched
+        // trace must equal an uninterrupted run bitwise.
+        let jobs = vec![stream_job("live", JobMethod::Pp, 4)];
+        let straight = batch(&jobs, &ServeConfig::new(1));
+        let full = straight.jobs[0].output.as_ref().unwrap();
+
+        let dir = temp_dir("stream-drain");
+        let cut = batch(
+            &jobs,
+            &ServeConfig::new(1)
+                .with_checkpoint_dir(&dir)
+                .with_stop_after_turns(6),
+        );
+        assert_eq!(cut.parked(), 1, "{:?}", cut.jobs[0].status);
+        assert!(checkpoint_path(&dir, 0).exists());
+        let resumed = batch(&jobs, &ServeConfig::new(1).with_checkpoint_dir(&dir));
+        assert_eq!(resumed.completed(), 1, "{:?}", resumed.jobs[0].status);
+        let out = resumed.jobs[0].output.as_ref().unwrap();
+        // The checkpoint carries the trace accumulated before the cut, so
+        // the stitched run reproduces the uninterrupted one bitwise.
+        assert_eq!(out.report.sweeps.len(), full.report.sweeps.len());
+        for (a, b) in full.report.sweeps.iter().zip(out.report.sweeps.iter()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.fitness.to_bits(), b.fitness.to_bits());
+        }
+        for (fa, fb) in full.factors.iter().zip(out.factors.iter()) {
+            assert_eq!(fa.data(), fb.data());
+        }
+        assert!(
+            !checkpoint_path(&dir, 0).exists(),
+            "terminal jobs must remove their checkpoint"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_checkpoint_path_fails_the_job_not_the_batch() {
+        // A directory squatting on job0's checkpoint path makes the
+        // temp-file rename fail. That I/O error must surface as a Failed
+        // status for job 0 only — never a driver-thread crash, and never
+        // a silent loss of the other tenants.
+        let dir = temp_dir("unwritable-path");
+        std::fs::create_dir_all(checkpoint_path(&dir, 0)).unwrap();
+        let jobs = vec![
+            quick_job("blocked", JobMethod::Msdt, 3),
+            quick_job("fine", JobMethod::Msdt, 3),
+        ];
+        let report = batch(&jobs, &ServeConfig::new(2).with_checkpoint_dir(&dir));
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.completed(), 1);
+        match &report.jobs[0].status {
+            JobStatus::Failed { error } => {
+                assert!(error.contains("checkpoint"), "{error}");
+                assert!(error.contains("job0.ppck"), "{error}");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert!(matches!(report.jobs[1].status, JobStatus::Completed { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_checkpoint_dir_is_a_batch_error() {
+        // A plain file where the checkpoint directory should be: the whole
+        // batch is rejected up front with a clean error, before any job
+        // construction happens.
+        let dir = temp_dir("dir-is-file");
+        let path = dir.join("ckpt");
+        std::fs::write(&path, b"not a directory").unwrap();
+        let jobs = vec![quick_job("a", JobMethod::Msdt, 2)];
+        let err = run_batch(&jobs, &ServeConfig::new(1).with_checkpoint_dir(&path))
+            .err()
+            .expect("file-as-dir must be rejected");
+        assert!(err.contains("checkpoint dir"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_fail_resume_cleanly() {
+        // Garbage, truncated, and bit-flipped checkpoint files must all
+        // surface as Failed with the decoder's message — no panic, no
+        // partial resume. Exercised for both tenant kinds.
+        let dir = temp_dir("corrupt-ckpt");
+        let jobs = vec![
+            quick_job("garbage", JobMethod::Msdt, 3),
+            stream_job("stream-trunc", JobMethod::Msdt, 3),
+            quick_job("flipped", JobMethod::Msdt, 3),
+        ];
+        // Seed real checkpoints for jobs 1 and 2 by draining a batch.
+        let cut = batch(
+            &jobs,
+            &ServeConfig::new(3)
+                .with_checkpoint_dir(&dir)
+                .with_stop_after_turns(5),
+        );
+        assert_eq!(cut.parked(), 3);
+        // Job 0: overwrite with garbage. Job 1: truncate. Job 2: flip.
+        std::fs::write(checkpoint_path(&dir, 0), b"PPCKnot really").unwrap();
+        let p1 = checkpoint_path(&dir, 1);
+        let b1 = std::fs::read(&p1).unwrap();
+        std::fs::write(&p1, &b1[..b1.len() / 2]).unwrap();
+        let p2 = checkpoint_path(&dir, 2);
+        let mut b2 = std::fs::read(&p2).unwrap();
+        let mid = b2.len() / 2;
+        b2[mid] ^= 0x40;
+        std::fs::write(&p2, &b2).unwrap();
+
+        let report = batch(&jobs, &ServeConfig::new(3).with_checkpoint_dir(&dir));
+        assert_eq!(report.failed(), 3, "{:?}", report.schedule);
+        for (i, needles) in [
+            vec!["checkpoint"],
+            vec!["checkpoint", "length mismatch"],
+            vec!["checkpoint", "checksum"],
+        ]
+        .iter()
+        .enumerate()
+        {
+            match &report.jobs[i].status {
+                JobStatus::Failed { error } => {
+                    for needle in needles {
+                        assert!(error.contains(needle), "job {i}: {error}");
+                    }
+                }
+                other => panic!("job {i}: expected failure, got {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_spec_is_refused() {
+        // A checkpoint written under one spec must not resume a job whose
+        // spec differs (here: a different rank) — fingerprint mismatch is
+        // a clean Failed, not a corrupted-state resume.
+        let dir = temp_dir("foreign-spec");
+        let jobs = vec![quick_job("a", JobMethod::Msdt, 4)];
+        let cut = batch(
+            &jobs,
+            &ServeConfig::new(1)
+                .with_checkpoint_dir(&dir)
+                .with_stop_after_turns(2),
+        );
+        assert_eq!(cut.parked(), 1);
+        let mut changed = jobs.clone();
+        changed[0].rank = 5;
+        let report = batch(&changed, &ServeConfig::new(1).with_checkpoint_dir(&dir));
+        match &report.jobs[0].status {
+            JobStatus::Failed { error } => {
+                assert!(error.contains("different job spec"), "{error}")
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -159,6 +159,59 @@ impl DenseTensor {
         }
     }
 
+    /// Concatenate `other` after `self` along mode `axis`. All other mode
+    /// extents must match. Element values are copied verbatim, so the
+    /// result is bit-identical to a tensor built whole — the primitive
+    /// behind streaming growth along an evolving mode.
+    pub fn concat_along(&self, other: &DenseTensor, axis: usize) -> DenseTensor {
+        let n = self.order();
+        assert_eq!(n, other.order(), "concat_along order mismatch");
+        assert!(axis < n, "concat_along axis {axis} out of range");
+        for k in 0..n {
+            if k != axis {
+                assert_eq!(
+                    self.dim(k),
+                    other.dim(k),
+                    "concat_along extent mismatch on mode {k}"
+                );
+            }
+        }
+        let inner: usize = self.shape.dims()[axis + 1..].iter().product();
+        let outer: usize = self.shape.dims()[..axis].iter().product();
+        let a_block = self.dim(axis) * inner;
+        let b_block = other.dim(axis) * inner;
+        let mut dims = self.shape.dims().to_vec();
+        dims[axis] += other.dim(axis);
+        let mut data = Vec::with_capacity(self.len() + other.len());
+        for o in 0..outer {
+            data.extend_from_slice(&self.data[o * a_block..(o + 1) * a_block]);
+            data.extend_from_slice(&other.data[o * b_block..(o + 1) * b_block]);
+        }
+        DenseTensor::from_vec(Shape::new(dims), data)
+    }
+
+    /// Copy out the sub-tensor covering indices `[start, start+len)` of
+    /// mode `axis` (all other modes in full).
+    pub fn slice_along(&self, axis: usize, start: usize, len: usize) -> DenseTensor {
+        assert!(axis < self.order(), "slice_along axis out of range");
+        assert!(
+            start + len <= self.dim(axis),
+            "slice_along range {start}+{len} exceeds extent {}",
+            self.dim(axis)
+        );
+        let inner: usize = self.shape.dims()[axis + 1..].iter().product();
+        let outer: usize = self.shape.dims()[..axis].iter().product();
+        let src_block = self.dim(axis) * inner;
+        let mut dims = self.shape.dims().to_vec();
+        dims[axis] = len;
+        let mut data = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let base = o * src_block + start * inner;
+            data.extend_from_slice(&self.data[base..base + len * inner]);
+        }
+        DenseTensor::from_vec(Shape::new(dims), data)
+    }
+
     /// Maximum absolute difference against another tensor of the same shape.
     pub fn max_abs_diff(&self, other: &DenseTensor) -> f64 {
         assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
@@ -225,5 +278,45 @@ mod tests {
     fn reshape_bad_len_panics() {
         let t = DenseTensor::zeros(vec![2, 3]);
         let _ = t.reshape(vec![4, 2]);
+    }
+
+    #[test]
+    fn slice_then_concat_roundtrips_every_axis() {
+        let t = DenseTensor::from_fn(vec![3, 4, 5], |idx| {
+            (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64
+        });
+        for axis in 0..3 {
+            for cut in 1..t.dim(axis) {
+                let a = t.slice_along(axis, 0, cut);
+                let b = t.slice_along(axis, cut, t.dim(axis) - cut);
+                let back = a.concat_along(&b, axis);
+                assert_eq!(back.shape().dims(), t.shape().dims());
+                assert_eq!(back.data(), t.data(), "axis {axis} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_along_picks_the_right_elements() {
+        let t = DenseTensor::from_fn(vec![2, 3, 2], |idx| {
+            (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64
+        });
+        let s = t.slice_along(1, 1, 2);
+        assert_eq!(s.shape().dims(), &[2, 2, 2]);
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    assert_eq!(s.get(&[i, j, k]), t.get(&[i, j + 1, k]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "extent mismatch")]
+    fn concat_rejects_mismatched_extents() {
+        let a = DenseTensor::zeros(vec![2, 3]);
+        let b = DenseTensor::zeros(vec![3, 3]);
+        let _ = a.concat_along(&b, 1);
     }
 }

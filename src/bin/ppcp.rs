@@ -20,6 +20,27 @@
 //!      [--trace]                           (print the schedule trace)
 //!      [--threads <T>]
 //!
+//! ppcp stream                              (online CP: the timelapse tensor
+//!      [--method <dt|msdt|pp>]              grows along the time mode,
+//!      [--rank <R>]                         `--arrive` slices at a time,
+//!      [--height H] [--width W]             starting from `--initial-times`
+//!      [--bands B] [--times T]              time points; each arrival's rows
+//!      [--materials M] [--noise N]          are warm-started and the
+//!      [--data-seed S]                      dimension-tree cache extended
+//!      [--initial-times <I>]                in place)
+//!      [--arrive <K>]
+//!      [--sweeps-per-arrival <S>]
+//!      [--update <incremental|recompute>]  (incremental cache extension or
+//!                                           the full-recompute oracle;
+//!                                           bit-identical either way)
+//!      [--checkpoint <FILE>]               (park to FILE after each window;
+//!                                           re-running resumes mid-stream —
+//!                                           corrupt or foreign checkpoints
+//!                                           are refused with exit 2)
+//!      [--stop-after-arrivals <N>]         (graceful drain after N arrivals)
+//!      [--tol D] [--pp-tol E] [--seed S] [--threads T]
+//!      [--backend <rendezvous|p2p>] [--trace]
+//!
 //! ppcp [--version] [--help]
 //!      --dataset <lowrank|collinearity|chemistry|coil|timelapse|
 //!                 sparse-powerlaw|sparse-lowrank>
@@ -79,7 +100,7 @@ use parallel_pp::datagen::coil::{coil_tensor, CoilConfig};
 use parallel_pp::datagen::collinearity::{collinearity_tensor, CollinearityConfig};
 use parallel_pp::datagen::lowrank::noisy_rank;
 use parallel_pp::datagen::timelapse::{timelapse_tensor, TimelapseConfig};
-use parallel_pp::dtree::TreePolicy;
+use parallel_pp::dtree::{CacheUpdate, TreePolicy};
 use parallel_pp::grid::{DistTensor, ProcGrid};
 use parallel_pp::tensor::DenseTensor;
 use std::sync::Arc;
@@ -468,6 +489,358 @@ fn run_batch_mode(args: &BatchArgs) -> i32 {
     i32::from(report.failed() > 0)
 }
 
+/// Arguments of the `stream` subcommand.
+#[derive(Debug)]
+struct StreamArgs {
+    method: String,
+    rank: usize,
+    height: usize,
+    width: usize,
+    bands: usize,
+    times: usize,
+    materials: usize,
+    noise: f64,
+    data_seed: u64,
+    initial_times: usize,
+    arrive: usize,
+    sweeps_per_arrival: usize,
+    update: CacheUpdate,
+    tol: f64,
+    pp_tol: f64,
+    seed: u64,
+    threads: Option<usize>,
+    backend: Backend,
+    checkpoint: Option<String>,
+    stop_after_arrivals: Option<usize>,
+    trace: bool,
+    help: bool,
+    version: bool,
+}
+
+/// Parse `ppcp stream ...` arguments (everything after the subcommand).
+fn parse_stream_args_from(argv: &[String]) -> Result<StreamArgs, String> {
+    let mut args = StreamArgs {
+        method: "msdt".into(),
+        rank: 8,
+        height: 24,
+        width: 24,
+        bands: 16,
+        times: 9,
+        materials: 6,
+        noise: 5e-3,
+        data_seed: 42,
+        initial_times: 3,
+        arrive: 2,
+        sweeps_per_arrival: 5,
+        update: CacheUpdate::Incremental,
+        tol: 1e-5,
+        pp_tol: 0.1,
+        seed: 42,
+        threads: None,
+        backend: Backend::default(),
+        checkpoint: None,
+        stop_after_arrivals: None,
+        trace: false,
+        help: argv.iter().any(|a| a == "--help" || a == "-h"),
+        version: argv.iter().any(|a| a == "--version" || a == "-V"),
+    };
+    if args.help || args.version {
+        return Ok(args);
+    }
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        let num = |i: &mut usize| -> Result<usize, String> {
+            *i += 1;
+            argv.get(*i)
+                .ok_or_else(|| format!("missing value for {key}"))?
+                .parse()
+                .map_err(|e| format!("invalid value for {key}: {e}"))
+        };
+        match key {
+            "--method" => args.method = take(&mut i)?,
+            "--rank" => args.rank = num(&mut i)?,
+            "--height" => args.height = num(&mut i)?,
+            "--width" => args.width = num(&mut i)?,
+            "--bands" => args.bands = num(&mut i)?,
+            "--times" => args.times = num(&mut i)?,
+            "--materials" => args.materials = num(&mut i)?,
+            "--noise" => {
+                args.noise = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?
+            }
+            "--data-seed" => {
+                args.data_seed = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?
+            }
+            "--initial-times" => args.initial_times = num(&mut i)?,
+            "--arrive" => args.arrive = num(&mut i)?,
+            "--sweeps-per-arrival" => {
+                args.sweeps_per_arrival = num(&mut i)?;
+                if args.sweeps_per_arrival == 0 {
+                    return Err("--sweeps-per-arrival must be at least 1".into());
+                }
+            }
+            "--update" => {
+                args.update = match take(&mut i)?.as_str() {
+                    "incremental" => CacheUpdate::Incremental,
+                    "recompute" => CacheUpdate::Recompute,
+                    other => {
+                        return Err(format!(
+                            "unknown update '{other}' (expected incremental|recompute)"
+                        ))
+                    }
+                }
+            }
+            "--tol" => {
+                args.tol = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?
+            }
+            "--pp-tol" => {
+                args.pp_tol = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?
+            }
+            "--seed" => {
+                args.seed = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("invalid value for {key}: {e}"))?
+            }
+            "--threads" => {
+                let t = num(&mut i)?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(t);
+            }
+            "--backend" => args.backend = take(&mut i)?.parse()?,
+            "--checkpoint" => args.checkpoint = Some(take(&mut i)?),
+            "--stop-after-arrivals" => args.stop_after_arrivals = Some(num(&mut i)?),
+            "--trace" => args.trace = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    match args.method.as_str() {
+        "dt" | "msdt" | "pp" => {}
+        "nncp" => {
+            return Err(
+                "streaming supports --method dt|msdt|pp (nncp's row-wise HALS has no \
+                 warm-start path for arriving rows)"
+                    .into(),
+            )
+        }
+        other => {
+            return Err(format!(
+                "unknown method '{other}' (expected one of dt|msdt|pp)"
+            ))
+        }
+    }
+    if args.rank == 0 {
+        return Err("--rank must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// The configuration fingerprint a stream checkpoint is tagged with:
+/// resuming under different shape/schedule/solver flags is refused.
+fn stream_tag(args: &StreamArgs) -> u64 {
+    parallel_pp::core::checkpoint::fnv1a(
+        format!(
+            "stream|{}|r{}|{}x{}x{}x{}|m{}|n{}|ds{}|i{}|a{}|spa{}|{:?}|tol{}|pp{}|s{}",
+            args.method,
+            args.rank,
+            args.height,
+            args.width,
+            args.bands,
+            args.times,
+            args.materials,
+            args.noise,
+            args.data_seed,
+            args.initial_times,
+            args.arrive,
+            args.sweeps_per_arrival,
+            args.update,
+            args.tol,
+            args.pp_tol,
+            args.seed,
+        )
+        .as_bytes(),
+    )
+}
+
+/// Run `ppcp stream`: an online CP decomposition of the timelapse tensor,
+/// slices arriving along the time mode. Returns the process exit code.
+fn run_stream_mode(args: &StreamArgs) -> i32 {
+    use parallel_pp::core::{SessionKind, StreamingSession};
+    use parallel_pp::datagen::timelapse::{TimelapseStream, TIME_MODE};
+
+    let tcfg = TimelapseConfig {
+        height: args.height,
+        width: args.width,
+        bands: args.bands,
+        times: args.times,
+        materials: args.materials,
+        noise: args.noise,
+    };
+    let feed = {
+        let _gen = args.threads.map(rayon::scoped_num_threads);
+        match TimelapseStream::new(&tcfg, args.data_seed, args.initial_times, args.arrive) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        }
+    };
+    let mut cfg = AlsConfig::new(args.rank)
+        .with_tol(args.tol)
+        .with_pp_tol(args.pp_tol)
+        .with_seed(args.seed)
+        .with_policy(match args.method.as_str() {
+            "dt" => TreePolicy::Standard,
+            _ => TreePolicy::MultiSweep,
+        });
+    if let Some(t) = args.threads {
+        cfg = cfg.with_threads(t);
+    }
+    let kind = if args.method == "pp" {
+        SessionKind::Pp
+    } else {
+        SessionKind::Exact
+    };
+    let tag = stream_tag(args);
+    let ckpt = args.checkpoint.as_ref().map(std::path::Path::new);
+
+    let mut session = match ckpt.filter(|p| p.exists()) {
+        Some(path) => {
+            match StreamingSession::resume_from_disk(path, |extent| feed.prefix(extent)) {
+                Ok((s, t)) if t == tag => {
+                    println!(
+                        "resumed {} at extent {} ({} arrivals, {} sweeps done)",
+                        path.display(),
+                        s.extent(),
+                        s.arrivals_done(),
+                        s.sweeps_done(),
+                    );
+                    s
+                }
+                Ok(_) => {
+                    eprintln!(
+                        "error: checkpoint {} was written by a different configuration",
+                        path.display()
+                    );
+                    return 2;
+                }
+                Err(e) => {
+                    eprintln!("error: checkpoint {}: {e}", path.display());
+                    return 2;
+                }
+            }
+        }
+        None => StreamingSession::new(
+            &feed.initial(),
+            &cfg,
+            kind,
+            TIME_MODE,
+            args.sweeps_per_arrival,
+            args.update,
+        ),
+    };
+    println!(
+        "stream: timelapse {}x{}x{}x{} → {} initial time points + {} arrivals of {}, \
+         method {}, R={}, {} sweeps/arrival, update {:?}, backend {}, threads={}",
+        args.height,
+        args.width,
+        args.bands,
+        args.times,
+        args.initial_times,
+        feed.n_arrivals(),
+        args.arrive,
+        args.method,
+        args.rank,
+        args.sweeps_per_arrival,
+        args.update,
+        args.backend,
+        args.threads.unwrap_or_else(rayon::current_num_threads),
+    );
+
+    let mut parked = false;
+    loop {
+        session.run_window();
+        if let Some(path) = ckpt {
+            if let Err(e) = session.park_to_disk(path, tag) {
+                eprintln!("error: checkpoint {}: {e}", path.display());
+                return 1;
+            }
+        }
+        println!(
+            "  window {:2}: extent {:3}, {:3} sweeps, fitness {:.5}",
+            session.arrivals_done(),
+            session.extent(),
+            session.sweeps_done(),
+            session.last_fitness(),
+        );
+        let done = session.arrivals_done();
+        if done >= feed.n_arrivals() {
+            break;
+        }
+        if args.stop_after_arrivals.is_some_and(|n| done >= n) {
+            parked = true;
+            break;
+        }
+        session.arrive(&feed.slice(done));
+    }
+    if parked {
+        println!(
+            "drained after {} arrivals{}",
+            session.arrivals_done(),
+            if args.checkpoint.is_some() {
+                " (resumable from checkpoint)"
+            } else {
+                ""
+            },
+        );
+        return 0;
+    }
+    let out = session.finish();
+    let report = out.report;
+    println!(
+        "finished: {} sweeps ({} exact, {} PP-init, {} PP-approx), fitness {:.5}, {:.2}s total",
+        report.sweeps.len(),
+        report.count(SweepKind::Exact),
+        report.count(SweepKind::PpInit),
+        report.count(SweepKind::PpApprox),
+        report.final_fitness,
+        report.total_secs(),
+    );
+    if args.trace {
+        for s in &report.sweeps {
+            println!(
+                "  {:9} t={:8.3}s fitness={:.6}",
+                s.kind.label(),
+                s.cumulative_secs,
+                s.fitness
+            );
+        }
+    }
+    if let Some(path) = ckpt {
+        // The run is complete; a stale checkpoint would otherwise resume
+        // a finished session on the next invocation.
+        let _ = std::fs::remove_file(path);
+    }
+    0
+}
+
 fn make_tensor(args: &Args) -> DenseTensor {
     match args.dataset.as_str() {
         "lowrank" => noisy_rank(&[60, 60, 60], args.rank.max(4), 0.05, args.seed),
@@ -662,6 +1035,32 @@ fn main() {
             return;
         }
         std::process::exit(run_batch_mode(&bargs));
+    }
+    if argv.first().is_some_and(|a| a == "stream") {
+        let sargs = match parse_stream_args_from(&argv[1..]) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        if sargs.version {
+            println!("ppcp {}", env!("CARGO_PKG_VERSION"));
+            return;
+        }
+        if sargs.help {
+            println!(
+                "ppcp stream [--method dt|msdt|pp] [--rank R] [--update incremental|recompute]\n\
+                 \x20           [--height H] [--width W] [--bands B] [--times T] [--materials M]\n\
+                 \x20           [--noise N] [--data-seed S] [--initial-times I] [--arrive K]\n\
+                 \x20           [--sweeps-per-arrival S] [--checkpoint FILE]\n\
+                 \x20           [--stop-after-arrivals N] [--tol D] [--pp-tol E] [--seed S]\n\
+                 \x20           [--threads T] [--backend rendezvous|p2p] [--trace]\n\
+                 online CP of the timelapse tensor; slices arrive along the time mode"
+            );
+            return;
+        }
+        std::process::exit(run_stream_mode(&sargs));
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -908,6 +1307,126 @@ mod tests {
         assert!(parse_batch_args_from(&argv(&["--manifest"]))
             .unwrap_err()
             .contains("missing value"));
+    }
+
+    #[test]
+    fn stream_args_parse() {
+        let a = parse_stream_args_from(&argv(&[])).unwrap();
+        assert_eq!(a.method, "msdt");
+        assert_eq!(a.rank, 8);
+        assert_eq!(a.initial_times, 3);
+        assert_eq!(a.arrive, 2);
+        assert_eq!(a.sweeps_per_arrival, 5);
+        assert_eq!(a.update, CacheUpdate::Incremental);
+        assert!(a.checkpoint.is_none() && a.stop_after_arrivals.is_none());
+
+        let a = parse_stream_args_from(&argv(&[
+            "--method",
+            "pp",
+            "--rank",
+            "6",
+            "--height",
+            "12",
+            "--width",
+            "10",
+            "--bands",
+            "8",
+            "--times",
+            "11",
+            "--materials",
+            "3",
+            "--noise",
+            "1e-3",
+            "--data-seed",
+            "7",
+            "--initial-times",
+            "5",
+            "--arrive",
+            "3",
+            "--sweeps-per-arrival",
+            "4",
+            "--update",
+            "recompute",
+            "--checkpoint",
+            "s.ppck",
+            "--stop-after-arrivals",
+            "1",
+            "--backend",
+            "p2p",
+            "--threads",
+            "2",
+            "--trace",
+        ]))
+        .unwrap();
+        assert_eq!(a.method, "pp");
+        assert_eq!(a.rank, 6);
+        assert_eq!(
+            (a.height, a.width, a.bands, a.times, a.materials),
+            (12, 10, 8, 11, 3)
+        );
+        assert_eq!(a.noise, 1e-3);
+        assert_eq!(a.data_seed, 7);
+        assert_eq!((a.initial_times, a.arrive, a.sweeps_per_arrival), (5, 3, 4));
+        assert_eq!(a.update, CacheUpdate::Recompute);
+        assert_eq!(a.checkpoint.as_deref(), Some("s.ppck"));
+        assert_eq!(a.stop_after_arrivals, Some(1));
+        assert_eq!(a.backend, Backend::P2p);
+        assert_eq!(a.threads, Some(2));
+        assert!(a.trace);
+    }
+
+    #[test]
+    fn stream_args_rejected() {
+        assert!(parse_stream_args_from(&argv(&["--method", "nncp"]))
+            .unwrap_err()
+            .contains("dt|msdt|pp"));
+        assert!(parse_stream_args_from(&argv(&["--method", "gradient"]))
+            .unwrap_err()
+            .contains("unknown method"));
+        assert!(
+            parse_stream_args_from(&argv(&["--sweeps-per-arrival", "0"]))
+                .unwrap_err()
+                .contains("at least 1")
+        );
+        assert!(parse_stream_args_from(&argv(&["--update", "lazy"]))
+            .unwrap_err()
+            .contains("incremental|recompute"));
+        assert!(parse_stream_args_from(&argv(&["--rank", "0"]))
+            .unwrap_err()
+            .contains("--rank must be at least 1"));
+        assert!(parse_stream_args_from(&argv(&["--backend", "mpi"])).is_err());
+        assert!(parse_stream_args_from(&argv(&["--arrive"]))
+            .unwrap_err()
+            .contains("missing value"));
+        assert!(parse_stream_args_from(&argv(&["--frobnicate"]))
+            .unwrap_err()
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn stream_help_and_version_short_circuit() {
+        for argv_case in [
+            vec!["--help"],
+            vec!["--version"],
+            vec!["--method", "nncp", "--help"],
+            vec!["--sweeps-per-arrival", "0", "-V"],
+        ] {
+            let a = parse_stream_args_from(&argv(&argv_case)).unwrap();
+            assert!(a.help || a.version, "{argv_case:?}");
+        }
+    }
+
+    #[test]
+    fn stream_tag_separates_configurations() {
+        let a = parse_stream_args_from(&argv(&[])).unwrap();
+        let b = parse_stream_args_from(&argv(&["--rank", "9"])).unwrap();
+        let c = parse_stream_args_from(&argv(&["--update", "recompute"])).unwrap();
+        assert_ne!(stream_tag(&a), stream_tag(&b));
+        assert_ne!(stream_tag(&a), stream_tag(&c));
+        assert_eq!(
+            stream_tag(&a),
+            stream_tag(&parse_stream_args_from(&argv(&[])).unwrap())
+        );
     }
 
     #[test]
